@@ -1,0 +1,220 @@
+package thicket
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/extrap"
+	"repro/internal/mlkit"
+	"repro/internal/sim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// hash-based index lookup, bounded-worker concurrency in order reduction
+// and bulk modeling, k-means restart count, and the PMNF search space.
+
+// BenchmarkAblation_IndexLookup compares the frame's map-backed composite
+// key lookup against the linear scan it replaces.
+func BenchmarkAblation_IndexLookup(b *testing.B) {
+	ps, err := sim.Figure13Ensemble(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := th.PerfData.Index()
+	// A key from the middle of the table.
+	key := ix.KeyAt(ix.NRows() / 2)
+
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := ix.Lookup(key); len(rows) == 0 {
+				b.Fatal("key vanished")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		enc := dataframe.EncodeKey(key)
+		for i := 0; i < b.N; i++ {
+			found := false
+			for r := 0; r < ix.NRows(); r++ {
+				if dataframe.EncodeKey(ix.KeyAt(r)) == enc {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("key vanished")
+			}
+		}
+	})
+}
+
+// workerCounts returns the ablation points for worker-pool benchmarks:
+// sequential, plus all cores when the host actually has more than one.
+func workerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkAblation_AggregateStatsWorkers measures the worker-pool order
+// reduction at 1 worker vs all cores (single-CPU hosts run only the
+// sequential arm).
+func BenchmarkAblation_AggregateStatsWorkers(b *testing.B) {
+	ps, err := sim.TopdownEnsemble([]int64{1048576, 8388608}, []string{"-O0", "-O2"}, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(workers)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := th.AggregateStats(nil, []string{"mean", "std", "var", "min", "max"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ModelExtrapWorkers measures bulk per-node PMNF
+// fitting at 1 worker vs all cores.
+func BenchmarkAblation_ModelExtrapWorkers(b *testing.B) {
+	ps, err := sim.MarblEnsemble(sim.BothClusters(), sim.Figure16Nodes(), 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(workers)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := th.ModelExtrap(ColKey{"Avg time/rank"}, "mpi.world.size", extrap.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_KMeansRestarts measures the cost of k-means++ restart
+// counts (the quality/robustness knob).
+func BenchmarkAblation_KMeansRestarts(b *testing.B) {
+	var m mlkit.Matrix
+	for i := 0; i < 200; i++ {
+		c := float64(i % 4)
+		m = append(m, []float64{c*4 + float64(i%9)*0.05, c*2 + float64(i%11)*0.05})
+	}
+	for _, restarts := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("restarts=%d", restarts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mlkit.KMeans(m, 4, mlkit.KMeansOptions{Seed: 1, Restarts: restarts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ExtrapSearchSpace measures the single-term exhaustive
+// search vs the exhaustive-pairs search (MaxTerms 2).
+func BenchmarkAblation_ExtrapSearchSpace(b *testing.B) {
+	var ps, ys []float64
+	for _, p := range []float64{2, 4, 8, 16, 32, 64, 128, 256} {
+		ps = append(ps, p)
+		ys = append(ys, 3+0.5*p+2*float64(len(ps)%3))
+	}
+	for _, terms := range []int{1, 2} {
+		b.Run(fmt.Sprintf("maxTerms=%d", terms), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := extrap.Fit(ps, ys, extrap.Options{MaxTerms: terms}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Fit2SearchSpace measures the two-parameter search at
+// the reduced default lattice vs a minimal lattice.
+func BenchmarkAblation_Fit2SearchSpace(b *testing.B) {
+	var xs, zs, ys []float64
+	for _, p := range []float64{2, 4, 8, 16, 32} {
+		for _, q := range []float64{1024, 4096, 16384} {
+			xs = append(xs, p)
+			zs = append(zs, q)
+			ys = append(ys, 2+0.01*p*q)
+		}
+	}
+	minimal := extrap.Options2{
+		Exponents: []extrap.Fraction{{Num: 0, Den: 1}, {Num: 1, Den: 2}, {Num: 1, Den: 1}},
+		LogExps:   []int{0},
+	}
+	b.Run("lattice=default", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := extrap.Fit2(xs, zs, ys, extrap.Options2{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lattice=minimal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := extrap.Fit2(xs, zs, ys, minimal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_RenderVsCSV compares the aligned table renderer with
+// raw CSV serialization on the 560-profile campaign's metadata.
+func BenchmarkAblation_RenderVsCSV(b *testing.B) {
+	ps, err := sim.Figure13Ensemble(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("render", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := th.Metadata.String(); len(s) == 0 {
+				b.Fatal("empty render")
+			}
+		}
+	})
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s, err := th.Metadata.ToCSV(); err != nil || len(s) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package thicket
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/extrap"
+	"repro/internal/mlkit"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// ---- One benchmark per paper table/figure. Each iteration regenerates
+// the experiment end to end (ensemble → thicket → analysis → rendering)
+// and asserts the paper's qualitative claims still hold.
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("%s: checks failed:\n%s", id, res.Summary())
+		}
+	}
+}
+
+func BenchmarkFig02_TreeTableRelation(b *testing.B)     { benchFigure(b, "fig02") }
+func BenchmarkFig03_ComponentLinking(b *testing.B)      { benchFigure(b, "fig03") }
+func BenchmarkFig04_HorizontalComposition(b *testing.B) { benchFigure(b, "fig04") }
+func BenchmarkFig05_MetadataTable(b *testing.B)         { benchFigure(b, "fig05") }
+func BenchmarkFig06_FilterMetadata(b *testing.B)        { benchFigure(b, "fig06") }
+func BenchmarkFig07_GroupBy(b *testing.B)               { benchFigure(b, "fig07") }
+func BenchmarkFig08_QueryLanguage(b *testing.B)         { benchFigure(b, "fig08") }
+func BenchmarkFig09_AggregatedStats(b *testing.B)       { benchFigure(b, "fig09") }
+func BenchmarkFig10_KMeansClustering(b *testing.B)      { benchFigure(b, "fig10") }
+func BenchmarkFig11_ExtrapModels(b *testing.B)          { benchFigure(b, "fig11") }
+func BenchmarkFig12_HeatmapHistogram(b *testing.B)      { benchFigure(b, "fig12") }
+func BenchmarkFig13_RajaEnsemble(b *testing.B)          { benchFigure(b, "fig13") }
+func BenchmarkFig14_TopdownViz(b *testing.B)            { benchFigure(b, "fig14") }
+func BenchmarkFig15_SpeedupTable(b *testing.B)          { benchFigure(b, "fig15") }
+func BenchmarkFig16_MarblEnsemble(b *testing.B)         { benchFigure(b, "fig16") }
+func BenchmarkFig17_StrongScaling(b *testing.B)         { benchFigure(b, "fig17") }
+func BenchmarkFig18_ParallelCoordinates(b *testing.B)   { benchFigure(b, "fig18") }
+
+// ---- Library microbenchmarks: the costs a downstream user pays.
+
+// marblProfiles caches an ensemble for construction benchmarks.
+func marblProfiles(b *testing.B, trials int) []*profile.Profile {
+	b.Helper()
+	ps, err := sim.MarblEnsemble(sim.BothClusters(), sim.Figure16Nodes(), trials, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps
+}
+
+func BenchmarkFromProfiles_60(b *testing.B) {
+	ps := marblProfiles(b, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FromProfiles(ps, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromProfiles_560(b *testing.B) {
+	ps, err := sim.Figure13Ensemble(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FromProfiles(ps, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterMetadata(b *testing.B) {
+	ps := marblProfiles(b, 5)
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := th.FilterMetadata(func(m core.MetaRow) bool { return m.Str("mpi") == "impi" })
+		if out.NumProfiles() != 30 {
+			b.Fatal("unexpected filter result")
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	ps := marblProfiles(b, 5)
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, err := th.GroupBy("cluster", "numhosts")
+		if err != nil || len(groups) != 12 {
+			b.Fatalf("groups = %d (%v)", len(groups), err)
+		}
+	}
+}
+
+func BenchmarkQueryCallPath(b *testing.B) {
+	gpu, err := sim.GenerateRaja(sim.RajaConfig{
+		Cluster: "lassen", Variant: sim.VariantCUDA, Tool: sim.ToolGPU,
+		ProblemSize: 1048576, Compiler: "xlc-16.1.1.12", Optimization: "-O0",
+		CudaCompiler: "nvcc-11.2.152", BlockSize: 128, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles([]*profile.Profile{gpu}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.NewMatcher().
+		Match(".", query.NameEquals("Base_CUDA")).
+		Rel("*").
+		Rel(".", query.NameEndsWith("block_128"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := th.Query(q)
+		if err != nil || out.Tree.Len() == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateStats(b *testing.B) {
+	ps, err := sim.TopdownEnsemble([]int64{8388608}, []string{"-O2"}, 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Recompute in place each iteration (overwrite path).
+		if err := th.AggregateStats(nil, []string{"mean", "std"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	cpu, err := sim.TopdownEnsemble([]int64{1048576, 4194304}, []string{"-O2"}, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpuTh, err := core.FromProfiles(cpu, core.Options{IndexBy: "problem size"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	timing, err := sim.TimingEnsemble([]int64{1048576, 4194304}, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	timingTh, err := core.FromProfiles(timing, core.Options{IndexBy: "problem size"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compose([]string{"A", "B"}, []*core.Thicket{cpuTh, timingTh}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtrapFit(b *testing.B) {
+	var ps, ys []float64
+	for _, p := range []float64{36, 72, 144, 288, 576, 1152} {
+		for rep := 0; rep < 5; rep++ {
+			ps = append(ps, p)
+			ys = append(ys, sim.SolverAvgTimePerRank(sim.ClusterRZTopaz, p))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extrap.Fit(ps, ys, extrap.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelExtrapAllNodes(b *testing.B) {
+	ps := marblProfiles(b, 5)
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		models, err := th.ModelExtrap(ColKey{"Avg time/rank"}, "mpi.world.size", extrap.Options{})
+		if err != nil || len(models) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansSilhouette(b *testing.B) {
+	var m mlkit.Matrix
+	for i := 0; i < 120; i++ {
+		c := float64(i % 3)
+		m = append(m, []float64{c*5 + float64(i%7)*0.1, c*3 + float64(i%5)*0.1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, _, err := mlkit.ChooseK(m, 2, 5, mlkit.KMeansOptions{Seed: 1})
+		if err != nil || k != 3 {
+			b.Fatalf("k = %d (%v)", k, err)
+		}
+	}
+}
+
+func BenchmarkProfileJSONRoundTrip(b *testing.B) {
+	p, err := sim.GenerateMarbl(sim.MarblConfig{Cluster: sim.ClusterRZTopaz, Nodes: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := p.MarshalBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := profile.FromBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := back.MarshalBytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsembleScaling sweeps ensemble sizes for FromProfiles, the
+// operation whose cost grows with campaign size.
+func BenchmarkEnsembleScaling(b *testing.B) {
+	for _, trials := range []int{1, 5, 20} {
+		ps := marblProfiles(b, trials)
+		b.Run(fmt.Sprintf("profiles=%d", len(ps)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FromProfiles(ps, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command marbl-sim generates synthetic MARBL triple-point 3D strong-
+// scaling profiles (the paper's Figure 16 campaign) as thicket-profile
+// JSON files.
+//
+// Usage:
+//
+//	marbl-sim -out dir [-seed N] [-trials 5] [-nodes 1,2,4,8,16,32]
+//	          [-clusters rztopaz,aws]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "marbl-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator; split from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("marbl-sim", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	trials := fs.Int("trials", 5, "trials per node count")
+	nodesArg := fs.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
+	clustersArg := fs.String("clusters", "rztopaz,aws", "comma-separated clusters: rztopaz, aws")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var nodes []int
+	for _, s := range strings.Split(*nodesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad node count %q: %w", s, err)
+		}
+		nodes = append(nodes, n)
+	}
+	var clusters []sim.MarblCluster
+	for _, s := range strings.Split(*clustersArg, ",") {
+		switch strings.TrimSpace(s) {
+		case "rztopaz", "cts", "cts1":
+			clusters = append(clusters, sim.ClusterRZTopaz)
+		case "aws":
+			clusters = append(clusters, sim.ClusterAWS)
+		default:
+			return fmt.Errorf("unknown cluster %q (want rztopaz or aws)", s)
+		}
+	}
+
+	profiles, err := sim.MarblEnsemble(clusters, nodes, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for i, p := range profiles {
+		name := fmt.Sprintf("marbl_%04d_%d.json", i, p.Hash())
+		name = strings.ReplaceAll(name, "-", "m")
+		if err := p.Save(filepath.Join(*out, name)); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %d profiles to %s\n", len(profiles), *out)
+	return nil
+}

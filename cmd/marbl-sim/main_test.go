@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestRunGeneratesEnsemble(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir, "-trials", "2", "-nodes", "1,4", "-clusters", "cts,aws"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := profile.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 8 { // 2 clusters × 2 node counts × 2 trials
+		t.Errorf("wrote %d profiles, want 8", len(profiles))
+	}
+	if !strings.Contains(sb.String(), "wrote 8 profiles") {
+		t.Errorf("output: %s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{},
+		{"-out", t.TempDir(), "-nodes", "x"},
+		{"-out", t.TempDir(), "-clusters", "moon"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

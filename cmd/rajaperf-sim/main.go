@@ -1,0 +1,102 @@
+// Command rajaperf-sim generates synthetic RAJA Performance Suite
+// profile ensembles (the paper's Figure 13 campaign and the smaller
+// per-figure inputs) as thicket-profile JSON files.
+//
+// Usage:
+//
+//	rajaperf-sim -out dir [-campaign figure13|topdown|timing|gpu]
+//	             [-seed N] [-trials N] [-sizes a,b,c] [-opts -O0,-O2]
+//	             [-block 128] [-ncu]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rajaperf-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator; split from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rajaperf-sim", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	campaign := fs.String("campaign", "figure13", "figure13 | topdown | timing | gpu")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	trials := fs.Int("trials", 10, "trials per configuration (non-figure13 campaigns)")
+	sizesArg := fs.String("sizes", "1048576,2097152,4194304,8388608", "comma-separated problem sizes")
+	optsArg := fs.String("opts", "-O0,-O1,-O2,-O3", "comma-separated optimization levels (topdown campaign)")
+	block := fs.Int("block", 128, "CUDA block size (gpu campaign)")
+	ncu := fs.Bool("ncu", false, "also generate NCU profiles (gpu campaign)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	sizes, err := parseSizes(*sizesArg)
+	if err != nil {
+		return err
+	}
+
+	var profiles []*profile.Profile
+	switch *campaign {
+	case "figure13":
+		profiles, err = sim.Figure13Ensemble(*seed)
+	case "topdown":
+		profiles, err = sim.TopdownEnsemble(sizes, strings.Split(*optsArg, ","), *trials, *seed)
+	case "timing":
+		profiles, err = sim.TimingEnsemble(sizes, *trials, *seed)
+	case "gpu":
+		profiles, err = sim.GPUEnsemble(sizes, *block, *trials, *ncu, *seed)
+	default:
+		err = fmt.Errorf("unknown campaign %q", *campaign)
+	}
+	if err != nil {
+		return err
+	}
+	if err := writeAll(profiles, *out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d profiles to %s\n", len(profiles), *out)
+	return nil
+}
+
+func parseSizes(arg string) ([]int64, error) {
+	var out []int64
+	for _, s := range strings.Split(arg, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeAll(profiles []*profile.Profile, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, p := range profiles {
+		name := fmt.Sprintf("raja_%04d_%d.json", i, p.Hash())
+		name = strings.ReplaceAll(name, "-", "m")
+		if err := p.Save(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

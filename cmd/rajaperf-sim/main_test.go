@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestRunCampaigns(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-campaign", "timing", "-trials", "1", "-sizes", "1048576"}, 1},
+		{[]string{"-campaign", "topdown", "-trials", "1", "-sizes", "1048576", "-opts", "-O2"}, 1},
+		{[]string{"-campaign", "gpu", "-trials", "1", "-sizes", "1048576", "-block", "256", "-ncu"}, 2},
+	} {
+		dir := t.TempDir()
+		var sb strings.Builder
+		args := append([]string{"-out", dir}, tc.args...)
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("run(%v): %v", tc.args, err)
+		}
+		profiles, err := profile.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(profiles) != tc.want {
+			t.Errorf("%v: wrote %d profiles, want %d", tc.args, len(profiles), tc.want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{},
+		{"-out", t.TempDir(), "-campaign", "bogus"},
+		{"-out", t.TempDir(), "-campaign", "timing", "-sizes", "abc"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("1, 2,3")
+	if err != nil || len(sizes) != 3 || sizes[2] != 3 {
+		t.Errorf("parseSizes = %v (%v)", sizes, err)
+	}
+	if _, err := parseSizes("x"); err == nil {
+		t.Error("bad size must error")
+	}
+}

@@ -1,0 +1,137 @@
+package thicket_test
+
+import (
+	"fmt"
+	"log"
+
+	thicket "repro"
+)
+
+// buildRuns constructs a small deterministic ensemble: the same code
+// region set measured at three MPI scales.
+func buildRuns() []*thicket.Profile {
+	var out []*thicket.Profile
+	for _, ranks := range []int64{4, 16, 64} {
+		p := thicket.NewProfile()
+		p.SetMeta("mpi.world.size", thicket.Int64(ranks))
+		p.SetMeta("compiler", thicket.Str("clang-9.0.0"))
+		if err := p.AddSample([]string{"main"}, map[string]thicket.Value{
+			"time": thicket.Float64(100.0 / float64(ranks)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.AddSample([]string{"main", "solve"}, map[string]thicket.Value{
+			"time": thicket.Float64(80.0 / float64(ranks)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.AddSample([]string{"main", "exchange"}, map[string]thicket.Value{
+			"time": thicket.Float64(2.0 * float64(ranks) / 64),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ExampleFromProfiles composes profiles into a thicket and prints the
+// unified call tree with mean times (paper Figure 2).
+func ExampleFromProfiles() {
+	th, err := thicket.FromProfiles(buildRuns(), thicket.Options{IndexBy: "mpi.world.size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d profiles, %d nodes\n", th.NumProfiles(), th.Tree.Len())
+	fmt.Print(th.TreeString(thicket.ColKey{"time"}))
+	// Output:
+	// 3 profiles, 3 nodes
+	// 10.938 main
+	// ├─ 8.750 solve
+	// └─ 0.875 exchange
+}
+
+// ExampleThicket_FilterMetadata keeps only the large-scale runs
+// (paper Figure 6).
+func ExampleThicket_FilterMetadata() {
+	th, err := thicket.FromProfiles(buildRuns(), thicket.Options{IndexBy: "mpi.world.size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	big := th.FilterMetadata(func(m thicket.MetaRow) bool {
+		return m.Int("mpi.world.size") >= 16
+	})
+	fmt.Printf("%d of %d profiles survive\n", big.NumProfiles(), th.NumProfiles())
+	// Output:
+	// 2 of 3 profiles survive
+}
+
+// ExampleThicket_QueryString extracts a subtree with the call-path query
+// DSL (paper Figure 8).
+func ExampleThicket_QueryString() {
+	th, err := thicket.FromProfiles(buildRuns(), thicket.Options{IndexBy: "mpi.world.size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := th.QueryString(". name == main / . name == solve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sub.Tree.Render(nil))
+	// Output:
+	// main
+	// └─ solve
+}
+
+// ExampleThicket_AggregateStats computes order-reduced statistics across
+// the ensemble (paper Figure 9).
+func ExampleThicket_AggregateStats() {
+	th, err := thicket.FromProfiles(buildRuns(), thicket.Options{IndexBy: "mpi.world.size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := th.AggregateStats([]thicket.ColKey{{"time"}}, []string{"min", "max"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(th.Stats)
+	// Output:
+	// node           time_min   time_max
+	// main           1.562500  25.000000
+	// main/solve     1.250000  20.000000
+	// main/exchange  0.125000   2.000000
+}
+
+// ExampleFitModel fits an Extra-P style scaling model to raw
+// measurements (paper Figure 11).
+func ExampleFitModel() {
+	ranks := []float64{4, 16, 64, 256}
+	times := []float64{5, 6, 8, 12} // 4 + 0.5·√p
+	model, err := thicket.FitModel(ranks, times, thicket.ExtrapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c=%.2f, term=%.2f·p^(%s)\n",
+		model.Constant, model.Terms[0].Coeff, model.Terms[0].Exp)
+	fmt.Printf("predicted at 1024 ranks: %.2f\n", model.Eval(1024))
+	// Output:
+	// c=4.00, term=0.50·p^(1/2)
+	// predicted at 1024 ranks: 20.00
+}
+
+// ExampleThicket_GroupBy partitions the ensemble by a metadata column
+// (paper Figure 7).
+func ExampleThicket_GroupBy() {
+	th, err := thicket.FromProfiles(buildRuns(), thicket.Options{IndexBy: "mpi.world.size"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := th.GroupBy("compiler")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("%s: %d profiles\n", g.Key[0], g.Thicket.NumProfiles())
+	}
+	// Output:
+	// clang-9.0.0: 3 profiles
+}

@@ -1,0 +1,119 @@
+// Modeling deep dive (paper §4.2.3): fit Extra-P models for *every*
+// annotated region of the MARBL ensemble in bulk, rank regions by their
+// extrapolated share of runtime at large scale, and flag scalability
+// bottlenecks — "by generating such performance models in bulk for an
+// entire set of code regions, developers can easily identify regions
+// which might become scalability bottlenecks".
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	thicket "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	const seed = 1
+	const extrapolateRanks = 4608 // 128 nodes × 36 ranks
+
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, sim.Figure16Nodes(), 5, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thicket.FromProfiles(profiles, thicket.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitting models for %d regions over %d profiles (params: 36..1152 ranks)\n\n",
+		th.Tree.Len(), th.NumProfiles())
+
+	models, err := th.ModelExtrap(thicket.ColKey{"Avg time/rank"}, "mpi.world.size", thicket.ExtrapOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type ranked struct {
+		node      string
+		model     string
+		r2        float64
+		predicted float64
+	}
+	var rows []ranked
+	for _, nm := range models {
+		if nm.Err != nil {
+			continue
+		}
+		rows = append(rows, ranked{
+			node:      nm.Node,
+			model:     nm.Model.String(),
+			r2:        nm.Model.R2,
+			predicted: nm.Model.Eval(extrapolateRanks),
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].predicted > rows[b].predicted })
+
+	fmt.Printf("regions ranked by predicted Avg time/rank at %d ranks:\n", extrapolateRanks)
+	fmt.Printf("%-55s %12s %8s  %s\n", "region", "predicted(s)", "R²", "model")
+	for _, r := range rows {
+		flag := ""
+		if r.predicted < 0 {
+			flag = "  [model extrapolates below zero — refit with more points]"
+		}
+		fmt.Printf("%-55s %12.2f %8.4f  %s%s\n", r.node, r.predicted, r.r2, r.model, flag)
+	}
+
+	// A region whose modelled cost *grows* with ranks is a scalability
+	// bottleneck under strong scaling (everything else shrinks).
+	fmt.Println("\npotential scalability bottlenecks (cost increasing with ranks):")
+	found := false
+	for _, nm := range models {
+		if nm.Err != nil || nm.Model.IsConstant() {
+			continue
+		}
+		if nm.Model.Eval(4*36) < nm.Model.Eval(1152) {
+			fmt.Printf("  %-55s %s\n", nm.Node, nm.Model)
+			found = true
+		}
+	}
+	if !found {
+		fmt.Println("  none — every region's per-rank cost shrinks toward 1152 ranks")
+	}
+
+	// ---- Two-parameter modeling: sweep ranks × mesh size and fit
+	// f(p, q) per region (Extra-P's multi-parameter extension).
+	fmt.Println("\n== two-parameter models over (mpi.world.size, total_elems) ==")
+	multiProfiles, err := sim.MarblMultiParamEnsemble(sim.ClusterRZTopaz,
+		[]int{1, 2, 4, 8, 16}, []int64{442368, 884736, 1769472, 3538944}, 3, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multiTh, err := thicket.FromProfiles(multiProfiles, thicket.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble: %d profiles (5 rank counts × 4 mesh sizes × 3 trials)\n", multiTh.NumProfiles())
+	// Per-rank costs under strong scaling shrink with p, so extend the
+	// lattice with negative exponents (q/p shapes).
+	opts2 := thicket.ExtrapOptions2{
+		Exponents: []thicket.ExtrapFraction{
+			{Num: -1, Den: 1}, {Num: -2, Den: 3}, {Num: -1, Den: 3}, {Num: 0, Den: 1},
+			{Num: 1, Den: 3}, {Num: 1, Den: 2}, {Num: 2, Den: 3}, {Num: 1, Den: 1},
+		},
+	}
+	for _, nodePath := range []string{
+		"main/timeStepLoop",
+		"main/timeStepLoop/LagrangeLeapFrog/M_solver->Mult",
+	} {
+		m2, err := multiTh.ModelNode2(nodePath, thicket.ColKey{"Avg time/rank"},
+			"mpi.world.size", "total_elems", opts2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-50s f(p,q) = %s   (R²=%.4f)\n", nodePath, m2, m2.R2)
+		fmt.Printf("  %-50s at (2304 ranks, 8M elems): %.2f s\n", "",
+			m2.Eval(2304, 8388608))
+	}
+}

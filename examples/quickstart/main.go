@@ -1,0 +1,89 @@
+// Quickstart: build a small ensemble of profiles, compose them into a
+// thicket, and run the core EDA verbs — the Figure 2 workflow end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	thicket "repro"
+)
+
+func main() {
+	// 1. Produce profiles (normally your measurement tool writes these).
+	dir, err := os.MkdirTemp("", "thicket-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	for run := 1; run <= 3; run++ {
+		p := thicket.NewProfile()
+		p.SetMeta("run", thicket.Int64(int64(run)))
+		p.SetMeta("cluster", thicket.Str("quartz"))
+		p.SetMeta("compiler", thicket.Str("clang-9.0.0"))
+		scale := 1.0 + 0.05*float64(run-1)
+		samples := []struct {
+			path []string
+			time float64
+		}{
+			{[]string{"MAIN"}, 10}, {[]string{"MAIN", "FOO"}, 4},
+			{[]string{"MAIN", "FOO", "BAZ"}, 1}, {[]string{"MAIN", "BAR"}, 3},
+		}
+		for _, s := range samples {
+			if err := p.AddSample(s.path, map[string]thicket.Value{
+				"time":      thicket.Float64(s.time * scale),
+				"L1 misses": thicket.Int64(int64(s.time * scale * 12)),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := p.Save(filepath.Join(dir, fmt.Sprintf("run%d.json", run))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Load the ensemble into a thicket, indexed by the run number.
+	profiles, err := thicket.LoadProfileDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thicket.FromProfiles(profiles, thicket.Options{IndexBy: "run"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== call tree (mean time) ==")
+	fmt.Print(th.TreeString(thicket.ColKey{"time"}))
+
+	fmt.Println("\n== performance data ==")
+	fmt.Print(th.PerfData.String())
+
+	fmt.Println("\n== metadata ==")
+	fmt.Print(th.Metadata.String())
+
+	// 3. Aggregated statistics across the three runs (Figure 2E).
+	if err := th.AggregateStats(nil, []string{"mean", "std", "min", "max"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== aggregated statistics ==")
+	fmt.Print(th.Stats.String())
+
+	// 4. Manipulation verbs: filter, group, query.
+	fast := th.FilterMetadata(func(m thicket.MetaRow) bool { return m.Int("run") >= 2 })
+	fmt.Printf("\nfilter run>=2: %d of %d profiles\n", fast.NumProfiles(), th.NumProfiles())
+
+	sub, err := th.QueryString(". name == MAIN / . name == FOO / *")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query MAIN/FOO subtree: %d nodes\n", sub.Tree.Len())
+
+	groups, err := th.GroupBy("run")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("group by run: %d thickets\n", len(groups))
+}

@@ -1,0 +1,117 @@
+// Variability study: quantify run-to-run noise across an ensemble — the
+// motivation the paper opens with ("variance in runtime across multiple
+// runs") taken end to end: per-node coefficient of variation, box plots
+// per configuration, the describe() overview, and a drill-down into the
+// noisiest region with level-2 top-down context.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	thicket "repro"
+	"repro/internal/sim"
+	"repro/internal/viz"
+)
+
+func main() {
+	const seed = 1
+
+	// 20 repeated runs of the same configuration: noise only.
+	profiles, err := sim.TopdownEnsemble([]int64{8388608}, []string{"-O2"}, 20, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := thicket.FromProfiles(profiles, thicket.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble: %d repeated runs of one configuration\n\n", th.NumProfiles())
+
+	// Coefficient of variation per kernel: the run-to-run noise ranking.
+	if err := th.AggregateStats([]thicket.ColKey{{"time (exc)"}}, []string{"mean", "std", "cv"}); err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		node string
+		cv   float64
+		mean float64
+	}
+	var rows []row
+	th.Stats.Each(func(r thicket.Row) {
+		cv, ok := r.Value("time (exc)_cv").AsFloat()
+		if !ok {
+			return
+		}
+		mean, _ := r.Value("time (exc)_mean").AsFloat()
+		node := r.IndexValue(thicket.NodeLevel).Str()
+		if n := th.NodeByPathString(node); n == nil || !n.IsLeaf() {
+			return // structural nodes carry only placeholder timings
+		}
+		rows = append(rows, row{node: node, cv: cv, mean: mean})
+	})
+	sort.Slice(rows, func(a, b int) bool { return rows[a].cv > rows[b].cv })
+	fmt.Println("kernels ranked by run-to-run variability (CV of time):")
+	for _, r := range rows {
+		leaf := r.node[strings.LastIndex(r.node, "/")+1:]
+		fmt.Printf("  %-28s cv=%.4f  mean=%.4fs\n", leaf, r.cv, r.mean)
+	}
+
+	// Box plots: time distribution per optimization level for one kernel.
+	optProfiles, err := sim.TopdownEnsemble([]int64{8388608}, []string{"-O0", "-O1", "-O2", "-O3"}, 10, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optTh, err := thicket.FromProfiles(optProfiles, thicket.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := optTh.GroupBy("compiler optimizations")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var series []viz.BoxSeries
+	node := "Base_Seq/Lcals/Lcals_HYDRO_1D"
+	for _, g := range groups {
+		vals, _, err := g.Thicket.MetricVector(node, thicket.ColKey{"time (exc)"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series = append(series, viz.BoxSeries{Label: g.Key[0].Str(), Values: vals})
+	}
+	box, err := viz.BoxPlot(series, 46)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLcals_HYDRO_1D time (exc) by optimization level (10 runs each):\n%s", box)
+
+	// The noisiest kernel, drilled down: distribution + level-2 topdown.
+	noisiest := rows[0].node
+	vals, _, err := th.MetricVector(noisiest, thicket.ColKey{"time (exc)"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := viz.Histogram(vals, 6, 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnoisiest kernel %s — time distribution over %d runs:\n%s", noisiest, len(vals), hist)
+
+	s := thicket.Describe(vals)
+	fmt.Printf("describe: n=%.0f mean=%.4f std=%.4f min=%.4f p25=%.4f med=%.4f p75=%.4f max=%.4f\n",
+		s.Count, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.Max)
+
+	memB, _, err := th.MetricVector(noisiest, thicket.ColKey{"Memory bound"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coreB, _, err := th.MetricVector(noisiest, thicket.ColKey{"Core bound"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlevel-2 top-down at %s: memory bound %.3f, core bound %.3f\n",
+		noisiest, thicket.Describe(memB).Mean, thicket.Describe(coreB).Mean)
+	fmt.Println("(high memory-bound share + high CV = contention-sensitive kernel)")
+}

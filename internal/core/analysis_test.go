@@ -1,0 +1,460 @@
+package core
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataframe"
+	"repro/internal/extrap"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+func marblThicket(t *testing.T) *Thicket {
+	t.Helper()
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, []int{1, 4, 16}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestLoadImbalance(t *testing.T) {
+	th := marblThicket(t)
+	err := th.LoadImbalance(
+		dataframe.ColKey{"max#inclusive#sum#time.duration"},
+		dataframe.ColKey{"Avg time/rank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := th.Stats.ColumnByName("Avg time/rank_imbalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < col.Len(); r++ {
+		v := col.FloatAt(r)
+		if math.IsNaN(v) {
+			continue
+		}
+		// max/avg >= 1 by construction; the simulator caps imbalance ~4%.
+		if v < 1 || v > 1.1 {
+			t.Errorf("imbalance[%d] = %v, want in [1, 1.1]", r, v)
+		}
+	}
+	if err := th.LoadImbalance(dataframe.ColKey{"ghost"}, dataframe.ColKey{"Avg time/rank"}); err == nil {
+		t.Error("missing metric must error")
+	}
+}
+
+func TestSpeedupBetween(t *testing.T) {
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, []int{1}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := FromProfiles(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles16, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, []int{16}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := FromProfiles(profiles16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := many.SpeedupBetween(baseline, dataframe.ColKey{"Avg time/rank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sp.Index().Lookup([]dataframe.Value{dataframe.Str("main/timeStepLoop")})
+	if len(rows) != 1 {
+		t.Fatal("missing timeStepLoop speedup row")
+	}
+	v, err := sp.Cell(rows[0], dataframe.ColKey{"speedup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-ideal 16-node scaling → speedup ≈ 14-16.
+	if v.Float() < 10 || v.Float() > 17 {
+		t.Errorf("16-node speedup = %v, want ≈ 15", v.Float())
+	}
+	if _, err := many.SpeedupBetween(baseline, dataframe.ColKey{"ghost"}); err == nil {
+		t.Error("missing metric must error")
+	}
+}
+
+func TestNodeFeatureMatrix(t *testing.T) {
+	th := marblThicket(t)
+	m, nodes, err := th.NodeFeatureMatrix([]dataframe.ColKey{
+		{"Avg time/rank"}, {"max#inclusive#sum#time.duration"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(nodes) || len(m) != th.Tree.Len() {
+		t.Errorf("matrix %d × nodes %d, tree %d", len(m), len(nodes), th.Tree.Len())
+	}
+	for _, row := range m {
+		if len(row) != 2 {
+			t.Fatal("feature width wrong")
+		}
+	}
+	if _, _, err := th.NodeFeatureMatrix([]dataframe.ColKey{{"ghost"}}); err == nil {
+		t.Error("missing metric must error")
+	}
+}
+
+func TestProfileFeatureMatrix(t *testing.T) {
+	th := marblThicket(t)
+	m, profs, err := th.ProfileFeatureMatrix("main/timeStepLoop", []dataframe.ColKey{{"Avg time/rank"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 9 || len(profs) != 9 { // 3 node counts × 3 trials
+		t.Errorf("rows = %d, want 9", len(m))
+	}
+	if _, _, err := th.ProfileFeatureMatrix("ghost", nil); err == nil {
+		t.Error("missing node must error")
+	}
+}
+
+func TestMetricPredicateQuery(t *testing.T) {
+	th := marblThicket(t)
+	// Keep paths through nodes whose mean Avg time/rank exceeds the
+	// solver's (i.e. the heavy regions).
+	pred, err := th.MetricPredicate(dataframe.ColKey{"Avg time/rank"}, "mean", func(v float64) bool {
+		return v > 500
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := th.Query(query.NewMatcher().Match("+", pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tree.Len() == 0 || out.Tree.Len() >= th.Tree.Len() {
+		t.Errorf("metric query kept %d of %d nodes", out.Tree.Len(), th.Tree.Len())
+	}
+	if _, err := th.MetricPredicate(dataframe.ColKey{"Avg time/rank"}, "bogus", nil); err == nil {
+		t.Error("unknown aggregator must error")
+	}
+	if _, err := th.MetricPredicate(dataframe.ColKey{"ghost"}, "mean", nil); err == nil {
+		t.Error("missing metric must error")
+	}
+}
+
+func TestThicketJSONRoundTrip(t *testing.T) {
+	th := marblThicket(t)
+	if err := th.AggregateStats([]dataframe.ColKey{{"Avg time/rank"}}, []string{"mean", "std"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := th.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ThicketFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Tree.Equal(th.Tree) {
+		t.Error("tree round trip mismatch")
+	}
+	if !back.PerfData.Equal(th.PerfData) {
+		t.Error("perf data round trip mismatch")
+	}
+	if !back.Metadata.Equal(th.Metadata) {
+		t.Error("metadata round trip mismatch")
+	}
+	if !back.Stats.Equal(th.Stats) {
+		t.Error("stats round trip mismatch")
+	}
+	if back.ProfileLevelName() != th.ProfileLevelName() {
+		t.Error("profile level lost")
+	}
+}
+
+func TestThicketJSONRoundTripComposed(t *testing.T) {
+	// Hierarchical columns + derived columns survive serialization.
+	ps := figure2Profiles(t)
+	a, err := FromProfiles(ps, Options{IndexBy: "run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Copy()
+	composed, err := Compose([]string{"X", "Y"}, []*Thicket{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := composed.AddDerived(dataframe.ColKey{"Derived", "ratio"}, func(r dataframe.Row) dataframe.Value {
+		return dataframe.Float64(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := composed.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ThicketFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.PerfData.Equal(composed.PerfData) {
+		t.Error("composed perf data round trip mismatch")
+	}
+	if back.PerfData.ColIndex().NLevels() != 2 {
+		t.Error("column hierarchy lost")
+	}
+}
+
+func TestThicketSaveLoad(t *testing.T) {
+	th := marblThicket(t)
+	path := t.TempDir() + "/ensemble.thicket.json"
+	if err := th.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadThicket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumProfiles() != th.NumProfiles() {
+		t.Error("save/load lost profiles")
+	}
+	if _, err := LoadThicket(path + ".missing"); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestThicketReadValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      "{",
+		"wrong format":  `{"format":"x","version":1}`,
+		"wrong version": `{"format":"thicket-object","version":9}`,
+		"no level":      `{"format":"thicket-object","version":1,"profile_level":""}`,
+	}
+	for name, text := range cases {
+		if _, err := ThicketFromBytes([]byte(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	th := marblThicket(t)
+	dir := t.TempDir()
+	if err := th.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"perf_data.csv", "metadata.csv", "stats.csv"} {
+		data, err := readFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(data, "node") && !strings.Contains(data, "profile") {
+			t.Errorf("%s: missing headers:\n%s", name, data[:min(len(data), 120)])
+		}
+	}
+}
+
+func TestModelExtrap2TwoParameters(t *testing.T) {
+	// Sweep nodes × mesh sizes; the solver cost is (elems/base)·law(p),
+	// so a product model in (p, q) must fit essentially exactly.
+	profiles, err := sim.MarblMultiParamEnsemble(sim.ClusterRZTopaz,
+		[]int{1, 2, 4, 8}, []int64{442368, 884736, 1769472}, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.NumProfiles() != 24 {
+		t.Fatalf("profiles = %d, want 24", th.NumProfiles())
+	}
+	model, err := th.ModelNode2(
+		"main/timeStepLoop/LagrangeLeapFrog/M_solver->Mult",
+		dataframe.ColKey{"Avg time/rank"}, "mpi.world.size", "total_elems",
+		extrap.Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.R2 < 0.99 {
+		t.Errorf("two-parameter solver model R² = %v (%s)", model.R2, model)
+	}
+	// The model must capture both directions: growing the mesh raises
+	// cost, growing ranks lowers it.
+	if model.Eval(36, 1769472) <= model.Eval(36, 442368) {
+		t.Error("model misses the problem-size direction")
+	}
+	if model.Eval(288, 884736) >= model.Eval(36, 884736) {
+		t.Error("model misses the rank-count direction")
+	}
+	if _, err := th.ModelNode2("ghost", dataframe.ColKey{"Avg time/rank"}, "mpi.world.size", "total_elems", extrap.Options2{}); err == nil {
+		t.Error("missing node must error")
+	}
+	if _, err := th.ModelExtrap2(dataframe.ColKey{"Avg time/rank"}, "cluster", "total_elems", extrap.Options2{}); err == nil {
+		t.Error("non-numeric parameter must error")
+	}
+}
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+func TestTreeTableString(t *testing.T) {
+	th := marblThicket(t)
+	out, err := th.TreeTableString([]dataframe.ColKey{{"Avg time/rank"}}, "mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"call tree", "Avg time/rank_mean", "timeStepLoop", "M_solver->Mult"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := th.TreeTableString(nil, "bogus"); err == nil {
+		t.Error("unknown aggregator must error")
+	}
+	if _, err := th.TreeTableString([]dataframe.ColKey{{"ghost"}}, "mean"); err == nil {
+		t.Error("missing metric must error")
+	}
+}
+
+func TestGroupedStats(t *testing.T) {
+	profiles, err := sim.MarblEnsemble(sim.BothClusters(), []int{1, 4}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := th.GroupedStats([]string{"cluster", "numhosts"},
+		[]dataframe.ColKey{{"Avg time/rank"}}, []string{"mean", "std"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 clusters × 2 node counts × 11 tree nodes = 44 rows.
+	if out.NRows() != 44 {
+		t.Fatalf("rows = %d, want 44", out.NRows())
+	}
+	if !out.HasColumn(dataframe.ColKey{"Avg time/rank_mean"}) {
+		t.Error("mean column missing")
+	}
+	// The grouped mean for (rztopaz, 1 node, timeStepLoop) must match the
+	// mean computed over that slice manually.
+	sub := th.FilterMetadata(func(m MetaRow) bool {
+		return m.Str("cluster") == "rztopaz" && m.Int("numhosts") == 1
+	})
+	vals, _, err := sub.MetricVector("main/timeStepLoop", dataframe.ColKey{"Avg time/rank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	want /= float64(len(vals))
+	rows := out.Index().Lookup([]dataframe.Value{
+		dataframe.Str("rztopaz"), dataframe.Int64(1), dataframe.Str("main/timeStepLoop"),
+	})
+	if len(rows) != 1 {
+		t.Fatalf("lookup = %v", rows)
+	}
+	got, err := out.Cell(rows[0], dataframe.ColKey{"Avg time/rank_mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Float()-want) > 1e-9 {
+		t.Errorf("grouped mean = %v, want %v", got.Float(), want)
+	}
+	if _, err := th.GroupedStats(nil, nil, nil); err == nil {
+		t.Error("no group columns must error")
+	}
+	if _, err := th.GroupedStats([]string{"ghost"}, nil, nil); err == nil {
+		t.Error("missing group column must error")
+	}
+}
+
+func TestIntersectTreesOption(t *testing.T) {
+	a := profile.New()
+	a.SetMeta("id", dataframe.Int64(1))
+	if err := a.AddSample([]string{"main", "shared"}, map[string]dataframe.Value{"t": dataframe.Float64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSample([]string{"main", "onlyA"}, map[string]dataframe.Value{"t": dataframe.Float64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	b := profile.New()
+	b.SetMeta("id", dataframe.Int64(2))
+	if err := b.AddSample([]string{"main", "shared"}, map[string]dataframe.Value{"t": dataframe.Float64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles([]*profile.Profile{a, b}, Options{IndexBy: "id", IntersectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Tree.Len() != 2 { // main, shared
+		t.Errorf("intersected tree = %d nodes, want 2:\n%s", th.Tree.Len(), th.Tree.Render(nil))
+	}
+	if th.PerfData.NRows() != 4 { // 2 nodes × 2 profiles
+		t.Errorf("perf rows = %d, want 4", th.PerfData.NRows())
+	}
+	if err := th.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPivotMetric(t *testing.T) {
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, []int{1, 4}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles(profiles, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := th.PivotMetric(dataframe.ColKey{"Avg time/rank"}, "numhosts", "mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.NRows() != th.Tree.Len() || table.NCols() != 2 {
+		t.Fatalf("pivot shape = (%d,%d), want (%d,2)", table.NRows(), table.NCols(), th.Tree.Len())
+	}
+	// Cross-check one cell against MetricVector over the filtered slice.
+	sub := th.FilterMetadata(func(m MetaRow) bool { return m.Int("numhosts") == 4 })
+	vals, _, err := sub.MetricVector("main/timeStepLoop", dataframe.ColKey{"Avg time/rank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	want /= float64(len(vals))
+	rows := table.Index().Lookup([]dataframe.Value{dataframe.Str("main/timeStepLoop")})
+	got, err := table.Cell(rows[0], dataframe.ColKey{"4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Float()-want) > 1e-9 {
+		t.Errorf("pivot cell = %v, want %v", got.Float(), want)
+	}
+	if _, err := th.PivotMetric(dataframe.ColKey{"ghost"}, "numhosts", "mean"); err == nil {
+		t.Error("missing metric must error")
+	}
+	if _, err := th.PivotMetric(dataframe.ColKey{"Avg time/rank"}, "ghost", "mean"); err == nil {
+		t.Error("missing metadata column must error")
+	}
+	if _, err := th.PivotMetric(dataframe.ColKey{"Avg time/rank"}, "numhosts", "bogus"); err == nil {
+		t.Error("unknown aggregator must error")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/calltree"
+	"repro/internal/dataframe"
+)
+
+// Compose hierarchically composes thickets with the same index structure
+// into one thicket with an additional column-index level (paper §3.2.2,
+// Figure 4): the performance data is inner-joined on the (node, profile)
+// hierarchical index — only keys present in every input survive — and
+// each input's metric columns are nested under its group label (e.g.
+// "CPU", "GPU").
+//
+// The composed metadata is the first input's, restricted to surviving
+// profile-index values; per-group execution context stays available in
+// the inputs. The composed stats table starts empty.
+func Compose(groups []string, thickets []*Thicket) (*Thicket, error) {
+	if len(groups) != len(thickets) {
+		return nil, fmt.Errorf("core: %d group labels for %d thickets", len(groups), len(thickets))
+	}
+	if len(thickets) < 2 {
+		return nil, fmt.Errorf("core: Compose requires at least two thickets")
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if seen[g] {
+			return nil, fmt.Errorf("core: duplicate group label %q", g)
+		}
+		seen[g] = true
+	}
+	first := thickets[0]
+	for i, th := range thickets[1:] {
+		if th.profileLevel != first.profileLevel {
+			return nil, fmt.Errorf("core: thicket %d uses profile level %q, want %q (compose requires the same hierarchical index)", i+1, th.profileLevel, first.profileLevel)
+		}
+	}
+
+	frames := make([]*dataframe.Frame, len(thickets))
+	trees := make([]*calltree.Tree, len(thickets))
+	for i, th := range thickets {
+		frames[i] = th.PerfData
+		trees[i] = th.Tree
+	}
+	perf, err := dataframe.InnerJoinOnIndex(groups, frames)
+	if err != nil {
+		return nil, err
+	}
+	tree := calltree.Intersect(trees...)
+
+	// Surviving profile-index values.
+	keep := map[string]bool{}
+	profLv := perf.Index().LevelByName(first.profileLevel)
+	if profLv == nil {
+		return nil, fmt.Errorf("core: composed index lacks level %q", first.profileLevel)
+	}
+	for r := 0; r < profLv.Len(); r++ {
+		keep[dataframe.EncodeKey([]dataframe.Value{profLv.At(r)})] = true
+	}
+	meta := first.Metadata.Filter(func(r dataframe.Row) bool {
+		return keep[dataframe.EncodeKey(first.Metadata.Index().KeyAt(r.Pos()))]
+	})
+
+	return &Thicket{
+		Tree:         tree,
+		PerfData:     perf,
+		Metadata:     meta,
+		Stats:        emptyStats(tree),
+		profileLevel: first.profileLevel,
+	}, nil
+}
+
+// ConcatProfiles vertically concatenates thickets over the union of
+// their profiles (same metric schema required): the trees are unioned
+// and the metadata/performance tables stacked. Profile-index values must
+// be distinct across inputs.
+func ConcatProfiles(thickets []*Thicket) (*Thicket, error) {
+	if len(thickets) == 0 {
+		return nil, fmt.Errorf("core: no thickets")
+	}
+	first := thickets[0]
+	for i, th := range thickets[1:] {
+		if th.profileLevel != first.profileLevel {
+			return nil, fmt.Errorf("core: thicket %d uses profile level %q, want %q", i+1, th.profileLevel, first.profileLevel)
+		}
+	}
+	trees := make([]*calltree.Tree, len(thickets))
+	perfs := make([]*dataframe.Frame, len(thickets))
+	metas := make([]*dataframe.Frame, len(thickets))
+	for i, th := range thickets {
+		trees[i] = th.Tree
+		perfs[i] = th.PerfData
+		metas[i] = th.Metadata
+	}
+	// Outer concatenation: metric and metadata schemas may differ across
+	// inputs (multi-tool ensembles); missing cells become nulls.
+	perf, err := dataframe.ConcatRowsOuter(perfs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: perf data: %w", err)
+	}
+	meta, err := dataframe.ConcatRowsOuter(metas...)
+	if err != nil {
+		return nil, fmt.Errorf("core: metadata: %w", err)
+	}
+	if meta.Index().HasDuplicates() {
+		return nil, fmt.Errorf("core: concatenated thickets share profile-index values")
+	}
+	tree := calltree.Union(trees...)
+	return &Thicket{
+		Tree:         tree,
+		PerfData:     perf,
+		Metadata:     meta,
+		Stats:        emptyStats(tree),
+		profileLevel: first.profileLevel,
+	}, nil
+}

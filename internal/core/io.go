@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/calltree"
+	"repro/internal/dataframe"
+)
+
+// thicketJSON is the serialized form of a whole thicket: the three
+// component frames, the call tree (as paths), and the profile level name.
+type thicketJSON struct {
+	Format       string          `json:"format"`
+	Version      int             `json:"version"`
+	ProfileLevel string          `json:"profile_level"`
+	TreePaths    [][]string      `json:"tree_paths"`
+	PerfData     json.RawMessage `json:"perf_data"`
+	Metadata     json.RawMessage `json:"metadata"`
+	Stats        json.RawMessage `json:"stats"`
+}
+
+// ThicketFormatName identifies serialized thickets.
+const ThicketFormatName = "thicket-object"
+
+// ThicketFormatVersion is the current thicket serialization version.
+const ThicketFormatVersion = 1
+
+// WriteJSON serializes the entire thicket (tree + all three components),
+// so analysis state — including computed statistics and derived columns
+// — survives across sessions without reloading raw profiles.
+func (t *Thicket) WriteJSON(w io.Writer) error {
+	perf, err := t.PerfData.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: perf data: %w", err)
+	}
+	meta, err := t.Metadata.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: metadata: %w", err)
+	}
+	stats, err := t.Stats.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("core: stats: %w", err)
+	}
+	tj := thicketJSON{
+		Format:       ThicketFormatName,
+		Version:      ThicketFormatVersion,
+		ProfileLevel: t.profileLevel,
+		TreePaths:    t.Tree.Paths(),
+		PerfData:     perf,
+		Metadata:     meta,
+		Stats:        stats,
+	}
+	return json.NewEncoder(w).Encode(tj)
+}
+
+// MarshalBytes serializes the thicket to a byte slice.
+func (t *Thicket) MarshalBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadThicket parses a thicket serialized by WriteJSON and validates its
+// relational invariants.
+func ReadThicket(r io.Reader) (*Thicket, error) {
+	var tj thicketJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	if tj.Format != ThicketFormatName {
+		return nil, fmt.Errorf("core: unknown format %q (want %q)", tj.Format, ThicketFormatName)
+	}
+	if tj.Version != ThicketFormatVersion {
+		return nil, fmt.Errorf("core: unsupported version %d (want %d)", tj.Version, ThicketFormatVersion)
+	}
+	if tj.ProfileLevel == "" {
+		return nil, fmt.Errorf("core: missing profile level")
+	}
+	tree := calltree.New()
+	for i, path := range tj.TreePaths {
+		if _, err := tree.AddPath(path); err != nil {
+			return nil, fmt.Errorf("core: tree path %d: %w", i, err)
+		}
+	}
+	perf, err := dataframe.FrameFromJSON(tj.PerfData)
+	if err != nil {
+		return nil, fmt.Errorf("core: perf data: %w", err)
+	}
+	meta, err := dataframe.FrameFromJSON(tj.Metadata)
+	if err != nil {
+		return nil, fmt.Errorf("core: metadata: %w", err)
+	}
+	stats, err := dataframe.FrameFromJSON(tj.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("core: stats: %w", err)
+	}
+	th := &Thicket{
+		Tree:         tree,
+		PerfData:     perf,
+		Metadata:     meta,
+		Stats:        stats,
+		profileLevel: tj.ProfileLevel,
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	return th, nil
+}
+
+// ThicketFromBytes parses a serialized thicket from bytes.
+func ThicketFromBytes(data []byte) (*Thicket, error) {
+	return ReadThicket(bytes.NewReader(data))
+}
+
+// Save writes the thicket to path, creating parent directories.
+func (t *Thicket) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadThicket reads a thicket from path.
+func LoadThicket(path string) (*Thicket, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	th, err := ReadThicket(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return th, nil
+}
+
+// ExportCSV writes the three component tables as CSV files under dir:
+// perf_data.csv, metadata.csv, and stats.csv.
+func (t *Thicket) ExportCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, frame := range map[string]*dataframe.Frame{
+		"perf_data.csv": t.PerfData,
+		"metadata.csv":  t.Metadata,
+		"stats.csv":     t.Stats,
+	} {
+		var sb strings.Builder
+		if err := frame.WriteCSV(&sb); err != nil {
+			return fmt.Errorf("core: %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Frame is a two-dimensional table: a hierarchical row Index, a
+// hierarchical ColIndex, and one Series per column. All Series share the
+// row count of the index.
+type Frame struct {
+	index *Index
+	cols  *ColIndex
+	data  []*Series
+}
+
+// NewFrame assembles a frame from an index and columns. Column names
+// become single-level column keys.
+func NewFrame(index *Index, columns ...*Series) (*Frame, error) {
+	names := make([]string, len(columns))
+	for i, c := range columns {
+		if c.Len() != index.NRows() {
+			return nil, fmt.Errorf("dataframe: column %q has %d rows, index has %d", c.Name(), c.Len(), index.NRows())
+		}
+		names[i] = c.Name()
+	}
+	ci, err := NewColIndex(keysFromNames(names))
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{index: index, cols: ci, data: columns}, nil
+}
+
+// MustFrame is NewFrame that panics on error.
+func MustFrame(index *Index, columns ...*Series) *Frame {
+	f, err := NewFrame(index, columns...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewFrameWithColIndex assembles a frame with explicit hierarchical
+// column keys; len(keys) must equal len(columns).
+func NewFrameWithColIndex(index *Index, keys []ColKey, columns []*Series) (*Frame, error) {
+	if len(keys) != len(columns) {
+		return nil, fmt.Errorf("dataframe: %d column keys for %d columns", len(keys), len(columns))
+	}
+	for _, c := range columns {
+		if c.Len() != index.NRows() {
+			return nil, fmt.Errorf("dataframe: column %q has %d rows, index has %d", c.Name(), c.Len(), index.NRows())
+		}
+	}
+	ci, err := NewColIndex(keys)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{index: index, cols: ci, data: columns}, nil
+}
+
+func keysFromNames(names []string) []ColKey {
+	keys := make([]ColKey, len(names))
+	for i, n := range names {
+		keys[i] = ColKey{n}
+	}
+	return keys
+}
+
+// Index returns the row index (shared; treat as read-only).
+func (f *Frame) Index() *Index { return f.index }
+
+// ColIndex returns the column index (shared; treat as read-only).
+func (f *Frame) ColIndex() *ColIndex { return f.cols }
+
+// NRows reports the number of rows.
+func (f *Frame) NRows() int { return f.index.NRows() }
+
+// NCols reports the number of columns.
+func (f *Frame) NCols() int { return f.cols.NCols() }
+
+// ColumnAt returns the i-th column series (shared; treat as read-only).
+func (f *Frame) ColumnAt(i int) *Series { return f.data[i] }
+
+// Column returns the column with the exact key, or an error naming it.
+func (f *Frame) Column(key ColKey) (*Series, error) {
+	pos := f.cols.Find(key)
+	if pos < 0 {
+		return nil, fmt.Errorf("dataframe: no column %v", key)
+	}
+	return f.data[pos], nil
+}
+
+// ColumnByName returns the unique column whose innermost label is name.
+// With hierarchical columns, an ambiguous name is an error.
+func (f *Frame) ColumnByName(name string) (*Series, error) {
+	if pos := f.cols.Find(ColKey{name}); pos >= 0 {
+		return f.data[pos], nil
+	}
+	matches := f.cols.FindLeaf(name)
+	switch len(matches) {
+	case 0:
+		return nil, fmt.Errorf("dataframe: no column named %q", name)
+	case 1:
+		return f.data[matches[0]], nil
+	default:
+		return nil, fmt.Errorf("dataframe: column name %q is ambiguous across %d groups", name, len(matches))
+	}
+}
+
+// HasColumn reports whether the exact key exists.
+func (f *Frame) HasColumn(key ColKey) bool { return f.cols.Find(key) >= 0 }
+
+// Cell returns the value at (row, column key).
+func (f *Frame) Cell(row int, key ColKey) (Value, error) {
+	pos := f.cols.Find(key)
+	if pos < 0 {
+		return Value{}, fmt.Errorf("dataframe: no column %v", key)
+	}
+	return f.data[pos].At(row), nil
+}
+
+// SetCell assigns the value at (row, column key).
+func (f *Frame) SetCell(row int, key ColKey, v Value) error {
+	pos := f.cols.Find(key)
+	if pos < 0 {
+		return fmt.Errorf("dataframe: no column %v", key)
+	}
+	return f.data[pos].Set(row, v)
+}
+
+// AddColumn appends a column with a single-level key equal to its name.
+func (f *Frame) AddColumn(col *Series) error {
+	return f.AddColumnWithKey(ColKey{col.Name()}, col)
+}
+
+// AddColumnWithKey appends a column under an explicit hierarchical key.
+func (f *Frame) AddColumnWithKey(key ColKey, col *Series) error {
+	if col.Len() != f.NRows() {
+		return fmt.Errorf("dataframe: column %q has %d rows, frame has %d", col.Name(), col.Len(), f.NRows())
+	}
+	if _, err := f.cols.Append(key); err != nil {
+		return err
+	}
+	f.data = append(f.data, col)
+	return nil
+}
+
+// Copy returns a deep copy: mutating the copy never affects the source.
+// Thicket's manipulation verbs rely on this (paper §4.1: filtering creates
+// a new object "to avoid unintended modifications to the original").
+func (f *Frame) Copy() *Frame {
+	cols := make([]*Series, len(f.data))
+	for i, c := range f.data {
+		cols[i] = c.Copy()
+	}
+	return &Frame{index: f.index.Copy(), cols: f.cols.Copy(), data: cols}
+}
+
+// SelectRows returns a new frame with the given rows (deep-copied, in
+// order, duplicates allowed).
+func (f *Frame) SelectRows(rows []int) *Frame {
+	cols := make([]*Series, len(f.data))
+	for i, c := range f.data {
+		cols[i] = c.Gather(rows)
+	}
+	return &Frame{index: f.index.Gather(rows), cols: f.cols.Copy(), data: cols}
+}
+
+// SelectColumns returns a new frame restricted to the given column keys.
+func (f *Frame) SelectColumns(keys []ColKey) (*Frame, error) {
+	positions := make([]int, len(keys))
+	for i, k := range keys {
+		pos := f.cols.Find(k)
+		if pos < 0 {
+			return nil, fmt.Errorf("dataframe: no column %v", k)
+		}
+		positions[i] = pos
+	}
+	cols := make([]*Series, len(positions))
+	for i, p := range positions {
+		cols[i] = f.data[p].Copy()
+	}
+	return &Frame{index: f.index.Copy(), cols: f.cols.Select(positions), data: cols}, nil
+}
+
+// SelectGroup returns the sub-frame of columns whose level-0 label is
+// group, with that level stripped (pandas df["CPU"] on a column MultiIndex).
+func (f *Frame) SelectGroup(group string) (*Frame, error) {
+	positions := f.cols.FindGroup(group)
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("dataframe: no column group %q", group)
+	}
+	keys := make([]ColKey, len(positions))
+	cols := make([]*Series, len(positions))
+	for i, p := range positions {
+		full := f.cols.Key(p)
+		keys[i] = full[1:].Copy()
+		cols[i] = f.data[p].Copy()
+	}
+	ci, err := NewColIndex(keys)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{index: f.index.Copy(), cols: ci, data: cols}, nil
+}
+
+// SortByIndex returns a new frame with rows stably ordered by composite
+// index key.
+func (f *Frame) SortByIndex() *Frame {
+	return f.SelectRows(f.index.SortedRows())
+}
+
+// Equal reports whether two frames have identical indexes, column keys,
+// and cells.
+func (f *Frame) Equal(o *Frame) bool {
+	if !f.index.Equal(o.index) || f.NCols() != o.NCols() {
+		return false
+	}
+	for i := 0; i < f.NCols(); i++ {
+		if !f.cols.Key(i).Equal(o.cols.Key(i)) {
+			return false
+		}
+		if !f.data[i].Equal(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// describeVals computes [count, mean, std, min, p25, median, p75, max]
+// skipping NaNs. Kept local so the frame layer stays independent of the
+// stats package (which depends on nothing here either, but the substrate
+// layering is cleaner without the edge).
+func describeVals(xs []float64) [8]float64 {
+	var clean []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	out := [8]float64{}
+	for i := 1; i < 8; i++ {
+		out[i] = math.NaN()
+	}
+	out[0] = float64(len(clean))
+	if len(clean) == 0 {
+		return out
+	}
+	sort.Float64s(clean)
+	sum := 0.0
+	for _, x := range clean {
+		sum += x
+	}
+	mean := sum / float64(len(clean))
+	out[1] = mean
+	if len(clean) > 1 {
+		ss := 0.0
+		for _, x := range clean {
+			d := x - mean
+			ss += d * d
+		}
+		out[2] = math.Sqrt(ss / float64(len(clean)-1))
+	}
+	q := func(p float64) float64 {
+		if len(clean) == 1 {
+			return clean[0]
+		}
+		pos := p * float64(len(clean)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return clean[lo]
+		}
+		frac := pos - float64(lo)
+		return clean[lo]*(1-frac) + clean[hi]*frac
+	}
+	out[3], out[4], out[5], out[6], out[7] = clean[0], q(0.25), q(0.5), q(0.75), clean[len(clean)-1]
+	return out
+}

@@ -1,0 +1,41 @@
+package dataframe
+
+import (
+	"testing"
+)
+
+// FuzzFrameFromJSON hardens the frame deserializer: arbitrary bytes must
+// parse-or-error without panicking, and parsed frames must round-trip.
+func FuzzFrameFromJSON(f *testing.F) {
+	seed := func() []byte {
+		ix := MustIndex(NewStringSeries("node", []string{"a", "b"}), NewIntSeries("profile", []int64{1, 2}))
+		fr := MustFrame(ix, NewFloatSeries("time", []float64{1.5, 2.5}))
+		data, err := fr.MarshalJSON()
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}()
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"index_names":["i"],"index_kinds":["int"],"index":[[1]],"columns":[["x"]],"col_kinds":["float"],"data":[[2.5]]}`))
+	f.Add([]byte(`{"index_names":["i"],"index_kinds":["bogus"],"index":[],"columns":[],"col_kinds":[],"data":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := FrameFromJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := fr.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := FrameFromJSON(out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !fr.Equal(back) {
+			t.Fatal("round trip not idempotent")
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package dataframe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Index is a hierarchical row index: one or more named levels, each a
+// Series of equal length. A row's key is the tuple of its level values.
+// Thicket performance data uses a two-level index (node, profile); the
+// metadata table uses a single profile level.
+type Index struct {
+	names  []string
+	levels []*Series
+
+	// lookup maps encoded keys to row positions; built lazily, invalidated
+	// on mutation.
+	lookup map[string][]int
+}
+
+// NewIndex builds an index from named levels. All levels must have equal
+// length.
+func NewIndex(levels ...*Series) (*Index, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("dataframe: index requires at least one level")
+	}
+	n := levels[0].Len()
+	names := make([]string, len(levels))
+	for i, lv := range levels {
+		if lv.Len() != n {
+			return nil, fmt.Errorf("dataframe: index level %q has %d rows, want %d", lv.Name(), lv.Len(), n)
+		}
+		names[i] = lv.Name()
+	}
+	return &Index{names: names, levels: levels}, nil
+}
+
+// MustIndex is NewIndex that panics on error; for literals in tests and
+// generators where lengths are statically correct.
+func MustIndex(levels ...*Series) *Index {
+	ix, err := NewIndex(levels...)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// RangeIndex builds a single-level integer index 0..n-1 named name.
+func RangeIndex(name string, n int) *Index {
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	return MustIndex(NewIntSeries(name, data))
+}
+
+// NRows reports the number of rows.
+func (ix *Index) NRows() int { return ix.levels[0].Len() }
+
+// NLevels reports the number of index levels.
+func (ix *Index) NLevels() int { return len(ix.levels) }
+
+// Names returns the level names (copy).
+func (ix *Index) Names() []string { return append([]string(nil), ix.names...) }
+
+// Level returns the i-th level series (shared storage; treat as read-only).
+func (ix *Index) Level(i int) *Series { return ix.levels[i] }
+
+// LevelByName returns the level with the given name, or nil.
+func (ix *Index) LevelByName(name string) *Series {
+	for i, n := range ix.names {
+		if n == name {
+			return ix.levels[i]
+		}
+	}
+	return nil
+}
+
+// KeyAt returns the composite key of the given row.
+func (ix *Index) KeyAt(row int) []Value {
+	key := make([]Value, len(ix.levels))
+	for i, lv := range ix.levels {
+		key[i] = lv.At(row)
+	}
+	return key
+}
+
+// buildLookup constructs the key→rows map.
+func (ix *Index) buildLookup() {
+	if ix.lookup != nil {
+		return
+	}
+	m := make(map[string][]int, ix.NRows())
+	for r := 0; r < ix.NRows(); r++ {
+		k := EncodeKey(ix.KeyAt(r))
+		m[k] = append(m[k], r)
+	}
+	ix.lookup = m
+}
+
+// Lookup returns the row positions matching the full composite key, in
+// index order. The returned slice must not be modified.
+func (ix *Index) Lookup(key []Value) []int {
+	ix.buildLookup()
+	return ix.lookup[EncodeKey(key)]
+}
+
+// Contains reports whether the composite key appears in the index.
+func (ix *Index) Contains(key []Value) bool { return len(ix.Lookup(key)) > 0 }
+
+// HasDuplicates reports whether any composite key maps to multiple rows.
+func (ix *Index) HasDuplicates() bool {
+	ix.buildLookup()
+	for _, rows := range ix.lookup {
+		if len(rows) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// UniqueKeys returns the distinct composite keys in first-appearance order.
+func (ix *Index) UniqueKeys() [][]Value {
+	seen := make(map[string]struct{}, ix.NRows())
+	var out [][]Value
+	for r := 0; r < ix.NRows(); r++ {
+		key := ix.KeyAt(r)
+		enc := EncodeKey(key)
+		if _, ok := seen[enc]; ok {
+			continue
+		}
+		seen[enc] = struct{}{}
+		out = append(out, key)
+	}
+	return out
+}
+
+// Gather returns a new index containing the given rows in order.
+func (ix *Index) Gather(rows []int) *Index {
+	levels := make([]*Series, len(ix.levels))
+	for i, lv := range ix.levels {
+		levels[i] = lv.Gather(rows)
+	}
+	return MustIndex(levels...)
+}
+
+// Copy returns a deep copy of the index.
+func (ix *Index) Copy() *Index {
+	levels := make([]*Series, len(ix.levels))
+	for i, lv := range ix.levels {
+		levels[i] = lv.Copy()
+	}
+	return MustIndex(levels...)
+}
+
+// AppendKey adds a new row with the given composite key.
+func (ix *Index) AppendKey(key []Value) error {
+	if len(key) != len(ix.levels) {
+		return fmt.Errorf("dataframe: key has %d parts, index has %d levels", len(key), len(ix.levels))
+	}
+	for i, lv := range ix.levels {
+		if err := lv.Append(key[i]); err != nil {
+			return err
+		}
+	}
+	ix.lookup = nil
+	return nil
+}
+
+// SortedRows returns row positions ordered by composite key (stable).
+func (ix *Index) SortedRows() []int {
+	rows := make([]int, ix.NRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	keys := make([][]Value, ix.NRows())
+	for i := range keys {
+		keys[i] = ix.KeyAt(i)
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		return CompareKeys(keys[rows[a]], keys[rows[b]]) < 0
+	})
+	return rows
+}
+
+// Equal reports whether two indexes have identical level names and keys.
+func (ix *Index) Equal(o *Index) bool {
+	if ix.NLevels() != o.NLevels() || ix.NRows() != o.NRows() {
+		return false
+	}
+	for i := range ix.names {
+		if ix.names[i] != o.names[i] {
+			return false
+		}
+	}
+	for i := range ix.levels {
+		if !ix.levels[i].Equal(o.levels[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatKey renders a composite key for display, joining levels with ", ".
+func FormatKey(key []Value) string {
+	parts := make([]string, len(key))
+	for i, v := range key {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,257 @@
+package dataframe
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the frame as CSV: one header line per column-index
+// level (row-index level names occupy the last header line), then one data
+// line per row with the row-index values leading.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	nIdx := f.index.NLevels()
+	nHdr := f.cols.NLevels()
+	for lvl := 0; lvl < nHdr; lvl++ {
+		rec := make([]string, nIdx+f.NCols())
+		if lvl == nHdr-1 {
+			copy(rec[:nIdx], f.index.Names())
+		}
+		for c := 0; c < f.NCols(); c++ {
+			rec[nIdx+c] = f.cols.Key(c)[lvl]
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < f.NRows(); r++ {
+		rec := make([]string, nIdx+f.NCols())
+		for l, v := range f.index.KeyAt(r) {
+			rec[l] = csvCell(v)
+		}
+		for c := 0; c < f.NCols(); c++ {
+			rec[nIdx+c] = csvCell(f.data[c].At(r))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvCell(v Value) string {
+	if v.IsNull() {
+		return ""
+	}
+	if v.Kind() == Float {
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	}
+	return v.String()
+}
+
+// ToCSV renders the frame as a CSV string.
+func (f *Frame) ToCSV() (string, error) {
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// frameJSON is the serialized form of a frame.
+type frameJSON struct {
+	IndexNames []string `json:"index_names"`
+	IndexKinds []string `json:"index_kinds"`
+	Index      [][]any  `json:"index"`
+	Columns    []ColKey `json:"columns"`
+	ColKinds   []string `json:"col_kinds"`
+	Data       [][]any  `json:"data"`
+}
+
+func valueToJSON(v Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case Float:
+		return v.Float()
+	case Int:
+		return v.Int()
+	case String:
+		return v.Str()
+	case Bool:
+		return v.Bool()
+	}
+	return nil
+}
+
+func jsonToValue(raw any, kind Kind) (Value, error) {
+	if raw == nil {
+		return Null(kind), nil
+	}
+	switch kind {
+	case Float:
+		switch t := raw.(type) {
+		case float64:
+			return Float64(t), nil
+		case json.Number:
+			f, err := t.Float64()
+			if err != nil {
+				return Value{}, err
+			}
+			return Float64(f), nil
+		default:
+			return Value{}, fmt.Errorf("dataframe: expected number, got %T", raw)
+		}
+	case Int:
+		switch t := raw.(type) {
+		case float64:
+			return Int64(int64(t)), nil
+		case json.Number:
+			// int64 cells (e.g. profile hashes) exceed float64 precision;
+			// parse the literal exactly.
+			i, err := t.Int64()
+			if err != nil {
+				return Value{}, err
+			}
+			return Int64(i), nil
+		default:
+			return Value{}, fmt.Errorf("dataframe: expected integer, got %T", raw)
+		}
+	case String:
+		s, ok := raw.(string)
+		if !ok {
+			return Value{}, fmt.Errorf("dataframe: expected string, got %T", raw)
+		}
+		return Str(s), nil
+	case Bool:
+		b, ok := raw.(bool)
+		if !ok {
+			return Value{}, fmt.Errorf("dataframe: expected bool, got %T", raw)
+		}
+		return BoolVal(b), nil
+	}
+	return Value{}, fmt.Errorf("dataframe: unknown kind")
+}
+
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "float":
+		return Float, nil
+	case "int":
+		return Int, nil
+	case "string":
+		return String, nil
+	case "bool":
+		return Bool, nil
+	}
+	return 0, fmt.Errorf("dataframe: unknown kind %q", s)
+}
+
+// MarshalJSON serializes the frame (indexes, column keys, typed cells).
+func (f *Frame) MarshalJSON() ([]byte, error) {
+	fj := frameJSON{IndexNames: f.index.Names()}
+	for l := 0; l < f.index.NLevels(); l++ {
+		fj.IndexKinds = append(fj.IndexKinds, f.index.Level(l).Kind().String())
+	}
+	for r := 0; r < f.NRows(); r++ {
+		key := f.index.KeyAt(r)
+		rec := make([]any, len(key))
+		for i, v := range key {
+			rec[i] = valueToJSON(v)
+		}
+		fj.Index = append(fj.Index, rec)
+	}
+	fj.Columns = f.cols.Keys()
+	for c := 0; c < f.NCols(); c++ {
+		fj.ColKinds = append(fj.ColKinds, f.data[c].Kind().String())
+	}
+	for r := 0; r < f.NRows(); r++ {
+		rec := make([]any, f.NCols())
+		for c := 0; c < f.NCols(); c++ {
+			rec[c] = valueToJSON(f.data[c].At(r))
+		}
+		fj.Data = append(fj.Data, rec)
+	}
+	if fj.Index == nil {
+		fj.Index = [][]any{}
+	}
+	if fj.Data == nil {
+		fj.Data = [][]any{}
+	}
+	if fj.Columns == nil {
+		fj.Columns = []ColKey{}
+	}
+	return json.Marshal(fj)
+}
+
+// FrameFromJSON reconstructs a frame serialized by MarshalJSON.
+func FrameFromJSON(data []byte) (*Frame, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber() // int64 cells must not round-trip through float64
+	var fj frameJSON
+	if err := dec.Decode(&fj); err != nil {
+		return nil, err
+	}
+	if len(fj.IndexNames) != len(fj.IndexKinds) {
+		return nil, fmt.Errorf("dataframe: index names/kinds mismatch")
+	}
+	levels := make([]*Series, len(fj.IndexNames))
+	for i := range levels {
+		kind, err := parseKind(fj.IndexKinds[i])
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = NewSeries(fj.IndexNames[i], kind)
+	}
+	for r, rec := range fj.Index {
+		if len(rec) != len(levels) {
+			return nil, fmt.Errorf("dataframe: index row %d has %d parts, want %d", r, len(rec), len(levels))
+		}
+		for i, raw := range rec {
+			v, err := jsonToValue(raw, levels[i].Kind())
+			if err != nil {
+				return nil, fmt.Errorf("index row %d: %w", r, err)
+			}
+			if err := levels[i].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ix, err := NewIndex(levels...)
+	if err != nil {
+		return nil, err
+	}
+	if len(fj.Columns) != len(fj.ColKinds) {
+		return nil, fmt.Errorf("dataframe: columns/kinds mismatch")
+	}
+	cols := make([]*Series, len(fj.Columns))
+	for c := range cols {
+		kind, err := parseKind(fj.ColKinds[c])
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = NewSeries(fj.Columns[c].Leaf(), kind)
+	}
+	for r, rec := range fj.Data {
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("dataframe: data row %d has %d cells, want %d", r, len(rec), len(cols))
+		}
+		for c, raw := range rec {
+			v, err := jsonToValue(raw, cols[c].Kind())
+			if err != nil {
+				return nil, fmt.Errorf("data row %d col %d: %w", r, c, err)
+			}
+			if err := cols[c].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return NewFrameWithColIndex(ix, fj.Columns, cols)
+}

@@ -1,0 +1,565 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Row is a lightweight cursor over one frame row, passed to predicates.
+type Row struct {
+	f   *Frame
+	pos int
+}
+
+// Pos returns the physical row position.
+func (r Row) Pos() int { return r.pos }
+
+// IndexValue returns the row's index value at the named level.
+func (r Row) IndexValue(level string) Value {
+	lv := r.f.index.LevelByName(level)
+	if lv == nil {
+		return Null(String)
+	}
+	return lv.At(r.pos)
+}
+
+// Value returns the cell under the named (leaf) column; null if absent or
+// ambiguous.
+func (r Row) Value(name string) Value {
+	col, err := r.f.ColumnByName(name)
+	if err != nil {
+		return Null(String)
+	}
+	return col.At(r.pos)
+}
+
+// ValueAt returns the cell under the exact column key; null if absent.
+func (r Row) ValueAt(key ColKey) Value {
+	col, err := r.f.Column(key)
+	if err != nil {
+		return Null(String)
+	}
+	return col.At(r.pos)
+}
+
+// Each visits every row in order with a cursor.
+func (f *Frame) Each(visit func(Row)) {
+	for i := 0; i < f.NRows(); i++ {
+		visit(Row{f: f, pos: i})
+	}
+}
+
+// Filter returns a new frame with the rows for which pred is true.
+func (f *Frame) Filter(pred func(Row) bool) *Frame {
+	var rows []int
+	for i := 0; i < f.NRows(); i++ {
+		if pred(Row{f: f, pos: i}) {
+			rows = append(rows, i)
+		}
+	}
+	return f.SelectRows(rows)
+}
+
+// FilterRows returns a new frame keeping rows whose position satisfies
+// keep (positions outside range are ignored).
+func (f *Frame) FilterRows(keep []int) *Frame {
+	var rows []int
+	for _, r := range keep {
+		if r >= 0 && r < f.NRows() {
+			rows = append(rows, r)
+		}
+	}
+	return f.SelectRows(rows)
+}
+
+// seriesByName resolves a name to a data column (by leaf label) or, when
+// no column matches, to a row-index level. Group-by and sort accept both,
+// matching pandas' level-aware semantics.
+func (f *Frame) seriesByName(name string) (*Series, error) {
+	if s, err := f.ColumnByName(name); err == nil {
+		return s, nil
+	} else if lv := f.index.LevelByName(name); lv != nil {
+		return lv, nil
+	} else {
+		return nil, err
+	}
+}
+
+// SortByColumns returns a new frame stably sorted by the given leaf column
+// names (or index level names) in order, ascending.
+func (f *Frame) SortByColumns(names ...string) (*Frame, error) {
+	cols := make([]*Series, len(names))
+	for i, n := range names {
+		c, err := f.seriesByName(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	rows := make([]int, f.NRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, c := range cols {
+			if cmp := c.At(rows[a]).Compare(c.At(rows[b])); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return f.SelectRows(rows), nil
+}
+
+// Group is one group-by partition: the key values and the member rows.
+type Group struct {
+	Key   []Value
+	Frame *Frame
+}
+
+// GroupBy partitions the frame by unique combinations of values in the
+// named leaf columns (or index levels), returning groups ordered by key.
+// This implements the mechanism behind thicket.GroupBy (paper §4.1.2,
+// Figure 7).
+func (f *Frame) GroupBy(names ...string) ([]Group, error) {
+	cols := make([]*Series, len(names))
+	for i, n := range names {
+		c, err := f.seriesByName(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	type bucket struct {
+		key  []Value
+		rows []int
+	}
+	byKey := make(map[string]*bucket)
+	var order []string
+	for r := 0; r < f.NRows(); r++ {
+		key := make([]Value, len(cols))
+		for i, c := range cols {
+			key[i] = c.At(r)
+		}
+		enc := EncodeKey(key)
+		b, ok := byKey[enc]
+		if !ok {
+			b = &bucket{key: key}
+			byKey[enc] = b
+			order = append(order, enc)
+		}
+		b.rows = append(b.rows, r)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return CompareKeys(byKey[order[a]].key, byKey[order[b]].key) < 0
+	})
+	groups := make([]Group, 0, len(order))
+	for _, enc := range order {
+		b := byKey[enc]
+		groups = append(groups, Group{Key: b.key, Frame: f.SelectRows(b.rows)})
+	}
+	return groups, nil
+}
+
+// GroupByIndexLevel partitions rows by unique values of one index level,
+// preserving key order. Used for per-node order reduction.
+func (f *Frame) GroupByIndexLevel(level string) ([]Group, error) {
+	lv := f.index.LevelByName(level)
+	if lv == nil {
+		return nil, fmt.Errorf("dataframe: no index level %q", level)
+	}
+	type bucket struct {
+		key  Value
+		rows []int
+	}
+	byKey := make(map[string]*bucket)
+	var order []string
+	for r := 0; r < f.NRows(); r++ {
+		v := lv.At(r)
+		enc := EncodeKey([]Value{v})
+		b, ok := byKey[enc]
+		if !ok {
+			b = &bucket{key: v}
+			byKey[enc] = b
+			order = append(order, enc)
+		}
+		b.rows = append(b.rows, r)
+	}
+	groups := make([]Group, 0, len(order))
+	for _, enc := range order {
+		b := byKey[enc]
+		groups = append(groups, Group{Key: []Value{b.key}, Frame: f.SelectRows(b.rows)})
+	}
+	return groups, nil
+}
+
+// ConcatRows vertically concatenates frames with identical column keys and
+// index level names, returning a new frame.
+func ConcatRows(frames ...*Frame) (*Frame, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("dataframe: ConcatRows requires at least one frame")
+	}
+	first := frames[0]
+	out := first.Copy()
+	for _, f := range frames[1:] {
+		if f.NCols() != first.NCols() {
+			return nil, fmt.Errorf("dataframe: ConcatRows column count mismatch: %d vs %d", f.NCols(), first.NCols())
+		}
+		for c := 0; c < f.NCols(); c++ {
+			if !f.cols.Key(c).Equal(first.cols.Key(c)) {
+				return nil, fmt.Errorf("dataframe: ConcatRows column key mismatch at %d: %v vs %v", c, f.cols.Key(c), first.cols.Key(c))
+			}
+		}
+		if f.index.NLevels() != first.index.NLevels() {
+			return nil, fmt.Errorf("dataframe: ConcatRows index level mismatch")
+		}
+		for r := 0; r < f.NRows(); r++ {
+			if err := out.index.AppendKey(f.index.KeyAt(r)); err != nil {
+				return nil, err
+			}
+			for c := 0; c < f.NCols(); c++ {
+				if err := out.data[c].Append(f.data[c].At(r)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// InnerJoinOnIndex joins frames on their full composite row index,
+// keeping only keys present in every frame (the intersection the paper
+// uses for hierarchical composition, §3.2.2). Each input's columns are
+// nested under the corresponding group label, adding one column-index
+// level. Duplicate index keys within an input are an error.
+func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
+	if len(groups) != len(frames) {
+		return nil, fmt.Errorf("dataframe: %d group labels for %d frames", len(groups), len(frames))
+	}
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("dataframe: InnerJoinOnIndex requires at least two frames")
+	}
+	base := frames[0]
+	for i, f := range frames {
+		if f.index.NLevels() != base.index.NLevels() {
+			return nil, fmt.Errorf("dataframe: frame %d has %d index levels, want %d", i, f.index.NLevels(), base.index.NLevels())
+		}
+		if f.index.HasDuplicates() {
+			return nil, fmt.Errorf("dataframe: frame %d (%q) has duplicate index keys; cannot join", i, groups[i])
+		}
+	}
+
+	// Intersection of keys, in the first frame's order.
+	var keys [][]Value
+	for r := 0; r < base.NRows(); r++ {
+		key := base.index.KeyAt(r)
+		inAll := true
+		for _, f := range frames[1:] {
+			if !f.index.Contains(key) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			keys = append(keys, key)
+		}
+	}
+
+	// New index from intersected keys.
+	levels := make([]*Series, base.index.NLevels())
+	for l := 0; l < base.index.NLevels(); l++ {
+		levels[l] = NewSeries(base.index.Names()[l], base.index.Level(l).Kind())
+	}
+	for _, key := range keys {
+		for l, v := range key {
+			if err := levels[l].Append(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	outIndex, err := NewIndex(levels...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather each frame's columns in key order and nest under its group.
+	var outKeys []ColKey
+	var outCols []*Series
+	for gi, f := range frames {
+		rows := make([]int, len(keys))
+		for ki, key := range keys {
+			rows[ki] = f.index.Lookup(key)[0]
+		}
+		pref := f.cols.Prefixed(groups[gi])
+		for c := 0; c < f.NCols(); c++ {
+			outKeys = append(outKeys, pref.Key(c))
+			outCols = append(outCols, f.data[c].Gather(rows))
+		}
+	}
+	return NewFrameWithColIndex(outIndex, outKeys, outCols)
+}
+
+// Builder assembles a frame row-by-row from records; convenient for
+// readers and simulators. Columns are created on first sight with the
+// kind of the first value.
+type Builder struct {
+	indexNames []string
+	indexKinds []Kind
+	rows       [][]Value // index keys per record
+	colOrder   []string
+	colKind    map[string]Kind
+	cells      []map[string]Value
+}
+
+// NewBuilder starts a builder whose row index has the named levels of the
+// given kinds.
+func NewBuilder(indexNames []string, indexKinds []Kind) *Builder {
+	return &Builder{
+		indexNames: append([]string(nil), indexNames...),
+		indexKinds: append([]Kind(nil), indexKinds...),
+		colKind:    make(map[string]Kind),
+	}
+}
+
+// AddRow appends a record: its index key and named cell values.
+func (b *Builder) AddRow(key []Value, cells map[string]Value) error {
+	if len(key) != len(b.indexNames) {
+		return fmt.Errorf("dataframe: key has %d parts, builder index has %d levels", len(key), len(b.indexNames))
+	}
+	b.rows = append(b.rows, append([]Value(nil), key...))
+	copied := make(map[string]Value, len(cells))
+	for name, v := range cells {
+		if _, ok := b.colKind[name]; !ok {
+			b.colKind[name] = v.Kind()
+			b.colOrder = append(b.colOrder, name)
+		}
+		copied[name] = v
+	}
+	b.cells = append(b.cells, copied)
+	return nil
+}
+
+// Build materializes the frame. Missing cells become nulls.
+func (b *Builder) Build() (*Frame, error) {
+	levels := make([]*Series, len(b.indexNames))
+	for i := range levels {
+		levels[i] = NewSeries(b.indexNames[i], b.indexKinds[i])
+	}
+	for _, key := range b.rows {
+		for i, v := range key {
+			if err := levels[i].Append(v); err != nil {
+				return nil, fmt.Errorf("index level %q: %w", b.indexNames[i], err)
+			}
+		}
+	}
+	ix, err := NewIndex(levels...)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*Series, 0, len(b.colOrder))
+	for _, name := range b.colOrder {
+		s := NewSeries(name, b.colKind[name])
+		for _, cells := range b.cells {
+			v, ok := cells[name]
+			if !ok {
+				v = Null(b.colKind[name])
+			}
+			if err := s.Append(v); err != nil {
+				return nil, fmt.Errorf("column %q: %w", name, err)
+			}
+		}
+		cols = append(cols, s)
+	}
+	return NewFrame(ix, cols...)
+}
+
+// Describe summarizes every numeric column: one row per column with
+// count/mean/std/min/p25/median/p75/max — the pandas df.describe()
+// overview for quick EDA.
+func (f *Frame) Describe() (*Frame, error) {
+	b := NewBuilder([]string{"column"}, []Kind{String})
+	for c := 0; c < f.NCols(); c++ {
+		col := f.data[c]
+		if col.Kind() != Float && col.Kind() != Int {
+			continue
+		}
+		vals := col.Floats()
+		s := describeVals(vals)
+		if err := b.AddRow([]Value{Str(f.cols.Key(c).String())}, map[string]Value{
+			"count":  Float64(s[0]),
+			"mean":   Float64(s[1]),
+			"std":    Float64(s[2]),
+			"min":    Float64(s[3]),
+			"p25":    Float64(s[4]),
+			"median": Float64(s[5]),
+			"p75":    Float64(s[6]),
+			"max":    Float64(s[7]),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if out.NCols() == 0 {
+		return nil, fmt.Errorf("dataframe: no numeric columns to describe")
+	}
+	keys := []ColKey{{"count"}, {"mean"}, {"std"}, {"min"}, {"p25"}, {"median"}, {"p75"}, {"max"}}
+	return out.SelectColumns(keys)
+}
+
+// Pivot reshapes the frame: rows become the unique values of one index
+// level, columns become the unique values of a second index level (or a
+// data column), and cells hold agg over the value column's entries for
+// each (row, column) pair — the wide-format reshaping behind per-kernel ×
+// per-size tables. Cells with no entries are NaN.
+func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) float64) (*Frame, error) {
+	rowS, err := f.seriesByName(rowName)
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: pivot rows: %w", err)
+	}
+	colS, err := f.seriesByName(colName)
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: pivot columns: %w", err)
+	}
+	valS, err := f.seriesByName(valueName)
+	if err != nil {
+		return nil, fmt.Errorf("dataframe: pivot values: %w", err)
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("dataframe: pivot requires an aggregator")
+	}
+
+	// Unique row/column keys in first-appearance order.
+	rowKeys := rowS.Uniques()
+	colKeys := colS.Uniques()
+	if len(rowKeys) == 0 || len(colKeys) == 0 {
+		return nil, fmt.Errorf("dataframe: pivot over empty keys")
+	}
+	rowPos := map[string]int{}
+	for i, k := range rowKeys {
+		rowPos[EncodeKey([]Value{k})] = i
+	}
+	colPos := map[string]int{}
+	for i, k := range colKeys {
+		colPos[EncodeKey([]Value{k})] = i
+	}
+	cells := make([][][]float64, len(rowKeys))
+	for i := range cells {
+		cells[i] = make([][]float64, len(colKeys))
+	}
+	for r := 0; r < f.NRows(); r++ {
+		rv, cv := rowS.At(r), colS.At(r)
+		if rv.IsNull() || cv.IsNull() {
+			continue
+		}
+		v, ok := valS.At(r).AsFloat()
+		if !ok {
+			continue
+		}
+		ri := rowPos[EncodeKey([]Value{rv})]
+		ci := colPos[EncodeKey([]Value{cv})]
+		cells[ri][ci] = append(cells[ri][ci], v)
+	}
+
+	idxSeries := NewSeries(rowName, rowKeys[0].Kind())
+	for _, k := range rowKeys {
+		if err := idxSeries.Append(k); err != nil {
+			return nil, err
+		}
+	}
+	ix, err := NewIndex(idxSeries)
+	if err != nil {
+		return nil, err
+	}
+	columns := make([]*Series, len(colKeys))
+	for ci, ck := range colKeys {
+		data := make([]float64, len(rowKeys))
+		for ri := range rowKeys {
+			if len(cells[ri][ci]) == 0 {
+				data[ri] = math.NaN()
+				continue
+			}
+			data[ri] = agg(cells[ri][ci])
+		}
+		columns[ci] = NewFloatSeries(ck.String(), data)
+	}
+	return NewFrame(ix, columns...)
+}
+
+// ConcatRowsOuter vertically concatenates frames taking the union of
+// their column keys: cells absent from an input are null. Index level
+// names must match. Column order is first-appearance across inputs.
+func ConcatRowsOuter(frames ...*Frame) (*Frame, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("dataframe: ConcatRowsOuter requires at least one frame")
+	}
+	first := frames[0]
+	for i, f := range frames[1:] {
+		if f.index.NLevels() != first.index.NLevels() {
+			return nil, fmt.Errorf("dataframe: frame %d has %d index levels, want %d", i+1, f.index.NLevels(), first.index.NLevels())
+		}
+		for l, name := range f.index.Names() {
+			if name != first.index.Names()[l] {
+				return nil, fmt.Errorf("dataframe: frame %d index level %d is %q, want %q", i+1, l, name, first.index.Names()[l])
+			}
+		}
+	}
+	// Union of column keys with kinds (first wins; conflicts error).
+	var keys []ColKey
+	kinds := map[string]Kind{}
+	seen := map[string]bool{}
+	for _, f := range frames {
+		for c := 0; c < f.NCols(); c++ {
+			k := f.cols.Key(c)
+			enc := k.encode()
+			if seen[enc] {
+				if kinds[enc] != f.data[c].Kind() {
+					return nil, fmt.Errorf("dataframe: column %v has conflicting kinds %s and %s", k, kinds[enc], f.data[c].Kind())
+				}
+				continue
+			}
+			seen[enc] = true
+			kinds[enc] = f.data[c].Kind()
+			keys = append(keys, k.Copy())
+		}
+	}
+	// Build output.
+	levels := make([]*Series, first.index.NLevels())
+	for l := range levels {
+		levels[l] = NewSeries(first.index.Names()[l], first.index.Level(l).Kind())
+	}
+	cols := make([]*Series, len(keys))
+	for i, k := range keys {
+		cols[i] = NewSeries(k.Leaf(), kinds[k.encode()])
+	}
+	for _, f := range frames {
+		pos := make([]int, len(keys)) // output col -> input col (or -1)
+		for i, k := range keys {
+			pos[i] = f.cols.Find(k)
+		}
+		for r := 0; r < f.NRows(); r++ {
+			for l, v := range f.index.KeyAt(r) {
+				if err := levels[l].Append(v); err != nil {
+					return nil, err
+				}
+			}
+			for i := range keys {
+				v := Null(cols[i].Kind())
+				if pos[i] >= 0 {
+					v = f.data[pos[i]].At(r)
+				}
+				if err := cols[i].Append(v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	ix, err := NewIndex(levels...)
+	if err != nil {
+		return nil, err
+	}
+	return NewFrameWithColIndex(ix, keys, cols)
+}

@@ -1,0 +1,155 @@
+package dataframe
+
+import (
+	"strings"
+)
+
+// RenderOptions controls table rendering.
+type RenderOptions struct {
+	MaxRows      int  // 0 = unlimited; otherwise head/tail elision
+	HideRepeated bool // suppress repeated row-index values (pandas style)
+}
+
+// String renders the frame with default options (all rows, repeated index
+// values hidden), matching the look of the paper's tables.
+func (f *Frame) String() string {
+	return f.Render(RenderOptions{HideRepeated: true})
+}
+
+// Render renders the frame as an aligned text table with one header line
+// per column-index level and the row-index levels as leading columns.
+func (f *Frame) Render(opts RenderOptions) string {
+	nIdx := f.index.NLevels()
+	nHdr := f.cols.NLevels()
+	nCols := nIdx + f.NCols()
+
+	rows := make([]int, f.NRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	elided := false
+	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
+		head := opts.MaxRows / 2
+		tail := opts.MaxRows - head
+		rows = append(append([]int{}, rows[:head]...), rows[len(rows)-tail:]...)
+		elided = true
+		_ = elided
+	}
+
+	// Build the cell grid: header lines then data lines.
+	var grid [][]string
+
+	// Header lines: outer column levels first. Row-index names go on the
+	// last header line.
+	for lvl := 0; lvl < nHdr; lvl++ {
+		line := make([]string, nCols)
+		if lvl == nHdr-1 {
+			copy(line[:nIdx], f.index.Names())
+		}
+		for c := 0; c < f.NCols(); c++ {
+			key := f.cols.Key(c)
+			label := key[lvl]
+			// Suppress repeated group labels on outer levels (pandas style).
+			if lvl < nHdr-1 && c > 0 {
+				prev := f.cols.Key(c - 1)
+				if samePrefix(prev, key, lvl+1) {
+					label = ""
+				}
+			}
+			line[nIdx+c] = label
+		}
+		grid = append(grid, line)
+	}
+
+	// Data lines.
+	prevKey := make([]string, nIdx)
+	havePrev := false
+	half := opts.MaxRows / 2
+	for ri, r := range rows {
+		if elided && ri == half {
+			gap := make([]string, nCols)
+			for c := range gap {
+				gap[c] = "..."
+			}
+			grid = append(grid, gap)
+			havePrev = false
+		}
+		line := make([]string, nCols)
+		key := f.index.KeyAt(r)
+		for l := 0; l < nIdx; l++ {
+			cell := key[l].String()
+			if opts.HideRepeated && havePrev && allEqualUpTo(prevKey, key, l) {
+				line[l] = ""
+			} else {
+				line[l] = cell
+			}
+			prevKey[l] = cell
+		}
+		havePrev = true
+		for c := 0; c < f.NCols(); c++ {
+			line[nIdx+c] = f.data[c].At(r).String()
+		}
+		grid = append(grid, line)
+	}
+
+	return alignGrid(grid, nIdx, f.NCols())
+}
+
+// samePrefix reports whether the first n labels of two keys match.
+func samePrefix(a, b ColKey, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allEqualUpTo reports whether the rendered index values equal prev for
+// levels 0..l inclusive.
+func allEqualUpTo(prev []string, key []Value, l int) bool {
+	for i := 0; i <= l; i++ {
+		if prev[i] != key[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// alignGrid right-aligns data columns and left-aligns index columns,
+// producing the final table text.
+func alignGrid(grid [][]string, nIdx, nData int) string {
+	if len(grid) == 0 {
+		return ""
+	}
+	nCols := nIdx + nData
+	width := make([]int, nCols)
+	for _, line := range grid {
+		for c, cell := range line {
+			if len(cell) > width[c] {
+				width[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	var lb strings.Builder
+	for _, line := range grid {
+		lb.Reset()
+		for c, cell := range line {
+			if c > 0 {
+				lb.WriteString("  ")
+			}
+			pad := width[c] - len(cell)
+			if c < nIdx {
+				lb.WriteString(cell)
+				lb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				lb.WriteString(strings.Repeat(" ", pad))
+				lb.WriteString(cell)
+			}
+		}
+		sb.WriteString(strings.TrimRight(lb.String(), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+package dataframe
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is a named, typed column of values with a null mask. Storage is
+// kind-specialized so numeric scans do not box.
+type Series struct {
+	name string
+	kind Kind
+	f    []float64
+	i    []int64
+	s    []string
+	b    []bool
+	null []bool
+}
+
+// NewSeries returns an empty series of the given name and kind.
+func NewSeries(name string, kind Kind) *Series {
+	return &Series{name: name, kind: kind}
+}
+
+// NewFloatSeries builds a float series from data; NaNs become nulls.
+func NewFloatSeries(name string, data []float64) *Series {
+	s := &Series{name: name, kind: Float, f: append([]float64(nil), data...), null: make([]bool, len(data))}
+	for idx, v := range data {
+		if math.IsNaN(v) {
+			s.null[idx] = true
+		}
+	}
+	return s
+}
+
+// NewIntSeries builds an int series from data.
+func NewIntSeries(name string, data []int64) *Series {
+	return &Series{name: name, kind: Int, i: append([]int64(nil), data...), null: make([]bool, len(data))}
+}
+
+// NewStringSeries builds a string series from data.
+func NewStringSeries(name string, data []string) *Series {
+	return &Series{name: name, kind: String, s: append([]string(nil), data...), null: make([]bool, len(data))}
+}
+
+// NewBoolSeries builds a bool series from data.
+func NewBoolSeries(name string, data []bool) *Series {
+	return &Series{name: name, kind: Bool, b: append([]bool(nil), data...), null: make([]bool, len(data))}
+}
+
+// SeriesOf builds a series from Values. All non-null values must share the
+// kind of the first non-null value; nulls adopt that kind.
+func SeriesOf(name string, vals []Value) (*Series, error) {
+	kind := Float
+	found := false
+	for _, v := range vals {
+		if !v.IsNull() {
+			kind = v.Kind()
+			found = true
+			break
+		}
+	}
+	if !found && len(vals) > 0 {
+		kind = vals[0].Kind()
+	}
+	s := NewSeries(name, kind)
+	for _, v := range vals {
+		if err := s.Append(v); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Kind returns the scalar kind of the series.
+func (s *Series) Kind() Kind { return s.kind }
+
+// Len returns the number of rows.
+func (s *Series) Len() int { return len(s.null) }
+
+// Rename returns the series with a new name (mutates in place, returns s).
+func (s *Series) Rename(name string) *Series {
+	s.name = name
+	return s
+}
+
+// At returns the value at row idx.
+func (s *Series) At(idx int) Value {
+	if s.null[idx] {
+		return Null(s.kind)
+	}
+	switch s.kind {
+	case Float:
+		return Float64(s.f[idx])
+	case Int:
+		return Int64(s.i[idx])
+	case String:
+		return Str(s.s[idx])
+	case Bool:
+		return BoolVal(s.b[idx])
+	}
+	return Null(s.kind)
+}
+
+// FloatAt returns the row coerced to float64 (NaN when null/unparseable).
+func (s *Series) FloatAt(idx int) float64 {
+	f, _ := s.At(idx).AsFloat()
+	return f
+}
+
+// Append adds a value to the end of the series. A null of any kind is
+// accepted; a non-null value must match the series kind.
+func (s *Series) Append(v Value) error {
+	if !v.IsNull() && v.Kind() != s.kind {
+		return fmt.Errorf("dataframe: series %q holds %s, cannot append %s", s.name, s.kind, v.Kind())
+	}
+	s.null = append(s.null, v.IsNull())
+	switch s.kind {
+	case Float:
+		s.f = append(s.f, v.f)
+	case Int:
+		s.i = append(s.i, v.i)
+	case String:
+		s.s = append(s.s, v.s)
+	case Bool:
+		s.b = append(s.b, v.b)
+	}
+	return nil
+}
+
+// Set replaces the value at row idx.
+func (s *Series) Set(idx int, v Value) error {
+	if !v.IsNull() && v.Kind() != s.kind {
+		return fmt.Errorf("dataframe: series %q holds %s, cannot set %s", s.name, s.kind, v.Kind())
+	}
+	s.null[idx] = v.IsNull()
+	switch s.kind {
+	case Float:
+		s.f[idx] = v.f
+	case Int:
+		s.i[idx] = v.i
+	case String:
+		s.s[idx] = v.s
+	case Bool:
+		s.b[idx] = v.b
+	}
+	return nil
+}
+
+// Gather returns a new series containing the given rows in order.
+func (s *Series) Gather(rows []int) *Series {
+	out := &Series{name: s.name, kind: s.kind, null: make([]bool, len(rows))}
+	switch s.kind {
+	case Float:
+		out.f = make([]float64, len(rows))
+		for j, r := range rows {
+			out.f[j] = s.f[r]
+			out.null[j] = s.null[r]
+		}
+	case Int:
+		out.i = make([]int64, len(rows))
+		for j, r := range rows {
+			out.i[j] = s.i[r]
+			out.null[j] = s.null[r]
+		}
+	case String:
+		out.s = make([]string, len(rows))
+		for j, r := range rows {
+			out.s[j] = s.s[r]
+			out.null[j] = s.null[r]
+		}
+	case Bool:
+		out.b = make([]bool, len(rows))
+		for j, r := range rows {
+			out.b[j] = s.b[r]
+			out.null[j] = s.null[r]
+		}
+	}
+	return out
+}
+
+// Copy returns a deep copy of the series.
+func (s *Series) Copy() *Series {
+	out := &Series{name: s.name, kind: s.kind}
+	out.f = append([]float64(nil), s.f...)
+	out.i = append([]int64(nil), s.i...)
+	out.s = append([]string(nil), s.s...)
+	out.b = append([]bool(nil), s.b...)
+	out.null = append([]bool(nil), s.null...)
+	return out
+}
+
+// Floats returns the column coerced to float64 (NaN for nulls). The slice
+// is freshly allocated.
+func (s *Series) Floats() []float64 {
+	out := make([]float64, s.Len())
+	for i := range out {
+		out[i] = s.FloatAt(i)
+	}
+	return out
+}
+
+// Values returns all cells as boxed Values (freshly allocated).
+func (s *Series) Values() []Value {
+	out := make([]Value, s.Len())
+	for i := range out {
+		out[i] = s.At(i)
+	}
+	return out
+}
+
+// Uniques returns distinct non-null values in first-appearance order.
+func (s *Series) Uniques() []Value {
+	seen := make(map[string]struct{})
+	var out []Value
+	for i := 0; i < s.Len(); i++ {
+		v := s.At(i)
+		if v.IsNull() {
+			continue
+		}
+		k := EncodeKey([]Value{v})
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// NullCount reports the number of missing cells.
+func (s *Series) NullCount() int {
+	n := 0
+	for i := range s.null {
+		if s.null[i] || (s.kind == Float && math.IsNaN(s.f[i])) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two series have identical name, kind, and cells.
+func (s *Series) Equal(o *Series) bool {
+	if s.name != o.name || s.kind != o.kind || s.Len() != o.Len() {
+		return false
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !s.At(i).Equal(o.At(i)) {
+			return false
+		}
+	}
+	return true
+}

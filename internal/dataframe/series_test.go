@@ -1,0 +1,165 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesConstructorsRoundTrip(t *testing.T) {
+	fs := NewFloatSeries("t", []float64{1, 2, math.NaN()})
+	if fs.Len() != 3 || fs.Kind() != Float || fs.Name() != "t" {
+		t.Fatalf("bad float series: %+v", fs)
+	}
+	if !fs.At(2).IsNull() {
+		t.Error("NaN should be stored as null")
+	}
+	if fs.NullCount() != 1 {
+		t.Errorf("NullCount = %d, want 1", fs.NullCount())
+	}
+
+	is := NewIntSeries("n", []int64{5, -5})
+	if is.At(1).Int() != -5 {
+		t.Error("int round trip failed")
+	}
+	ss := NewStringSeries("c", []string{"a", "b"})
+	if ss.At(0).Str() != "a" {
+		t.Error("string round trip failed")
+	}
+	bs := NewBoolSeries("f", []bool{true})
+	if !bs.At(0).Bool() {
+		t.Error("bool round trip failed")
+	}
+}
+
+func TestSeriesAppendTypeSafety(t *testing.T) {
+	s := NewSeries("x", Float)
+	if err := s.Append(Float64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Str("oops")); err == nil {
+		t.Error("appending a string to a float series must fail")
+	}
+	if err := s.Append(Null(Int)); err != nil {
+		t.Errorf("nulls of any kind should append: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if !s.At(1).IsNull() {
+		t.Error("appended null lost")
+	}
+}
+
+func TestSeriesSet(t *testing.T) {
+	s := NewFloatSeries("x", []float64{1, 2, 3})
+	if err := s.Set(1, Float64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1).Float() != 9 {
+		t.Error("Set did not take")
+	}
+	if err := s.Set(0, Str("bad")); err == nil {
+		t.Error("Set with wrong kind must fail")
+	}
+	if err := s.Set(2, NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.At(2).IsNull() {
+		t.Error("Set null did not take")
+	}
+}
+
+func TestSeriesGatherAndCopyIsolation(t *testing.T) {
+	s := NewIntSeries("n", []int64{10, 20, 30, 40})
+	g := s.Gather([]int{3, 1, 1})
+	want := []int64{40, 20, 20}
+	for i, w := range want {
+		if g.At(i).Int() != w {
+			t.Errorf("gather[%d] = %v, want %d", i, g.At(i), w)
+		}
+	}
+	c := s.Copy()
+	if err := c.Set(0, Int64(99)); err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0).Int() != 10 {
+		t.Error("Copy shares storage with source")
+	}
+}
+
+func TestSeriesFloatsCoercion(t *testing.T) {
+	s := NewIntSeries("n", []int64{1, 2})
+	fl := s.Floats()
+	if fl[0] != 1 || fl[1] != 2 {
+		t.Errorf("Floats coercion broken: %v", fl)
+	}
+	str := NewStringSeries("c", []string{"x"})
+	if !math.IsNaN(str.Floats()[0]) {
+		t.Error("non-numeric strings should coerce to NaN")
+	}
+}
+
+func TestSeriesUniques(t *testing.T) {
+	s := NewStringSeries("compiler", []string{"clang", "gcc", "clang", "xlc", "gcc"})
+	u := s.Uniques()
+	want := []string{"clang", "gcc", "xlc"}
+	if len(u) != len(want) {
+		t.Fatalf("got %d uniques, want %d", len(u), len(want))
+	}
+	for i, w := range want {
+		if u[i].Str() != w {
+			t.Errorf("unique[%d] = %q, want %q", i, u[i].Str(), w)
+		}
+	}
+	withNull := NewSeries("x", String)
+	_ = withNull.Append(Null(String))
+	_ = withNull.Append(Str("a"))
+	if got := withNull.Uniques(); len(got) != 1 {
+		t.Errorf("nulls should be excluded from uniques, got %d", len(got))
+	}
+}
+
+func TestSeriesEqual(t *testing.T) {
+	a := NewFloatSeries("x", []float64{1, math.NaN()})
+	b := NewFloatSeries("x", []float64{1, math.NaN()})
+	if !a.Equal(b) {
+		t.Error("identical series should be equal (NaN-aware)")
+	}
+	c := NewFloatSeries("y", []float64{1, math.NaN()})
+	if a.Equal(c) {
+		t.Error("different names should not be equal")
+	}
+}
+
+func TestSeriesOf(t *testing.T) {
+	s, err := SeriesOf("m", []Value{Null(Float), Int64(3), Int64(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != Int {
+		t.Errorf("kind inferred as %v, want int", s.Kind())
+	}
+	if _, err := SeriesOf("m", []Value{Int64(1), Str("x")}); err == nil {
+		t.Error("mixed kinds must be rejected")
+	}
+	empty, err := SeriesOf("e", nil)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty SeriesOf failed: %v", err)
+	}
+}
+
+func TestSeriesGatherRoundTripProperty(t *testing.T) {
+	// Gathering the identity permutation reproduces the series.
+	f := func(data []float64) bool {
+		s := NewFloatSeries("x", data)
+		rows := make([]int, len(data))
+		for i := range rows {
+			rows[i] = i
+		}
+		return s.Gather(rows).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

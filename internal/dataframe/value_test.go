@@ -1,0 +1,185 @@
+package dataframe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		null bool
+		str  string
+	}{
+		{Float64(1.5), Float, false, "1.500000"},
+		{Int64(-7), Int, false, "-7"},
+		{Str("quartz"), String, false, "quartz"},
+		{BoolVal(true), Bool, false, "true"},
+		{Null(Int), Int, true, ""},
+		{Null(Float), Float, true, "NaN"},
+		{NaN(), Float, true, "NaN"},
+		{Float64(math.NaN()), Float, true, "NaN"},
+	}
+	for i, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("case %d: kind = %v, want %v", i, c.v.Kind(), c.kind)
+		}
+		if c.v.IsNull() != c.null {
+			t.Errorf("case %d: IsNull = %v, want %v", i, c.v.IsNull(), c.null)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("case %d: String = %q, want %q", i, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{Float64(2.5), 2.5, true},
+		{Int64(4), 4, true},
+		{BoolVal(true), 1, true},
+		{BoolVal(false), 0, true},
+		{Str("3.25"), 3.25, true},
+		{Str(" 10 "), 10, true},
+		{Str("clang"), math.NaN(), false},
+		{Null(Float), math.NaN(), false},
+		{Null(String), math.NaN(), false},
+	}
+	for i, c := range cases {
+		got, ok := c.v.AsFloat()
+		if ok != c.ok {
+			t.Errorf("case %d: ok = %v, want %v", i, ok, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+		if !c.ok && !math.IsNaN(got) {
+			t.Errorf("case %d: expected NaN, got %v", i, got)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Float64(1).Equal(Float64(1)) {
+		t.Error("equal floats should compare equal")
+	}
+	if Float64(1).Equal(Int64(1)) {
+		t.Error("different kinds must not compare equal")
+	}
+	if !NaN().Equal(NaN()) {
+		t.Error("two null floats should compare equal")
+	}
+	if Str("a").Equal(Str("b")) {
+		t.Error("different strings must not compare equal")
+	}
+	if !Null(String).Equal(Null(String)) {
+		t.Error("same-kind nulls should compare equal")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	// Nulls first, then payload ordering.
+	ordered := []Value{Null(Float), Float64(-3), Float64(0), Float64(10)}
+	for i := 0; i < len(ordered)-1; i++ {
+		if ordered[i].Compare(ordered[i+1]) >= 0 {
+			t.Errorf("expected %v < %v", ordered[i], ordered[i+1])
+		}
+	}
+	if Str("abc").Compare(Str("abd")) >= 0 {
+		t.Error("string ordering broken")
+	}
+	if BoolVal(false).Compare(BoolVal(true)) >= 0 {
+		t.Error("bool ordering broken")
+	}
+	// Cross-kind numeric comparison.
+	if Int64(2).Compare(Float64(2.5)) >= 0 {
+		t.Error("int/float cross comparison broken")
+	}
+	if Float64(3).Compare(Int64(2)) <= 0 {
+		t.Error("float/int cross comparison broken")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := Float64(a), Float64(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b int64) bool {
+		va, vb := Int64(a), Int64(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	// Keys that could collide under naive string joining must not collide.
+	pairs := [][2][]Value{
+		{{Str("ab"), Str("c")}, {Str("a"), Str("bc")}},
+		{{Str("1")}, {Int64(1)}},
+		{{Int64(1)}, {Float64(1)}},
+		{{Str("")}, {Null(String)}},
+		{{Str("a|b")}, {Str("a"), Str("b")}},
+		{{BoolVal(true)}, {Int64(1)}},
+	}
+	for i, p := range pairs {
+		if EncodeKey(p[0]) == EncodeKey(p[1]) {
+			t.Errorf("pair %d: encoding collision between %v and %v", i, p[0], p[1])
+		}
+	}
+}
+
+func TestEncodeKeyFloatInjectiveProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea := EncodeKey([]Value{Float64(a)})
+		eb := EncodeKey([]Value{Float64(b)})
+		return (a == b) == (ea == eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareKeysLexicographic(t *testing.T) {
+	a := []Value{Str("node"), Int64(1)}
+	b := []Value{Str("node"), Int64(2)}
+	c := []Value{Str("node")}
+	if CompareKeys(a, b) >= 0 {
+		t.Error("expected a < b")
+	}
+	if CompareKeys(b, a) <= 0 {
+		t.Error("expected b > a")
+	}
+	if CompareKeys(c, a) >= 0 {
+		t.Error("shorter prefix key should sort first")
+	}
+	if CompareKeys(a, a) != 0 {
+		t.Error("key should equal itself")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Float: "float", Int: "int", String: "string", Bool: "bool"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unexpected unknown-kind rendering %q", Kind(99).String())
+	}
+}

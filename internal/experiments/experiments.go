@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 2–18) from the synthetic ensembles in internal/sim,
+// through the public thicket machinery. Each experiment returns a text
+// report (the paper's tables / ASCII renderings of its plots), optional
+// SVG documents, and a list of qualitative checks asserting the paper's
+// findings — who wins, by roughly what factor, where the crossovers fall.
+// EXPERIMENTS.md is assembled from these results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Check is one qualitative claim from the paper, evaluated against the
+// regenerated data.
+type Check struct {
+	Name   string // the paper's claim
+	Pass   bool
+	Detail string // measured evidence
+}
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID     string // "fig02" … "fig18"
+	Title  string
+	Report string            // text tables and ASCII plots
+	SVGs   map[string]string // filename -> SVG document
+	Checks []Check
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the check outcomes.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  [%s] %s — %s\n", mark, c.Name, c.Detail)
+	}
+	return sb.String()
+}
+
+// Experiment is a registered figure generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (*Result, error)
+}
+
+// Registry returns all experiments in figure order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig02", Title: "Call tree ↔ performance-table relation", Run: Fig02},
+		{ID: "fig03", Title: "Thicket component model and relational keys", Run: Fig03},
+		{ID: "fig04", Title: "Multi-dimensional CPU/GPU composition", Run: Fig04},
+		{ID: "fig05", Title: "Metadata table of four RAJA profiles", Run: Fig05},
+		{ID: "fig06", Title: "Metadata filter on compiler", Run: Fig06},
+		{ID: "fig07", Title: "Group-by compiler × problem size", Run: Fig07},
+		{ID: "fig08", Title: "Call-path query for block_128 leaves", Run: Fig08},
+		{ID: "fig09", Title: "Aggregated statistics and stats filter", Run: Fig09},
+		{ID: "fig10", Title: "K-means clustering of Stream kernels", Run: Fig10},
+		{ID: "fig11", Title: "Extra-P models of MARBL solver", Run: Fig11},
+		{ID: "fig12", Title: "Heatmap and histogram outlier hunt", Run: Fig12},
+		{ID: "fig13", Title: "RAJA Performance Suite campaign table", Run: Fig13},
+		{ID: "fig14", Title: "Top-down stacked-bar visualization", Run: Fig14},
+		{ID: "fig15", Title: "Composed CPU/GPU table with derived speedup", Run: Fig15},
+		{ID: "fig16", Title: "MARBL campaign table", Run: Fig16},
+		{ID: "fig17", Title: "MARBL strong scaling", Run: Fig17},
+		{ID: "fig18", Title: "Parallel-coordinate metadata exploration", Run: Fig18},
+	}
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, seed int64) (*Result, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			res, err := e.Run(seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			res.ID = e.ID
+			res.Title = e.Title
+			return res, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+}
+
+// RunAll executes every experiment with the same seed.
+func RunAll(seed int64) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Registry() {
+		res, err := Run(e.ID, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// check builds a Check from a condition and measured evidence.
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass regenerates every figure and asserts all of the
+// paper's qualitative claims hold on the synthetic ensembles.
+func TestAllExperimentsPass(t *testing.T) {
+	results, err := RunAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 17 {
+		t.Fatalf("experiments = %d, want 17 (fig02..fig18)", len(results))
+	}
+	for _, res := range results {
+		if res.Report == "" {
+			t.Errorf("%s: empty report", res.ID)
+		}
+		if len(res.Checks) == 0 {
+			t.Errorf("%s: no checks", res.ID)
+		}
+		for _, c := range res.Checks {
+			if !c.Pass {
+				t.Errorf("%s: claim %q failed: %s", res.ID, c.Name, c.Detail)
+			}
+		}
+		for name, svg := range res.SVGs {
+			if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+				t.Errorf("%s: malformed SVG %s", res.ID, name)
+			}
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", 1); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestRegistryIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 || ids[0] != "fig02" || ids[len(ids)-1] != "fig18" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	res := &Result{Checks: []Check{
+		{Name: "a", Pass: true, Detail: "ok"},
+		{Name: "b", Pass: false, Detail: "bad"},
+	}}
+	if res.Passed() {
+		t.Error("Passed should be false with a failing check")
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "[PASS] a") || !strings.Contains(s, "[FAIL] b") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+// TestDeterminism: the same seed regenerates identical reports.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig05", "fig09", "fig17"} {
+		a, err := Run(id, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Report != b.Report {
+			t.Errorf("%s: report not deterministic", id)
+		}
+	}
+}

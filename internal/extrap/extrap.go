@@ -1,0 +1,365 @@
+// Package extrap fits analytical performance models to ensembles of
+// measurements, reproducing the Extra-P modeling capability Thicket
+// exposes (paper §4.2.3, Figure 11). Models follow the Performance Model
+// Normal Form (PMNF) of Calotoiu et al. (SC'13):
+//
+//	f(p) = c₀ + Σₖ cₖ · p^(iₖ) · log₂(p)^(jₖ)
+//
+// The fitter searches the standard hypothesis lattice of rational
+// exponents i and small integer log exponents j, estimates coefficients by
+// ordinary least squares, and selects the hypothesis with the best
+// adjusted R² (falling back to the constant model when no term helps).
+// Figure 11's models — e.g. 200.23 + (−18.28)·p^(1/3) — are single-term
+// instances of this form.
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Fraction is a rational exponent i = Num/Den.
+type Fraction struct {
+	Num, Den int
+}
+
+// Value returns the exponent as a float.
+func (f Fraction) Value() float64 { return float64(f.Num) / float64(f.Den) }
+
+// String renders "p^(num/den)" exponent text (just the fraction part).
+func (f Fraction) String() string {
+	if f.Den == 1 {
+		return fmt.Sprintf("%d", f.Num)
+	}
+	return fmt.Sprintf("%d/%d", f.Num, f.Den)
+}
+
+// Term is one PMNF term c · p^Exp · log₂(p)^LogExp.
+type Term struct {
+	Coeff  float64
+	Exp    Fraction
+	LogExp int
+}
+
+// basis evaluates the term's basis function at p (without the
+// coefficient).
+func (t Term) basis(p float64) float64 {
+	v := math.Pow(p, t.Exp.Value())
+	if t.LogExp != 0 {
+		v *= math.Pow(math.Log2(p), float64(t.LogExp))
+	}
+	return v
+}
+
+// String renders the term like "-18.278 * p^(1/3) * log2(p)^1".
+func (t Term) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v", t.Coeff)
+	if !(t.Exp.Num == 0) {
+		fmt.Fprintf(&sb, " * p^(%s)", t.Exp)
+	}
+	if t.LogExp != 0 {
+		fmt.Fprintf(&sb, " * log2(p)^%d", t.LogExp)
+	}
+	return sb.String()
+}
+
+// Model is a fitted PMNF model with goodness-of-fit statistics.
+type Model struct {
+	Constant float64
+	Terms    []Term
+	RSS      float64 // residual sum of squares
+	R2       float64 // coefficient of determination
+	AdjR2    float64 // adjusted for parameter count
+	SMAPE    float64 // symmetric mean absolute percentage error (0..200)
+	N        int     // number of fitted points
+}
+
+// Eval evaluates the model at parameter value p.
+func (m Model) Eval(p float64) float64 {
+	y := m.Constant
+	for _, t := range m.Terms {
+		y += t.Coeff * t.basis(p)
+	}
+	return y
+}
+
+// String renders the model in the paper's Figure 11 style:
+// "200.231 + -18.279 * p^(1/3)".
+func (m Model) String() string {
+	parts := []string{fmt.Sprintf("%v", m.Constant)}
+	for _, t := range m.Terms {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " + ")
+}
+
+// IsConstant reports whether the model has no non-constant terms.
+func (m Model) IsConstant() bool { return len(m.Terms) == 0 }
+
+// Options tunes the hypothesis search. Zero values select the Extra-P
+// defaults.
+type Options struct {
+	Exponents []Fraction // candidate p exponents (default: standard lattice)
+	LogExps   []int      // candidate log₂ exponents (default: 0,1,2)
+	MaxTerms  int        // maximum non-constant terms (default 1)
+}
+
+// DefaultExponents is the standard PMNF exponent lattice. Exponent 0
+// pairs with non-zero log exponents to express pure-logarithmic terms.
+func DefaultExponents() []Fraction {
+	return []Fraction{
+		{0, 1},
+		{1, 4}, {1, 3}, {1, 2}, {2, 3}, {3, 4}, {1, 1},
+		{5, 4}, {4, 3}, {3, 2}, {5, 3}, {7, 4}, {2, 1},
+		{9, 4}, {7, 3}, {5, 2}, {8, 3}, {11, 4}, {3, 1},
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Exponents) == 0 {
+		o.Exponents = DefaultExponents()
+	}
+	if len(o.LogExps) == 0 {
+		o.LogExps = []int{0, 1, 2}
+	}
+	if o.MaxTerms == 0 {
+		o.MaxTerms = 1
+	}
+	return o
+}
+
+// Fit fits a PMNF model to measurements (ps[i], ys[i]). Repeated
+// parameter values (repetitions) are allowed and are averaged per point
+// before fitting, as Extra-P does. Parameters must be positive; at least
+// two distinct parameter values are required for a non-constant model.
+func Fit(ps, ys []float64, opts Options) (Model, error) {
+	if len(ps) != len(ys) {
+		return Model{}, fmt.Errorf("extrap: %d parameters for %d measurements", len(ps), len(ys))
+	}
+	opts = opts.withDefaults()
+
+	// Average repetitions per distinct parameter value.
+	sums := make(map[float64][2]float64)
+	for i := range ps {
+		p, y := ps[i], ys[i]
+		if math.IsNaN(p) || math.IsNaN(y) {
+			continue
+		}
+		if p <= 0 {
+			return Model{}, fmt.Errorf("extrap: parameter value %v <= 0", p)
+		}
+		acc := sums[p]
+		sums[p] = [2]float64{acc[0] + y, acc[1] + 1}
+	}
+	if len(sums) == 0 {
+		return Model{}, fmt.Errorf("extrap: no valid measurements")
+	}
+	xs := make([]float64, 0, len(sums))
+	for p := range sums {
+		xs = append(xs, p)
+	}
+	sort.Float64s(xs)
+	means := make([]float64, len(xs))
+	for i, p := range xs {
+		acc := sums[p]
+		means[i] = acc[0] / acc[1]
+	}
+	n := len(xs)
+
+	// Constant baseline.
+	meanY := 0.0
+	for _, y := range means {
+		meanY += y
+	}
+	meanY /= float64(n)
+	tss := 0.0
+	for _, y := range means {
+		d := y - meanY
+		tss += d * d
+	}
+	best := Model{Constant: meanY, RSS: tss, N: n}
+	finishStats(&best, tss, xs, means)
+
+	if n < 2 {
+		return best, nil
+	}
+
+	// Hypothesis lattice of basis terms.
+	var bases []Term
+	for _, exp := range opts.Exponents {
+		for _, lg := range opts.LogExps {
+			if exp.Num == 0 && lg == 0 {
+				continue // duplicate of the constant
+			}
+			bases = append(bases, Term{Exp: exp, LogExp: lg})
+		}
+	}
+
+	// Exhaustive search over single terms and (when requested) pairs —
+	// the lattice is small enough that exhaustive beats greedy, which can
+	// lock in a misleading first term. A larger model is only accepted
+	// when its adjusted R² strictly improves, so ties prefer simplicity.
+	consider := func(terms []Term) {
+		cand, ok := fitWithTerms(xs, means, terms)
+		if !ok {
+			return
+		}
+		finishStats(&cand, tss, xs, means)
+		if cand.AdjR2 > best.AdjR2+1e-12 {
+			best = cand
+		}
+	}
+	for i := range bases {
+		consider([]Term{bases[i]})
+	}
+	if opts.MaxTerms >= 2 {
+		for i := range bases {
+			for j := i + 1; j < len(bases); j++ {
+				consider([]Term{bases[i], bases[j]})
+			}
+		}
+	}
+	// Greedy extension beyond two terms.
+	for len(best.Terms) >= 2 && len(best.Terms) < opts.MaxTerms {
+		prev := best
+		for i := range bases {
+			consider(append(cloneTerms(prev.Terms), bases[i]))
+		}
+		if best.AdjR2 <= prev.AdjR2+1e-12 {
+			break
+		}
+	}
+	return best, nil
+}
+
+func cloneTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// fitWithTerms estimates [constant, coeffs...] by OLS for the fixed set
+// of basis terms; ok=false when the normal equations are singular.
+func fitWithTerms(xs, ys []float64, terms []Term) (Model, bool) {
+	k := len(terms) + 1 // constant + terms
+	n := len(xs)
+	if n < k {
+		return Model{}, false
+	}
+	// Design matrix columns: 1, basis(term_1), ...
+	design := make([][]float64, n)
+	for i, p := range xs {
+		row := make([]float64, k)
+		row[0] = 1
+		for j, t := range terms {
+			b := t.basis(p)
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				return Model{}, false
+			}
+			row[j+1] = b
+		}
+		design[i] = row
+	}
+	coef, ok := solveNormalEquations(design, ys)
+	if !ok {
+		return Model{}, false
+	}
+	m := Model{Constant: coef[0], N: n}
+	for j, t := range terms {
+		t.Coeff = coef[j+1]
+		m.Terms = append(m.Terms, t)
+	}
+	rss := 0.0
+	for i, p := range xs {
+		d := ys[i] - m.Eval(p)
+		rss += d * d
+	}
+	m.RSS = rss
+	return m, true
+}
+
+// solveNormalEquations solves (XᵀX)β = Xᵀy by Gaussian elimination with
+// partial pivoting; ok=false on singularity.
+func solveNormalEquations(x [][]float64, y []float64) ([]float64, bool) {
+	n := len(x)
+	k := len(x[0])
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := 0; i < k; i++ {
+		a[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for r := 0; r < n; r++ {
+				s += x[r][i] * x[r][j]
+			}
+			a[i][j] = s
+		}
+		s := 0.0
+		for r := 0; r < n; r++ {
+			s += x[r][i] * y[r]
+		}
+		b[i] = s
+	}
+	// Gaussian elimination.
+	for col := 0; col < k; col++ {
+		piv, pv := col, math.Abs(a[col][col])
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > pv {
+				piv, pv = r, math.Abs(a[r][col])
+			}
+		}
+		if pv < 1e-12 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < k; j++ {
+			s -= a[i][j] * out[j]
+		}
+		out[i] = s / a[i][i]
+	}
+	return out, true
+}
+
+// finishStats fills R², adjusted R², and SMAPE.
+func finishStats(m *Model, tss float64, xs, ys []float64) {
+	n := float64(m.N)
+	k := float64(1 + len(m.Terms))
+	if tss > 0 {
+		m.R2 = 1 - m.RSS/tss
+	} else if m.RSS == 0 {
+		m.R2 = 1
+	}
+	if n-k > 0 && tss > 0 {
+		m.AdjR2 = 1 - (m.RSS/(n-k))/(tss/(n-1))
+	} else {
+		m.AdjR2 = m.R2
+	}
+	s := 0.0
+	cnt := 0
+	for i, p := range xs {
+		pred := m.Eval(p)
+		den := math.Abs(ys[i]) + math.Abs(pred)
+		if den > 0 {
+			s += 200 * math.Abs(ys[i]-pred) / den
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		m.SMAPE = s / float64(cnt)
+	}
+}

@@ -1,0 +1,237 @@
+package extrap
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// figure11Points synthesizes measurements from the paper's CTS model
+// 200.231 − 18.279·p^(1/3) at the MARBL rank counts, with optional noise.
+func figure11Points(noise float64, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	ranks := []float64{36, 72, 144, 288, 576, 1152}
+	var ps, ys []float64
+	for _, p := range ranks {
+		for rep := 0; rep < 5; rep++ {
+			y := 200.231242693312 - 18.278533682209932*math.Cbrt(p)
+			if noise > 0 {
+				y += rng.NormFloat64() * noise
+			}
+			ps = append(ps, p)
+			ys = append(ys, y)
+		}
+	}
+	return ps, ys
+}
+
+func TestFitRecoversFigure11Model(t *testing.T) {
+	ps, ys := figure11Points(0, 1)
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 {
+		t.Fatalf("terms = %d, want 1 (%s)", len(m.Terms), m)
+	}
+	term := m.Terms[0]
+	if term.Exp != (Fraction{1, 3}) || term.LogExp != 0 {
+		t.Fatalf("selected basis p^(%s)·log^%d, want p^(1/3): %s", term.Exp, term.LogExp, m)
+	}
+	if !almostEq(m.Constant, 200.231242693312, 1e-6) {
+		t.Errorf("constant = %v", m.Constant)
+	}
+	if !almostEq(term.Coeff, -18.278533682209932, 1e-6) {
+		t.Errorf("coefficient = %v", term.Coeff)
+	}
+	if m.R2 < 0.999999 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+}
+
+func TestFitWithNoiseStillSelectsCubeRoot(t *testing.T) {
+	ps, ys := figure11Points(0.5, 7)
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 || m.Terms[0].Exp != (Fraction{1, 3}) || m.Terms[0].LogExp != 0 {
+		t.Fatalf("model = %s, want c + a·p^(1/3)", m)
+	}
+	if !almostEq(m.Terms[0].Coeff, -18.28, 0.5) {
+		t.Errorf("coefficient = %v, want ≈ -18.28", m.Terms[0].Coeff)
+	}
+}
+
+func TestFitLinearScaling(t *testing.T) {
+	// y = 3 + 0.5·p — classic linear cost growth.
+	var ps, ys []float64
+	for _, p := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		ps = append(ps, p)
+		ys = append(ys, 3+0.5*p)
+	}
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 || m.Terms[0].Exp != (Fraction{1, 1}) || m.Terms[0].LogExp != 0 {
+		t.Fatalf("model = %s, want c + a·p", m)
+	}
+	if !almostEq(m.Constant, 3, 1e-6) || !almostEq(m.Terms[0].Coeff, 0.5, 1e-9) {
+		t.Errorf("coefficients: %s", m)
+	}
+}
+
+func TestFitLogModel(t *testing.T) {
+	// y = 1 + 2·log2(p): exercised by tree-based collectives.
+	var ps, ys []float64
+	for _, p := range []float64{2, 4, 8, 16, 32, 64, 128} {
+		ps = append(ps, p)
+		ys = append(ys, 1+2*math.Log2(p))
+	}
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 || m.Terms[0].Exp.Num != 0 || m.Terms[0].LogExp != 1 {
+		t.Fatalf("model = %s, want c + a·log2(p)", m)
+	}
+	if !almostEq(m.Terms[0].Coeff, 2, 1e-9) {
+		t.Errorf("log coefficient = %v", m.Terms[0].Coeff)
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	ps := []float64{1, 2, 4, 8}
+	ys := []float64{5, 5, 5, 5}
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConstant() {
+		t.Errorf("constant data should fit constant model, got %s", m)
+	}
+	if !almostEq(m.Constant, 5, 1e-12) {
+		t.Errorf("constant = %v", m.Constant)
+	}
+	if m.Eval(1024) != m.Constant {
+		t.Error("constant model evaluation broken")
+	}
+}
+
+func TestFitSinglePoint(t *testing.T) {
+	m, err := Fit([]float64{8, 8, 8}, []float64{2, 4, 6}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConstant() || !almostEq(m.Constant, 4, 1e-12) {
+		t.Errorf("single-point fit = %s, want constant 4", m)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Fit([]float64{0, 1}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("non-positive parameter must error")
+	}
+	if _, err := Fit([]float64{math.NaN()}, []float64{math.NaN()}, Options{}); err == nil {
+		t.Error("all-NaN input must error")
+	}
+}
+
+func TestFitAveragesRepetitions(t *testing.T) {
+	// Repetitions at the same p average out before fitting.
+	ps := []float64{4, 4, 16, 16}
+	ys := []float64{9, 11, 19, 21} // means: 10 at p=4, 20 at p=16
+	m, err := Fit(ps, ys, Options{Exponents: []Fraction{{1, 1}}, LogExps: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Eval(4), 10, 1e-9) || !almostEq(m.Eval(16), 20, 1e-9) {
+		t.Errorf("model %s does not pass through rep means", m)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := Model{Constant: 200.25, Terms: []Term{{Coeff: -18.25, Exp: Fraction{1, 3}}}}
+	s := m.String()
+	if !strings.Contains(s, "200.25") || !strings.Contains(s, "-18.25 * p^(1/3)") {
+		t.Errorf("String = %q", s)
+	}
+	lg := Model{Constant: 1, Terms: []Term{{Coeff: 2, Exp: Fraction{0, 1}, LogExp: 1}}}
+	if !strings.Contains(lg.String(), "log2(p)^1") {
+		t.Errorf("log rendering = %q", lg.String())
+	}
+}
+
+func TestMultiTermFit(t *testing.T) {
+	// y = 2 + 1·p + 3·log2(p): needs MaxTerms 2.
+	var ps, ys []float64
+	for _, p := range []float64{2, 4, 8, 16, 32, 64, 128, 256} {
+		ps = append(ps, p)
+		ys = append(ys, 2+p+3*math.Log2(p))
+	}
+	m, err := Fit(ps, ys, Options{MaxTerms: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RSS > 1e-6 {
+		t.Errorf("two-term fit RSS = %v (%s)", m.RSS, m)
+	}
+	if len(m.Terms) != 2 {
+		t.Errorf("terms = %d, want 2 (%s)", len(m.Terms), m)
+	}
+}
+
+func TestFitExactRecoveryProperty(t *testing.T) {
+	// For random (c0, c1) and the p^(1/2) basis, fitting exact synthetic
+	// data recovers the coefficients.
+	f := func(c0i, c1i int16) bool {
+		c0 := float64(c0i) / 100
+		c1 := float64(c1i) / 100
+		var ps, ys []float64
+		for _, p := range []float64{1, 4, 9, 16, 25, 36} {
+			ps = append(ps, p)
+			ys = append(ys, c0+c1*math.Sqrt(p))
+		}
+		m, err := Fit(ps, ys, Options{Exponents: []Fraction{{1, 2}}, LogExps: []int{0}})
+		if err != nil {
+			return false
+		}
+		if c1 == 0 {
+			return m.IsConstant() && almostEq(m.Constant, c0, 1e-6)
+		}
+		return len(m.Terms) == 1 &&
+			almostEq(m.Constant, c0, 1e-6) &&
+			almostEq(m.Terms[0].Coeff, c1, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMAPEBounded(t *testing.T) {
+	ps, ys := figure11Points(5, 3)
+	m, err := Fit(ps, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SMAPE < 0 || m.SMAPE > 200 {
+		t.Errorf("SMAPE = %v outside [0,200]", m.SMAPE)
+	}
+}
+
+func TestFractionString(t *testing.T) {
+	if (Fraction{1, 3}).String() != "1/3" || (Fraction{2, 1}).String() != "2" {
+		t.Error("Fraction rendering broken")
+	}
+	if (Fraction{1, 3}).Value() != 1.0/3.0 {
+		t.Error("Fraction value broken")
+	}
+}

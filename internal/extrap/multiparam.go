@@ -1,0 +1,267 @@
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multi-parameter PMNF modeling (Extra-P's extension for experiments
+// "covering one or more modeling parameters", paper §4.2.3): models of
+// two parameters p and q take the form
+//
+//	f(p, q) = c₀ + Σₖ cₖ · p^(iₖ)·log₂(p)^(jₖ) · q^(mₖ)·log₂(q)^(nₖ)
+//
+// The search considers single product terms over the joint lattice and
+// additive pure-p + pure-q pairs, selecting by adjusted R² exactly like
+// the single-parameter fitter.
+
+// BiTerm is one two-parameter PMNF term: Coeff · P-basis(p) · Q-basis(q).
+// A factor with exponent 0 and log exponent 0 contributes 1 (the term is
+// then effectively single-parameter).
+type BiTerm struct {
+	Coeff float64
+	P     Term // coefficient ignored; basis only
+	Q     Term // coefficient ignored; basis only
+}
+
+func (t BiTerm) basis(p, q float64) float64 {
+	return t.P.basis(p) * t.Q.basis(q)
+}
+
+// String renders the term like "2.5 * p^(1/2) * q^(1)".
+func (t BiTerm) String() string {
+	s := fmt.Sprintf("%v", t.Coeff)
+	if t.P.Exp.Num != 0 {
+		s += fmt.Sprintf(" * p^(%s)", t.P.Exp)
+	}
+	if t.P.LogExp != 0 {
+		s += fmt.Sprintf(" * log2(p)^%d", t.P.LogExp)
+	}
+	if t.Q.Exp.Num != 0 {
+		s += fmt.Sprintf(" * q^(%s)", t.Q.Exp)
+	}
+	if t.Q.LogExp != 0 {
+		s += fmt.Sprintf(" * log2(q)^%d", t.Q.LogExp)
+	}
+	return s
+}
+
+// Model2 is a fitted two-parameter model.
+type Model2 struct {
+	Constant float64
+	Terms    []BiTerm
+	RSS      float64
+	R2       float64
+	AdjR2    float64
+	N        int
+}
+
+// Eval evaluates the model at (p, q).
+func (m Model2) Eval(p, q float64) float64 {
+	y := m.Constant
+	for _, t := range m.Terms {
+		y += t.Coeff * t.basis(p, q)
+	}
+	return y
+}
+
+// String renders the model.
+func (m Model2) String() string {
+	s := fmt.Sprintf("%v", m.Constant)
+	for _, t := range m.Terms {
+		s += " + " + t.String()
+	}
+	return s
+}
+
+// IsConstant reports whether the model has no non-constant terms.
+func (m Model2) IsConstant() bool { return len(m.Terms) == 0 }
+
+// Options2 tunes the two-parameter search. Zero values select defaults:
+// a reduced exponent lattice (the full lattice squared is wastefully
+// large for the cross-term scan) and log exponents {0, 1}.
+type Options2 struct {
+	Exponents []Fraction
+	LogExps   []int
+}
+
+// DefaultExponents2 is the reduced per-parameter lattice used for the
+// joint search (the standard Extra-P multi-parameter practice).
+func DefaultExponents2() []Fraction {
+	return []Fraction{
+		{0, 1}, {1, 4}, {1, 3}, {1, 2}, {2, 3}, {3, 4}, {1, 1}, {4, 3}, {3, 2}, {2, 1}, {3, 1},
+	}
+}
+
+func (o Options2) withDefaults() Options2 {
+	if len(o.Exponents) == 0 {
+		o.Exponents = DefaultExponents2()
+	}
+	if len(o.LogExps) == 0 {
+		o.LogExps = []int{0, 1}
+	}
+	return o
+}
+
+// Fit2 fits a two-parameter PMNF model to measurements (ps[i], qs[i]) →
+// ys[i]. Repetitions at the same (p, q) are averaged first. Both
+// parameters must be positive.
+func Fit2(ps, qs, ys []float64, opts Options2) (Model2, error) {
+	if len(ps) != len(ys) || len(qs) != len(ys) {
+		return Model2{}, fmt.Errorf("extrap: Fit2 length mismatch (%d, %d, %d)", len(ps), len(qs), len(ys))
+	}
+	opts = opts.withDefaults()
+
+	type key struct{ p, q float64 }
+	sums := map[key][2]float64{}
+	for i := range ys {
+		p, q, y := ps[i], qs[i], ys[i]
+		if math.IsNaN(p) || math.IsNaN(q) || math.IsNaN(y) {
+			continue
+		}
+		if p <= 0 || q <= 0 {
+			return Model2{}, fmt.Errorf("extrap: parameter values must be positive, got (%v, %v)", p, q)
+		}
+		acc := sums[key{p, q}]
+		sums[key{p, q}] = [2]float64{acc[0] + y, acc[1] + 1}
+	}
+	if len(sums) == 0 {
+		return Model2{}, fmt.Errorf("extrap: no valid measurements")
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].p != keys[b].p {
+			return keys[a].p < keys[b].p
+		}
+		return keys[a].q < keys[b].q
+	})
+	n := len(keys)
+	xs := make([]float64, n) // p values
+	zs := make([]float64, n) // q values
+	means := make([]float64, n)
+	for i, k := range keys {
+		acc := sums[k]
+		xs[i], zs[i], means[i] = k.p, k.q, acc[0]/acc[1]
+	}
+
+	meanY := 0.0
+	for _, y := range means {
+		meanY += y
+	}
+	meanY /= float64(n)
+	tss := 0.0
+	for _, y := range means {
+		d := y - meanY
+		tss += d * d
+	}
+	best := Model2{Constant: meanY, RSS: tss, N: n}
+	finish2(&best, tss)
+	if n < 2 {
+		return best, nil
+	}
+
+	// Per-parameter bases (including the unit basis exp=0, log=0).
+	var bases []Term
+	for _, exp := range opts.Exponents {
+		for _, lg := range opts.LogExps {
+			bases = append(bases, Term{Exp: exp, LogExp: lg})
+		}
+	}
+	isUnit := func(t Term) bool { return t.Exp.Num == 0 && t.LogExp == 0 }
+
+	consider := func(terms []BiTerm) {
+		cand, ok := fit2WithTerms(xs, zs, means, terms)
+		if !ok {
+			return
+		}
+		finish2(&cand, tss)
+		if cand.AdjR2 > best.AdjR2+1e-12 {
+			best = cand
+		}
+	}
+
+	// Single product terms over the joint lattice (includes pure-p and
+	// pure-q hypotheses via the unit basis).
+	for _, bp := range bases {
+		for _, bq := range bases {
+			if isUnit(bp) && isUnit(bq) {
+				continue
+			}
+			consider([]BiTerm{{P: bp, Q: bq}})
+		}
+	}
+	unit := Term{Exp: Fraction{0, 1}}
+	for _, bp := range bases {
+		if isUnit(bp) {
+			continue
+		}
+		for _, bq := range bases {
+			if isUnit(bq) {
+				continue
+			}
+			// Additive pure-p + pure-q pairs: c + a·f(p) + b·g(q).
+			consider([]BiTerm{{P: bp, Q: unit}, {P: unit, Q: bq}})
+			// Common-factor pairs: c + g(q)·(a + b·f(p)) — the shape of
+			// work scaled by problem size — and its p-factored mirror.
+			consider([]BiTerm{{P: unit, Q: bq}, {P: bp, Q: bq}})
+			consider([]BiTerm{{P: bp, Q: unit}, {P: bp, Q: bq}})
+		}
+	}
+	return best, nil
+}
+
+func fit2WithTerms(xs, zs, ys []float64, terms []BiTerm) (Model2, bool) {
+	k := len(terms) + 1
+	n := len(xs)
+	if n < k {
+		return Model2{}, false
+	}
+	design := make([][]float64, n)
+	for i := range xs {
+		row := make([]float64, k)
+		row[0] = 1
+		for j, t := range terms {
+			b := t.basis(xs[i], zs[i])
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				return Model2{}, false
+			}
+			row[j+1] = b
+		}
+		design[i] = row
+	}
+	coef, ok := solveNormalEquations(design, ys)
+	if !ok {
+		return Model2{}, false
+	}
+	m := Model2{Constant: coef[0], N: n}
+	for j, t := range terms {
+		t.Coeff = coef[j+1]
+		m.Terms = append(m.Terms, t)
+	}
+	rss := 0.0
+	for i := range xs {
+		d := ys[i] - m.Eval(xs[i], zs[i])
+		rss += d * d
+	}
+	m.RSS = rss
+	return m, true
+}
+
+func finish2(m *Model2, tss float64) {
+	n := float64(m.N)
+	k := float64(1 + len(m.Terms))
+	if tss > 0 {
+		m.R2 = 1 - m.RSS/tss
+	} else if m.RSS == 0 {
+		m.R2 = 1
+	}
+	if n-k > 0 && tss > 0 {
+		m.AdjR2 = 1 - (m.RSS/(n-k))/(tss/(n-1))
+	} else {
+		m.AdjR2 = m.R2
+	}
+}

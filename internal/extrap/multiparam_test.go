@@ -1,0 +1,171 @@
+package extrap
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// grid2 generates measurements over a (p, q) grid from f.
+func grid2(ps, qs []float64, reps int, noise float64, seed int64, f func(p, q float64) float64) ([]float64, []float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var xs, zs, ys []float64
+	for _, p := range ps {
+		for _, q := range qs {
+			for r := 0; r < reps; r++ {
+				y := f(p, q)
+				if noise > 0 {
+					y *= 1 + rng.NormFloat64()*noise
+				}
+				xs = append(xs, p)
+				zs = append(zs, q)
+				ys = append(ys, y)
+			}
+		}
+	}
+	return xs, zs, ys
+}
+
+var (
+	gridP = []float64{2, 4, 8, 16, 32, 64}
+	gridQ = []float64{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+)
+
+func TestFit2AdditiveModel(t *testing.T) {
+	// Weak-scaling-ish cost: c + a·log2(p) + b·q.
+	xs, zs, ys := grid2(gridP, gridQ, 1, 0, 1, func(p, q float64) float64 {
+		return 5 + 3*math.Log2(p) + 0.001*q
+	})
+	m, err := Fit2(xs, zs, ys, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RSS > 1e-9 {
+		t.Fatalf("additive model RSS = %v (%s)", m.RSS, m)
+	}
+	if len(m.Terms) != 2 {
+		t.Fatalf("terms = %d, want 2 additive (%s)", len(m.Terms), m)
+	}
+	if !almostEq(m.Constant, 5, 1e-6) {
+		t.Errorf("constant = %v", m.Constant)
+	}
+}
+
+func TestFit2ProductModel(t *testing.T) {
+	// Halo-exchange-ish cost: c + a·√p·q.
+	xs, zs, ys := grid2(gridP, gridQ, 1, 0, 1, func(p, q float64) float64 {
+		return 2 + 0.01*math.Sqrt(p)*q
+	})
+	m, err := Fit2(xs, zs, ys, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 {
+		t.Fatalf("terms = %d, want 1 product (%s)", len(m.Terms), m)
+	}
+	term := m.Terms[0]
+	if term.P.Exp != (Fraction{1, 2}) || term.Q.Exp != (Fraction{1, 1}) || term.P.LogExp != 0 || term.Q.LogExp != 0 {
+		t.Errorf("selected %s, want p^(1/2)·q", m)
+	}
+	if !almostEq(term.Coeff, 0.01, 1e-8) || !almostEq(m.Constant, 2, 1e-6) {
+		t.Errorf("coefficients: %s", m)
+	}
+}
+
+func TestFit2PureSingleParameter(t *testing.T) {
+	// Depends only on p: q's factor should be the unit basis.
+	xs, zs, ys := grid2(gridP, gridQ, 1, 0, 1, func(p, q float64) float64 {
+		return 1 + 4*p
+	})
+	m, err := Fit2(xs, zs, ys, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Terms) != 1 {
+		t.Fatalf("model = %s", m)
+	}
+	term := m.Terms[0]
+	if term.P.Exp != (Fraction{1, 1}) || term.Q.Exp.Num != 0 || term.Q.LogExp != 0 {
+		t.Errorf("selected %s, want pure p", m)
+	}
+}
+
+func TestFit2WithNoise(t *testing.T) {
+	xs, zs, ys := grid2(gridP, gridQ, 3, 0.01, 7, func(p, q float64) float64 {
+		return 10 + 0.005*math.Sqrt(p)*q
+	})
+	m, err := Fit2(xs, zs, ys, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("R² = %v (%s)", m.R2, m)
+	}
+	// Prediction at an unseen corner within 10%.
+	want := 10 + 0.005*math.Sqrt(128)*(1<<17)
+	got := m.Eval(128, 1<<17)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("extrapolation %v, want ≈ %v", got, want)
+	}
+}
+
+func TestFit2ConstantData(t *testing.T) {
+	xs, zs, ys := grid2(gridP[:3], gridQ[:2], 1, 0, 1, func(p, q float64) float64 { return 7 })
+	m, err := Fit2(xs, zs, ys, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConstant() || !almostEq(m.Constant, 7, 1e-12) {
+		t.Errorf("constant data fit = %s", m)
+	}
+}
+
+func TestFit2Errors(t *testing.T) {
+	if _, err := Fit2([]float64{1}, []float64{1, 2}, []float64{1}, Options2{}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Fit2([]float64{0}, []float64{1}, []float64{1}, Options2{}); err == nil {
+		t.Error("non-positive parameter must error")
+	}
+	if _, err := Fit2([]float64{math.NaN()}, []float64{1}, []float64{1}, Options2{}); err == nil {
+		t.Error("all-NaN must error")
+	}
+}
+
+func TestFit2AveragesReps(t *testing.T) {
+	xs := []float64{2, 2, 4, 4}
+	zs := []float64{8, 8, 8, 8}
+	ys := []float64{9, 11, 19, 21}
+	m, err := Fit2(xs, zs, ys, Options2{Exponents: []Fraction{{0, 1}, {1, 1}}, LogExps: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Eval(2, 8), 10, 1e-9) || !almostEq(m.Eval(4, 8), 20, 1e-9) {
+		t.Errorf("model %s does not pass through rep means", m)
+	}
+}
+
+func TestModel2String(t *testing.T) {
+	m := Model2{Constant: 1.5, Terms: []BiTerm{{
+		Coeff: 2.5,
+		P:     Term{Exp: Fraction{1, 2}},
+		Q:     Term{Exp: Fraction{1, 1}, LogExp: 1},
+	}}}
+	s := m.String()
+	for _, want := range []string{"1.5", "2.5", "p^(1/2)", "q^(1)", "log2(q)^1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFit2SinglePoint(t *testing.T) {
+	m, err := Fit2([]float64{4}, []float64{8}, []float64{3}, Options2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConstant() || m.Constant != 3 {
+		t.Errorf("single point fit = %s", m)
+	}
+}

@@ -1,0 +1,295 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KMeansOptions tunes the clustering run. Zero values select defaults.
+type KMeansOptions struct {
+	MaxIter  int   // Lloyd iterations per restart (default 300)
+	Restarts int   // independent k-means++ restarts (default 10)
+	Seed     int64 // RNG seed (default 1)
+}
+
+func (o KMeansOptions) withDefaults() KMeansOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 300
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// KMeansResult is a fitted clustering.
+type KMeansResult struct {
+	K         int
+	Labels    []int   // cluster assignment per sample
+	Centroids Matrix  // K centroids
+	Inertia   float64 // within-cluster sum of squared distances
+	Sizes     []int   // samples per cluster
+}
+
+// KMeans clusters the samples into k groups with Lloyd's algorithm
+// (paper citation [26]) seeded by k-means++, keeping the best of
+// opts.Restarts restarts by inertia. Deterministic for a fixed seed.
+// Cluster labels are canonicalized so cluster 0 holds sample 0's cluster,
+// then by first appearance, making results comparable across runs.
+func KMeans(m Matrix, k int, opts KMeansOptions) (*KMeansResult, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	n, _ := m.Dims()
+	if k < 1 {
+		return nil, fmt.Errorf("mlkit: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("mlkit: k=%d exceeds %d samples", k, n)
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var best *KMeansResult
+	for r := 0; r < opts.Restarts; r++ {
+		res := kmeansOnce(m, k, opts.MaxIter, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	canonicalize(best)
+	return best, nil
+}
+
+func kmeansOnce(m Matrix, k, maxIter int, rng *rand.Rand) *KMeansResult {
+	n, d := m.Dims()
+	centroids := seedPlusPlus(m, k, rng)
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, x := range m {
+			bi, bd := 0, math.Inf(1)
+			for c := range centroids {
+				if dist := euclidean2(x, centroids[c]); dist < bd {
+					bi, bd = c, dist
+				}
+			}
+			if labels[i] != bi {
+				labels[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		counts := make([]int, k)
+		next := make(Matrix, k)
+		for c := range next {
+			next[c] = make([]float64, d)
+		}
+		for i, x := range m {
+			c := labels[i]
+			counts[c]++
+			for j, v := range x {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, the standard Lloyd repair.
+				far, fd := 0, -1.0
+				for i, x := range m {
+					if dist := euclidean2(x, centroids[labels[i]]); dist > fd {
+						far, fd = i, dist
+					}
+				}
+				copy(next[c], m[far])
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+	// Final stats.
+	inertia := 0.0
+	sizes := make([]int, k)
+	for i, x := range m {
+		inertia += euclidean2(x, centroids[labels[i]])
+		sizes[labels[i]]++
+	}
+	return &KMeansResult{K: k, Labels: labels, Centroids: centroids, Inertia: inertia, Sizes: sizes}
+}
+
+// seedPlusPlus chooses initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(m Matrix, k int, rng *rand.Rand) Matrix {
+	n, _ := m.Dims()
+	centroids := make(Matrix, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), m[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, x := range m {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if dist := euclidean2(x, c); dist < best {
+					best = dist
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, w := range d2 {
+				acc += w
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), m[pick]...))
+	}
+	return centroids
+}
+
+// canonicalize relabels clusters by first appearance in sample order, so
+// label numbering is deterministic regardless of seeding order.
+func canonicalize(r *KMeansResult) {
+	remap := make(map[int]int, r.K)
+	next := 0
+	for _, l := range r.Labels {
+		if _, ok := remap[l]; !ok {
+			remap[l] = next
+			next++
+		}
+	}
+	// Unvisited (empty) clusters keep ordinal positions after the rest.
+	for c := 0; c < r.K; c++ {
+		if _, ok := remap[c]; !ok {
+			remap[c] = next
+			next++
+		}
+	}
+	newLabels := make([]int, len(r.Labels))
+	for i, l := range r.Labels {
+		newLabels[i] = remap[l]
+	}
+	newCentroids := make(Matrix, r.K)
+	newSizes := make([]int, r.K)
+	for old, nw := range remap {
+		newCentroids[nw] = r.Centroids[old]
+		newSizes[nw] = r.Sizes[old]
+	}
+	r.Labels = newLabels
+	r.Centroids = newCentroids
+	r.Sizes = newSizes
+}
+
+// Silhouette returns the mean silhouette coefficient of a labelled
+// clustering (Rousseeuw 1987, paper citation [32]): (b−a)/max(a,b)
+// averaged over samples, where a is mean intra-cluster distance and b the
+// smallest mean distance to another cluster. Requires at least 2 clusters
+// with members; singleton samples score 0.
+func Silhouette(m Matrix, labels []int) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	n, _ := m.Dims()
+	if len(labels) != n {
+		return 0, fmt.Errorf("mlkit: %d labels for %d samples", len(labels), n)
+	}
+	members := make(map[int][]int)
+	for i, l := range labels {
+		members[l] = append(members[l], i)
+	}
+	if len(members) < 2 {
+		return 0, fmt.Errorf("mlkit: silhouette requires >= 2 clusters, got %d", len(members))
+	}
+	clusters := make([]int, 0, len(members))
+	for c := range members {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := labels[i]
+		if len(members[own]) == 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		a := 0.0
+		for _, j := range members[own] {
+			if j != i {
+				a += Euclidean(m[i], m[j])
+			}
+		}
+		a /= float64(len(members[own]) - 1)
+		b := math.Inf(1)
+		for _, c := range clusters {
+			if c == own {
+				continue
+			}
+			d := 0.0
+			for _, j := range members[c] {
+				d += Euclidean(m[i], m[j])
+			}
+			d /= float64(len(members[c]))
+			if d < b {
+				b = d
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// ChooseK runs K-means for each k in [kMin,kMax] and returns the k with
+// the best silhouette score — the "Silhouette analysis" model selection
+// of Figure 10 — together with the winning clustering.
+func ChooseK(m Matrix, kMin, kMax int, opts KMeansOptions) (int, *KMeansResult, error) {
+	if kMin < 2 {
+		return 0, nil, fmt.Errorf("mlkit: kMin must be >= 2 for silhouette selection")
+	}
+	n, _ := m.Dims()
+	if kMax >= n {
+		kMax = n - 1
+	}
+	if kMax < kMin {
+		return 0, nil, fmt.Errorf("mlkit: empty k range [%d,%d] for %d samples", kMin, kMax, n)
+	}
+	bestK, bestScore := 0, math.Inf(-1)
+	var bestRes *KMeansResult
+	for k := kMin; k <= kMax; k++ {
+		res, err := KMeans(m, k, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		score, err := Silhouette(m, res.Labels)
+		if err != nil {
+			return 0, nil, err
+		}
+		if score > bestScore {
+			bestK, bestScore, bestRes = k, score, res
+		}
+	}
+	return bestK, bestRes, nil
+}

@@ -1,0 +1,366 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixValidation(t *testing.T) {
+	if err := (Matrix{}).validate(); err == nil {
+		t.Error("empty matrix must be invalid")
+	}
+	if err := (Matrix{{1, 2}, {3}}).validate(); err == nil {
+		t.Error("ragged matrix must be invalid")
+	}
+	if err := (Matrix{{1, math.NaN()}}).validate(); err == nil {
+		t.Error("NaN must be invalid")
+	}
+	if err := (Matrix{{1, 2}, {3, 4}}).validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	m, err := FromColumns([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 1 || m[0][1] != 3 || m[1][0] != 2 || m[1][1] != 4 {
+		t.Errorf("FromColumns = %v", m)
+	}
+	if _, err := FromColumns([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("ragged columns must error")
+	}
+	if _, err := FromColumns(); err == nil {
+		t.Error("no columns must error")
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	m := Matrix{{1, 10}, {2, 20}, {3, 30}}
+	var s StandardScaler
+	out, err := s.FitTransform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		col := out.Column(j)
+		mean := (col[0] + col[1] + col[2]) / 3
+		if !almostEq(mean, 0, 1e-12) {
+			t.Errorf("column %d mean = %v, want 0", j, mean)
+		}
+		variance := 0.0
+		for _, v := range col {
+			variance += v * v
+		}
+		variance /= 3
+		if !almostEq(variance, 1, 1e-12) {
+			t.Errorf("column %d variance = %v, want 1", j, variance)
+		}
+	}
+	// Inverse round trip.
+	back, err := s.InverseTransform(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if !almostEq(back[i][j], m[i][j], 1e-9) {
+				t.Errorf("inverse transform mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	m := Matrix{{5, 1}, {5, 2}, {5, 3}}
+	var s StandardScaler
+	out, err := s.FitTransform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if !almostEq(out[i][0], 0, 1e-12) {
+			t.Error("constant feature should map to 0 without dividing by zero")
+		}
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	var s StandardScaler
+	if _, err := s.Transform(Matrix{{1}}); err == nil {
+		t.Error("transform before fit must error")
+	}
+	if err := s.Fit(Matrix{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(Matrix{{1}}); err == nil {
+		t.Error("feature count mismatch must error")
+	}
+	if _, err := s.InverseTransform(Matrix{{1}}); err == nil {
+		t.Error("inverse feature count mismatch must error")
+	}
+}
+
+func TestScalerIdempotenceProperty(t *testing.T) {
+	// Transforming already-standardized data with a freshly fitted scaler
+	// is a no-op (up to numerical error).
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		m := make(Matrix, len(raw))
+		for i, r := range raw {
+			m[i] = []float64{float64(r), float64(r) * 0.5}
+		}
+		var s1 StandardScaler
+		once, err := s1.FitTransform(m)
+		if err != nil {
+			return false
+		}
+		var s2 StandardScaler
+		twice, err := s2.FitTransform(once)
+		if err != nil {
+			return false
+		}
+		for i := range once {
+			for j := range once[i] {
+				if !almostEq(once[i][j], twice[i][j], 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// threeBlobs generates three well-separated Gaussian clusters.
+func threeBlobs(n int, seed int64) (Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := Matrix{{0, 0}, {10, 10}, {-10, 8}}
+	var m Matrix
+	var truth []int
+	for i := 0; i < n; i++ {
+		c := i % 3
+		m = append(m, []float64{
+			centers[c][0] + rng.NormFloat64()*0.5,
+			centers[c][1] + rng.NormFloat64()*0.5,
+		})
+		truth = append(truth, c)
+	}
+	return m, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	m, truth := threeBlobs(90, 7)
+	res, err := KMeans(m, 3, KMeansOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || len(res.Labels) != 90 {
+		t.Fatalf("result shape wrong: %+v", res)
+	}
+	// Clustering must agree with ground truth up to label permutation:
+	// every true cluster maps to exactly one predicted label.
+	mapping := map[int]int{}
+	for i, l := range res.Labels {
+		want, seen := mapping[truth[i]]
+		if !seen {
+			mapping[truth[i]] = l
+		} else if want != l {
+			t.Fatalf("sample %d: true cluster %d split across labels %d and %d", i, truth[i], want, l)
+		}
+	}
+	if len(mapping) != 3 {
+		t.Errorf("expected 3 distinct predicted labels, got %d", len(mapping))
+	}
+	for _, size := range res.Sizes {
+		if size != 30 {
+			t.Errorf("cluster sizes = %v, want 30 each", res.Sizes)
+			break
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	m, _ := threeBlobs(60, 3)
+	a, err := KMeans(m, 3, KMeansOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(m, 3, KMeansOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Error("same seed must give identical inertia")
+	}
+}
+
+func TestKMeansCanonicalLabels(t *testing.T) {
+	m, _ := threeBlobs(30, 11)
+	res, err := KMeans(m, 3, KMeansOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[0] != 0 {
+		t.Errorf("sample 0 must carry label 0 after canonicalization, got %d", res.Labels[0])
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	m := Matrix{{1, 2}, {3, 4}}
+	if _, err := KMeans(m, 0, KMeansOptions{}); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := KMeans(m, 3, KMeansOptions{}); err == nil {
+		t.Error("k>n must error")
+	}
+	if _, err := KMeans(Matrix{}, 1, KMeansOptions{}); err == nil {
+		t.Error("empty matrix must error")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	m := Matrix{{0, 0}, {2, 2}}
+	res, err := KMeans(m, 1, KMeansOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Centroids[0][0], 1, 1e-12) || !almostEq(res.Centroids[0][1], 1, 1e-12) {
+		t.Errorf("centroid = %v, want [1 1]", res.Centroids[0])
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	m, truth := threeBlobs(60, 2)
+	good, err := Silhouette(m, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Errorf("well-separated blobs silhouette = %v, want > 0.8", good)
+	}
+	// Shuffled labels score much worse.
+	rng := rand.New(rand.NewSource(1))
+	shuffled := append([]int(nil), truth...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	bad, err := Silhouette(m, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= good {
+		t.Errorf("random labels (%v) should score below true labels (%v)", bad, good)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	m := Matrix{{1}, {2}}
+	if _, err := Silhouette(m, []int{0}); err == nil {
+		t.Error("label length mismatch must error")
+	}
+	if _, err := Silhouette(m, []int{0, 0}); err == nil {
+		t.Error("single cluster must error")
+	}
+}
+
+func TestChooseKFindsThree(t *testing.T) {
+	m, _ := threeBlobs(90, 8)
+	k, res, err := ChooseK(m, 2, 6, KMeansOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Errorf("ChooseK = %d, want 3", k)
+	}
+	if res == nil || res.K != 3 {
+		t.Error("winning result inconsistent")
+	}
+}
+
+func TestChooseKErrors(t *testing.T) {
+	m := Matrix{{1}, {2}, {3}}
+	if _, _, err := ChooseK(m, 1, 2, KMeansOptions{}); err == nil {
+		t.Error("kMin < 2 must error")
+	}
+	if _, _, err := ChooseK(Matrix{{1}, {2}}, 2, 5, KMeansOptions{}); err == nil {
+		t.Error("impossible range must error")
+	}
+}
+
+func TestPCARecoverDominantAxis(t *testing.T) {
+	// Points along y = 2x with tiny noise: first PC ∝ (1,2)/√5.
+	rng := rand.New(rand.NewSource(6))
+	var m Matrix
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()
+		m = append(m, []float64{x, 2*x + rng.NormFloat64()*0.01})
+	}
+	res, err := PCA(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := res.Components[0]
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	for j := range want {
+		if !almostEq(math.Abs(axis[j]), want[j], 0.02) {
+			t.Errorf("PC1[%d] = %v, want ±%v", j, axis[j], want[j])
+		}
+	}
+	if res.ExplainedRatio[0] < 0.99 {
+		t.Errorf("PC1 explains %v, want > 0.99", res.ExplainedRatio[0])
+	}
+	// Components are orthonormal.
+	dot := axis[0]*res.Components[1][0] + axis[1]*res.Components[1][1]
+	if !almostEq(dot, 0, 1e-9) {
+		t.Errorf("components not orthogonal: dot = %v", dot)
+	}
+}
+
+func TestPCATransformShape(t *testing.T) {
+	m := Matrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}
+	res, err := PCA(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Transform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Errorf("transform shape = (%d,%d), want (3,2)", len(out), len(out[0]))
+	}
+	if _, err := res.Transform(Matrix{{1, 2}}); err == nil {
+		t.Error("feature mismatch must error")
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA(Matrix{{1, 2}}, 1); err == nil {
+		t.Error("single sample must error")
+	}
+	if _, err := PCA(Matrix{{1, 2}, {3, 4}}, 3); err == nil {
+		t.Error("too many components must error")
+	}
+	if _, err := PCA(Matrix{{1, 2}, {3, 4}}, 0); err == nil {
+		t.Error("zero components must error")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{0, 0}, []float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+}

@@ -1,0 +1,194 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCAResult holds a fitted principal component analysis.
+type PCAResult struct {
+	Components     Matrix    // row c is the c-th principal axis (unit norm)
+	Explained      []float64 // eigenvalue (variance) per component
+	ExplainedRatio []float64 // fraction of total variance per component
+	mean           []float64
+}
+
+// PCA computes the top nComponents principal components of the samples
+// via eigendecomposition of the covariance matrix (cyclic Jacobi
+// rotations — exact for the small feature counts in performance
+// ensembles). Samples are centered internally.
+func PCA(m Matrix, nComponents int) (*PCAResult, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	rows, cols := m.Dims()
+	if rows < 2 {
+		return nil, fmt.Errorf("mlkit: PCA requires >= 2 samples, got %d", rows)
+	}
+	if nComponents < 1 || nComponents > cols {
+		return nil, fmt.Errorf("mlkit: nComponents %d outside [1,%d]", nComponents, cols)
+	}
+
+	// Center.
+	mean := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			mean[j] += m[i][j]
+		}
+		mean[j] /= float64(rows)
+	}
+	centered := m.Copy()
+	for i := range centered {
+		for j := range centered[i] {
+			centered[i][j] -= mean[j]
+		}
+	}
+
+	// Covariance (unbiased).
+	cov := make(Matrix, cols)
+	for a := 0; a < cols; a++ {
+		cov[a] = make([]float64, cols)
+		for b := a; b < cols; b++ {
+			s := 0.0
+			for i := 0; i < rows; i++ {
+				s += centered[i][a] * centered[i][b]
+			}
+			s /= float64(rows - 1)
+			cov[a][b] = s
+		}
+	}
+	for a := 0; a < cols; a++ {
+		for b := 0; b < a; b++ {
+			cov[a][b] = cov[b][a]
+		}
+	}
+
+	evals, evecs := jacobiEigen(cov)
+
+	// Order by descending eigenvalue.
+	order := make([]int, cols)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return evals[order[a]] > evals[order[b]] })
+
+	total := 0.0
+	for _, v := range evals {
+		if v > 0 {
+			total += v
+		}
+	}
+	res := &PCAResult{mean: mean}
+	for c := 0; c < nComponents; c++ {
+		k := order[c]
+		axis := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			axis[j] = evecs[j][k]
+		}
+		// Sign convention: largest-magnitude element positive.
+		maxAbs, sign := 0.0, 1.0
+		for _, v := range axis {
+			if math.Abs(v) > maxAbs {
+				maxAbs = math.Abs(v)
+				if v < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for j := range axis {
+			axis[j] *= sign
+		}
+		res.Components = append(res.Components, axis)
+		ev := math.Max(evals[k], 0)
+		res.Explained = append(res.Explained, ev)
+		if total > 0 {
+			res.ExplainedRatio = append(res.ExplainedRatio, ev/total)
+		} else {
+			res.ExplainedRatio = append(res.ExplainedRatio, 0)
+		}
+	}
+	return res, nil
+}
+
+// Transform projects samples onto the fitted components.
+func (p *PCAResult) Transform(m Matrix) (Matrix, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	_, cols := m.Dims()
+	if cols != len(p.mean) {
+		return nil, fmt.Errorf("mlkit: PCA fitted on %d features, got %d", len(p.mean), cols)
+	}
+	out := make(Matrix, len(m))
+	for i, row := range m {
+		proj := make([]float64, len(p.Components))
+		for c, axis := range p.Components {
+			s := 0.0
+			for j := range row {
+				s += (row[j] - p.mean[j]) * axis[j]
+			}
+			proj[c] = s
+		}
+		out[i] = proj
+	}
+	return out, nil
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi
+// rotations, returning eigenvalues and the eigenvector matrix whose
+// columns are eigenvectors.
+func jacobiEigen(a Matrix) ([]float64, Matrix) {
+	n := len(a)
+	m := a.Copy()
+	v := make(Matrix, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m[p][q] * m[p][q]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	evals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		evals[i] = m[i][i]
+	}
+	return evals, v
+}

@@ -1,0 +1,188 @@
+// Package mlkit provides the data-science primitives Thicket borrows from
+// scikit-learn in the paper (§4.2.2): standardization (StandardScaler),
+// K-means clustering with k-means++ seeding, silhouette analysis for
+// choosing the number of clusters, and principal component analysis.
+// All algorithms are deterministic given an explicit seed.
+package mlkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major sample matrix: Matrix[i] is sample i's
+// feature vector.
+type Matrix [][]float64
+
+// Dims returns (rows, cols); cols is 0 for an empty matrix.
+func (m Matrix) Dims() (int, int) {
+	if len(m) == 0 {
+		return 0, 0
+	}
+	return len(m), len(m[0])
+}
+
+// validate checks the matrix is rectangular, non-empty, and finite.
+func (m Matrix) validate() error {
+	rows, cols := m.Dims()
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("mlkit: empty matrix")
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return fmt.Errorf("mlkit: ragged matrix: row %d has %d columns, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mlkit: non-finite value at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Copy returns a deep copy of the matrix.
+func (m Matrix) Copy() Matrix {
+	out := make(Matrix, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Column extracts column j.
+func (m Matrix) Column(j int) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		out[i] = m[i][j]
+	}
+	return out
+}
+
+// FromColumns assembles a matrix from equal-length feature columns.
+func FromColumns(cols ...[]float64) (Matrix, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("mlkit: no columns")
+	}
+	n := len(cols[0])
+	for j, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("mlkit: column %d has %d rows, want %d", j, len(c), n)
+		}
+	}
+	out := make(Matrix, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(cols))
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// StandardScaler standardizes features to zero mean and unit variance,
+// the preprocessing step of the paper's Figure 10 pipeline.
+type StandardScaler struct {
+	mean  []float64
+	scale []float64
+}
+
+// Fit learns per-feature mean and standard deviation. Constant features
+// get scale 1 (scikit-learn behaviour) so transforms stay finite.
+func (s *StandardScaler) Fit(m Matrix) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	rows, cols := m.Dims()
+	s.mean = make([]float64, cols)
+	s.scale = make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		sum := 0.0
+		for i := 0; i < rows; i++ {
+			sum += m[i][j]
+		}
+		mu := sum / float64(rows)
+		ss := 0.0
+		for i := 0; i < rows; i++ {
+			d := m[i][j] - mu
+			ss += d * d
+		}
+		// Population std, like scikit-learn's StandardScaler.
+		sd := math.Sqrt(ss / float64(rows))
+		if sd == 0 {
+			sd = 1
+		}
+		s.mean[j] = mu
+		s.scale[j] = sd
+	}
+	return nil
+}
+
+// Transform standardizes the matrix using the fitted parameters.
+func (s *StandardScaler) Transform(m Matrix) (Matrix, error) {
+	if s.mean == nil {
+		return nil, fmt.Errorf("mlkit: scaler not fitted")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	_, cols := m.Dims()
+	if cols != len(s.mean) {
+		return nil, fmt.Errorf("mlkit: scaler fitted on %d features, got %d", len(s.mean), cols)
+	}
+	out := m.Copy()
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = (out[i][j] - s.mean[j]) / s.scale[j]
+		}
+	}
+	return out, nil
+}
+
+// FitTransform fits the scaler and transforms in one step.
+func (s *StandardScaler) FitTransform(m Matrix) (Matrix, error) {
+	if err := s.Fit(m); err != nil {
+		return nil, err
+	}
+	return s.Transform(m)
+}
+
+// InverseTransform maps standardized data back to the original space.
+func (s *StandardScaler) InverseTransform(m Matrix) (Matrix, error) {
+	if s.mean == nil {
+		return nil, fmt.Errorf("mlkit: scaler not fitted")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	_, cols := m.Dims()
+	if cols != len(s.mean) {
+		return nil, fmt.Errorf("mlkit: scaler fitted on %d features, got %d", len(s.mean), cols)
+	}
+	out := m.Copy()
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = out[i][j]*s.scale[j] + s.mean[j]
+		}
+	}
+	return out, nil
+}
+
+// Mean returns the fitted per-feature means.
+func (s *StandardScaler) Mean() []float64 { return append([]float64(nil), s.mean...) }
+
+// Scale returns the fitted per-feature standard deviations.
+func (s *StandardScaler) Scale() []float64 { return append([]float64(nil), s.scale...) }
+
+func euclidean2(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Euclidean returns the Euclidean distance between two vectors.
+func Euclidean(a, b []float64) float64 { return math.Sqrt(euclidean2(a, b)) }

@@ -1,0 +1,236 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dataframe"
+)
+
+// Caliper json-split interop: the ensemble profiles the paper collects
+// come from Caliper (cali-query -q "... format json-split"), the format
+// Hatchet's caliper reader consumes. This reader converts that schema
+// into a Profile so real Caliper output can feed thickets directly:
+//
+//	{
+//	  "data":    [[0.25, 0], ...],             // rows, column order below
+//	  "columns": ["time", "path"],             // "path" holds node ids
+//	  "column_metadata": [{"is_value": true}, {"is_value": false}],
+//	  "nodes":   [{"label": "main", "parent": null},
+//	              {"label": "solve", "parent": 0}],
+//	  "globals": {"cluster": "quartz", ...}    // Adiak run metadata
+//	}
+//
+// Rows sharing a node (e.g. one row per MPI rank) are averaged per
+// metric, and "<metric>_min"/"<metric>_max" columns record the spread.
+
+type caliJSON struct {
+	Data           [][]any          `json:"data"`
+	Columns        []string         `json:"columns"`
+	ColumnMetadata []map[string]any `json:"column_metadata"`
+	Nodes          []caliNode       `json:"nodes"`
+	Globals        map[string]any   `json:"globals"`
+}
+
+type caliNode struct {
+	Label  string `json:"label"`
+	Parent *int64 `json:"parent"`
+}
+
+// ReadCaliperJSON parses a Caliper json-split document into a Profile.
+func ReadCaliperJSON(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var cj caliJSON
+	if err := dec.Decode(&cj); err != nil {
+		return nil, fmt.Errorf("caliper: decode: %w", err)
+	}
+	if len(cj.Nodes) == 0 {
+		return nil, fmt.Errorf("caliper: no nodes")
+	}
+	if len(cj.Columns) == 0 {
+		return nil, fmt.Errorf("caliper: no columns")
+	}
+
+	// Resolve node paths, guarding against parent cycles.
+	paths := make([][]string, len(cj.Nodes))
+	var resolve func(i int, depth int) ([]string, error)
+	resolve = func(i, depth int) ([]string, error) {
+		if depth > len(cj.Nodes) {
+			return nil, fmt.Errorf("caliper: node parent cycle at %d", i)
+		}
+		if paths[i] != nil {
+			return paths[i], nil
+		}
+		n := cj.Nodes[i]
+		if n.Label == "" {
+			return nil, fmt.Errorf("caliper: node %d has empty label", i)
+		}
+		if n.Parent == nil {
+			paths[i] = []string{n.Label}
+			return paths[i], nil
+		}
+		pi := int(*n.Parent)
+		if pi < 0 || pi >= len(cj.Nodes) || pi == i {
+			return nil, fmt.Errorf("caliper: node %d has bad parent %d", i, pi)
+		}
+		pp, err := resolve(pi, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = append(append([]string(nil), pp...), n.Label)
+		return paths[i], nil
+	}
+	for i := range cj.Nodes {
+		if _, err := resolve(i, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Locate the path column and classify value columns.
+	pathCol := -1
+	for c, name := range cj.Columns {
+		if name == "path" || name == "source.function#callpath.address" {
+			pathCol = c
+			break
+		}
+	}
+	if pathCol < 0 {
+		return nil, fmt.Errorf("caliper: no \"path\" column in %v", cj.Columns)
+	}
+	isValue := make([]bool, len(cj.Columns))
+	for c := range cj.Columns {
+		if c == pathCol {
+			continue
+		}
+		if c < len(cj.ColumnMetadata) {
+			if v, ok := cj.ColumnMetadata[c]["is_value"].(bool); ok {
+				isValue[c] = v
+				continue
+			}
+		}
+		isValue[c] = true // absent metadata: treat as a metric
+	}
+
+	p := New()
+	for key, raw := range cj.Globals {
+		v, err := decodeValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("caliper: global %q: %w", key, err)
+		}
+		p.SetMeta(key, v)
+	}
+	// Deterministic metadata order: sorted keys (globals is a JSON map).
+	sortMetaKeys(p)
+
+	// Accumulate per-node metric samples across rows (e.g. MPI ranks).
+	type acc struct {
+		sum, min, max float64
+		n             int
+	}
+	perNode := map[int]map[string]*acc{}
+	for ri, row := range cj.Data {
+		if len(row) != len(cj.Columns) {
+			return nil, fmt.Errorf("caliper: row %d has %d cells for %d columns", ri, len(row), len(cj.Columns))
+		}
+		nodeID, err := asInt(row[pathCol])
+		if err != nil {
+			return nil, fmt.Errorf("caliper: row %d: bad path id: %w", ri, err)
+		}
+		if nodeID < 0 || int(nodeID) >= len(cj.Nodes) {
+			return nil, fmt.Errorf("caliper: row %d references node %d of %d", ri, nodeID, len(cj.Nodes))
+		}
+		metrics := perNode[int(nodeID)]
+		if metrics == nil {
+			metrics = map[string]*acc{}
+			perNode[int(nodeID)] = metrics
+		}
+		for c, raw := range row {
+			if c == pathCol || !isValue[c] || raw == nil {
+				continue
+			}
+			v, err := decodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("caliper: row %d col %q: %w", ri, cj.Columns[c], err)
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				continue // non-numeric attribute; skip
+			}
+			a := metrics[cj.Columns[c]]
+			if a == nil {
+				a = &acc{min: f, max: f}
+				metrics[cj.Columns[c]] = a
+			}
+			a.sum += f
+			a.n++
+			if f < a.min {
+				a.min = f
+			}
+			if f > a.max {
+				a.max = f
+			}
+		}
+	}
+
+	for i := range cj.Nodes {
+		metrics := map[string]dataframe.Value{}
+		for name, a := range perNode[i] {
+			metrics[name] = dataframe.Float64(a.sum / float64(a.n))
+			if a.n > 1 {
+				metrics[name+"_min"] = dataframe.Float64(a.min)
+				metrics[name+"_max"] = dataframe.Float64(a.max)
+			}
+		}
+		if err := p.AddSample(paths[i], metrics); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CaliperFromBytes parses a Caliper json-split document from bytes.
+func CaliperFromBytes(data []byte) (*Profile, error) {
+	return ReadCaliperJSON(strings.NewReader(string(data)))
+}
+
+func asInt(raw any) (int64, error) {
+	switch t := raw.(type) {
+	case json.Number:
+		return t.Int64()
+	case float64:
+		return int64(t), nil
+	default:
+		return 0, fmt.Errorf("expected integer, got %T", raw)
+	}
+}
+
+// sortMetaKeys normalizes a profile's metadata insertion order to sorted
+// key order (used when the source format has unordered metadata).
+func sortMetaKeys(p *Profile) {
+	keys := p.MetaKeys()
+	vals := make(map[string]dataframe.Value, len(keys))
+	for _, k := range keys {
+		v, _ := p.Meta(k)
+		vals[k] = v
+	}
+	sortStrings(keys)
+	p.meta = make(map[string]dataframe.Value, len(keys))
+	p.metaOrder = nil
+	for _, k := range keys {
+		p.SetMeta(k, vals[k])
+	}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

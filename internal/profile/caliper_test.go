@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataframe"
+)
+
+const caliSample = `{
+  "data": [
+    [10.0, 0, 0],
+    [10.4, 0, 1],
+    [ 7.0, 1, 0],
+    [ 7.4, 1, 1],
+    [ 2.0, 2, 0],
+    [ 2.2, 2, 1]
+  ],
+  "columns": ["time", "path", "mpi.rank"],
+  "column_metadata": [{"is_value": true}, {"is_value": false}, {"is_value": false}],
+  "nodes": [
+    {"label": "main", "parent": null},
+    {"label": "solve", "parent": 0},
+    {"label": "io", "parent": 0}
+  ],
+  "globals": {"cluster": "quartz", "mpi.world.size": 2, "launchdate": "2022-11-30"}
+}`
+
+func TestReadCaliperJSON(t *testing.T) {
+	p, err := ReadCaliperJSON(strings.NewReader(caliSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tree().Len() != 3 {
+		t.Fatalf("tree = %d nodes, want 3:\n%s", p.Tree().Len(), p.Tree().Render(nil))
+	}
+	if p.Tree().NodeByPath([]string{"main", "solve"}) == nil {
+		t.Error("parent chain not resolved")
+	}
+	// Globals became metadata (typed).
+	v, ok := p.Meta("mpi.world.size")
+	if !ok || v.Kind() != dataframe.Int || v.Int() != 2 {
+		t.Errorf("mpi.world.size = %v", v)
+	}
+	if c, _ := p.Meta("cluster"); c.Str() != "quartz" {
+		t.Error("cluster global lost")
+	}
+	// Two ranks averaged; min/max recorded.
+	solve := p.Tree().NodeByPath([]string{"main", "solve"})
+	mean, ok := p.Metric(solve.Key(), "time")
+	if !ok || mean.Float() != 7.2 {
+		t.Errorf("solve time mean = %v, want 7.2", mean)
+	}
+	mn, _ := p.Metric(solve.Key(), "time_min")
+	mx, _ := p.Metric(solve.Key(), "time_max")
+	if mn.Float() != 7.0 || mx.Float() != 7.4 {
+		t.Errorf("min/max = %v/%v", mn, mx)
+	}
+	// Metadata keys are in sorted order (deterministic hash).
+	keys := p.MetaKeys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Errorf("metadata keys unsorted: %v", keys)
+		}
+	}
+}
+
+func TestReadCaliperJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":   "{",
+		"no nodes":   `{"data":[],"columns":["path"],"nodes":[]}`,
+		"no columns": `{"data":[],"columns":[],"nodes":[{"label":"a","parent":null}]}`,
+		"no path column": `{"data":[],"columns":["time"],
+			"nodes":[{"label":"a","parent":null}]}`,
+		"bad parent": `{"data":[],"columns":["path"],
+			"nodes":[{"label":"a","parent":5}]}`,
+		"self parent": `{"data":[],"columns":["path"],
+			"nodes":[{"label":"a","parent":0}]}`,
+		"empty label": `{"data":[],"columns":["path"],
+			"nodes":[{"label":"","parent":null}]}`,
+		"ragged row": `{"data":[[1]],"columns":["time","path"],
+			"nodes":[{"label":"a","parent":null}]}`,
+		"bad node id": `{"data":[[1.0,9]],"columns":["time","path"],
+			"column_metadata":[{"is_value":true},{"is_value":false}],
+			"nodes":[{"label":"a","parent":null}]}`,
+	}
+	for name, text := range cases {
+		if _, err := CaliperFromBytes([]byte(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCaliperJSONCycle(t *testing.T) {
+	// a → b → a parent cycle.
+	text := `{"data":[],"columns":["path"],
+	  "nodes":[{"label":"a","parent":1},{"label":"b","parent":0}]}`
+	if _, err := CaliperFromBytes([]byte(text)); err == nil {
+		t.Error("parent cycle must error")
+	}
+}
+
+func TestCaliperIntoThicketPipeline(t *testing.T) {
+	// A Caliper profile round-trips through the native format.
+	p, err := CaliperFromBytes([]byte(caliSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Tree().Equal(p.Tree()) || back.Hash() != p.Hash() {
+		t.Error("caliper → native round trip mismatch")
+	}
+}

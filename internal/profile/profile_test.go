@@ -1,0 +1,363 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataframe"
+)
+
+func sampleProfile(t *testing.T) *Profile {
+	t.Helper()
+	p := New()
+	p.SetMeta("cluster", dataframe.Str("quartz"))
+	p.SetMeta("problem size", dataframe.Int64(1048576))
+	p.SetMeta("compiler", dataframe.Str("clang-9.0.0"))
+	if err := p.AddSample([]string{"main", "Apps", "Apps_VOL3D"}, map[string]dataframe.Value{
+		"time (exc)": dataframe.Float64(0.067061),
+		"Reps":       dataframe.Int64(100),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSample([]string{"main", "Stream", "Stream_DOT"}, map[string]dataframe.Value{
+		"time (exc)": dataframe.Float64(0.066694),
+		"Reps":       dataframe.Int64(2000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := sampleProfile(t)
+	if p.Tree().Len() != 5 { // main, Apps, Apps_VOL3D, Stream, Stream_DOT
+		t.Errorf("tree size = %d, want 5", p.Tree().Len())
+	}
+	v, ok := p.Meta("cluster")
+	if !ok || v.Str() != "quartz" {
+		t.Error("metadata lost")
+	}
+	keys := p.MetaKeys()
+	if len(keys) != 3 || keys[0] != "cluster" {
+		t.Errorf("MetaKeys = %v", keys)
+	}
+	node := p.Tree().NodeByPath([]string{"main", "Apps", "Apps_VOL3D"})
+	m, ok := p.Metric(node.Key(), "time (exc)")
+	if !ok || m.Float() != 0.067061 {
+		t.Error("metric lost")
+	}
+	if names := p.MetricNames(); len(names) != 2 {
+		t.Errorf("metric names = %v", names)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestEmptyProfileInvalid(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Error("empty profile should be invalid")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := sampleProfile(t)
+	data, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Tree().Equal(p.Tree()) {
+		t.Error("tree round trip mismatch")
+	}
+	// Typed metadata: problem size must come back as Int.
+	v, ok := back.Meta("problem size")
+	if !ok || v.Kind() != dataframe.Int || v.Int() != 1048576 {
+		t.Errorf("problem size round trip = %v", v)
+	}
+	if got := back.MetaKeys(); strings.Join(got, ",") != strings.Join(p.MetaKeys(), ",") {
+		t.Errorf("metadata order lost: %v", got)
+	}
+	node := back.Tree().NodeByPath([]string{"main", "Stream", "Stream_DOT"})
+	m, ok := back.Metric(node.Key(), "Reps")
+	if !ok || m.Kind() != dataframe.Int || m.Int() != 2000 {
+		t.Errorf("Reps round trip = %v", m)
+	}
+	if back.Hash() != p.Hash() {
+		t.Error("hash not stable across round trip")
+	}
+}
+
+func TestHashDependsOnMetadataOnly(t *testing.T) {
+	a := sampleProfile(t)
+	b := sampleProfile(t)
+	if a.Hash() != b.Hash() {
+		t.Error("identical profiles should hash equal")
+	}
+	b.SetMeta("user", dataframe.Str("Jane"))
+	if a.Hash() == b.Hash() {
+		t.Error("metadata change should change hash")
+	}
+	// Insertion order must not matter.
+	c := New()
+	c.SetMeta("compiler", dataframe.Str("clang-9.0.0"))
+	c.SetMeta("problem size", dataframe.Int64(1048576))
+	c.SetMeta("cluster", dataframe.Str("quartz"))
+	if a.Hash() != c.Hash() {
+		t.Error("hash should be order-independent")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"wrong format":   `{"format":"other","version":1,"nodes":[{"path":["a"]}]}`,
+		"wrong version":  `{"format":"thicket-profile","version":99,"nodes":[{"path":["a"]}]}`,
+		"empty path":     `{"format":"thicket-profile","version":1,"nodes":[{"path":[]}]}`,
+		"no nodes":       `{"format":"thicket-profile","version":1,"nodes":[]}`,
+		"bad meta order": `{"format":"thicket-profile","version":1,"metadata":{},"metadata_order":["ghost"],"nodes":[{"path":["a"]}]}`,
+	}
+	for name, text := range cases {
+		if _, err := FromBytes([]byte(text)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeValueKinds(t *testing.T) {
+	text := `{"format":"thicket-profile","version":1,
+	  "metadata":{"f":1.5,"i":42,"s":"x","b":true,"n":null,"big":4194304},
+	  "nodes":[{"path":["a"],"metrics":{"m":0.25}}]}`
+	p, err := FromBytes([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(key string, kind dataframe.Kind) {
+		v, ok := p.Meta(key)
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		if v.Kind() != kind && !(key == "n" && v.IsNull()) {
+			t.Errorf("%s: kind = %v, want %v", key, v.Kind(), kind)
+		}
+	}
+	check("f", dataframe.Float)
+	check("i", dataframe.Int)
+	check("s", dataframe.String)
+	check("b", dataframe.Bool)
+	check("big", dataframe.Int)
+	if v, _ := p.Meta("n"); !v.IsNull() {
+		t.Error("null metadata should be null value")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	a := sampleProfile(t)
+	b := sampleProfile(t)
+	b.SetMeta("problem size", dataframe.Int64(4194304))
+	if err := a.Save(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(filepath.Join(dir, "b.json")); err != nil {
+		t.Fatal(err)
+	}
+	profs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Fatalf("loaded %d profiles, want 2", len(profs))
+	}
+	v, _ := profs[1].Meta("problem size")
+	if v.Int() != 4194304 {
+		t.Error("LoadDir order or content wrong")
+	}
+	if _, err := LoadDir(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing dir should error")
+	}
+}
+
+func TestAddSampleOverwriteAndMerge(t *testing.T) {
+	p := New()
+	if err := p.AddSample([]string{"a"}, map[string]dataframe.Value{"t": dataframe.Float64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSample([]string{"a"}, map[string]dataframe.Value{"t": dataframe.Float64(2), "u": dataframe.Int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	node := p.Tree().NodeByPath([]string{"a"})
+	if v, _ := p.Metric(node.Key(), "t"); v.Float() != 2 {
+		t.Error("overwrite failed")
+	}
+	if v, ok := p.Metric(node.Key(), "u"); !ok || v.Int() != 3 {
+		t.Error("merge failed")
+	}
+	if p.Tree().Len() != 1 {
+		t.Error("duplicate node created")
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	p := sampleProfile(t)
+	var b1, b2 bytes.Buffer
+	if err := p.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	// Node array order is deterministic (tree pre-order); metadata maps may
+	// reorder keys inside the JSON object, so compare parsed forms instead.
+	pa, err := FromBytes(b1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := FromBytes(b2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Hash() != pb.Hash() || !pa.Tree().Equal(pb.Tree()) {
+		t.Error("serialization not semantically deterministic")
+	}
+}
+
+func TestMapPathsAndRebase(t *testing.T) {
+	p := sampleProfile(t)
+	rebased, err := p.Rebase("Base_CUDA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebased.Tree().NodeByPath([]string{"Base_CUDA", "Apps", "Apps_VOL3D"}) == nil {
+		t.Errorf("rebase lost structure:\n%s", rebased.Tree().Render(nil))
+	}
+	if rebased.Tree().Len() != p.Tree().Len() {
+		t.Error("rebase changed node count")
+	}
+	v, ok := rebased.Meta("cluster")
+	if !ok || v.Str() != "quartz" {
+		t.Error("rebase lost metadata")
+	}
+	node := rebased.Tree().NodeByPath([]string{"Base_CUDA", "Apps", "Apps_VOL3D"})
+	if m, ok := rebased.Metric(node.Key(), "time (exc)"); !ok || m.Float() != 0.067061 {
+		t.Error("rebase lost metrics")
+	}
+	// Colliding rewrite rejected.
+	if _, err := p.MapPaths(func(path []string) []string { return []string{"x"} }); err == nil {
+		t.Error("colliding MapPaths must error")
+	}
+	// Empty rewrite rejected.
+	if _, err := p.MapPaths(func(path []string) []string { return nil }); err == nil {
+		t.Error("empty MapPaths must error")
+	}
+}
+
+func TestMergeMetrics(t *testing.T) {
+	a := sampleProfile(t)
+	b := New()
+	b.SetMeta("tool", dataframe.Str("ncu"))
+	b.SetMeta("cluster", dataframe.Str("lassen")) // should NOT override a's
+	if err := b.AddSample([]string{"main", "Apps", "Apps_VOL3D"}, map[string]dataframe.Value{
+		"sm__throughput": dataframe.Float64(35.7),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := a.MergeMetrics(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := merged.Tree().NodeByPath([]string{"main", "Apps", "Apps_VOL3D"})
+	if m, ok := merged.Metric(node.Key(), "sm__throughput"); !ok || m.Float() != 35.7 {
+		t.Error("merge lost overlay metric")
+	}
+	if m, ok := merged.Metric(node.Key(), "time (exc)"); !ok || m.Float() != 0.067061 {
+		t.Error("merge lost base metric")
+	}
+	if v, _ := merged.Meta("cluster"); v.Str() != "quartz" {
+		t.Error("merge should keep base metadata on conflict")
+	}
+	if v, ok := merged.Meta("tool"); !ok || v.Str() != "ncu" {
+		t.Error("merge should adopt novel metadata keys")
+	}
+}
+
+func TestIntegralFloatRoundTripsAsFloat(t *testing.T) {
+	p := New()
+	p.SetMeta("id", dataframe.Int64(1))
+	if err := p.AddSample([]string{"a"}, map[string]dataframe.Value{
+		"time": dataframe.Float64(10), // integral float
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := back.Tree().NodeByPath([]string{"a"})
+	v, ok := back.Metric(node.Key(), "time")
+	if !ok || v.Kind() != dataframe.Float || v.Float() != 10 {
+		t.Errorf("integral float came back as %v (%v)", v, v.Kind())
+	}
+	// Int metadata stays Int.
+	if id, _ := back.Meta("id"); id.Kind() != dataframe.Int {
+		t.Error("int metadata must stay int")
+	}
+}
+
+func TestGzipSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	p := sampleProfile(t)
+	plain := filepath.Join(dir, "a.json")
+	zipped := filepath.Join(dir, "b.json.gz")
+	if err := p.Save(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(zipped); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != p.Hash() || !back.Tree().Equal(p.Tree()) {
+		t.Error("gzip round trip lost data")
+	}
+	// Compressed file is smaller than plain for a non-trivial profile.
+	pi, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zi, err := os.Stat(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zi.Size() >= pi.Size() {
+		t.Logf("note: gzip not smaller (%d vs %d) — tiny profile", zi.Size(), pi.Size())
+	}
+	// LoadDir sees both.
+	profs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Errorf("LoadDir found %d, want 2", len(profs))
+	}
+	// Corrupt gzip rejected.
+	badPath := filepath.Join(dir, "bad.json.gz")
+	if err := os.WriteFile(badPath, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badPath); err == nil {
+		t.Error("corrupt gzip must error")
+	}
+}

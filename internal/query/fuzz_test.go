@@ -1,0 +1,42 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/calltree"
+)
+
+// FuzzParse hardens the query DSL parser and the matcher: arbitrary
+// query text must parse-or-error without panicking, and a parsed query
+// must apply cleanly to a tree.
+func FuzzParse(f *testing.F) {
+	f.Add(". name == Base_CUDA / * / . name $= block_128")
+	f.Add("+ name *= Algo")
+	f.Add("2,3 name =~ ^A")
+	f.Add(". depth >= 1")
+	f.Add("*")
+	f.Add("")
+	f.Add("?? ?? ??")
+	f.Add(". name =~ [")
+
+	tr := calltree.New()
+	tr.MustAddPath("Base_CUDA", "Algorithm", "Algorithm_MEMCPY", "Algorithm_MEMCPY.block_128")
+	tr.MustAddPath("Base_CUDA", "Stream", "Stream_DOT")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := Parse(text)
+		if err != nil {
+			return
+		}
+		keys, err := m.Apply(tr)
+		if err != nil {
+			t.Fatalf("parsed query failed to apply: %v", err)
+		}
+		// Every matched key must belong to the tree.
+		for k := range keys {
+			if tr.NodeByKey(k) == nil {
+				t.Fatalf("query matched foreign key %q", k)
+			}
+		}
+	})
+}

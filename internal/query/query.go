@@ -1,0 +1,372 @@
+// Package query implements the Call Path Query Language that Thicket
+// borrows from Hatchet (paper §4.1.3). A query is a sequence of query
+// nodes; each query node pairs a quantifier (how many consecutive
+// call-tree nodes to match) with a predicate (what each matched node must
+// satisfy). Applying a query to a call tree finds every downward path
+// matching the sequence and returns the set of nodes on matched paths.
+package query
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/calltree"
+)
+
+// Predicate decides whether one call-tree node satisfies a query node.
+type Predicate func(n *calltree.Node) bool
+
+// Any matches every node — the predicate of a bare quantifier.
+func Any(*calltree.Node) bool { return true }
+
+// NameEquals matches nodes whose region name is exactly name.
+func NameEquals(name string) Predicate {
+	return func(n *calltree.Node) bool { return n.Name() == name }
+}
+
+// NameEndsWith matches nodes whose region name has the given suffix —
+// the Figure 8 "endswith block_128" predicate.
+func NameEndsWith(suffix string) Predicate {
+	return func(n *calltree.Node) bool { return strings.HasSuffix(n.Name(), suffix) }
+}
+
+// NameStartsWith matches nodes whose region name has the given prefix.
+func NameStartsWith(prefix string) Predicate {
+	return func(n *calltree.Node) bool { return strings.HasPrefix(n.Name(), prefix) }
+}
+
+// NameContains matches nodes whose region name contains the substring.
+func NameContains(sub string) Predicate {
+	return func(n *calltree.Node) bool { return strings.Contains(n.Name(), sub) }
+}
+
+// NameMatches matches nodes whose region name matches the compiled
+// regular expression.
+func NameMatches(re *regexp.Regexp) Predicate {
+	return func(n *calltree.Node) bool { return re.MatchString(n.Name()) }
+}
+
+// DepthAtLeast matches nodes at depth >= d.
+func DepthAtLeast(d int) Predicate {
+	return func(n *calltree.Node) bool { return n.Depth() >= d }
+}
+
+// IsLeaf matches leaf nodes.
+func IsLeaf(n *calltree.Node) bool { return n.IsLeaf() }
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(n *calltree.Node) bool {
+		for _, p := range ps {
+			if !p(n) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate {
+	return func(n *calltree.Node) bool {
+		for _, p := range ps {
+			if p(n) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate {
+	return func(n *calltree.Node) bool { return !p(n) }
+}
+
+// Applier is the query-execution contract shared by Matcher and
+// CompoundMatcher: apply against a tree, return matched node keys.
+type Applier interface {
+	Apply(t *calltree.Tree) (map[string]bool, error)
+}
+
+// qnode is one compiled query node: a [min,max] repetition range and a
+// predicate.
+type qnode struct {
+	min, max int
+	pred     Predicate
+}
+
+// Matcher accumulates query nodes in the style of Hatchet's QueryMatcher:
+//
+//	q := query.NewMatcher().
+//	    Match(".", query.NameEquals("Base_CUDA")).
+//	    Rel("*").
+//	    Rel(".", query.NameEndsWith("block_128"))
+type Matcher struct {
+	nodes []qnode
+	err   error
+}
+
+// NewMatcher returns an empty matcher.
+func NewMatcher() *Matcher { return &Matcher{} }
+
+// Match sets the first query node. Quantifiers: "." (exactly one),
+// "*" (zero or more), "+" (one or more), or a decimal count "3"
+// (exactly three). Omitting the predicate matches any node.
+func (m *Matcher) Match(quantifier string, pred ...Predicate) *Matcher {
+	return m.Rel(quantifier, pred...)
+}
+
+// Rel appends a query node (a "relation" in Hatchet's API).
+func (m *Matcher) Rel(quantifier string, pred ...Predicate) *Matcher {
+	if m.err != nil {
+		return m
+	}
+	lo, hi, err := parseQuantifier(quantifier)
+	if err != nil {
+		m.err = err
+		return m
+	}
+	p := Any
+	if len(pred) == 1 {
+		p = pred[0]
+	} else if len(pred) > 1 {
+		p = And(pred...)
+	}
+	m.nodes = append(m.nodes, qnode{min: lo, max: hi, pred: p})
+	return m
+}
+
+// Err returns the first construction error, if any.
+func (m *Matcher) Err() error { return m.err }
+
+// Len reports the number of query nodes.
+func (m *Matcher) Len() int { return len(m.nodes) }
+
+func parseQuantifier(q string) (int, int, error) {
+	switch q {
+	case ".":
+		return 1, 1, nil
+	case "*":
+		return 0, math.MaxInt32, nil
+	case "+":
+		return 1, math.MaxInt32, nil
+	}
+	if n, err := strconv.Atoi(q); err == nil {
+		if n < 0 {
+			return 0, 0, fmt.Errorf("query: negative quantifier %q", q)
+		}
+		return n, n, nil
+	}
+	if lo, hi, ok := strings.Cut(q, ","); ok {
+		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 == nil && err2 == nil && l >= 0 && h >= l {
+			return l, h, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("query: bad quantifier %q (want \".\", \"*\", \"+\", \"n\", or \"lo,hi\")", q)
+}
+
+// Apply runs the query against a call tree and returns the set of node
+// keys lying on at least one matched downward path. Matches may start at
+// any node; the Figure 8 idiom anchors the first query node with a root
+// predicate instead.
+func (m *Matcher) Apply(t *calltree.Tree) (map[string]bool, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if len(m.nodes) == 0 {
+		return nil, fmt.Errorf("query: empty query")
+	}
+	matched := make(map[string]bool)
+
+	// canFinish[i] reports whether query nodes i..end can all match zero
+	// call-tree nodes.
+	canFinish := make([]bool, len(m.nodes)+1)
+	canFinish[len(m.nodes)] = true
+	for i := len(m.nodes) - 1; i >= 0; i-- {
+		canFinish[i] = m.nodes[i].min == 0 && canFinish[i+1]
+	}
+
+	var stack []*calltree.Node
+	markStack := func() {
+		for _, n := range stack {
+			matched[n.Key()] = true
+		}
+	}
+
+	// rec consumes node into query node qi (which has already consumed
+	// cnt nodes), then explores continuations.
+	var rec func(node *calltree.Node, qi, cnt int)
+	rec = func(node *calltree.Node, qi, cnt int) {
+		qn := m.nodes[qi]
+		if cnt >= qn.max || !qn.pred(node) {
+			return
+		}
+		stack = append(stack, node)
+		cnt++
+		if cnt >= qn.min && canFinish[qi+1] {
+			markStack()
+		}
+		for _, child := range node.Children() {
+			// Continue the same query node.
+			if cnt < qn.max {
+				rec(child, qi, cnt)
+			}
+			// Advance past this query node (and any zero-min successors).
+			if cnt >= qn.min {
+				for next := qi + 1; next < len(m.nodes); next++ {
+					rec(child, next, 0)
+					if m.nodes[next].min > 0 {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+	}
+
+	for _, start := range t.Nodes() {
+		for qi := 0; qi < len(m.nodes); qi++ {
+			rec(start, qi, 0)
+			if m.nodes[qi].min > 0 {
+				break
+			}
+		}
+	}
+	return matched, nil
+}
+
+// ApplyTree runs the query and returns the filtered call tree with matched
+// nodes (ancestors retained so the result stays rooted, as in Figure 8).
+func (m *Matcher) ApplyTree(t *calltree.Tree) (*calltree.Tree, error) {
+	keys, err := m.Apply(t)
+	if err != nil {
+		return nil, err
+	}
+	return t.FilterKeys(keys, true), nil
+}
+
+// Parse compiles the textual query DSL used by the CLI. The syntax is a
+// "/"-separated sequence of query nodes:
+//
+//	QUANT [FIELD OP VALUE]
+//
+// where QUANT is ".", "*", "+", "n", or "lo,hi"; FIELD is "name" or
+// "depth"; OP is one of "==", "=~" (regexp), "^=" (prefix), "$=" (suffix),
+// "*=" (contains), and ">=" (depth only). Example reproducing Figure 8:
+//
+//	. name == Base_CUDA / * / . name $= block_128
+func Parse(text string) (*Matcher, error) {
+	m := NewMatcher()
+	segments := strings.Split(text, "/")
+	for _, seg := range segments {
+		fields := strings.Fields(seg)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("query: empty segment in %q", text)
+		}
+		quant := fields[0]
+		switch len(fields) {
+		case 1:
+			m.Rel(quant)
+		case 4:
+			pred, err := parsePredicate(fields[1], fields[2], fields[3])
+			if err != nil {
+				return nil, err
+			}
+			m.Rel(quant, pred)
+		default:
+			return nil, fmt.Errorf("query: bad segment %q (want QUANT or QUANT FIELD OP VALUE)", strings.TrimSpace(seg))
+		}
+		if m.Err() != nil {
+			return nil, m.Err()
+		}
+	}
+	return m, nil
+}
+
+func parsePredicate(field, op, value string) (Predicate, error) {
+	switch field {
+	case "name":
+		switch op {
+		case "==":
+			return NameEquals(value), nil
+		case "=~":
+			re, err := regexp.Compile(value)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad regexp %q: %w", value, err)
+			}
+			return NameMatches(re), nil
+		case "^=":
+			return NameStartsWith(value), nil
+		case "$=":
+			return NameEndsWith(value), nil
+		case "*=":
+			return NameContains(value), nil
+		}
+		return nil, fmt.Errorf("query: unknown name operator %q", op)
+	case "depth":
+		if op != ">=" {
+			return nil, fmt.Errorf("query: depth supports only >=, got %q", op)
+		}
+		d, err := strconv.Atoi(value)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad depth %q", value)
+		}
+		return DepthAtLeast(d), nil
+	}
+	return nil, fmt.Errorf("query: unknown field %q", field)
+}
+
+// CompoundMatcher combines the result sets of several queries — the
+// query-language conjunction/disjunction forms. It satisfies the same
+// Apply contract as Matcher.
+type CompoundMatcher struct {
+	mode     string // "or" | "and"
+	matchers []*Matcher
+}
+
+// AnyOf matches nodes on paths matched by at least one of the queries.
+func AnyOf(matchers ...*Matcher) *CompoundMatcher {
+	return &CompoundMatcher{mode: "or", matchers: matchers}
+}
+
+// AllOf matches nodes on paths matched by every one of the queries.
+func AllOf(matchers ...*Matcher) *CompoundMatcher {
+	return &CompoundMatcher{mode: "and", matchers: matchers}
+}
+
+// Apply runs every sub-query and combines the matched node sets.
+func (c *CompoundMatcher) Apply(t *calltree.Tree) (map[string]bool, error) {
+	if len(c.matchers) == 0 {
+		return nil, fmt.Errorf("query: empty compound query")
+	}
+	var out map[string]bool
+	for i, m := range c.matchers {
+		keys, err := m.Apply(t)
+		if err != nil {
+			return nil, fmt.Errorf("query: sub-query %d: %w", i, err)
+		}
+		if out == nil {
+			out = keys
+			continue
+		}
+		switch c.mode {
+		case "or":
+			for k := range keys {
+				out[k] = true
+			}
+		case "and":
+			for k := range out {
+				if !keys[k] {
+					delete(out, k)
+				}
+			}
+		}
+	}
+	return out, nil
+}

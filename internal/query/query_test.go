@@ -1,0 +1,294 @@
+package query
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/calltree"
+)
+
+// cudaTree reproduces the Figure 8 call tree (abridged): a Base_CUDA root
+// with Algorithm kernels, each with block-size variants.
+func cudaTree(t *testing.T) *calltree.Tree {
+	t.Helper()
+	tr := calltree.New()
+	for _, kernel := range []string{"Algorithm_MEMCPY", "Algorithm_MEMSET", "Algorithm_REDUCE_SUM"} {
+		for _, variant := range []string{".block_128", ".block_256", ".library"} {
+			tr.MustAddPath("Base_CUDA", "Algorithm", kernel, kernel+variant)
+		}
+	}
+	tr.MustAddPath("Base_CUDA", "Algorithm", "Algorithm_SCAN", "Algorithm_SCAN.default")
+	return tr
+}
+
+func TestFigure8Query(t *testing.T) {
+	tr := cudaTree(t)
+	m := NewMatcher().
+		Match(".", NameEquals("Base_CUDA")).
+		Rel("*").
+		Rel(".", NameEndsWith("block_128"))
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := tr.FilterKeys(keys, true)
+	// Matched leaves: 3 block_128 variants. Plus ancestors:
+	// Base_CUDA, Algorithm, and the 3 kernel parents = 8 nodes.
+	if filtered.Len() != 8 {
+		t.Fatalf("filtered size = %d, want 8:\n%s", filtered.Len(), filtered.Render(nil))
+	}
+	for _, leaf := range filtered.Leaves() {
+		if !strings.HasSuffix(leaf.Name(), "block_128") {
+			t.Errorf("unexpected surviving leaf %q", leaf.Name())
+		}
+	}
+	if filtered.NodeByPath([]string{"Base_CUDA", "Algorithm", "Algorithm_SCAN"}) != nil {
+		t.Error("SCAN subtree should not survive")
+	}
+}
+
+func TestDotQuantifierExactlyOne(t *testing.T) {
+	tr := calltree.New()
+	tr.MustAddPath("a", "b", "c")
+	// ". / ." matches paths of exactly two nodes.
+	m := NewMatcher().Match(".").Rel(".")
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths a→b and b→c: all three nodes matched.
+	if len(keys) != 3 {
+		t.Errorf("matched %d nodes, want 3", len(keys))
+	}
+}
+
+func TestPlusQuantifier(t *testing.T) {
+	tr := calltree.New()
+	tr.MustAddPath("root", "x", "y", "leaf")
+	m := NewMatcher().
+		Match(".", NameEquals("root")).
+		Rel("+").
+		Rel(".", NameEquals("leaf"))
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 4 {
+		t.Errorf("matched %d nodes, want all 4", len(keys))
+	}
+	// "+" requires at least one intermediate: root→leaf directly must fail.
+	tr2 := calltree.New()
+	tr2.MustAddPath("root", "leaf")
+	keys2, err := m.Apply(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys2) != 0 {
+		t.Errorf("\"+\" matched a zero-length gap: %v", keys2)
+	}
+	// "*" allows the direct edge.
+	star := NewMatcher().
+		Match(".", NameEquals("root")).
+		Rel("*").
+		Rel(".", NameEquals("leaf"))
+	keys3, err := star.Apply(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys3) != 2 {
+		t.Errorf("\"*\" should match the direct edge, got %d nodes", len(keys3))
+	}
+}
+
+func TestExactCountQuantifier(t *testing.T) {
+	tr := calltree.New()
+	tr.MustAddPath("a", "b", "c", "d")
+	m := NewMatcher().Match("3")
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downward runs of length 3: a-b-c and b-c-d → all four nodes.
+	if len(keys) != 4 {
+		t.Errorf("matched %d, want 4", len(keys))
+	}
+	one := NewMatcher().Match("4", NameEquals("a"))
+	keysOne, err := one.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keysOne) != 0 {
+		t.Error("predicate must hold for every consumed node")
+	}
+}
+
+func TestRangeQuantifier(t *testing.T) {
+	tr := calltree.New()
+	tr.MustAddPath("a", "b", "c", "d")
+	m := NewMatcher().Match("2,3", Any)
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 4 {
+		t.Errorf("matched %d, want 4", len(keys))
+	}
+}
+
+func TestTrailingStarMatchesAnchorOnly(t *testing.T) {
+	tr := cudaTree(t)
+	m := NewMatcher().Match(".", NameEquals("Algorithm_SCAN")).Rel("*")
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SCAN and its subtree (SCAN.default) both lie on matched paths.
+	if len(keys) != 2 {
+		t.Errorf("matched %d nodes, want 2", len(keys))
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	tr := cudaTree(t)
+	leafBlock := And(IsLeaf, NameContains("block"))
+	m := NewMatcher().Match(".", leafBlock)
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 6 { // 3 kernels × 2 block variants
+		t.Errorf("matched %d, want 6", len(keys))
+	}
+	notBlock := NewMatcher().Match(".", And(IsLeaf, Not(NameContains("block"))))
+	keys2, err := notBlock.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys2) != 4 { // 3 .library + SCAN.default
+		t.Errorf("matched %d, want 4", len(keys2))
+	}
+	either := NewMatcher().Match(".", Or(NameEquals("Algorithm"), NameEquals("Base_CUDA")))
+	keys3, err := either.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys3) != 2 {
+		t.Errorf("matched %d, want 2", len(keys3))
+	}
+}
+
+func TestNamePredicates(t *testing.T) {
+	tr := calltree.New()
+	n := tr.MustAddPath("Stream_DOT")
+	if !NameStartsWith("Stream")(n) || NameStartsWith("Apps")(n) {
+		t.Error("NameStartsWith broken")
+	}
+	if !NameMatches(regexp.MustCompile(`_DOT$`))(n) {
+		t.Error("NameMatches broken")
+	}
+	if !DepthAtLeast(0)(n) || DepthAtLeast(1)(n) {
+		t.Error("DepthAtLeast broken")
+	}
+}
+
+func TestErrorHandling(t *testing.T) {
+	if _, err := NewMatcher().Apply(calltree.New()); err == nil {
+		t.Error("empty query must error")
+	}
+	m := NewMatcher().Match("??")
+	if m.Err() == nil {
+		t.Error("bad quantifier must set Err")
+	}
+	if _, err := m.Apply(calltree.New()); err == nil {
+		t.Error("Apply must propagate construction error")
+	}
+	if _, _, err := parseQuantifier("-1"); err == nil {
+		t.Error("negative quantifier must error")
+	}
+}
+
+func TestApplyTree(t *testing.T) {
+	tr := cudaTree(t)
+	m := NewMatcher().Match(".", NameEquals("Base_CUDA")).Rel("*").Rel(".", NameEndsWith("block_128"))
+	out, err := m.ApplyTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 8 {
+		t.Errorf("ApplyTree size = %d, want 8", out.Len())
+	}
+}
+
+func TestParseDSL(t *testing.T) {
+	tr := cudaTree(t)
+	m, err := Parse(". name == Base_CUDA / * / . name $= block_128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := m.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatcher().Match(".", NameEquals("Base_CUDA")).Rel("*").Rel(".", NameEndsWith("block_128"))
+	wantKeys, err := want.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(wantKeys) {
+		t.Errorf("DSL result differs: %d vs %d", len(keys), len(wantKeys))
+	}
+	for _, text := range []string{
+		"",
+		". name",
+		". ghost == x",
+		". name != x",
+		". depth == 3",
+		". depth >= x",
+		". name =~ [",
+		"?? name == x",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+	for _, text := range []string{
+		". name ^= Base / *",
+		"+ name *= Algo",
+		". depth >= 1",
+		"2,3 name =~ ^A",
+	} {
+		if _, err := Parse(text); err != nil {
+			t.Errorf("Parse(%q) failed: %v", text, err)
+		}
+	}
+}
+
+func TestCompoundQueries(t *testing.T) {
+	tr := cudaTree(t)
+	block128 := NewMatcher().Match(".", NameEndsWith("block_128"))
+	block256 := NewMatcher().Match(".", NameEndsWith("block_256"))
+	memcpy := NewMatcher().Match(".", NameContains("MEMCPY"))
+
+	either, err := AnyOf(block128, block256).Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(either) != 6 { // 3 kernels × 2 block variants
+		t.Errorf("AnyOf matched %d, want 6", len(either))
+	}
+	both, err := AllOf(block128, memcpy).Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 1 { // only MEMCPY.block_128
+		t.Errorf("AllOf matched %d, want 1", len(both))
+	}
+	if _, err := AnyOf().Apply(tr); err == nil {
+		t.Error("empty compound must error")
+	}
+	bad := NewMatcher().Match("??")
+	if _, err := AnyOf(bad).Apply(tr); err == nil {
+		t.Error("sub-query error must propagate")
+	}
+}

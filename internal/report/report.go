@@ -1,0 +1,92 @@
+// Package report renders experiment results as a single self-contained
+// HTML document — the shareable-artifact role the paper's Jupyter
+// notebooks play: every table, ASCII rendering, SVG figure, and checked
+// claim in one file that opens anywhere.
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// HTML renders the experiment results into one standalone document.
+// SVGs are inlined; text reports are preserved in monospace blocks;
+// checks render as a pass/fail table. Results appear in input order.
+func HTML(title string, results []*experiments.Result) (string, error) {
+	if len(results) == 0 {
+		return "", fmt.Errorf("report: no results")
+	}
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(title))
+	sb.WriteString(`<style>
+body { font-family: sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #4477AA; padding-bottom: .3rem; }
+h2 { margin-top: 2.5rem; border-bottom: 1px solid #ccc; padding-bottom: .2rem; }
+pre { background: #f6f8fa; padding: .8rem; overflow-x: auto; font-size: .8rem; line-height: 1.25; }
+table.checks { border-collapse: collapse; margin: .8rem 0; }
+table.checks td, table.checks th { border: 1px solid #ddd; padding: .3rem .6rem; font-size: .85rem; text-align: left; }
+td.pass { color: #1a7f37; font-weight: bold; }
+td.fail { color: #cf222e; font-weight: bold; }
+nav ul { columns: 2; list-style: none; padding: 0; }
+nav a { text-decoration: none; color: #4477AA; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .8rem; color: #555; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	// Table of contents.
+	sb.WriteString("<nav><ul>\n")
+	for _, res := range results {
+		fmt.Fprintf(&sb, "<li><a href=\"#%s\">%s — %s</a></li>\n",
+			html.EscapeString(res.ID), html.EscapeString(res.ID), html.EscapeString(res.Title))
+	}
+	sb.WriteString("</ul></nav>\n")
+
+	for _, res := range results {
+		fmt.Fprintf(&sb, "<h2 id=%q>%s — %s</h2>\n",
+			res.ID, html.EscapeString(res.ID), html.EscapeString(res.Title))
+
+		// Checks first: the headline claims.
+		if len(res.Checks) > 0 {
+			sb.WriteString("<table class=\"checks\"><tr><th></th><th>claim</th><th>measured</th></tr>\n")
+			for _, c := range res.Checks {
+				cls, mark := "pass", "PASS"
+				if !c.Pass {
+					cls, mark = "fail", "FAIL"
+				}
+				fmt.Fprintf(&sb, "<tr><td class=%q>%s</td><td>%s</td><td>%s</td></tr>\n",
+					cls, mark, html.EscapeString(c.Name), html.EscapeString(c.Detail))
+			}
+			sb.WriteString("</table>\n")
+		}
+
+		if res.Report != "" {
+			fmt.Fprintf(&sb, "<pre>%s</pre>\n", html.EscapeString(res.Report))
+		}
+
+		// Inline SVGs in deterministic name order.
+		names := make([]string, 0, len(res.SVGs))
+		for name := range res.SVGs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			svg := res.SVGs[name]
+			if !strings.HasPrefix(svg, "<svg") {
+				return "", fmt.Errorf("report: %s/%s is not an SVG document", res.ID, name)
+			}
+			fmt.Fprintf(&sb, "<figure>%s<figcaption>%s</figcaption></figure>\n",
+				svg, html.EscapeString(name))
+		}
+	}
+	sb.WriteString("</body>\n</html>\n")
+	return sb.String(), nil
+}

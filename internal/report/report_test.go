@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestHTML(t *testing.T) {
+	results := []*experiments.Result{
+		{
+			ID: "fig05", Title: "Metadata table",
+			Report: "node  <time>  1.5\n",
+			Checks: []experiments.Check{
+				{Name: "four profiles", Pass: true, Detail: "4"},
+				{Name: "broken claim", Pass: false, Detail: "oops & such"},
+			},
+			SVGs: map[string]string{"b.svg": "<svg>2</svg>", "a.svg": "<svg>1</svg>"},
+		},
+	}
+	out, err := HTML("Thicket reproduction", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Thicket reproduction",
+		`id="fig05"`, "four profiles",
+		`class="fail"`, "oops &amp; such",
+		"&lt;time&gt;", // report text escaped
+		"<svg>1</svg>", // SVGs inlined raw
+		`href="#fig05"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Deterministic SVG order: a.svg before b.svg.
+	if strings.Index(out, "<svg>1</svg>") > strings.Index(out, "<svg>2</svg>") {
+		t.Error("SVGs not in name order")
+	}
+	if _, err := HTML("t", nil); err == nil {
+		t.Error("empty results must error")
+	}
+	bad := []*experiments.Result{{ID: "x", SVGs: map[string]string{"x.svg": "not svg"}}}
+	if _, err := HTML("t", bad); err == nil {
+		t.Error("non-SVG content must be rejected")
+	}
+}
+
+func TestHTMLEndToEnd(t *testing.T) {
+	res, err := experiments.Run("fig12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := HTML("one figure", []*experiments.Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<figure>") != len(res.SVGs) {
+		t.Errorf("figures = %d, want %d", strings.Count(out, "<figure>"), len(res.SVGs))
+	}
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataframe"
+	"repro/internal/profile"
+)
+
+// MarblCluster identifies one of the two systems of the paper's §5.2.
+type MarblCluster string
+
+// The two MARBL systems: RZTopaz (a CTS-1 commodity cluster) and an AWS
+// ParallelCluster of C5n.18xlarge instances.
+const (
+	ClusterRZTopaz MarblCluster = "rztopaz"
+	ClusterAWS     MarblCluster = "ip-0A2D2BE2" // AWS instances report ip-… hostnames (Fig. 16)
+)
+
+// marblSystem captures the per-system performance character.
+type marblSystem struct {
+	MPI          string  // "openmpi" or "impi"
+	MPIVersion   string  // MARBL build id per Figure 16
+	Arch         string  // node type for the PCP coloring (Fig. 18)
+	CCompiler    string  // Figure 16 compiler path
+	ComputeScale float64 // per-cycle serial cost multiplier (AWS < CTS)
+	NetLatency   float64 // seconds per collective hop
+	CommCoeff    float64 // seconds of halo exchange per cbrt(rank) per cycle
+	// Figure 11 solver model: avg time/rank = SolverC − SolverA·p^(1/3).
+	SolverC float64
+	SolverA float64
+}
+
+var marblSystems = map[MarblCluster]marblSystem{
+	ClusterRZTopaz: {
+		MPI: "openmpi", MPIVersion: "v1.1.0-201-g891eaf1", Arch: "CTS1",
+		CCompiler:    "/usr/tce/packages/clang/clang-9.0.0",
+		ComputeScale: 1.00, NetLatency: 28e-6, CommCoeff: 0.012,
+		SolverC: 200.231242693312, SolverA: 18.278533682209932,
+	},
+	ClusterAWS: {
+		MPI: "impi", MPIVersion: "v1.1.0-203-gcb0efb3", Arch: "C5n.18xlarge",
+		CCompiler:    "/usr/tce/packages/clang/clang-9.0.0",
+		ComputeScale: 0.86, NetLatency: 22e-6, CommCoeff: 0.010,
+		SolverC: 154.8848323145599, SolverA: 14.012557071778664,
+	},
+}
+
+// MarblConfig describes one simulated MARBL triple-point 3D run.
+type MarblConfig struct {
+	Cluster      MarblCluster
+	Nodes        int   // compute nodes (36 ranks each in the paper)
+	RanksPerNode int   // 0 means 36
+	TotalElems   int64 // global mesh elements; 0 means the paper's 96³
+	Trial        int
+	Seed         int64
+}
+
+// elems returns the configured global element count.
+func (cfg MarblConfig) elems() float64 {
+	if cfg.TotalElems > 0 {
+		return float64(cfg.TotalElems)
+	}
+	return marblTotalElems
+}
+
+// Marbl baseline problem constants: a modestly-sized 3D triple-point
+// shock interaction benchmark (paper §5.2).
+const (
+	marblTotalElems   = 884736 // 96³ elements, strong scaling (fixed)
+	marblCycles       = 100    // simulated time-step cycles per run
+	marblSerialCycleS = 32.0   // serial seconds per cycle on CTS-1
+)
+
+func (cfg MarblConfig) validate() error {
+	if _, ok := marblSystems[cfg.Cluster]; !ok {
+		return fmt.Errorf("sim: unknown MARBL cluster %q", cfg.Cluster)
+	}
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("sim: node count must be >= 1, got %d", cfg.Nodes)
+	}
+	return nil
+}
+
+func (cfg MarblConfig) ranks() int {
+	rpn := cfg.RanksPerNode
+	if rpn == 0 {
+		rpn = 36
+	}
+	return cfg.Nodes * rpn
+}
+
+// timePerCycle models strong scaling of one time-step cycle: ideal 1/nodes
+// compute plus a communication overhead that stays negligible to ~16
+// nodes and erodes efficiency at 32–64 (Figure 17's shape).
+func timePerCycle(cfg MarblConfig, sys marblSystem) float64 {
+	nodes := float64(cfg.Nodes)
+	p := float64(cfg.ranks())
+	work := cfg.elems() / marblTotalElems // relative problem size
+	compute := marblSerialCycleS * work * sys.ComputeScale / nodes
+	// Communication-to-computation ratio grows as p^(1/3) under strong
+	// scaling of a 3D domain (surface/volume), plus a log-depth
+	// collective; negligible at small node counts, ~25% at 64 nodes.
+	// Halo surfaces scale with the mesh as elems^(2/3).
+	comm := sys.CommCoeff*math.Cbrt(p)*math.Pow(work, 2.0/3.0) + sys.NetLatency*8*math.Log2(p+1)
+	return compute + comm
+}
+
+// SolverAvgTimePerRank returns the modelled M_solver->Mult "Avg
+// time/rank" for p ranks — exactly the paper's fitted Figure 11 form,
+// floored to stay positive beyond the fitted range.
+func SolverAvgTimePerRank(cluster MarblCluster, p float64) float64 {
+	sys := marblSystems[cluster]
+	v := sys.SolverC - sys.SolverA*math.Cbrt(p)
+	return math.Max(v, 4.0)
+}
+
+// GenerateMarbl produces one synthetic MARBL profile: metadata matching
+// Figure 16/18 and a call tree with per-region "Avg time/rank" plus
+// min/max/sum inclusive durations.
+func GenerateMarbl(cfg MarblConfig) (*profile.Profile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sys := marblSystems[cfg.Cluster]
+	label := fmt.Sprintf("marbl|%s|%d|%d|%d", cfg.Cluster, cfg.Nodes, cfg.TotalElems, cfg.Trial)
+	rng := rngFor(cfg.Seed, label)
+	p := profile.New()
+
+	ranks := cfg.ranks()
+	tpc := timePerCycle(cfg, sys) * jitter(rng, 0.02)
+	stepTime := tpc * marblCycles
+	setup := (4.0 + 0.002*float64(ranks)) * jitter(rng, 0.05)
+	walltime := stepTime + setup
+
+	elemsPerRank := cfg.elems() / float64(ranks)
+	maxElems := elemsPerRank * (1 + 0.03*rng.Float64())
+
+	h := 0
+	for _, c := range label {
+		h = (h*31 + int(c)) % 86400
+	}
+	p.SetMeta("cluster", dataframe.Str(string(cfg.Cluster)))
+	p.SetMeta("arch", dataframe.Str(sys.Arch))
+	p.SetMeta("ccompiler", dataframe.Str(sys.CCompiler))
+	p.SetMeta("mpi", dataframe.Str(sys.MPI))
+	p.SetMeta("version", dataframe.Str(sys.MPIVersion))
+	p.SetMeta("numhosts", dataframe.Int64(int64(cfg.Nodes)))
+	p.SetMeta("mpi.world.size", dataframe.Int64(int64(ranks)))
+	p.SetMeta("problem", dataframe.Str("Triple-Pt-3D"))
+	p.SetMeta("total_elems", dataframe.Int64(int64(cfg.elems())))
+	p.SetMeta("cycles", dataframe.Int64(marblCycles))
+	p.SetMeta("walltime", dataframe.Float64(walltime))
+	p.SetMeta("num_elems_max", dataframe.Float64(maxElems))
+	p.SetMeta("num_elems_min", dataframe.Float64(elemsPerRank*(1-0.03*rng.Float64())))
+	p.SetMeta("launch date", dataframe.Str(fmt.Sprintf("2023-01-%02d %02d:%02d:%02d", 10+cfg.Trial%5, h/3600, (h/60)%60, h%60)))
+	p.SetMeta("user", dataframe.Str("olga"))
+	p.SetMeta("trial", dataframe.Int64(int64(cfg.Trial)))
+
+	// Region time shares inside the step loop; the solver gets its own
+	// Figure 11 law, the rest split the remainder.
+	// Solver work scales linearly with the mesh at fixed rank count.
+	solver := SolverAvgTimePerRank(cfg.Cluster, float64(ranks)) * (cfg.elems() / marblTotalElems) * jitter(rng, 0.003)
+	type region struct {
+		path  []string
+		share float64 // of non-solver step time
+	}
+	regions := []region{
+		{[]string{"main", "timeStepLoop", "LagrangeLeapFrog"}, 0.62},
+		{[]string{"main", "timeStepLoop", "LagrangeLeapFrog", "CalcForce"}, 0.34},
+		{[]string{"main", "timeStepLoop", "LagrangeLeapFrog", "UpdateMesh"}, 0.12},
+		{[]string{"main", "timeStepLoop", "ALE"}, 0.30},
+		{[]string{"main", "timeStepLoop", "ALE", "Remap"}, 0.18},
+		{[]string{"main", "timeStepLoop", "ALE", "Advect"}, 0.10},
+		{[]string{"main", "timeStepLoop", "Diagnostics"}, 0.08},
+	}
+	addRegion := func(path []string, avg float64) error {
+		imbalance := 1 + 0.04*rng.Float64()
+		return p.AddSample(path, map[string]dataframe.Value{
+			"Avg time/rank":                   dataframe.Float64(avg),
+			"min#inclusive#sum#time.duration": dataframe.Float64(avg * (2 - imbalance)),
+			"max#inclusive#sum#time.duration": dataframe.Float64(avg * imbalance),
+			"sum#inclusive#sum#time.duration": dataframe.Float64(avg * float64(ranks)),
+		})
+	}
+	if err := addRegion([]string{"main"}, walltime); err != nil {
+		return nil, err
+	}
+	if err := addRegion([]string{"main", "setup"}, setup); err != nil {
+		return nil, err
+	}
+	if err := addRegion([]string{"main", "timeStepLoop"}, stepTime); err != nil {
+		return nil, err
+	}
+	for _, r := range regions {
+		if err := addRegion(r.path, stepTime*r.share*jitter(rng, 0.02)); err != nil {
+			return nil, err
+		}
+	}
+	if err := addRegion([]string{"main", "timeStepLoop", "LagrangeLeapFrog", "M_solver->Mult"}, solver); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MarblEnsemble generates trials runs per node count per cluster. The
+// paper's Figure 16 campaign is both clusters × nodes {1,2,4,8,16,32} × 5
+// trials = 60 profiles; Figure 17 extends to 64 nodes.
+func MarblEnsemble(clusters []MarblCluster, nodes []int, trials int, seed int64) ([]*profile.Profile, error) {
+	var configs []MarblConfig
+	for _, cl := range clusters {
+		for _, n := range nodes {
+			for trial := 0; trial < trials; trial++ {
+				configs = append(configs, MarblConfig{Cluster: cl, Nodes: n, Trial: trial, Seed: seed})
+			}
+		}
+	}
+	return generateParallel(len(configs), func(i int) (*profile.Profile, error) {
+		return GenerateMarbl(configs[i])
+	})
+}
+
+// Figure16Nodes returns the node counts of the paper's Figure 16 table.
+func Figure16Nodes() []int { return []int{1, 2, 4, 8, 16, 32} }
+
+// Figure17Nodes returns the node counts of the strong-scaling study
+// (Figure 17, up to 64 nodes / 2,304 ranks).
+func Figure17Nodes() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// BothClusters returns the two MARBL systems.
+func BothClusters() []MarblCluster { return []MarblCluster{ClusterAWS, ClusterRZTopaz} }
+
+// MarblMultiParamEnsemble sweeps node counts × global mesh sizes on one
+// cluster — the input for two-parameter Extra-P modeling over
+// (mpi.world.size, total_elems).
+func MarblMultiParamEnsemble(cluster MarblCluster, nodes []int, elems []int64, trials int, seed int64) ([]*profile.Profile, error) {
+	var out []*profile.Profile
+	for _, n := range nodes {
+		for _, e := range elems {
+			for trial := 0; trial < trials; trial++ {
+				p, err := GenerateMarbl(MarblConfig{Cluster: cluster, Nodes: n, TotalElems: e, Trial: trial, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,681 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataframe"
+	"repro/internal/profile"
+	"repro/internal/topdown"
+)
+
+// RajaVariant selects the RAJA Performance Suite execution variant.
+type RajaVariant string
+
+// Variants exercised in the paper's Figure 13.
+const (
+	VariantSequential RajaVariant = "Sequential"
+	VariantOpenMP     RajaVariant = "OpenMP"
+	VariantCUDA       RajaVariant = "CUDA"
+)
+
+// RajaTool selects which measurement tool's metrics the profile carries,
+// mirroring the paper's multi-tool collection (§5.1.2): Caliper timing,
+// Caliper's top-down module, Caliper GPU timing, and NVIDIA NCU.
+type RajaTool string
+
+// Tools available for RAJA profiles.
+const (
+	ToolTiming  RajaTool = "caliper-timing"
+	ToolTopdown RajaTool = "caliper-topdown"
+	ToolGPU     RajaTool = "caliper-gpu"
+	ToolNCU     RajaTool = "ncu"
+)
+
+// RajaConfig describes one simulated RAJA Performance Suite run.
+type RajaConfig struct {
+	Cluster      string      // "quartz" or "lassen"
+	Variant      RajaVariant // Sequential, OpenMP, CUDA
+	Tool         RajaTool    // measurement tool
+	ProblemSize  int64       // elements per kernel
+	Compiler     string      // e.g. "clang++-9.0.0"
+	Optimization string      // "-O0".."-O3"
+	OmpThreads   int         // OpenMP threads (1 for Sequential)
+	CudaCompiler string      // e.g. "nvcc-11.2.152" (CUDA only)
+	BlockSize    int         // CUDA thread-block size
+	Trial        int         // repetition index within the configuration
+	Seed         int64       // base RNG seed for the ensemble
+	User         string      // optional; derived from the seed when empty
+}
+
+// rajaKernel is the static signature of one suite kernel.
+type rajaKernel struct {
+	Name         string
+	Group        string  // Apps, Lcals, Polybench, Stream, Algorithm
+	Reps         int64   // kernel repetitions per run
+	BytesPerElem float64 // memory traffic per element per rep
+	FlopsPerElem float64 // arithmetic per element per rep
+	MemEff       float64 // achieved fraction of stream bandwidth (access pattern)
+	OptClass     string  // "stream", "reduction", "compute", "memheavy"
+	GPUOnly      bool
+
+	// Top-down character at -O2 (backend bound grows with problem size).
+	BaseBackend  float64
+	BackendSlope float64 // added per log2(size/2^20)
+	Frontend     float64
+	BadSpec      float64
+	TopdownNoise float64
+	TimeNoise    float64
+
+	// NCU character (percent metrics at the reference size).
+	NCUDram  float64
+	NCUCMem  float64
+	NCUSM    float64
+	NCUWarps float64
+
+	// CUDA tuning-variant leaves under the kernel node (Figure 8).
+	CUDALeaves []string
+}
+
+// rajaKernels is the simulated suite, calibrated to the paper's Figures
+// 4, 9, 10, 14, and 15 (see package comment).
+var rajaKernels = []rajaKernel{
+	{
+		Name: "Apps_NODAL_ACCUMULATION_3D", Group: "Apps", Reps: 100,
+		BytesPerElem: 54, FlopsPerElem: 9, MemEff: 0.27, OptClass: "memheavy",
+		BaseBackend: 0.745, BackendSlope: 0.022, Frontend: 0.05, BadSpec: 0.03,
+		TopdownNoise: 0.0012, TimeNoise: 0.015,
+		NCUDram: 46.7, NCUCMem: 70.7, NCUSM: 7.3, NCUWarps: 38,
+	},
+	{
+		Name: "Apps_VOL3D", Group: "Apps", Reps: 100,
+		BytesPerElem: 34, FlopsPerElem: 75, MemEff: 1.0, OptClass: "compute",
+		BaseBackend: 0.52, BackendSlope: 0.007, Frontend: 0.045, BadSpec: 0.025,
+		TopdownNoise: 0.0013, TimeNoise: 0.015,
+		NCUDram: 68.0, NCUCMem: 88.0, NCUSM: 35.7, NCUWarps: 54.5,
+	},
+	{
+		Name: "Lcals_HYDRO_1D", Group: "Lcals", Reps: 1000,
+		BytesPerElem: 24, FlopsPerElem: 5, MemEff: 1.0, OptClass: "memheavy",
+		BaseBackend: 0.757, BackendSlope: 0.046, Frontend: 0.028, BadSpec: 0.015,
+		TopdownNoise: 0.0018, TimeNoise: 0.035,
+		NCUDram: 83.1, NCUCMem: 83.1, NCUSM: 6.7, NCUWarps: 93,
+	},
+	{
+		Name: "Polybench_GESUMMV", Group: "Polybench", Reps: 100,
+		BytesPerElem: 20, FlopsPerElem: 4, MemEff: 0.85, OptClass: "memheavy",
+		BaseBackend: 0.465, BackendSlope: 0.004, Frontend: 0.06, BadSpec: 0.04,
+		TopdownNoise: 0.004, TimeNoise: 0.012,
+		NCUDram: 78, NCUCMem: 80, NCUSM: 12, NCUWarps: 62,
+	},
+	{
+		Name: "Stream_ADD", Group: "Stream", Reps: 1000,
+		BytesPerElem: 24, FlopsPerElem: 1, MemEff: 1.0, OptClass: "stream",
+		BaseBackend: 0.70, BackendSlope: 0.02, Frontend: 0.035, BadSpec: 0.02,
+		TopdownNoise: 0.0012, TimeNoise: 0.012,
+		NCUDram: 90, NCUCMem: 90, NCUSM: 5, NCUWarps: 88,
+	},
+	{
+		Name: "Stream_COPY", Group: "Stream", Reps: 1000,
+		BytesPerElem: 16, FlopsPerElem: 0.5, MemEff: 1.0, OptClass: "stream",
+		BaseBackend: 0.705, BackendSlope: 0.02, Frontend: 0.035, BadSpec: 0.02,
+		TopdownNoise: 0.0012, TimeNoise: 0.012,
+		NCUDram: 92, NCUCMem: 92, NCUSM: 4, NCUWarps: 90,
+	},
+	{
+		Name: "Stream_DOT", Group: "Stream", Reps: 2000,
+		BytesPerElem: 16, FlopsPerElem: 2, MemEff: 1.0, OptClass: "reduction",
+		BaseBackend: 0.575, BackendSlope: 0.016, Frontend: 0.055, BadSpec: 0.045,
+		TopdownNoise: 0.0014, TimeNoise: 0.01,
+		NCUDram: 88.3, NCUCMem: 88.3, NCUSM: 44.8, NCUWarps: 95.3,
+	},
+	{
+		Name: "Stream_MUL", Group: "Stream", Reps: 1000,
+		BytesPerElem: 16, FlopsPerElem: 1, MemEff: 1.0, OptClass: "reduction",
+		BaseBackend: 0.59, BackendSlope: 0.016, Frontend: 0.055, BadSpec: 0.045,
+		TopdownNoise: 0.0014, TimeNoise: 0.013,
+		NCUDram: 89, NCUCMem: 89, NCUSM: 38, NCUWarps: 91,
+	},
+	{
+		Name: "Stream_TRIAD", Group: "Stream", Reps: 1000,
+		BytesPerElem: 24, FlopsPerElem: 2, MemEff: 1.0, OptClass: "stream",
+		BaseBackend: 0.695, BackendSlope: 0.02, Frontend: 0.035, BadSpec: 0.02,
+		TopdownNoise: 0.0012, TimeNoise: 0.012,
+		NCUDram: 90, NCUCMem: 90, NCUSM: 7, NCUWarps: 89,
+	},
+	{
+		Name: "Algorithm_MEMCPY", Group: "Algorithm", Reps: 100, GPUOnly: true,
+		BytesPerElem: 16, FlopsPerElem: 0, MemEff: 1.0, OptClass: "stream",
+		NCUDram: 93, NCUCMem: 93, NCUSM: 3, NCUWarps: 85,
+		TimeNoise: 0.02, CUDALeaves: []string{"block_128", "block_256", "library"},
+	},
+	{
+		Name: "Algorithm_MEMSET", Group: "Algorithm", Reps: 100, GPUOnly: true,
+		BytesPerElem: 8, FlopsPerElem: 0, MemEff: 1.0, OptClass: "stream",
+		NCUDram: 94, NCUCMem: 94, NCUSM: 2, NCUWarps: 84,
+		TimeNoise: 0.02, CUDALeaves: []string{"block_128", "block_256", "library"},
+	},
+	{
+		Name: "Algorithm_REDUCE_SUM", Group: "Algorithm", Reps: 100, GPUOnly: true,
+		BytesPerElem: 8, FlopsPerElem: 1, MemEff: 1.0, OptClass: "reduction",
+		NCUDram: 85, NCUCMem: 85, NCUSM: 30, NCUWarps: 92,
+		TimeNoise: 0.02, CUDALeaves: []string{"block_128", "block_256", "cub"},
+	},
+	{
+		Name: "Algorithm_SCAN", Group: "Algorithm", Reps: 100, GPUOnly: true,
+		BytesPerElem: 16, FlopsPerElem: 2, MemEff: 0.8, OptClass: "reduction",
+		NCUDram: 75, NCUCMem: 80, NCUSM: 25, NCUWarps: 88,
+		TimeNoise: 0.02, CUDALeaves: []string{"default"},
+	},
+}
+
+// RajaKernelNames lists the CPU-visible kernel names in suite order.
+func RajaKernelNames() []string {
+	var out []string
+	for _, k := range rajaKernels {
+		if !k.GPUOnly {
+			out = append(out, k.Name)
+		}
+	}
+	return out
+}
+
+// cpuMachine is a first-order roofline model of one CPU node.
+type cpuMachine struct {
+	Systype   string
+	PeakFlops float64 // per-run effective flop/s at -O2
+	Bandwidth float64 // effective stream bandwidth, bytes/s
+	LLC       float64 // last-level cache bytes
+}
+
+var cpuMachines = map[string]cpuMachine{
+	// Quartz: 2×18-core Intel Xeon E5-2695 v4, 128 GB.
+	"quartz": {Systype: "toss_3_x86_64_ib", PeakFlops: 150e9, Bandwidth: 200e9, LLC: 45e6},
+	// Lassen host: 2×Power9, 256 GB.
+	"lassen": {Systype: "blueos_3_ppc64le_ib_p9", PeakFlops: 120e9, Bandwidth: 170e9, LLC: 80e6},
+}
+
+// gpuMachine models one V100 (Lassen).
+type gpuMachine struct {
+	PeakFlops float64
+	Bandwidth float64
+	Launch    float64 // per-rep kernel launch overhead, seconds
+}
+
+var lassenGPU = gpuMachine{PeakFlops: 7e12, Bandwidth: 800e9, Launch: 5e-6}
+
+// blockFactor is the achieved-bandwidth multiplier per CUDA block size.
+var blockFactor = map[int]float64{128: 0.92, 256: 1.00, 512: 0.98, 1024: 0.93}
+
+// optMult is the runtime multiplier relative to -O2 per optimization
+// class; calibrated so -O2 is always best and the Figure 10 "Stream"
+// clusters separate by optimization response.
+var optMult = map[string]map[string]float64{
+	"stream":    {"-O0": 2.40, "-O1": 1.05, "-O2": 1.00, "-O3": 1.04},
+	"reduction": {"-O0": 1.75, "-O1": 1.07, "-O2": 1.00, "-O3": 1.05},
+	"compute":   {"-O0": 6.50, "-O1": 1.40, "-O2": 1.00, "-O3": 1.05},
+	"memheavy":  {"-O0": 3.00, "-O1": 1.15, "-O2": 1.00, "-O3": 1.06},
+}
+
+// compilerMult is a small per-compiler performance factor.
+var compilerMult = map[string]float64{
+	"clang++-9.0.0": 1.00,
+	"g++-8.3.1":     1.03,
+	"xlc-16.1.1.12": 1.06,
+}
+
+// spill returns the slowdown when the working set exceeds the LLC,
+// ramping smoothly — this produces the paper's "more backend bound as the
+// problem size scales, indicating data saturation" behaviour (Fig. 14).
+func spill(workingSet, llc float64) float64 {
+	x := (workingSet - llc) / llc
+	return 1 + 0.7/(1+math.Exp(-2*x))
+}
+
+// cpuKernelSeconds returns the modelled single-run CPU time of a kernel.
+func cpuKernelSeconds(k rajaKernel, cfg RajaConfig, m cpuMachine) float64 {
+	n := float64(cfg.ProblemSize)
+	ws := n * k.BytesPerElem
+	memT := n * k.BytesPerElem / (m.Bandwidth * k.MemEff) * spill(ws, m.LLC)
+	flopT := n * k.FlopsPerElem / m.PeakFlops
+	perRep := math.Max(memT, flopT) + 0.15*math.Min(memT, flopT)
+	t := perRep * float64(k.Reps)
+	t *= optMult[k.OptClass][cfg.Optimization]
+	t *= compilerMult[cfg.Compiler]
+	if cfg.Variant == VariantOpenMP && cfg.OmpThreads > 1 {
+		// Memory-bound work saturates shared bandwidth (~3.5×); compute
+		// scales with threads at ~80% efficiency.
+		threads := float64(cfg.OmpThreads)
+		memShare := memT / (memT + flopT)
+		speedup := 1 / (memShare/3.5 + (1-memShare)/(0.8*threads))
+		t /= speedup
+	}
+	return t
+}
+
+// kernelMemShare returns the fraction of backend stalls attributable to
+// memory (vs core) under the roofline model — the level-2 top-down
+// split driver.
+func kernelMemShare(k rajaKernel, cfg RajaConfig, m cpuMachine) float64 {
+	n := float64(cfg.ProblemSize)
+	ws := n * k.BytesPerElem
+	memT := n * k.BytesPerElem / (m.Bandwidth * k.MemEff) * spill(ws, m.LLC)
+	flopT := n * k.FlopsPerElem / m.PeakFlops
+	if memT+flopT == 0 {
+		return 0.5
+	}
+	return clamp(memT/(memT+flopT), 0.05, 0.98)
+}
+
+// gpuKernelSeconds returns the modelled GPU kernel time.
+func gpuKernelSeconds(k rajaKernel, cfg RajaConfig, g gpuMachine) float64 {
+	n := float64(cfg.ProblemSize)
+	bf := blockFactor[cfg.BlockSize]
+	if bf == 0 {
+		bf = 1
+	}
+	memT := n * k.BytesPerElem / (g.Bandwidth * bf * math.Max(k.MemEff, 0.6))
+	flopT := n * k.FlopsPerElem / g.PeakFlops
+	perRep := math.Max(memT, flopT) + 0.15*math.Min(memT, flopT) + g.Launch
+	return perRep * float64(k.Reps)
+}
+
+// topdownFractions returns the (retiring, frontend, backend, badspec)
+// breakdown for a CPU run of the kernel.
+func topdownFractions(k rajaKernel, cfg RajaConfig, rng interface{ NormFloat64() float64 }) (float64, float64, float64, float64) {
+	sizeLog := math.Log2(float64(cfg.ProblemSize) / (1 << 20))
+	backend := k.BaseBackend + k.BackendSlope*sizeLog
+	fe, bs := k.Frontend, k.BadSpec
+	// -O0 retires far more instructions per unit of work, raising the
+	// retiring fraction while absolute performance collapses.
+	switch cfg.Optimization {
+	case "-O0":
+		// Unoptimized builds look alike in the top-down breakdown: the
+		// load/store and stack-spill overhead dominates every kernel, so
+		// per-kernel character compresses toward a common unoptimized
+		// profile in every category (Figure 10's tight -O0 cluster).
+		backend = 0.60 + (backend-0.65)*0.05
+		fe = 0.06 + (fe-0.04)*0.05
+		bs = 0.035 + (bs-0.03)*0.05
+	case "-O1":
+		backend -= 0.005
+	case "-O3":
+		backend += 0.005
+	}
+	noise := func() float64 { return rng.NormFloat64() * k.TopdownNoise }
+	backend = clamp(backend+noise(), 0.02, 0.93)
+	fe = clamp(fe+noise(), 0.005, 0.2)
+	bs = clamp(bs+noise(), 0.005, 0.2)
+	ret := clamp(1-backend-fe-bs, 0.01, 0.97)
+	return ret, fe, backend, bs
+}
+
+// validate checks configuration consistency.
+func (cfg RajaConfig) validate() error {
+	if _, ok := cpuMachines[cfg.Cluster]; !ok {
+		return fmt.Errorf("sim: unknown cluster %q", cfg.Cluster)
+	}
+	if cfg.ProblemSize <= 0 {
+		return fmt.Errorf("sim: problem size must be positive, got %d", cfg.ProblemSize)
+	}
+	switch cfg.Variant {
+	case VariantSequential, VariantOpenMP:
+		if cfg.Tool != ToolTiming && cfg.Tool != ToolTopdown {
+			return fmt.Errorf("sim: tool %q invalid for CPU variant %q", cfg.Tool, cfg.Variant)
+		}
+	case VariantCUDA:
+		if cfg.Tool != ToolGPU && cfg.Tool != ToolNCU {
+			return fmt.Errorf("sim: tool %q invalid for CUDA variant", cfg.Tool)
+		}
+		if blockFactor[cfg.BlockSize] == 0 {
+			return fmt.Errorf("sim: unsupported CUDA block size %d", cfg.BlockSize)
+		}
+	default:
+		return fmt.Errorf("sim: unknown variant %q", cfg.Variant)
+	}
+	if _, ok := optMult["stream"][cfg.Optimization]; !ok {
+		return fmt.Errorf("sim: unknown optimization level %q", cfg.Optimization)
+	}
+	if _, ok := compilerMult[cfg.Compiler]; !ok {
+		return fmt.Errorf("sim: unknown compiler %q", cfg.Compiler)
+	}
+	return nil
+}
+
+func (cfg RajaConfig) label() string {
+	return fmt.Sprintf("raja|%s|%s|%s|%d|%s|%s|%d|%d|%d",
+		cfg.Cluster, cfg.Variant, cfg.Tool, cfg.ProblemSize, cfg.Compiler,
+		cfg.Optimization, cfg.OmpThreads, cfg.BlockSize, cfg.Trial)
+}
+
+// launchDate derives a deterministic synthetic launch timestamp.
+func (cfg RajaConfig) launchDate() string {
+	day := 16
+	if cfg.Cluster == "quartz" {
+		day = 30
+	}
+	h := 0
+	for _, c := range cfg.label() {
+		h = (h*31 + int(c)) % 86400
+	}
+	return fmt.Sprintf("2022-11-%02d %02d:%02d:%02d", day, h/3600, (h/60)%60, h%60)
+}
+
+// GenerateRaja produces one synthetic RAJA Performance Suite profile.
+func GenerateRaja(cfg RajaConfig) (*profile.Profile, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rngFor(cfg.Seed, cfg.label())
+	p := profile.New()
+
+	user := cfg.User
+	if user == "" {
+		if rng.Intn(2) == 0 {
+			user = "John"
+		} else {
+			user = "Jane"
+		}
+	}
+	cpu := cpuMachines[cfg.Cluster]
+	p.SetMeta("cluster", dataframe.Str(cfg.Cluster))
+	p.SetMeta("systype", dataframe.Str(cpu.Systype))
+	p.SetMeta("variant", dataframe.Str(string(cfg.Variant)))
+	p.SetMeta("tool", dataframe.Str(string(cfg.Tool)))
+	p.SetMeta("problem size", dataframe.Int64(cfg.ProblemSize))
+	p.SetMeta("compiler", dataframe.Str(cfg.Compiler))
+	p.SetMeta("compiler optimizations", dataframe.Str(cfg.Optimization))
+	p.SetMeta("omp num threads", dataframe.Int64(int64(cfg.OmpThreads)))
+	p.SetMeta("raja version", dataframe.Str("2022.03.0"))
+	p.SetMeta("launch date", dataframe.Str(cfg.launchDate()))
+	p.SetMeta("user", dataframe.Str(user))
+	p.SetMeta("trial", dataframe.Int64(int64(cfg.Trial)))
+	if cfg.Variant == VariantCUDA {
+		p.SetMeta("cuda compiler", dataframe.Str(cfg.CudaCompiler))
+		p.SetMeta("block size", dataframe.Int64(int64(cfg.BlockSize)))
+	}
+
+	root := "Base_Seq"
+	switch cfg.Variant {
+	case VariantOpenMP:
+		root = "Base_OpenMP"
+	case VariantCUDA:
+		root = "Base_CUDA"
+	}
+	if err := p.AddSample([]string{root}, map[string]dataframe.Value{
+		"time (exc)": dataframe.Float64(0.001 * jitter(rng, 0.1)),
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, k := range rajaKernels {
+		isGPU := cfg.Variant == VariantCUDA
+		if k.GPUOnly && !isGPU {
+			continue
+		}
+		groupPath := []string{root, k.Group}
+		if err := p.AddSample(groupPath, map[string]dataframe.Value{
+			"time (exc)": dataframe.Float64(0.0002 * jitter(rng, 0.1)),
+		}); err != nil {
+			return nil, err
+		}
+		kernelPath := append(append([]string(nil), groupPath...), k.Name)
+
+		if !isGPU {
+			t := cpuKernelSeconds(k, cfg, cpu) * jitter(rng, k.TimeNoise)
+			switch cfg.Tool {
+			case ToolTiming:
+				if err := p.AddSample(kernelPath, map[string]dataframe.Value{
+					"time (exc)": dataframe.Float64(t),
+					"Reps":       dataframe.Int64(k.Reps),
+					"Bytes/Rep":  dataframe.Int64(int64(float64(cfg.ProblemSize) * k.BytesPerElem)),
+					"Flops/Rep":  dataframe.Int64(int64(float64(cfg.ProblemSize) * k.FlopsPerElem)),
+				}); err != nil {
+					return nil, err
+				}
+			case ToolTopdown:
+				ret, fe, be, bs := topdownFractions(k, cfg, rng)
+				// Run the synthetic counters through the real top-down
+				// derivation, as Caliper's service would.
+				cycles := t * 2.1e9 // ~2.1 GHz
+				ctr, err := topdown.SynthesizeCounters(ret, fe, bs, cycles)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
+				}
+				bd, err := topdown.Compute(ctr)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
+				}
+				_ = be // backend emerges as the remainder inside Compute
+				// Level-2 drill-down: synthesize the extra counters and run
+				// the real derivation, as Caliper's "all levels" mode would.
+				memShare := clamp(kernelMemShare(k, cfg, cpu)+rng.NormFloat64()*0.01, 0.02, 0.98)
+				l2ctr := topdown.Level2Counters{
+					Counters:            ctr,
+					TotalStallCycles:    0.6 * ctr.Cycles,
+					MemStallCycles:      0.6 * ctr.Cycles * memShare,
+					FetchLatencyBubbles: ctr.FetchBubbles * 0.7,
+					MachineClearSlots:   (ctr.IssuedUops - ctr.RetireSlots) * 0.2,
+					MSUops:              ctr.RetireSlots * 0.05,
+				}
+				l2, err := topdown.ComputeLevel2(l2ctr)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s: %w", k.Name, err)
+				}
+				if err := p.AddSample(kernelPath, map[string]dataframe.Value{
+					"time (exc)":      dataframe.Float64(t * 1.03), // counter-collection overhead
+					"Reps":            dataframe.Int64(k.Reps),
+					"Retiring":        dataframe.Float64(bd.Retiring),
+					"Frontend bound":  dataframe.Float64(bd.FrontendBound),
+					"Backend bound":   dataframe.Float64(bd.BackendBound),
+					"Bad speculation": dataframe.Float64(bd.BadSpeculation),
+					"Memory bound":    dataframe.Float64(l2.MemoryBound),
+					"Core bound":      dataframe.Float64(l2.CoreBound),
+					"cycles":          dataframe.Float64(ctr.Cycles),
+					"retire_slots":    dataframe.Float64(ctr.RetireSlots),
+				}); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+
+		// CUDA variant.
+		t := gpuKernelSeconds(k, cfg, lassenGPU) * jitter(rng, math.Max(k.TimeNoise, 0.015))
+		switch cfg.Tool {
+		case ToolGPU:
+			if err := p.AddSample(kernelPath, map[string]dataframe.Value{
+				"time (gpu)": dataframe.Float64(t),
+				"time (exc)": dataframe.Float64(t),
+				"Reps":       dataframe.Int64(k.Reps),
+			}); err != nil {
+				return nil, err
+			}
+		case ToolNCU:
+			sizeLog := math.Log2(float64(cfg.ProblemSize) / (1 << 20))
+			dram := clamp(k.NCUDram+1.5*sizeLog+rng.NormFloat64()*1.2, 1, 99)
+			cmem := clamp(k.NCUCMem+1.2*sizeLog+rng.NormFloat64()*1.2, dram*0.999, 99)
+			sm := clamp(k.NCUSM+0.12*sizeLog*k.NCUSM+rng.NormFloat64()*0.8, 0.5, 99)
+			warps := clamp(k.NCUWarps+0.5*sizeLog+rng.NormFloat64()*1.0, 1, 99)
+			if err := p.AddSample(kernelPath, map[string]dataframe.Value{
+				"gpu__compute_memory_throughput": dataframe.Float64(cmem),
+				"gpu__dram_throughput":           dataframe.Float64(dram),
+				"sm__throughput":                 dataframe.Float64(sm),
+				"sm__warps_active":               dataframe.Float64(warps),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Tuning-variant leaves (Figure 8 structure) for timing profiles.
+		if cfg.Tool == ToolGPU {
+			for _, leaf := range k.CUDALeaves {
+				lt := t / float64(len(k.CUDALeaves)+1)
+				if leaf == "library" || leaf == "cub" || leaf == "default" {
+					lt *= 0.8 // vendor library slightly faster
+				}
+				leafPath := append(append([]string(nil), kernelPath...), k.Name+"."+leaf)
+				if err := p.AddSample(leafPath, map[string]dataframe.Value{
+					"time (exc)": dataframe.Float64(lt * jitter(rng, 0.05)),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// RajaRow is one row of the Figure 13 configuration table.
+type RajaRow struct {
+	Cluster      string
+	Variant      RajaVariant
+	Compiler     string
+	Opts         []string
+	Sizes        []int64
+	OmpThreads   int
+	CudaCompiler string
+	BlockSizes   []int
+	Trials       int
+}
+
+// Figure13Rows returns the five experiment rows of the paper's Figure 13
+// (560 profiles total with 10 trials per configuration).
+func Figure13Rows() []RajaRow {
+	sizes := []int64{1048576, 2097152, 4194304, 8388608}
+	allOpts := []string{"-O0", "-O1", "-O2", "-O3"}
+	return []RajaRow{
+		{Cluster: "quartz", Variant: VariantSequential, Compiler: "clang++-9.0.0", Opts: allOpts, Sizes: sizes, OmpThreads: 1, Trials: 10},
+		{Cluster: "quartz", Variant: VariantSequential, Compiler: "g++-8.3.1", Opts: allOpts, Sizes: sizes, OmpThreads: 1, Trials: 10},
+		{Cluster: "quartz", Variant: VariantOpenMP, Compiler: "clang++-9.0.0", Opts: []string{"-O0"}, Sizes: sizes, OmpThreads: 72, Trials: 10},
+		{Cluster: "quartz", Variant: VariantOpenMP, Compiler: "g++-8.3.1", Opts: []string{"-O0"}, Sizes: sizes, OmpThreads: 72, Trials: 10},
+		{Cluster: "lassen", Variant: VariantCUDA, Compiler: "xlc-16.1.1.12", Opts: []string{"-O0"}, Sizes: sizes,
+			OmpThreads: 1, CudaCompiler: "nvcc-11.2.152", BlockSizes: []int{128, 256, 512, 1024}, Trials: 10},
+	}
+}
+
+// Profiles expands a configuration row into its profile count.
+func (r RajaRow) Profiles() int {
+	n := len(r.Sizes) * len(r.Opts) * r.Trials
+	if r.Variant == VariantCUDA {
+		n = len(r.Sizes) * len(r.BlockSizes) * r.Trials
+	}
+	return n
+}
+
+// RajaEnsemble generates all profiles of one configuration row using the
+// timing tool for CPU variants and the GPU tool for CUDA. Generation
+// fans out across a bounded worker pool; output order is deterministic
+// (configuration enumeration order).
+func RajaEnsemble(row RajaRow, seed int64) ([]*profile.Profile, error) {
+	var configs []RajaConfig
+	for _, size := range row.Sizes {
+		if row.Variant == VariantCUDA {
+			for _, bs := range row.BlockSizes {
+				for trial := 0; trial < row.Trials; trial++ {
+					configs = append(configs, RajaConfig{
+						Cluster: row.Cluster, Variant: row.Variant, Tool: ToolGPU,
+						ProblemSize: size, Compiler: row.Compiler, Optimization: row.Opts[0],
+						OmpThreads: row.OmpThreads, CudaCompiler: row.CudaCompiler,
+						BlockSize: bs, Trial: trial, Seed: seed,
+					})
+				}
+			}
+			continue
+		}
+		for _, opt := range row.Opts {
+			for trial := 0; trial < row.Trials; trial++ {
+				configs = append(configs, RajaConfig{
+					Cluster: row.Cluster, Variant: row.Variant, Tool: ToolTiming,
+					ProblemSize: size, Compiler: row.Compiler, Optimization: opt,
+					OmpThreads: row.OmpThreads, Trial: trial, Seed: seed,
+				})
+			}
+		}
+	}
+	return generateParallel(len(configs), func(i int) (*profile.Profile, error) {
+		return GenerateRaja(configs[i])
+	})
+}
+
+// Figure13Ensemble generates the full 560-profile campaign of Figure 13.
+func Figure13Ensemble(seed int64) ([]*profile.Profile, error) {
+	var out []*profile.Profile
+	for _, row := range Figure13Rows() {
+		ps, err := RajaEnsemble(row, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// TopdownEnsemble generates Caliper-topdown profiles for the given sizes,
+// optimization levels, and trial count on quartz with clang — the input
+// of Figures 9, 10, 12, and 14.
+func TopdownEnsemble(sizes []int64, opts []string, trials int, seed int64) ([]*profile.Profile, error) {
+	var out []*profile.Profile
+	for _, size := range sizes {
+		for _, opt := range opts {
+			for trial := 0; trial < trials; trial++ {
+				p, err := GenerateRaja(RajaConfig{
+					Cluster: "quartz", Variant: VariantSequential, Tool: ToolTopdown,
+					ProblemSize: size, Compiler: "clang++-9.0.0", Optimization: opt,
+					OmpThreads: 1, Trial: trial, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// GPUEnsemble generates CUDA timing (and optionally NCU) profiles on
+// lassen for the given sizes — the inputs of Figures 4, 8, and 15.
+func GPUEnsemble(sizes []int64, blockSize int, trials int, withNCU bool, seed int64) ([]*profile.Profile, error) {
+	var out []*profile.Profile
+	tools := []RajaTool{ToolGPU}
+	if withNCU {
+		tools = append(tools, ToolNCU)
+	}
+	for _, size := range sizes {
+		for _, tool := range tools {
+			for trial := 0; trial < trials; trial++ {
+				p, err := GenerateRaja(RajaConfig{
+					Cluster: "lassen", Variant: VariantCUDA, Tool: tool,
+					ProblemSize: size, Compiler: "xlc-16.1.1.12", Optimization: "-O0",
+					OmpThreads: 1, CudaCompiler: "nvcc-11.2.152", BlockSize: blockSize,
+					Trial: trial, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TimingEnsemble generates Sequential caliper-timing profiles on quartz
+// with clang at -O2 for the given sizes — the CPU side of Figures 4/15.
+func TimingEnsemble(sizes []int64, trials int, seed int64) ([]*profile.Profile, error) {
+	var out []*profile.Profile
+	for _, size := range sizes {
+		for trial := 0; trial < trials; trial++ {
+			p, err := GenerateRaja(RajaConfig{
+				Cluster: "quartz", Variant: VariantSequential, Tool: ToolTiming,
+				ProblemSize: size, Compiler: "clang++-9.0.0", Optimization: "-O2",
+				OmpThreads: 1, Trial: trial, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,597 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func cpuCfg(size int64, opt string, trial int) RajaConfig {
+	return RajaConfig{
+		Cluster: "quartz", Variant: VariantSequential, Tool: ToolTiming,
+		ProblemSize: size, Compiler: "clang++-9.0.0", Optimization: opt,
+		OmpThreads: 1, Trial: trial, Seed: 1,
+	}
+}
+
+func metricAt(t *testing.T, p *profile.Profile, path []string, metric string) float64 {
+	t.Helper()
+	node := p.Tree().NodeByPath(path)
+	if node == nil {
+		t.Fatalf("missing node %v", path)
+	}
+	v, ok := p.Metric(node.Key(), metric)
+	if !ok {
+		t.Fatalf("missing metric %q at %v", metric, path)
+	}
+	f, _ := v.AsFloat()
+	return f
+}
+
+func TestGenerateRajaTimingProfile(t *testing.T) {
+	p, err := GenerateRaja(cpuCfg(1048576, "-O2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tree: root + 4 groups + 9 CPU kernels.
+	if p.Tree().Len() != 14 {
+		t.Errorf("tree size = %d, want 14:\n%s", p.Tree().Len(), p.Tree().Render(nil))
+	}
+	v, ok := p.Meta("problem size")
+	if !ok || v.Int() != 1048576 {
+		t.Error("problem size metadata wrong")
+	}
+	tm := metricAt(t, p, []string{"Base_Seq", "Apps", "Apps_VOL3D"}, "time (exc)")
+	if tm <= 0 || tm > 10 {
+		t.Errorf("VOL3D time = %v, implausible", tm)
+	}
+}
+
+func TestRajaDeterminism(t *testing.T) {
+	a, err := GenerateRaja(cpuCfg(1048576, "-O2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRaja(cpuCfg(1048576, "-O2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("identical configs must hash equal")
+	}
+	ta := metricAt(t, a, []string{"Base_Seq", "Lcals", "Lcals_HYDRO_1D"}, "time (exc)")
+	tb := metricAt(t, b, []string{"Base_Seq", "Lcals", "Lcals_HYDRO_1D"}, "time (exc)")
+	if ta != tb {
+		t.Error("identical configs must produce identical metrics")
+	}
+	c, err := GenerateRaja(cpuCfg(1048576, "-O2", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := metricAt(t, c, []string{"Base_Seq", "Lcals", "Lcals_HYDRO_1D"}, "time (exc)")
+	if ta == tc {
+		t.Error("different trials must differ (noise)")
+	}
+}
+
+func TestRajaTimeScalesWithProblemSize(t *testing.T) {
+	for _, kernel := range []struct{ group, name string }{
+		{"Apps", "Apps_VOL3D"}, {"Lcals", "Lcals_HYDRO_1D"}, {"Stream", "Stream_DOT"},
+	} {
+		small, err := GenerateRaja(cpuCfg(1048576, "-O2", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := GenerateRaja(cpuCfg(4194304, "-O2", 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := metricAt(t, small, []string{"Base_Seq", kernel.group, kernel.name}, "time (exc)")
+		tb := metricAt(t, big, []string{"Base_Seq", kernel.group, kernel.name}, "time (exc)")
+		ratio := tb / ts
+		if ratio < 3 || ratio > 10 {
+			t.Errorf("%s: 4x size gives %.2fx time, want 3x-10x", kernel.name, ratio)
+		}
+	}
+}
+
+func TestRajaOptimizationOrdering(t *testing.T) {
+	// -O2 must be the fastest level for every kernel (Figure 10 finding),
+	// and -O0 much slower.
+	times := map[string]map[string]float64{}
+	for _, opt := range []string{"-O0", "-O1", "-O2", "-O3"} {
+		p, err := GenerateRaja(cpuCfg(8388608, opt, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range rajaKernels {
+			if k.GPUOnly {
+				continue
+			}
+			if times[k.Name] == nil {
+				times[k.Name] = map[string]float64{}
+			}
+			times[k.Name][opt] = metricAt(t, p, []string{"Base_Seq", k.Group, k.Name}, "time (exc)")
+		}
+	}
+	for name, byOpt := range times {
+		if byOpt["-O2"] > byOpt["-O0"] || byOpt["-O2"] > byOpt["-O1"] {
+			t.Errorf("%s: -O2 (%.4f) not fastest vs -O0 %.4f / -O1 %.4f", name, byOpt["-O2"], byOpt["-O0"], byOpt["-O1"])
+		}
+		if byOpt["-O0"]/byOpt["-O2"] < 1.5 {
+			t.Errorf("%s: -O0 speedup only %.2f, want > 1.5", name, byOpt["-O0"]/byOpt["-O2"])
+		}
+	}
+	// Stream cluster separation: ADD/COPY/TRIAD respond more than DOT/MUL.
+	addSpd := times["Stream_ADD"]["-O0"] / times["Stream_ADD"]["-O2"]
+	dotSpd := times["Stream_DOT"]["-O0"] / times["Stream_DOT"]["-O2"]
+	if addSpd <= dotSpd {
+		t.Errorf("Stream_ADD speedup (%.2f) should exceed Stream_DOT's (%.2f)", addSpd, dotSpd)
+	}
+}
+
+func TestRajaTopdownShapes(t *testing.T) {
+	p, err := GenerateRaja(RajaConfig{
+		Cluster: "quartz", Variant: VariantSequential, Tool: ToolTopdown,
+		ProblemSize: 8388608, Compiler: "clang++-9.0.0", Optimization: "-O2",
+		OmpThreads: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(group, name, metric string) float64 {
+		return metricAt(t, p, []string{"Base_Seq", group, name}, metric)
+	}
+	// Figure 15: HYDRO_1D ~90% backend bound, VOL3D split ~54/38.
+	hydroBE := frac("Lcals", "Lcals_HYDRO_1D", "Backend bound")
+	if hydroBE < 0.85 {
+		t.Errorf("HYDRO_1D backend bound = %.3f, want >= 0.85", hydroBE)
+	}
+	vol3dBE := frac("Apps", "Apps_VOL3D", "Backend bound")
+	vol3dRet := frac("Apps", "Apps_VOL3D", "Retiring")
+	if vol3dRet < 0.30 || vol3dBE > 0.65 {
+		t.Errorf("VOL3D retiring=%.3f backend=%.3f, want compute-heavy split", vol3dRet, vol3dBE)
+	}
+	if vol3dRet <= frac("Lcals", "Lcals_HYDRO_1D", "Retiring") {
+		t.Error("VOL3D must retire more than HYDRO_1D (Figure 14)")
+	}
+	// Categories sum to ~1 for every kernel.
+	for _, k := range rajaKernels {
+		if k.GPUOnly {
+			continue
+		}
+		sum := frac(k.Group, k.Name, "Retiring") + frac(k.Group, k.Name, "Frontend bound") +
+			frac(k.Group, k.Name, "Backend bound") + frac(k.Group, k.Name, "Bad speculation")
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: top-down sum = %v", k.Name, sum)
+		}
+	}
+}
+
+func TestRajaBackendBoundGrowsWithSize(t *testing.T) {
+	// Figure 14: NODAL_ACCUMULATION_3D becomes heavily backend bound as
+	// the problem size increases.
+	get := func(size int64) float64 {
+		p, err := GenerateRaja(RajaConfig{
+			Cluster: "quartz", Variant: VariantSequential, Tool: ToolTopdown,
+			ProblemSize: size, Compiler: "clang++-9.0.0", Optimization: "-O2",
+			OmpThreads: 1, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metricAt(t, p, []string{"Base_Seq", "Apps", "Apps_NODAL_ACCUMULATION_3D"}, "Backend bound")
+	}
+	small, big := get(1048576), get(8388608)
+	if big <= small {
+		t.Errorf("backend bound should grow with size: %.3f -> %.3f", small, big)
+	}
+}
+
+func TestRajaGPUAndNCU(t *testing.T) {
+	gpu, err := GenerateRaja(RajaConfig{
+		Cluster: "lassen", Variant: VariantCUDA, Tool: ToolGPU,
+		ProblemSize: 8388608, Compiler: "xlc-16.1.1.12", Optimization: "-O0",
+		CudaCompiler: "nvcc-11.2.152", BlockSize: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8 structure: Algorithm kernels carry block-size leaves.
+	if gpu.Tree().NodeByPath([]string{"Base_CUDA", "Algorithm", "Algorithm_MEMCPY", "Algorithm_MEMCPY.block_128"}) == nil {
+		t.Errorf("missing CUDA tuning leaf:\n%s", gpu.Tree().Render(nil))
+	}
+	// Figure 15 speedup ordering: VOL3D CPU/GPU >> HYDRO CPU/GPU.
+	cpu, err := GenerateRaja(cpuCfg(8388608, "-O2", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(group, name string) float64 {
+		c := metricAt(t, cpu, []string{"Base_Seq", group, name}, "time (exc)")
+		g := metricAt(t, gpu, []string{"Base_CUDA", group, name}, "time (gpu)")
+		return c / g
+	}
+	vol, hyd := speedup("Apps", "Apps_VOL3D"), speedup("Lcals", "Lcals_HYDRO_1D")
+	if vol <= hyd {
+		t.Errorf("VOL3D speedup (%.2f) must exceed HYDRO_1D's (%.2f)", vol, hyd)
+	}
+	if vol < 5 || vol > 40 {
+		t.Errorf("VOL3D speedup = %.2f, implausible", vol)
+	}
+
+	ncu, err := GenerateRaja(RajaConfig{
+		Cluster: "lassen", Variant: VariantCUDA, Tool: ToolNCU,
+		ProblemSize: 8388608, Compiler: "xlc-16.1.1.12", Optimization: "-O0",
+		CudaCompiler: "nvcc-11.2.152", BlockSize: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram := metricAt(t, ncu, []string{"Base_CUDA", "Lcals", "Lcals_HYDRO_1D"}, "gpu__dram_throughput")
+	sm := metricAt(t, ncu, []string{"Base_CUDA", "Lcals", "Lcals_HYDRO_1D"}, "sm__throughput")
+	if dram < 70 || dram > 99 {
+		t.Errorf("HYDRO dram throughput = %.1f, want high", dram)
+	}
+	if sm > 20 {
+		t.Errorf("HYDRO sm throughput = %.1f, want low (memory bound)", sm)
+	}
+	cm := metricAt(t, ncu, []string{"Base_CUDA", "Apps", "Apps_VOL3D"}, "gpu__compute_memory_throughput")
+	vd := metricAt(t, ncu, []string{"Base_CUDA", "Apps", "Apps_VOL3D"}, "gpu__dram_throughput")
+	if cm < vd {
+		t.Errorf("compute-memory throughput (%.1f) must be >= dram (%.1f)", cm, vd)
+	}
+}
+
+func TestRajaValidation(t *testing.T) {
+	bad := []RajaConfig{
+		{Cluster: "nowhere", Variant: VariantSequential, Tool: ToolTiming, ProblemSize: 1, Compiler: "clang++-9.0.0", Optimization: "-O2"},
+		{Cluster: "quartz", Variant: VariantSequential, Tool: ToolGPU, ProblemSize: 1, Compiler: "clang++-9.0.0", Optimization: "-O2"},
+		{Cluster: "quartz", Variant: VariantSequential, Tool: ToolTiming, ProblemSize: 0, Compiler: "clang++-9.0.0", Optimization: "-O2"},
+		{Cluster: "quartz", Variant: VariantSequential, Tool: ToolTiming, ProblemSize: 1, Compiler: "icc", Optimization: "-O2"},
+		{Cluster: "quartz", Variant: VariantSequential, Tool: ToolTiming, ProblemSize: 1, Compiler: "clang++-9.0.0", Optimization: "-O9"},
+		{Cluster: "lassen", Variant: VariantCUDA, Tool: ToolGPU, ProblemSize: 1, Compiler: "xlc-16.1.1.12", Optimization: "-O0", BlockSize: 99},
+		{Cluster: "lassen", Variant: "Vulkan", Tool: ToolGPU, ProblemSize: 1, Compiler: "xlc-16.1.1.12", Optimization: "-O0", BlockSize: 128},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateRaja(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFigure13EnsembleCounts(t *testing.T) {
+	rows := Figure13Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	wantCounts := []int{160, 160, 40, 40, 160}
+	total := 0
+	for i, row := range rows {
+		if got := row.Profiles(); got != wantCounts[i] {
+			t.Errorf("row %d: %d profiles, want %d", i, got, wantCounts[i])
+		}
+		total += row.Profiles()
+	}
+	if total != 560 {
+		t.Errorf("total = %d, want 560", total)
+	}
+	// Generate one (cheap) row fully and check the count matches.
+	ps, err := RajaEnsemble(rows[2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 40 {
+		t.Errorf("generated %d profiles, want 40", len(ps))
+	}
+	// All hashes distinct.
+	seen := map[int64]bool{}
+	for _, p := range ps {
+		h := p.Hash()
+		if seen[h] {
+			t.Fatal("duplicate profile hash in ensemble")
+		}
+		seen[h] = true
+	}
+}
+
+func TestMarblProfileShape(t *testing.T) {
+	p, err := GenerateMarbl(MarblConfig{Cluster: ClusterRZTopaz, Nodes: 4, Trial: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ranks, _ := p.Meta("mpi.world.size")
+	if ranks.Int() != 144 {
+		t.Errorf("ranks = %d, want 144", ranks.Int())
+	}
+	if p.Tree().NodeByPath([]string{"main", "timeStepLoop", "LagrangeLeapFrog", "M_solver->Mult"}) == nil {
+		t.Errorf("missing solver node:\n%s", p.Tree().Render(nil))
+	}
+	wall, _ := p.Meta("walltime")
+	if wall.Float() <= 0 {
+		t.Error("walltime must be positive")
+	}
+	// Inclusive min <= avg <= max at every region.
+	for _, n := range p.Tree().Nodes() {
+		avg, ok := p.Metric(n.Key(), "Avg time/rank")
+		if !ok {
+			continue
+		}
+		mn, _ := p.Metric(n.Key(), "min#inclusive#sum#time.duration")
+		mx, _ := p.Metric(n.Key(), "max#inclusive#sum#time.duration")
+		if mn.Float() > avg.Float() || avg.Float() > mx.Float() {
+			t.Errorf("%s: min %.3f avg %.3f max %.3f violate ordering", n.Name(), mn.Float(), avg.Float(), mx.Float())
+		}
+	}
+}
+
+func TestMarblStrongScalingShape(t *testing.T) {
+	// Near-ideal to 16 nodes; efficiency declines by 64 (Figure 17).
+	tpcAt := func(cl MarblCluster, nodes int) float64 {
+		p, err := GenerateMarbl(MarblConfig{Cluster: cl, Nodes: nodes, Trial: 0, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall, _ := p.Meta("walltime")
+		cycles, _ := p.Meta("cycles")
+		node := p.Tree().NodeByPath([]string{"main", "timeStepLoop"})
+		step, _ := p.Metric(node.Key(), "Avg time/rank")
+		_ = wall
+		return step.Float() / float64(cycles.Int())
+	}
+	for _, cl := range BothClusters() {
+		t1 := tpcAt(cl, 1)
+		t16 := tpcAt(cl, 16)
+		eff16 := t1 / (16 * t16)
+		if eff16 < 0.85 {
+			t.Errorf("%s: efficiency at 16 nodes = %.2f, want >= 0.85", cl, eff16)
+		}
+		t64 := tpcAt(cl, 64)
+		eff64 := t1 / (64 * t64)
+		if eff64 >= eff16 {
+			t.Errorf("%s: efficiency should decline from 16 (%.2f) to 64 (%.2f) nodes", cl, eff16, eff64)
+		}
+	}
+	// AWS faster than CTS at scale (Figures 11, 17, 18).
+	if tpcAt(ClusterAWS, 16) >= tpcAt(ClusterRZTopaz, 16) {
+		t.Error("AWS must be faster than RZTopaz")
+	}
+}
+
+func TestMarblSolverFollowsFigure11Law(t *testing.T) {
+	// The solver's generating law is exactly c − a·p^(1/3) on the fitted
+	// range, so Extra-P must be able to recover it.
+	got := SolverAvgTimePerRank(ClusterRZTopaz, 1152)
+	want := 200.231242693312 - 18.278533682209932*math.Cbrt(1152)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("solver law = %v, want %v", got, want)
+	}
+	// Floor engages beyond the fitted range.
+	if v := SolverAvgTimePerRank(ClusterRZTopaz, 100000); v != 4.0 {
+		t.Errorf("floor = %v, want 4.0", v)
+	}
+	// AWS is uniformly faster on the fitted range.
+	for _, p := range []float64{36, 144, 1152} {
+		if SolverAvgTimePerRank(ClusterAWS, p) >= SolverAvgTimePerRank(ClusterRZTopaz, p) {
+			t.Errorf("AWS solver slower at p=%v", p)
+		}
+	}
+}
+
+func TestMarblEnsembleCounts(t *testing.T) {
+	ps, err := MarblEnsemble(BothClusters(), Figure16Nodes(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 60 {
+		t.Errorf("ensemble = %d profiles, want 60", len(ps))
+	}
+	seen := map[int64]bool{}
+	for _, p := range ps {
+		if seen[p.Hash()] {
+			t.Fatal("duplicate hash")
+		}
+		seen[p.Hash()] = true
+	}
+}
+
+func TestMarblValidation(t *testing.T) {
+	if _, err := GenerateMarbl(MarblConfig{Cluster: "petrichor", Nodes: 1}); err == nil {
+		t.Error("unknown cluster must error")
+	}
+	if _, err := GenerateMarbl(MarblConfig{Cluster: ClusterAWS, Nodes: 0}); err == nil {
+		t.Error("zero nodes must error")
+	}
+}
+
+func TestMarblProfileRoundTrip(t *testing.T) {
+	p, err := GenerateMarbl(MarblConfig{Cluster: ClusterAWS, Nodes: 8, Trial: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.FromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != p.Hash() || !back.Tree().Equal(p.Tree()) {
+		t.Error("MARBL profile does not survive serialization")
+	}
+}
+
+func TestRajaKernelNames(t *testing.T) {
+	names := RajaKernelNames()
+	if len(names) != 9 {
+		t.Errorf("CPU kernels = %d, want 9: %v", len(names), names)
+	}
+}
+
+func TestRajaLevel2TopdownMetrics(t *testing.T) {
+	p, err := GenerateRaja(RajaConfig{
+		Cluster: "quartz", Variant: VariantSequential, Tool: ToolTopdown,
+		ProblemSize: 8388608, Compiler: "clang++-9.0.0", Optimization: "-O2",
+		OmpThreads: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(group, name, metric string) float64 {
+		return metricAt(t, p, []string{"Base_Seq", group, name}, metric)
+	}
+	// Children sum to the level-1 backend bound.
+	for _, k := range rajaKernels {
+		if k.GPUOnly {
+			continue
+		}
+		be := get(k.Group, k.Name, "Backend bound")
+		mem := get(k.Group, k.Name, "Memory bound")
+		core := get(k.Group, k.Name, "Core bound")
+		if math.Abs(mem+core-be) > 1e-9 {
+			t.Errorf("%s: memory %.3f + core %.3f != backend %.3f", k.Name, mem, core, be)
+		}
+	}
+	// HYDRO_1D is dominated by memory stalls; VOL3D splits more evenly.
+	hydroMem := get("Lcals", "Lcals_HYDRO_1D", "Memory bound")
+	hydroCore := get("Lcals", "Lcals_HYDRO_1D", "Core bound")
+	if hydroMem < 4*hydroCore {
+		t.Errorf("HYDRO_1D memory %.3f vs core %.3f: should be strongly memory bound", hydroMem, hydroCore)
+	}
+	volMem := get("Apps", "Apps_VOL3D", "Memory bound")
+	volCore := get("Apps", "Apps_VOL3D", "Core bound")
+	if volCore < volMem*0.3 {
+		t.Errorf("VOL3D core %.3f vs memory %.3f: compute kernel should show core stalls", volCore, volMem)
+	}
+}
+
+func TestParallelGenerationDeterministic(t *testing.T) {
+	// The worker pool must not perturb output order or content.
+	a, err := Figure13Ensemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure13Ensemble(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Fatalf("profile %d differs across runs", i)
+		}
+	}
+}
+
+func TestOpenMPVariantFasterThanSequential(t *testing.T) {
+	seq, err := GenerateRaja(cpuCfg(8388608, "-O0", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := GenerateRaja(RajaConfig{
+		Cluster: "quartz", Variant: VariantOpenMP, Tool: ToolTiming,
+		ProblemSize: 8388608, Compiler: "clang++-9.0.0", Optimization: "-O0",
+		OmpThreads: 72, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omp.Tree().NodeByPath([]string{"Base_OpenMP", "Apps", "Apps_VOL3D"}) == nil {
+		t.Fatalf("OpenMP tree missing kernel:\n%s", omp.Tree().Render(nil))
+	}
+	for _, k := range rajaKernels {
+		if k.GPUOnly {
+			continue
+		}
+		ts := metricAt(t, seq, []string{"Base_Seq", k.Group, k.Name}, "time (exc)")
+		to := metricAt(t, omp, []string{"Base_OpenMP", k.Group, k.Name}, "time (exc)")
+		speedup := ts / to
+		if speedup < 2 {
+			t.Errorf("%s: OpenMP speedup %.2f, want >= 2 (bandwidth saturation floor)", k.Name, speedup)
+		}
+		if speedup > 60 {
+			t.Errorf("%s: OpenMP speedup %.2f implausible for 72 threads", k.Name, speedup)
+		}
+	}
+}
+
+func TestEnsembleGeneratorsDirect(t *testing.T) {
+	td, err := TopdownEnsemble([]int64{1048576}, []string{"-O1", "-O3"}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != 4 {
+		t.Errorf("topdown ensemble = %d, want 4", len(td))
+	}
+	tm, err := TimingEnsemble([]int64{1048576, 2097152}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm) != 4 {
+		t.Errorf("timing ensemble = %d, want 4", len(tm))
+	}
+	gpu, err := GPUEnsemble([]int64{1048576}, 512, 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpu) != 4 { // (gpu + ncu) × 2 trials
+		t.Errorf("gpu ensemble = %d, want 4", len(gpu))
+	}
+	multi, err := MarblMultiParamEnsemble(ClusterAWS, []int{1, 2}, []int64{442368, 884736}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 4 {
+		t.Errorf("multi-param ensemble = %d, want 4", len(multi))
+	}
+	// Problem-size metadata carried through.
+	v, ok := multi[0].Meta("total_elems")
+	if !ok || v.Int() != 442368 {
+		t.Errorf("total_elems = %v", v)
+	}
+	if nodes := Figure17Nodes(); len(nodes) != 7 || nodes[6] != 64 {
+		t.Errorf("Figure17Nodes = %v", nodes)
+	}
+	// Error propagation through the parallel generator.
+	if _, err := TopdownEnsemble([]int64{-1}, []string{"-O2"}, 1, 1); err == nil {
+		t.Error("invalid size must propagate")
+	}
+	if _, err := GPUEnsemble([]int64{1048576}, 99, 1, false, 1); err == nil {
+		t.Error("invalid block size must propagate")
+	}
+	if _, err := MarblMultiParamEnsemble("ghost", []int{1}, []int64{1}, 1, 1); err == nil {
+		t.Error("invalid cluster must propagate")
+	}
+}
+
+func TestTopdownFractionsOptLevels(t *testing.T) {
+	// Each optimization level produces a valid, distinct breakdown.
+	prev := -1.0
+	for _, opt := range []string{"-O0", "-O1", "-O2", "-O3"} {
+		p, err := GenerateRaja(RajaConfig{
+			Cluster: "quartz", Variant: VariantSequential, Tool: ToolTopdown,
+			ProblemSize: 1048576, Compiler: "clang++-9.0.0", Optimization: opt,
+			OmpThreads: 1, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be := metricAt(t, p, []string{"Base_Seq", "Stream", "Stream_ADD"}, "Backend bound")
+		if be <= 0 || be >= 1 {
+			t.Errorf("%s: backend bound = %v out of range", opt, be)
+		}
+		if be == prev {
+			t.Errorf("%s: breakdown identical to previous level", opt)
+		}
+		prev = be
+	}
+}

@@ -1,0 +1,314 @@
+// Package stats provides the descriptive statistics behind Thicket's
+// aggregated-statistics component (paper §4.2.1): variance, standard
+// deviation, extrema, percentiles, correlation, mean, and median, plus
+// named aggregators used for order reduction across profiles.
+//
+// All functions skip NaN inputs (missing cells); a statistic of an
+// all-NaN or empty sample is NaN.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// clean returns the non-NaN values of xs (freshly allocated).
+func clean(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Count returns the number of non-NaN values.
+func Count(xs []float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Sum returns the sum of non-NaN values (0 for an empty sample).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s += x
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of non-NaN values.
+func Mean(xs []float64) float64 {
+	n := Count(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / n
+}
+
+// Variance returns the unbiased (n-1) sample variance; NaN when fewer
+// than two values. Uses the two-pass algorithm for numerical stability.
+func Variance(xs []float64) float64 {
+	v := clean(xs)
+	if len(v) < 2 {
+		return math.NaN()
+	}
+	m := Mean(v)
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(v)-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum non-NaN value.
+func Min(xs []float64) float64 {
+	v := clean(xs)
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum non-NaN value.
+func Max(xs []float64) float64 {
+	v := clean(xs)
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the q-th percentile (0 <= q <= 100) using linear
+// interpolation between closest ranks (the numpy default).
+func Percentile(xs []float64, q float64) float64 {
+	v := clean(xs)
+	if len(v) == 0 || q < 0 || q > 100 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sort.Float64s(v)
+	if len(v) == 1 {
+		return v[0]
+	}
+	pos := q / 100 * float64(len(v)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return v[lo]
+	}
+	frac := pos - float64(lo)
+	return v[lo]*(1-frac) + v[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples,
+// skipping pairs where either side is NaN. NaN when fewer than two valid
+// pairs or when either side is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return math.NaN(), fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys))
+	}
+	var px, py []float64
+	for i := range xs {
+		if !math.IsNaN(xs[i]) && !math.IsNaN(ys[i]) {
+			px = append(px, xs[i])
+			py = append(py, ys[i])
+		}
+	}
+	if len(px) < 2 {
+		return math.NaN(), nil
+	}
+	mx, my := Mean(px), Mean(py)
+	var sxy, sxx, syy float64
+	for i := range px {
+		dx, dy := px[i]-mx, py[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN(), nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation of paired samples.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return math.NaN(), fmt.Errorf("stats: Spearman length mismatch %d vs %d", len(xs), len(ys))
+	}
+	var px, py []float64
+	for i := range xs {
+		if !math.IsNaN(xs[i]) && !math.IsNaN(ys[i]) {
+			px = append(px, xs[i])
+			py = append(py, ys[i])
+		}
+	}
+	return Pearson(ranks(px), ranks(py))
+}
+
+// ranks assigns average ranks (1-based) with tie averaging.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Geomean returns the geometric mean of positive non-NaN values; NaN
+// when the sample is empty or any value is non-positive.
+func Geomean(xs []float64) float64 {
+	v := clean(xs)
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, x := range v {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(v)))
+}
+
+// CV returns the coefficient of variation (std/mean) — the standard
+// run-to-run variability measure for performance ensembles. NaN when the
+// mean is zero or fewer than two values.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) {
+		return math.NaN()
+	}
+	return Std(xs) / math.Abs(m)
+}
+
+// Aggregator is a named order-reduction function: it folds the values of
+// one metric across all profiles of a call-tree node into one number. The
+// aggregated-statistics table stores one column per (metric, aggregator)
+// pair, suffixed "metric_name" as in the paper (e.g. "time (exc)_std").
+type Aggregator struct {
+	Name string
+	Fn   func([]float64) float64
+}
+
+// Built-in aggregators matching the paper's list (§4.2.1): variance,
+// standard deviation, maximum, minimum, percentiles, mean, and median.
+func builtinAggregators() []Aggregator {
+	return []Aggregator{
+		{Name: "mean", Fn: Mean},
+		{Name: "median", Fn: Median},
+		{Name: "var", Fn: Variance},
+		{Name: "std", Fn: Std},
+		{Name: "min", Fn: Min},
+		{Name: "max", Fn: Max},
+		{Name: "sum", Fn: Sum},
+		{Name: "count", Fn: Count},
+		{Name: "geomean", Fn: Geomean},
+		{Name: "cv", Fn: CV},
+	}
+}
+
+// ByName returns a built-in aggregator by name, or a percentile
+// aggregator for names like "p25"/"p99".
+func ByName(name string) (Aggregator, error) {
+	for _, a := range builtinAggregators() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	if len(name) > 1 && name[0] == 'p' {
+		var q float64
+		if _, err := fmt.Sscanf(name[1:], "%f", &q); err == nil && q >= 0 && q <= 100 {
+			return PercentileAggregator(q), nil
+		}
+	}
+	return Aggregator{}, fmt.Errorf("stats: unknown aggregator %q", name)
+}
+
+// Names lists the built-in aggregator names.
+func Names() []string {
+	all := builtinAggregators()
+	out := make([]string, len(all))
+	for i, a := range all {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// PercentileAggregator builds a named percentile aggregator (e.g. p25).
+func PercentileAggregator(q float64) Aggregator {
+	return Aggregator{
+		Name: fmt.Sprintf("p%g", q),
+		Fn:   func(xs []float64) float64 { return Percentile(xs, q) },
+	}
+}
+
+// Describe summarizes a sample with the classic five-number summary plus
+// mean, std, and count.
+type Summary struct {
+	Count  float64
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Describe computes a Summary of the sample.
+func Describe(xs []float64) Summary {
+	return Summary{
+		Count:  Count(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    Min(xs),
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		Max:    Max(xs),
+	}
+}

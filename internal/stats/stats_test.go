@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestBasicStatistics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := Std(xs); !almostEq(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if Min(xs) != 2 || Max(xs) != 9 {
+		t.Error("Min/Max broken")
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	if Sum(xs) != 40 || Count(xs) != 8 {
+		t.Error("Sum/Count broken")
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	if got := Mean(xs); got != 2 {
+		t.Errorf("Mean skipping NaN = %v, want 2", got)
+	}
+	if Count(xs) != 2 {
+		t.Error("Count should skip NaN")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Error("empty/all-NaN mean should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{5})) {
+		t.Error("variance of single value should be NaN (sample variance)")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty extrema should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(xs, -1)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("out-of-range percentile should be NaN")
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Error("single-element percentile broken")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(xs []float64, q8 uint8) bool {
+		v := clean(xs)
+		if len(v) == 0 {
+			return true
+		}
+		q := float64(q8) / 255 * 100
+		p := Percentile(xs, q)
+		return p >= Min(xs)-1e-9 && p <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceIdentityProperty(t *testing.T) {
+	// n/(n-1) * (E[x²] − E[x]²) == sample variance, for well-scaled inputs.
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		n := float64(len(xs))
+		m := Mean(xs)
+		ex2 := 0.0
+		for _, x := range xs {
+			ex2 += x * x
+		}
+		ex2 /= n
+		want := n / (n - 1) * (ex2 - m*m)
+		return almostEq(Variance(xs), want, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v (%v)", r, err)
+	}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yNeg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if _, err := Pearson(x, y[:2]); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if r, _ := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(r) {
+		t.Error("constant series correlation should be NaN")
+	}
+	// NaN pairs are dropped.
+	r, _ = Pearson([]float64{1, math.NaN(), 3, 4}, []float64{2, 5, 6, 8})
+	if math.IsNaN(r) {
+		t.Error("NaN pairs should be skipped, not poison")
+	}
+}
+
+func TestPearsonRangeProperty(t *testing.T) {
+	f := func(xr, yr []int8) bool {
+		n := len(xr)
+		if len(yr) < n {
+			n = len(yr)
+		}
+		if n < 2 {
+			return true
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(xr[i])
+			ys[i] = float64(yr[i])
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(r) {
+			return true
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotonic but nonlinear: Spearman = 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	r, err := Spearman(x, y)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("Spearman monotonic = %v (%v)", r, err)
+	}
+	if _, err := Spearman(x, y[:1]); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	for _, name := range Names() {
+		agg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		got := agg.Fn(xs)
+		if name != "var" && name != "std" && math.IsNaN(got) {
+			t.Errorf("%s(1,2,3) is NaN", name)
+		}
+	}
+	p, err := ByName("p75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Fn(xs); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("p75 = %v, want 2.5", got)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown aggregator must error")
+	}
+	if _, err := ByName("p101"); err == nil {
+		t.Error("out-of-range percentile aggregator must error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if !almostEq(s.Median, 2.5, 1e-12) || !almostEq(s.P25, 1.75, 1e-12) || !almostEq(s.P75, 3.25, 1e-12) {
+		t.Errorf("Describe quartiles = %+v", s)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 8}); !almostEq(got, math.Sqrt(8), 1e-12) {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean([]float64{4, 4, 4}); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Geomean of constant = %v", got)
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("non-positive values must yield NaN")
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("empty must yield NaN")
+	}
+	// geomean <= arithmetic mean (AM-GM).
+	xs := []float64{1, 2, 3, 4, 5}
+	if Geomean(xs) > Mean(xs) {
+		t.Error("AM-GM inequality violated")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CV(xs); !almostEq(got, 0, 1e-12) {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	ys := []float64{8, 12}
+	want := Std(ys) / 10
+	if got := CV(ys); !almostEq(got, want, 1e-12) {
+		t.Errorf("CV = %v, want %v", got, want)
+	}
+	if !math.IsNaN(CV([]float64{0, 0})) {
+		t.Error("zero mean must yield NaN")
+	}
+	// Named aggregator reachable.
+	if _, err := ByName("cv"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("geomean"); err != nil {
+		t.Error(err)
+	}
+}

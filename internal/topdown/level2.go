@@ -1,0 +1,157 @@
+package topdown
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level-2 of Yasin's hierarchy: "each category is hierarchically divided
+// into more detailed sub-categories to narrow down specific performance
+// bottlenecks" (paper §5.1.1; the paper's study stops at level 1, this
+// implements the next level for deeper drill-downs):
+//
+//	backend bound   → memory bound + core bound
+//	frontend bound  → fetch latency + fetch bandwidth
+//	bad speculation → branch mispredicts + machine clears
+//	retiring        → base + microcode sequencer
+type Level2 struct {
+	Level1 Breakdown
+
+	// Backend split.
+	MemoryBound float64
+	CoreBound   float64
+	// Frontend split.
+	FetchLatency   float64
+	FetchBandwidth float64
+	// Bad-speculation split.
+	BranchMispredicts float64
+	MachineClears     float64
+	// Retiring split.
+	Base               float64
+	MicrocodeSequencer float64
+}
+
+// Level2Counters extends Counters with the events the level-2 derivation
+// needs.
+type Level2Counters struct {
+	Counters
+
+	// Memory-bound fraction drivers: cycles stalled on loads
+	// (CYCLE_ACTIVITY.STALLS_MEM_ANY) out of total execution stalls
+	// (CYCLE_ACTIVITY.STALLS_TOTAL).
+	MemStallCycles   float64
+	TotalStallCycles float64
+
+	// Frontend split: latency bubbles (IDQ_UOPS_NOT_DELIVERED.CYCLES_0_UOPS
+	// × width) out of all fetch bubbles.
+	FetchLatencyBubbles float64
+
+	// Bad-speculation split: machine-clear slots
+	// (MACHINE_CLEARS.COUNT-weighted) out of all speculation waste.
+	MachineClearSlots float64
+
+	// Retiring split: microcode-sequencer uops (IDQ.MS_UOPS) out of
+	// retired slots.
+	MSUops float64
+}
+
+// ComputeLevel2 derives the two-level breakdown. Each level-2 pair sums
+// to its level-1 parent; fractions are clamped to valid ranges.
+func ComputeLevel2(c Level2Counters) (Level2, error) {
+	l1, err := Compute(c.Counters)
+	if err != nil {
+		return Level2{}, err
+	}
+	for name, v := range map[string]float64{
+		"memory stall cycles":   c.MemStallCycles,
+		"total stall cycles":    c.TotalStallCycles,
+		"fetch latency bubbles": c.FetchLatencyBubbles,
+		"machine clear slots":   c.MachineClearSlots,
+		"microcode uops":        c.MSUops,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			return Level2{}, fmt.Errorf("topdown: %s is %v", name, v)
+		}
+	}
+	if c.MemStallCycles > c.TotalStallCycles {
+		return Level2{}, fmt.Errorf("topdown: memory stalls (%v) exceed total stalls (%v)", c.MemStallCycles, c.TotalStallCycles)
+	}
+	if c.FetchLatencyBubbles > c.FetchBubbles {
+		return Level2{}, fmt.Errorf("topdown: fetch latency bubbles (%v) exceed fetch bubbles (%v)", c.FetchLatencyBubbles, c.FetchBubbles)
+	}
+	if c.MSUops > c.RetireSlots {
+		return Level2{}, fmt.Errorf("topdown: microcode uops (%v) exceed retired slots (%v)", c.MSUops, c.RetireSlots)
+	}
+
+	out := Level2{Level1: l1}
+
+	// Backend: memory share of stalls partitions backend bound.
+	memShare := 0.0
+	if c.TotalStallCycles > 0 {
+		memShare = c.MemStallCycles / c.TotalStallCycles
+	}
+	out.MemoryBound = l1.BackendBound * memShare
+	out.CoreBound = l1.BackendBound - out.MemoryBound
+
+	// Frontend: latency bubbles partition frontend bound.
+	latShare := 0.0
+	if c.FetchBubbles > 0 {
+		latShare = c.FetchLatencyBubbles / c.FetchBubbles
+	}
+	out.FetchLatency = l1.FrontendBound * latShare
+	out.FetchBandwidth = l1.FrontendBound - out.FetchLatency
+
+	// Bad speculation: machine clears out of total wasted slots.
+	wasted := c.IssuedUops - c.RetireSlots + c.widthOr4()*c.RecoveryCycles
+	clearShare := 0.0
+	if wasted > 0 {
+		clearShare = clamp01(c.MachineClearSlots / wasted)
+	}
+	out.MachineClears = l1.BadSpeculation * clearShare
+	out.BranchMispredicts = l1.BadSpeculation - out.MachineClears
+
+	// Retiring: microcode sequencer out of retired slots.
+	msShare := 0.0
+	if c.RetireSlots > 0 {
+		msShare = c.MSUops / c.RetireSlots
+	}
+	out.MicrocodeSequencer = l1.Retiring * msShare
+	out.Base = l1.Retiring - out.MicrocodeSequencer
+	return out, nil
+}
+
+func (c Counters) widthOr4() float64 {
+	if c.SlotsPerCycle == 0 {
+		return DefaultSlotsPerCycle
+	}
+	return c.SlotsPerCycle
+}
+
+// Dominant names the largest level-2 category.
+func (l Level2) Dominant() string {
+	best, name := math.Inf(-1), ""
+	for _, c := range []struct {
+		n string
+		v float64
+	}{
+		{"memory bound", l.MemoryBound},
+		{"core bound", l.CoreBound},
+		{"fetch latency", l.FetchLatency},
+		{"fetch bandwidth", l.FetchBandwidth},
+		{"branch mispredicts", l.BranchMispredicts},
+		{"machine clears", l.MachineClears},
+		{"base", l.Base},
+		{"microcode sequencer", l.MicrocodeSequencer},
+	} {
+		if c.v > best {
+			best, name = c.v, c.n
+		}
+	}
+	return name
+}
+
+// Sum returns the total of the eight level-2 categories (≈ 1).
+func (l Level2) Sum() float64 {
+	return l.MemoryBound + l.CoreBound + l.FetchLatency + l.FetchBandwidth +
+		l.BranchMispredicts + l.MachineClears + l.Base + l.MicrocodeSequencer
+}

@@ -1,0 +1,137 @@
+package topdown
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func level2Base() Level2Counters {
+	return Level2Counters{
+		Counters: Counters{
+			Cycles:       1000,
+			RetireSlots:  1600,
+			IssuedUops:   1800,
+			FetchBubbles: 400,
+		},
+		MemStallCycles:      600,
+		TotalStallCycles:    800,
+		FetchLatencyBubbles: 300,
+		MachineClearSlots:   50,
+		MSUops:              160,
+	}
+}
+
+func TestComputeLevel2(t *testing.T) {
+	l2, err := ComputeLevel2(level2Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 parents: retiring 0.40, badspec 0.05, frontend 0.10,
+	// backend 0.45.
+	tol := 1e-12
+	if math.Abs(l2.MemoryBound-0.45*0.75) > tol {
+		t.Errorf("MemoryBound = %v", l2.MemoryBound)
+	}
+	if math.Abs(l2.CoreBound-0.45*0.25) > tol {
+		t.Errorf("CoreBound = %v", l2.CoreBound)
+	}
+	if math.Abs(l2.FetchLatency-0.10*0.75) > tol {
+		t.Errorf("FetchLatency = %v", l2.FetchLatency)
+	}
+	if math.Abs(l2.MachineClears-0.05*0.25) > tol {
+		t.Errorf("MachineClears = %v (want badspec × 50/200)", l2.MachineClears)
+	}
+	if math.Abs(l2.MicrocodeSequencer-0.40*0.10) > tol {
+		t.Errorf("MicrocodeSequencer = %v", l2.MicrocodeSequencer)
+	}
+	// Children sum to parents, total sums to 1.
+	if math.Abs(l2.MemoryBound+l2.CoreBound-l2.Level1.BackendBound) > tol {
+		t.Error("backend children do not sum to parent")
+	}
+	if math.Abs(l2.Sum()-1) > 1e-9 {
+		t.Errorf("level-2 sum = %v", l2.Sum())
+	}
+	if l2.Dominant() != "base" && l2.Dominant() != "memory bound" {
+		t.Errorf("dominant = %q", l2.Dominant())
+	}
+}
+
+func TestComputeLevel2Validation(t *testing.T) {
+	mut := func(f func(*Level2Counters)) Level2Counters {
+		c := level2Base()
+		f(&c)
+		return c
+	}
+	cases := []Level2Counters{
+		mut(func(c *Level2Counters) { c.MemStallCycles = c.TotalStallCycles + 1 }),
+		mut(func(c *Level2Counters) { c.FetchLatencyBubbles = c.FetchBubbles + 1 }),
+		mut(func(c *Level2Counters) { c.MSUops = c.RetireSlots + 1 }),
+		mut(func(c *Level2Counters) { c.MemStallCycles = -1 }),
+		mut(func(c *Level2Counters) { c.MachineClearSlots = math.NaN() }),
+		mut(func(c *Level2Counters) { c.Cycles = 0 }), // level-1 failure propagates
+	}
+	for i, c := range cases {
+		if _, err := ComputeLevel2(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLevel2ZeroDenominators(t *testing.T) {
+	c := level2Base()
+	c.TotalStallCycles, c.MemStallCycles = 0, 0
+	c.FetchBubbles, c.FetchLatencyBubbles = 0, 0
+	c.MSUops = 0
+	l2, err := ComputeLevel2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.MemoryBound != 0 || l2.FetchLatency != 0 || l2.MicrocodeSequencer != 0 {
+		t.Error("zero denominators should yield zero shares, not NaN")
+	}
+	if math.IsNaN(l2.Sum()) {
+		t.Error("sum must stay finite")
+	}
+}
+
+func TestLevel2ChildrenSumProperty(t *testing.T) {
+	f := func(memS, latS, clrS, msS uint8) bool {
+		c := level2Base()
+		c.MemStallCycles = c.TotalStallCycles * float64(memS) / 255
+		c.FetchLatencyBubbles = c.FetchBubbles * float64(latS) / 255
+		c.MachineClearSlots = 200 * float64(clrS) / 255
+		c.MSUops = c.RetireSlots * float64(msS) / 255
+		l2, err := ComputeLevel2(c)
+		if err != nil {
+			return false
+		}
+		tol := 1e-9
+		return math.Abs(l2.MemoryBound+l2.CoreBound-l2.Level1.BackendBound) < tol &&
+			math.Abs(l2.FetchLatency+l2.FetchBandwidth-l2.Level1.FrontendBound) < tol &&
+			math.Abs(l2.BranchMispredicts+l2.MachineClears-l2.Level1.BadSpeculation) < tol &&
+			math.Abs(l2.Base+l2.MicrocodeSequencer-l2.Level1.Retiring) < tol &&
+			l2.MemoryBound >= 0 && l2.CoreBound >= 0 &&
+			l2.FetchLatency >= 0 && l2.FetchBandwidth >= 0 &&
+			l2.BranchMispredicts >= -tol && l2.MachineClears >= 0 &&
+			l2.Base >= 0 && l2.MicrocodeSequencer >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevel2DominantCoverage(t *testing.T) {
+	l := Level2{CoreBound: 0.9}
+	if l.Dominant() != "core bound" {
+		t.Errorf("dominant = %q", l.Dominant())
+	}
+	l = Level2{FetchBandwidth: 0.9}
+	if l.Dominant() != "fetch bandwidth" {
+		t.Errorf("dominant = %q", l.Dominant())
+	}
+	l = Level2{BranchMispredicts: 0.9}
+	if l.Dominant() != "branch mispredicts" {
+		t.Errorf("dominant = %q", l.Dominant())
+	}
+}

@@ -1,0 +1,152 @@
+// Package topdown implements Yasin's top-down micro-architecture analysis
+// (ISPASS'14) at the top level the paper uses (§5.1.1): the pipeline-slot
+// breakdown into retiring, frontend bound, backend bound, and bad
+// speculation, derived from hardware performance counters. It plays the
+// role of Caliper's topdown service: the simulator emits synthetic
+// counters and this package computes the four fractions from them.
+package topdown
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultSlotsPerCycle is the issue width of the modelled Intel core
+// (4 slots/cycle on the Xeon E5-2695 v4 in Quartz).
+const DefaultSlotsPerCycle = 4
+
+// Counters are the raw per-region hardware counters the model consumes.
+// They mirror the Intel events of the top-level top-down derivation:
+//
+//	retiring        = RetireSlots / TotalSlots
+//	bad speculation = (IssuedUops − RetireSlots + W·RecoveryCycles) / TotalSlots
+//	frontend bound  = FetchBubbles / TotalSlots
+//	backend bound   = 1 − (retiring + bad speculation + frontend bound)
+type Counters struct {
+	Cycles         float64 // CPU_CLK_UNHALTED.THREAD
+	SlotsPerCycle  float64 // pipeline width W; 0 means DefaultSlotsPerCycle
+	RetireSlots    float64 // UOPS_RETIRED.RETIRE_SLOTS
+	IssuedUops     float64 // UOPS_ISSUED.ANY
+	RecoveryCycles float64 // INT_MISC.RECOVERY_CYCLES
+	FetchBubbles   float64 // IDQ_UOPS_NOT_DELIVERED.CORE
+}
+
+// TotalSlots returns W · Cycles.
+func (c Counters) TotalSlots() float64 {
+	w := c.SlotsPerCycle
+	if w == 0 {
+		w = DefaultSlotsPerCycle
+	}
+	return w * c.Cycles
+}
+
+// Breakdown is the top-level slot breakdown; the four categories sum to 1.
+type Breakdown struct {
+	Retiring       float64
+	FrontendBound  float64
+	BackendBound   float64
+	BadSpeculation float64
+}
+
+// Compute derives the top-level breakdown from counters, validating the
+// inputs and clamping each category to [0,1]. An error is returned for
+// non-physical counters (negative values, zero cycles, retired > issued).
+func Compute(c Counters) (Breakdown, error) {
+	w := c.SlotsPerCycle
+	if w == 0 {
+		w = DefaultSlotsPerCycle
+	}
+	if w < 1 {
+		return Breakdown{}, fmt.Errorf("topdown: slots per cycle %v < 1", w)
+	}
+	if c.Cycles <= 0 {
+		return Breakdown{}, fmt.Errorf("topdown: cycles must be positive, got %v", c.Cycles)
+	}
+	for name, v := range map[string]float64{
+		"retire slots":    c.RetireSlots,
+		"issued uops":     c.IssuedUops,
+		"recovery cycles": c.RecoveryCycles,
+		"fetch bubbles":   c.FetchBubbles,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			return Breakdown{}, fmt.Errorf("topdown: %s is %v", name, v)
+		}
+	}
+	if c.RetireSlots > c.IssuedUops {
+		return Breakdown{}, fmt.Errorf("topdown: retired slots (%v) exceed issued uops (%v)", c.RetireSlots, c.IssuedUops)
+	}
+	slots := w * c.Cycles
+	ret := clamp01(c.RetireSlots / slots)
+	bad := clamp01((c.IssuedUops - c.RetireSlots + w*c.RecoveryCycles) / slots)
+	fe := clamp01(c.FetchBubbles / slots)
+	if ret+bad+fe > 1 {
+		// Renormalize the measured categories when counter noise pushes
+		// them past the slot budget, leaving backend bound at zero.
+		total := ret + bad + fe
+		ret, bad, fe = ret/total, bad/total, fe/total
+	}
+	be := clamp01(1 - ret - bad - fe)
+	return Breakdown{Retiring: ret, FrontendBound: fe, BackendBound: be, BadSpeculation: bad}, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Sum returns the total of the four categories (1 up to rounding).
+func (b Breakdown) Sum() float64 {
+	return b.Retiring + b.FrontendBound + b.BackendBound + b.BadSpeculation
+}
+
+// Dominant names the largest category: one of "retiring",
+// "frontend bound", "backend bound", "bad speculation".
+func (b Breakdown) Dominant() string {
+	name, best := "retiring", b.Retiring
+	if b.FrontendBound > best {
+		name, best = "frontend bound", b.FrontendBound
+	}
+	if b.BackendBound > best {
+		name, best = "backend bound", b.BackendBound
+	}
+	if b.BadSpeculation > best {
+		name = "bad speculation"
+	}
+	return name
+}
+
+// SynthesizeCounters inverts the model for simulation: given target
+// fractions and a cycle count, it produces counters from which Compute
+// recovers the fractions. Fractions must be non-negative and sum to at
+// most 1 (backend bound absorbs the remainder).
+func SynthesizeCounters(retiring, frontend, badSpec, cycles float64) (Counters, error) {
+	if cycles <= 0 {
+		return Counters{}, fmt.Errorf("topdown: cycles must be positive")
+	}
+	for name, v := range map[string]float64{"retiring": retiring, "frontend": frontend, "bad speculation": badSpec} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return Counters{}, fmt.Errorf("topdown: %s fraction %v outside [0,1]", name, v)
+		}
+	}
+	if retiring+frontend+badSpec > 1+1e-9 {
+		return Counters{}, fmt.Errorf("topdown: fractions sum to %v > 1", retiring+frontend+badSpec)
+	}
+	w := float64(DefaultSlotsPerCycle)
+	slots := w * cycles
+	retSlots := retiring * slots
+	// Attribute all bad-speculation slots to wasted issue (no recovery
+	// cycles), keeping the inversion exact.
+	issued := retSlots + badSpec*slots
+	return Counters{
+		Cycles:        cycles,
+		SlotsPerCycle: w,
+		RetireSlots:   retSlots,
+		IssuedUops:    issued,
+		FetchBubbles:  frontend * slots,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package topdown
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeKnownBreakdown(t *testing.T) {
+	// 1000 cycles × 4 slots = 4000 slots.
+	// retiring 0.40, bad spec (1800-1600)/4000 = 0.05, frontend 0.10,
+	// backend = 0.45.
+	c := Counters{
+		Cycles:       1000,
+		RetireSlots:  1600,
+		IssuedUops:   1800,
+		FetchBubbles: 400,
+	}
+	b, err := Compute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Retiring-0.40) > 1e-12 ||
+		math.Abs(b.BadSpeculation-0.05) > 1e-12 ||
+		math.Abs(b.FrontendBound-0.10) > 1e-12 ||
+		math.Abs(b.BackendBound-0.45) > 1e-12 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if math.Abs(b.Sum()-1) > 1e-12 {
+		t.Errorf("sum = %v, want 1", b.Sum())
+	}
+	if b.Dominant() != "backend bound" {
+		t.Errorf("dominant = %q", b.Dominant())
+	}
+}
+
+func TestRecoveryCyclesContribute(t *testing.T) {
+	c := Counters{Cycles: 1000, RetireSlots: 1600, IssuedUops: 1600, RecoveryCycles: 50, FetchBubbles: 0}
+	b, err := Compute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bad spec = 4*50/4000 = 0.05.
+	if math.Abs(b.BadSpeculation-0.05) > 1e-12 {
+		t.Errorf("bad speculation = %v, want 0.05", b.BadSpeculation)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	bad := []Counters{
+		{Cycles: 0, RetireSlots: 1, IssuedUops: 1},
+		{Cycles: -5, RetireSlots: 1, IssuedUops: 1},
+		{Cycles: 100, RetireSlots: -1, IssuedUops: 1},
+		{Cycles: 100, RetireSlots: 10, IssuedUops: 5},
+		{Cycles: 100, RetireSlots: 1, IssuedUops: 1, FetchBubbles: math.NaN()},
+		{Cycles: 100, SlotsPerCycle: 0.5, RetireSlots: 1, IssuedUops: 1},
+	}
+	for i, c := range bad {
+		if _, err := Compute(c); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, c)
+		}
+	}
+}
+
+func TestOverflowRenormalized(t *testing.T) {
+	// Measured categories exceeding the slot budget must renormalize.
+	c := Counters{Cycles: 100, RetireSlots: 300, IssuedUops: 350, FetchBubbles: 200}
+	b, err := Compute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sum() > 1+1e-9 {
+		t.Errorf("sum = %v > 1", b.Sum())
+	}
+	if b.BackendBound != 0 {
+		t.Errorf("backend should absorb nothing on overflow, got %v", b.BackendBound)
+	}
+}
+
+func TestSynthesizeRoundTripProperty(t *testing.T) {
+	f := func(r8, f8, b8 uint8) bool {
+		// Scale so the three fractions sum to <= 0.9.
+		total := float64(r8) + float64(f8) + float64(b8) + 1
+		ret := float64(r8) / total * 0.9
+		fe := float64(f8) / total * 0.9
+		bs := float64(b8) / total * 0.9
+		c, err := SynthesizeCounters(ret, fe, bs, 1e6)
+		if err != nil {
+			return false
+		}
+		b, err := Compute(c)
+		if err != nil {
+			return false
+		}
+		tol := 1e-9
+		return math.Abs(b.Retiring-ret) < tol &&
+			math.Abs(b.FrontendBound-fe) < tol &&
+			math.Abs(b.BadSpeculation-bs) < tol &&
+			math.Abs(b.BackendBound-(1-ret-fe-bs)) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := SynthesizeCounters(0.5, 0.5, 0.5, 1000); err == nil {
+		t.Error("fractions summing over 1 must error")
+	}
+	if _, err := SynthesizeCounters(-0.1, 0, 0, 1000); err == nil {
+		t.Error("negative fraction must error")
+	}
+	if _, err := SynthesizeCounters(0.5, 0.1, 0.1, 0); err == nil {
+		t.Error("zero cycles must error")
+	}
+}
+
+func TestDominantAllCategories(t *testing.T) {
+	cases := []struct {
+		b    Breakdown
+		want string
+	}{
+		{Breakdown{Retiring: 0.9, BackendBound: 0.1}, "retiring"},
+		{Breakdown{FrontendBound: 0.9, Retiring: 0.1}, "frontend bound"},
+		{Breakdown{BackendBound: 0.9, Retiring: 0.1}, "backend bound"},
+		{Breakdown{BadSpeculation: 0.9, Retiring: 0.1}, "bad speculation"},
+	}
+	for _, c := range cases {
+		if got := c.b.Dominant(); got != c.want {
+			t.Errorf("Dominant(%+v) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestTotalSlotsDefaultWidth(t *testing.T) {
+	c := Counters{Cycles: 10}
+	if c.TotalSlots() != 40 {
+		t.Errorf("TotalSlots = %v, want 40", c.TotalSlots())
+	}
+	c.SlotsPerCycle = 8
+	if c.TotalSlots() != 80 {
+		t.Errorf("TotalSlots = %v, want 80", c.TotalSlots())
+	}
+}

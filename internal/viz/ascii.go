@@ -1,0 +1,366 @@
+// Package viz renders the visualization types Thicket uses in the paper
+// — heatmaps and histograms (§4.3.1, Figure 12), the top-down stacked-bar
+// view (Figure 14), scatter plots and line plots (Figures 10 and 17), and
+// parallel-coordinate plots (Figure 18) — as plain-text tables for
+// terminals and as standalone SVG documents for reports.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// shades maps a [0,1] intensity to a character ramp (light → dark).
+var shades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+func shade(x float64) rune {
+	if math.IsNaN(x) {
+		return '?'
+	}
+	i := int(x * float64(len(shades)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	return shades[i]
+}
+
+// Heatmap renders a labelled matrix with per-column normalization (the
+// paper's Figure 12 normalizes each metric separately because the std
+// magnitudes differ). Cells show the value plus a shade glyph.
+func Heatmap(rowLabels, colLabels []string, data [][]float64) (string, error) {
+	if len(data) != len(rowLabels) {
+		return "", fmt.Errorf("viz: %d rows of data for %d labels", len(data), len(rowLabels))
+	}
+	for i, row := range data {
+		if len(row) != len(colLabels) {
+			return "", fmt.Errorf("viz: row %d has %d cells for %d columns", i, len(row), len(colLabels))
+		}
+	}
+	// Per-column min/max.
+	lo := make([]float64, len(colLabels))
+	hi := make([]float64, len(colLabels))
+	for c := range colLabels {
+		lo[c], hi[c] = math.Inf(1), math.Inf(-1)
+		for r := range data {
+			v := data[r][c]
+			if math.IsNaN(v) {
+				continue
+			}
+			lo[c] = math.Min(lo[c], v)
+			hi[c] = math.Max(hi[c], v)
+		}
+	}
+	norm := func(r, c int) float64 {
+		v := data[r][c]
+		if math.IsNaN(v) || hi[c] == lo[c] {
+			return 0.5
+		}
+		return (v - lo[c]) / (hi[c] - lo[c])
+	}
+
+	rowW := 0
+	for _, l := range rowLabels {
+		if len(l) > rowW {
+			rowW = len(l)
+		}
+	}
+	colW := make([]int, len(colLabels))
+	cells := make([][]string, len(rowLabels))
+	for r := range data {
+		cells[r] = make([]string, len(colLabels))
+		for c := range colLabels {
+			v := data[r][c]
+			txt := "NaN"
+			if !math.IsNaN(v) {
+				txt = fmt.Sprintf("%.6g", v)
+			}
+			cells[r][c] = fmt.Sprintf("%c %s", shade(norm(r, c)), txt)
+		}
+	}
+	for c, l := range colLabels {
+		colW[c] = len(l)
+		for r := range cells {
+			if len(cells[r][c]) > colW[c] {
+				colW[c] = len(cells[r][c])
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat(" ", rowW))
+	for c, l := range colLabels {
+		fmt.Fprintf(&sb, "  %*s", colW[c], l)
+	}
+	sb.WriteByte('\n')
+	for r, l := range rowLabels {
+		fmt.Fprintf(&sb, "%-*s", rowW, l)
+		for c := range colLabels {
+			fmt.Fprintf(&sb, "  %*s", colW[c], cells[r][c])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Histogram renders a vertical-bar histogram of the sample with the given
+// number of bins and a maximum bar width in characters (Figure 12's
+// per-node distribution insets).
+func Histogram(values []float64, bins, width int) (string, error) {
+	var clean []float64
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return "", fmt.Errorf("viz: histogram of empty sample")
+	}
+	if bins < 1 {
+		return "", fmt.Errorf("viz: bins must be >= 1, got %d", bins)
+	}
+	if width < 1 {
+		width = 40
+	}
+	lo, hi := stats.Min(clean), stats.Max(clean)
+	if lo == hi {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range clean {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b := 0; b < bins; b++ {
+		left := lo + (hi-lo)*float64(b)/float64(bins)
+		right := lo + (hi-lo)*float64(b+1)/float64(bins)
+		bar := 0
+		if maxCount > 0 {
+			bar = counts[b] * width / maxCount
+		}
+		fmt.Fprintf(&sb, "[%10.4g, %10.4g) %s %d\n", left, right, strings.Repeat("█", bar), counts[b])
+	}
+	return sb.String(), nil
+}
+
+// StackedBar is one row of a stacked-bar chart: a label and the segment
+// fractions in segment order.
+type StackedBar struct {
+	Label  string
+	Values []float64
+}
+
+// StackedBars renders horizontal stacked bars (the Figure 14 top-down
+// view): each bar's values are treated as fractions of the bar width.
+// Segment glyphs cycle through the legend runes.
+func StackedBars(segments []string, bars []StackedBar, width int) (string, error) {
+	if len(segments) == 0 {
+		return "", fmt.Errorf("viz: no segments")
+	}
+	if width < len(segments) {
+		width = 60
+	}
+	glyphs := []rune{'R', 'F', 'B', 'S', 'x', 'o', '+', '~'}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("legend:")
+	for i, s := range segments {
+		fmt.Fprintf(&sb, " %c=%s", glyphs[i%len(glyphs)], s)
+	}
+	sb.WriteByte('\n')
+	for _, b := range bars {
+		if len(b.Values) != len(segments) {
+			return "", fmt.Errorf("viz: bar %q has %d values for %d segments", b.Label, len(b.Values), len(segments))
+		}
+		total := 0.0
+		for _, v := range b.Values {
+			if v < 0 || math.IsNaN(v) {
+				return "", fmt.Errorf("viz: bar %q has invalid segment value %v", b.Label, v)
+			}
+			total += v
+		}
+		fmt.Fprintf(&sb, "%-*s |", labelW, b.Label)
+		used := 0
+		for i, v := range b.Values {
+			var n int
+			if total > 0 {
+				n = int(math.Round(v / total * float64(width)))
+			}
+			if used+n > width {
+				n = width - used
+			}
+			if i == len(b.Values)-1 {
+				n = width - used
+			}
+			sb.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+			used += n
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String(), nil
+}
+
+// ScatterSeries is one labelled point set for scatter plots.
+type ScatterSeries struct {
+	Label string
+	X, Y  []float64
+}
+
+// Scatter renders an ASCII scatter plot on a w×h character grid; each
+// series uses its own glyph (digits by series order).
+func Scatter(series []ScatterSeries, w, h int) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	if w < 10 {
+		w = 60
+	}
+	if h < 5 {
+		h = 20
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x for %d y", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xlo, xhi = math.Min(xlo, s.X[i]), math.Max(xhi, s.X[i])
+			ylo, yhi = math.Min(ylo, s.Y[i]), math.Max(yhi, s.Y[i])
+		}
+	}
+	if math.IsInf(xlo, 1) {
+		return "", fmt.Errorf("viz: no finite points")
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		glyph := rune('0' + si%10)
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - xlo) / (xhi - xlo) * float64(w-1))
+			r := h - 1 - int((s.Y[i]-ylo)/(yhi-ylo)*float64(h-1))
+			grid[r][c] = glyph
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "y: [%.4g, %.4g]\n", ylo, yhi)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "x: [%.4g, %.4g]   ", xlo, xhi)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%c=%s ", rune('0'+si%10), s.Label)
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}
+
+// LineSeries is one labelled polyline for line plots.
+type LineSeries struct {
+	Label string
+	X, Y  []float64
+}
+
+// LinePlot renders series as an ASCII plot, optionally with log2 axes
+// (Figure 17 plots node count and time per cycle in log2). Points are
+// plotted; straight-line interpolation is approximated column-wise.
+func LinePlot(series []LineSeries, w, h int, logX, logY bool) (string, error) {
+	sc := make([]ScatterSeries, len(series))
+	for i, s := range series {
+		xs := append([]float64(nil), s.X...)
+		ys := append([]float64(nil), s.Y...)
+		for j := range xs {
+			if logX {
+				if xs[j] <= 0 {
+					return "", fmt.Errorf("viz: log axis with non-positive x %v", xs[j])
+				}
+				xs[j] = math.Log2(xs[j])
+			}
+			if logY {
+				if ys[j] <= 0 {
+					return "", fmt.Errorf("viz: log axis with non-positive y %v", ys[j])
+				}
+				ys[j] = math.Log2(ys[j])
+			}
+		}
+		// Densify segments so lines read as lines.
+		dx, dy := densify(xs, ys, w*2)
+		sc[i] = ScatterSeries{Label: s.Label, X: dx, Y: dy}
+	}
+	out, err := Scatter(sc, w, h)
+	if err != nil {
+		return "", err
+	}
+	prefix := ""
+	if logX || logY {
+		prefix = fmt.Sprintf("(log2 axes: x=%v y=%v)\n", logX, logY)
+	}
+	return prefix + out, nil
+}
+
+// densify linearly interpolates extra points along each segment.
+func densify(xs, ys []float64, n int) ([]float64, []float64) {
+	if len(xs) < 2 {
+		return xs, ys
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	var ox, oy []float64
+	per := n / (len(pts) - 1)
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < len(pts)-1; i++ {
+		for k := 0; k < per; k++ {
+			f := float64(k) / float64(per)
+			ox = append(ox, pts[i].x+(pts[i+1].x-pts[i].x)*f)
+			oy = append(oy, pts[i].y+(pts[i+1].y-pts[i].y)*f)
+		}
+	}
+	ox = append(ox, pts[len(pts)-1].x)
+	oy = append(oy, pts[len(pts)-1].y)
+	return ox, oy
+}

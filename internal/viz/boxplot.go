@@ -1,0 +1,137 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// BoxSeries is one labelled sample for box plots.
+type BoxSeries struct {
+	Label  string
+	Values []float64
+}
+
+// boxStats returns (min, q1, median, q3, max) of the non-NaN values.
+func boxStats(xs []float64) (float64, float64, float64, float64, float64, error) {
+	if stats.Count(xs) == 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("viz: box plot of empty sample")
+	}
+	return stats.Min(xs), stats.Percentile(xs, 25), stats.Median(xs),
+		stats.Percentile(xs, 75), stats.Max(xs), nil
+}
+
+// BoxPlot renders ASCII box-and-whisker rows on a shared scale:
+//
+//	label |----[==|===]------| min/q1/median/q3/max
+//
+// Useful for comparing run-to-run distributions across configurations.
+func BoxPlot(series []BoxSeries, width int) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	if width < 20 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	type five struct{ min, q1, med, q3, max float64 }
+	fives := make([]five, len(series))
+	for i, s := range series {
+		mn, q1, med, q3, mx, err := boxStats(s.Values)
+		if err != nil {
+			return "", fmt.Errorf("%w (series %q)", err, s.Label)
+		}
+		fives[i] = five{mn, q1, med, q3, mx}
+		lo, hi = math.Min(lo, mn), math.Max(hi, mx)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / (hi - lo) * float64(width-1))
+		return clampInt(p, 0, width-1)
+	}
+	labelW := 0
+	for _, s := range series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s  scale [%.4g, %.4g]\n", labelW, "", lo, hi)
+	for i, s := range series {
+		f := fives[i]
+		row := make([]rune, width)
+		for c := range row {
+			row[c] = ' '
+		}
+		for c := pos(f.min); c <= pos(f.max); c++ {
+			row[c] = '-'
+		}
+		for c := pos(f.q1); c <= pos(f.q3); c++ {
+			row[c] = '='
+		}
+		row[pos(f.min)] = '|'
+		row[pos(f.max)] = '|'
+		row[pos(f.q1)] = '['
+		row[pos(f.q3)] = ']'
+		row[pos(f.med)] = '@'
+		fmt.Fprintf(&sb, "%*s  %s  n=%d med=%.4g\n", labelW, s.Label, string(row), int(stats.Count(s.Values)), f.med)
+	}
+	return sb.String(), nil
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SVGBoxPlot renders box-and-whisker plots as SVG, one box per series on
+// a shared vertical scale.
+func SVGBoxPlot(title, ylabel string, series []BoxSeries) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	type five struct{ min, q1, med, q3, max float64 }
+	fives := make([]five, len(series))
+	for i, s := range series {
+		mn, q1, med, q3, mx, err := boxStats(s.Values)
+		if err != nil {
+			return "", fmt.Errorf("%w (series %q)", err, s.Label)
+		}
+		fives[i] = five{mn, q1, med, q3, mx}
+		lo, hi = math.Min(lo, mn), math.Max(hi, mx)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	a := axes{xlo: 0, xhi: float64(len(series)), ylo: lo, yhi: hi}
+	d := newSVG(svgWidth, svgHeight)
+	d.drawFrame(title, "", ylabel, a)
+	step := float64(svgWidth-marginL-marginR) / float64(len(series))
+	boxW := math.Min(step*0.5, 60)
+	for i, s := range series {
+		f := fives[i]
+		cx := marginL + step*(float64(i)+0.5)
+		color := colorOf(i)
+		// Whiskers.
+		d.line(cx, a.ty(f.min), cx, a.ty(f.q1), "#333", 1)
+		d.line(cx, a.ty(f.q3), cx, a.ty(f.max), "#333", 1)
+		d.line(cx-boxW/4, a.ty(f.min), cx+boxW/4, a.ty(f.min), "#333", 1)
+		d.line(cx-boxW/4, a.ty(f.max), cx+boxW/4, a.ty(f.max), "#333", 1)
+		// Box.
+		d.rect(cx-boxW/2, a.ty(f.q3), boxW, a.ty(f.q1)-a.ty(f.q3), color)
+		// Median line.
+		d.line(cx-boxW/2, a.ty(f.med), cx+boxW/2, a.ty(f.med), "#000", 2)
+		d.text(cx, svgHeight-marginB+18, 11, "middle", s.Label)
+	}
+	return d.done(), nil
+}

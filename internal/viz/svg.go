@@ -1,0 +1,461 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart geometry defaults for SVG output.
+const (
+	svgWidth   = 720
+	svgHeight  = 440
+	marginL    = 70
+	marginR    = 30
+	marginT    = 40
+	marginB    = 55
+	tickLength = 5
+)
+
+// palette is a colorblind-friendly categorical palette.
+var palette = []string{
+	"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB", "#000000",
+}
+
+func colorOf(i int) string { return palette[i%len(palette)] }
+
+type svgDoc struct {
+	sb   strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svgDoc {
+	d := &svgDoc{w: w, h: h}
+	fmt.Fprintf(&d.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	d.sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	return d
+}
+
+func (d *svgDoc) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`, x, y, size, anchor, escape(s))
+}
+
+func (d *svgDoc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`, x1, y1, x2, y2, stroke, width)
+}
+
+func (d *svgDoc) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&d.sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, r, fill)
+}
+
+func (d *svgDoc) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&d.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, w, h, fill)
+}
+
+func (d *svgDoc) polyline(points []float64, stroke string, width float64) {
+	var pts []string
+	for i := 0; i+1 < len(points); i += 2 {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", points[i], points[i+1]))
+	}
+	fmt.Fprintf(&d.sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`, strings.Join(pts, " "), stroke, width)
+}
+
+func (d *svgDoc) done() string {
+	d.sb.WriteString(`</svg>`)
+	return d.sb.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axes holds a fitted linear (or log2) axis mapping.
+type axes struct {
+	xlo, xhi, ylo, yhi float64
+	logX, logY         bool
+}
+
+func (a axes) tx(x float64) float64 {
+	if a.logX {
+		x = math.Log2(x)
+	}
+	lo, hi := a.xlo, a.xhi
+	if a.logX {
+		lo, hi = math.Log2(a.xlo), math.Log2(a.xhi)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return marginL + (x-lo)/(hi-lo)*(svgWidth-marginL-marginR)
+}
+
+func (a axes) ty(y float64) float64 {
+	if a.logY {
+		y = math.Log2(y)
+	}
+	lo, hi := a.ylo, a.yhi
+	if a.logY {
+		lo, hi = math.Log2(a.ylo), math.Log2(a.yhi)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return svgHeight - marginB - (y-lo)/(hi-lo)*(svgHeight-marginT-marginB)
+}
+
+func fitAxes(xs, ys [][]float64, logX, logY bool) (axes, error) {
+	a := axes{xlo: math.Inf(1), xhi: math.Inf(-1), ylo: math.Inf(1), yhi: math.Inf(-1), logX: logX, logY: logY}
+	for si := range xs {
+		for i := range xs[si] {
+			x, y := xs[si][i], ys[si][i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if (logX && x <= 0) || (logY && y <= 0) {
+				return a, fmt.Errorf("viz: non-positive value on log axis")
+			}
+			a.xlo, a.xhi = math.Min(a.xlo, x), math.Max(a.xhi, x)
+			a.ylo, a.yhi = math.Min(a.ylo, y), math.Max(a.yhi, y)
+		}
+	}
+	if math.IsInf(a.xlo, 1) {
+		return a, fmt.Errorf("viz: no finite points")
+	}
+	return a, nil
+}
+
+func (d *svgDoc) drawFrame(title, xlabel, ylabel string, a axes) {
+	d.text(float64(d.w)/2, 22, 15, "middle", title)
+	d.line(marginL, svgHeight-marginB, svgWidth-marginR, svgHeight-marginB, "#333", 1)
+	d.line(marginL, marginT, marginL, svgHeight-marginB, "#333", 1)
+	d.text(float64(d.w)/2, float64(d.h)-12, 12, "middle", xlabel)
+	fmt.Fprintf(&d.sb, `<text x="16" y="%.1f" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`, float64(d.h)/2, float64(d.h)/2, escape(ylabel))
+	// Five ticks per axis.
+	for i := 0; i <= 4; i++ {
+		f := float64(i) / 4
+		xv := a.xlo + (a.xhi-a.xlo)*f
+		yv := a.ylo + (a.yhi-a.ylo)*f
+		if a.logX {
+			xv = math.Pow(2, math.Log2(a.xlo)+(math.Log2(a.xhi)-math.Log2(a.xlo))*f)
+		}
+		if a.logY {
+			yv = math.Pow(2, math.Log2(a.ylo)+(math.Log2(a.yhi)-math.Log2(a.ylo))*f)
+		}
+		px := a.tx(xv)
+		py := a.ty(yv)
+		d.line(px, svgHeight-marginB, px, svgHeight-marginB+tickLength, "#333", 1)
+		d.text(px, svgHeight-marginB+18, 10, "middle", fmt.Sprintf("%.4g", xv))
+		d.line(marginL-tickLength, py, marginL, py, "#333", 1)
+		d.text(marginL-8, py+3, 10, "end", fmt.Sprintf("%.4g", yv))
+	}
+}
+
+func (d *svgDoc) drawLegend(labels []string) {
+	x := float64(svgWidth - marginR - 150)
+	y := float64(marginT + 4)
+	for i, l := range labels {
+		d.rect(x, y-8, 10, 10, colorOf(i))
+		d.text(x+14, y, 11, "start", l)
+		y += 16
+	}
+}
+
+// SVGScatter renders a scatter plot of the series as an SVG document.
+func SVGScatter(title, xlabel, ylabel string, series []ScatterSeries) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	xs := make([][]float64, len(series))
+	ys := make([][]float64, len(series))
+	labels := make([]string, len(series))
+	for i, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q length mismatch", s.Label)
+		}
+		xs[i], ys[i], labels[i] = s.X, s.Y, s.Label
+	}
+	a, err := fitAxes(xs, ys, false, false)
+	if err != nil {
+		return "", err
+	}
+	d := newSVG(svgWidth, svgHeight)
+	d.drawFrame(title, xlabel, ylabel, a)
+	for si, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			d.circle(a.tx(s.X[i]), a.ty(s.Y[i]), 3.5, colorOf(si))
+		}
+	}
+	d.drawLegend(labels)
+	return d.done(), nil
+}
+
+// SVGLine renders line series (optionally on log2 axes, as in the
+// Figure 17 strong-scaling plot).
+func SVGLine(title, xlabel, ylabel string, series []LineSeries, logX, logY bool) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	xs := make([][]float64, len(series))
+	ys := make([][]float64, len(series))
+	labels := make([]string, len(series))
+	for i, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q length mismatch", s.Label)
+		}
+		xs[i], ys[i], labels[i] = s.X, s.Y, s.Label
+	}
+	a, err := fitAxes(xs, ys, logX, logY)
+	if err != nil {
+		return "", err
+	}
+	d := newSVG(svgWidth, svgHeight)
+	suffix := ""
+	if logX || logY {
+		suffix = " (log2)"
+	}
+	d.drawFrame(title+suffix, xlabel, ylabel, a)
+	for si, s := range series {
+		var pts []float64
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, a.tx(s.X[i]), a.ty(s.Y[i]))
+			d.circle(a.tx(s.X[i]), a.ty(s.Y[i]), 3, colorOf(si))
+		}
+		d.polyline(pts, colorOf(si), 1.6)
+	}
+	d.drawLegend(labels)
+	return d.done(), nil
+}
+
+// SVGHeatmap renders a labelled matrix with per-column normalization.
+func SVGHeatmap(title string, rowLabels, colLabels []string, data [][]float64) (string, error) {
+	if len(data) != len(rowLabels) {
+		return "", fmt.Errorf("viz: %d rows for %d labels", len(data), len(rowLabels))
+	}
+	for i, row := range data {
+		if len(row) != len(colLabels) {
+			return "", fmt.Errorf("viz: row %d has %d cells for %d columns", i, len(row), len(colLabels))
+		}
+	}
+	d := newSVG(svgWidth, svgHeight)
+	d.text(svgWidth/2, 22, 15, "middle", title)
+	plotW := float64(svgWidth - 220 - marginR)
+	plotH := float64(svgHeight - marginT - marginB)
+	cw := plotW / float64(len(colLabels))
+	ch := plotH / float64(len(rowLabels))
+	// Column normalization.
+	for c := range colLabels {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for r := range data {
+			if !math.IsNaN(data[r][c]) {
+				lo, hi = math.Min(lo, data[r][c]), math.Max(hi, data[r][c])
+			}
+		}
+		for r := range data {
+			v := data[r][c]
+			f := 0.5
+			if !math.IsNaN(v) && hi > lo {
+				f = (v - lo) / (hi - lo)
+			}
+			// White → dark blue ramp.
+			shade := int(245 - f*200)
+			fill := fmt.Sprintf("rgb(%d,%d,245)", shade, shade)
+			x := 220 + float64(c)*cw
+			y := marginT + float64(r)*ch
+			d.rect(x, y, cw-1, ch-1, fill)
+			txt := "NaN"
+			if !math.IsNaN(v) {
+				txt = fmt.Sprintf("%.4g", v)
+			}
+			d.text(x+cw/2, y+ch/2+4, 10, "middle", txt)
+		}
+	}
+	for r, l := range rowLabels {
+		d.text(212, marginT+float64(r)*ch+ch/2+4, 11, "end", l)
+	}
+	for c, l := range colLabels {
+		d.text(220+float64(c)*cw+cw/2, float64(svgHeight-marginB+18), 11, "middle", l)
+	}
+	return d.done(), nil
+}
+
+// SVGHistogram renders a histogram of the sample.
+func SVGHistogram(title, xlabel string, values []float64, bins int) (string, error) {
+	var clean []float64
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return "", fmt.Errorf("viz: histogram of empty sample")
+	}
+	if bins < 1 {
+		return "", fmt.Errorf("viz: bins must be >= 1")
+	}
+	lo, hi := clean[0], clean[0]
+	for _, v := range clean {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	maxCount := 0
+	for _, v := range clean {
+		b := int((v - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+		if counts[b] > maxCount {
+			maxCount = counts[b]
+		}
+	}
+	a := axes{xlo: lo, xhi: hi, ylo: 0, yhi: float64(maxCount)}
+	d := newSVG(svgWidth, svgHeight)
+	d.drawFrame(title, xlabel, "count", a)
+	bw := (svgWidth - marginL - marginR) / float64(bins)
+	for b, c := range counts {
+		h := float64(c) / float64(maxCount) * (svgHeight - marginT - marginB)
+		d.rect(marginL+float64(b)*bw+1, svgHeight-marginB-h, bw-2, h, colorOf(0))
+	}
+	return d.done(), nil
+}
+
+// SVGStackedBars renders horizontal stacked fraction bars (Figure 14).
+func SVGStackedBars(title string, segments []string, bars []StackedBar) (string, error) {
+	if len(segments) == 0 {
+		return "", fmt.Errorf("viz: no segments")
+	}
+	height := marginT + marginB + 24*len(bars)
+	if height < 200 {
+		height = 200
+	}
+	d := newSVG(svgWidth, height)
+	d.text(svgWidth/2, 22, 15, "middle", title)
+	plotW := float64(svgWidth - 240 - marginR)
+	for bi, b := range bars {
+		if len(b.Values) != len(segments) {
+			return "", fmt.Errorf("viz: bar %q has %d values for %d segments", b.Label, len(b.Values), len(segments))
+		}
+		total := 0.0
+		for _, v := range b.Values {
+			if v < 0 || math.IsNaN(v) {
+				return "", fmt.Errorf("viz: bar %q has invalid value %v", b.Label, v)
+			}
+			total += v
+		}
+		y := float64(marginT + bi*24)
+		d.text(232, y+14, 11, "end", b.Label)
+		x := 240.0
+		for si, v := range b.Values {
+			w := 0.0
+			if total > 0 {
+				w = v / total * plotW
+			}
+			d.rect(x, y, w, 18, colorOf(si))
+			x += w
+		}
+	}
+	// Legend along the bottom.
+	x := 240.0
+	y := float64(height - 18)
+	for si, s := range segments {
+		d.rect(x, y-10, 10, 10, colorOf(si))
+		d.text(x+14, y, 11, "start", s)
+		x += float64(14 + 7*len(s) + 24)
+	}
+	return d.done(), nil
+}
+
+// PCPAxis is one parallel-coordinates axis: a label and one value per
+// profile (row order shared across axes).
+type PCPAxis struct {
+	Label  string
+	Values []float64
+}
+
+// SVGParallelCoordinates renders a parallel-coordinate plot (Figure 18):
+// one vertical axis per variable, one polyline per profile, colored by
+// the category assignment (e.g. cluster/architecture).
+func SVGParallelCoordinates(title string, axesIn []PCPAxis, categories []string) (string, error) {
+	if len(axesIn) < 2 {
+		return "", fmt.Errorf("viz: parallel coordinates needs >= 2 axes")
+	}
+	n := len(axesIn[0].Values)
+	for _, ax := range axesIn {
+		if len(ax.Values) != n {
+			return "", fmt.Errorf("viz: axis %q has %d values, want %d", ax.Label, len(ax.Values), n)
+		}
+	}
+	if len(categories) != 0 && len(categories) != n {
+		return "", fmt.Errorf("viz: %d categories for %d rows", len(categories), n)
+	}
+	// Category → color index, in order of first appearance.
+	catColor := map[string]int{}
+	var catOrder []string
+	for _, c := range categories {
+		if _, ok := catColor[c]; !ok {
+			catColor[c] = len(catOrder)
+			catOrder = append(catOrder, c)
+		}
+	}
+	d := newSVG(svgWidth, svgHeight)
+	d.text(svgWidth/2, 22, 15, "middle", title)
+	plotT, plotB := float64(marginT+10), float64(svgHeight-marginB)
+	step := float64(svgWidth-marginL-marginR) / float64(len(axesIn)-1)
+	// Axis scaling.
+	lo := make([]float64, len(axesIn))
+	hi := make([]float64, len(axesIn))
+	for i, ax := range axesIn {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+		for _, v := range ax.Values {
+			if !math.IsNaN(v) {
+				lo[i], hi[i] = math.Min(lo[i], v), math.Max(hi[i], v)
+			}
+		}
+		if hi[i] == lo[i] {
+			hi[i] = lo[i] + 1
+		}
+	}
+	ay := func(i int, v float64) float64 {
+		return plotB - (v-lo[i])/(hi[i]-lo[i])*(plotB-plotT)
+	}
+	// Polylines first so axes draw on top.
+	for r := 0; r < n; r++ {
+		var pts []float64
+		ok := true
+		for i, ax := range axesIn {
+			v := ax.Values[r]
+			if math.IsNaN(v) {
+				ok = false
+				break
+			}
+			pts = append(pts, marginL+float64(i)*step, ay(i, v))
+		}
+		if !ok {
+			continue
+		}
+		color := colorOf(0)
+		if len(categories) == n {
+			color = colorOf(catColor[categories[r]])
+		}
+		d.polyline(pts, color, 1.1)
+	}
+	for i, ax := range axesIn {
+		x := marginL + float64(i)*step
+		d.line(x, plotT, x, plotB, "#333", 1)
+		d.text(x, plotB+16, 11, "middle", ax.Label)
+		d.text(x, plotT-6, 9, "middle", fmt.Sprintf("%.4g", hi[i]))
+		d.text(x, plotB+30, 9, "middle", fmt.Sprintf("%.4g", lo[i]))
+	}
+	d.drawLegend(catOrder)
+	return d.done(), nil
+}

@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/calltree"
+)
+
+// TreeTable renders a call tree beside aligned per-node data columns —
+// the "tree + table paradigm" of the paper's Figure 14 visualization
+// (adopted from Juniper): each tree row is horizontally aligned with the
+// metric cells of its node, so users can "quickly see how ... their
+// program scales for particular nodes of interest".
+//
+// cells returns the column values for one node; returning nil renders an
+// empty row (useful for structural nodes without measurements).
+func TreeTable(tree *calltree.Tree, columns []string, cells func(n *calltree.Node) []string) (string, error) {
+	if cells == nil {
+		return "", fmt.Errorf("viz: TreeTable requires a cell function")
+	}
+	type rowData struct {
+		treeText string
+		cells    []string
+	}
+	var rows []rowData
+	var walk func(n *calltree.Node, prefix string, isLast, isRoot bool) error
+	walk = func(n *calltree.Node, prefix string, isLast, isRoot bool) error {
+		line := prefix
+		if !isRoot {
+			if isLast {
+				line += "└─ "
+			} else {
+				line += "├─ "
+			}
+		}
+		line += n.Name()
+		c := cells(n)
+		if c != nil && len(c) != len(columns) {
+			return fmt.Errorf("viz: node %q has %d cells for %d columns", n.Name(), len(c), len(columns))
+		}
+		if c == nil {
+			c = make([]string, len(columns))
+		}
+		rows = append(rows, rowData{treeText: line, cells: c})
+		childPrefix := prefix
+		if !isRoot {
+			if isLast {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		kids := n.Children()
+		for i, child := range kids {
+			if err := walk(child, childPrefix, i == len(kids)-1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range tree.Roots() {
+		if err := walk(r, "", true, true); err != nil {
+			return "", err
+		}
+	}
+
+	treeW := len("call tree")
+	for _, r := range rows {
+		if w := runeLen(r.treeText); w > treeW {
+			treeW = w
+		}
+	}
+	colW := make([]int, len(columns))
+	for c, label := range columns {
+		colW[c] = len(label)
+		for _, r := range rows {
+			if len(r.cells[c]) > colW[c] {
+				colW[c] = len(r.cells[c])
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(padRight("call tree", treeW))
+	for c, label := range columns {
+		fmt.Fprintf(&sb, "  %*s", colW[c], label)
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("─", treeW))
+	for _, w := range colW {
+		sb.WriteString("  ")
+		sb.WriteString(strings.Repeat("─", w))
+	}
+	sb.WriteByte('\n')
+	var lb strings.Builder
+	for _, r := range rows {
+		lb.Reset()
+		lb.WriteString(padRight(r.treeText, treeW))
+		for c := range columns {
+			fmt.Fprintf(&lb, "  %*s", colW[c], r.cells[c])
+		}
+		sb.WriteString(strings.TrimRight(lb.String(), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// runeLen counts display runes (box-drawing characters are multi-byte).
+func runeLen(s string) int { return len([]rune(s)) }
+
+// padRight pads s with spaces to width display runes.
+func padRight(s string, width int) string {
+	n := width - runeLen(s)
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}

@@ -1,0 +1,352 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/calltree"
+)
+
+func TestHeatmap(t *testing.T) {
+	out, err := Heatmap(
+		[]string{"Apps_NODAL_ACC_3D", "Apps_VOL3D"},
+		[]string{"Retiring_std", "Backend bound_std"},
+		[][]float64{{0.000438, 0.000506}, {0.000535, 0.000657}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Apps_VOL3D", "Retiring_std", "0.000535"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// Max cell per column gets the darkest shade.
+	if !strings.Contains(out, "@ 0.000535") {
+		t.Errorf("column max should be darkest:\n%s", out)
+	}
+	if _, err := Heatmap([]string{"a"}, []string{"x"}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("row count mismatch must error")
+	}
+	if _, err := Heatmap([]string{"a"}, []string{"x", "y"}, [][]float64{{1}}); err == nil {
+		t.Error("column count mismatch must error")
+	}
+	// NaN cells render without panicking.
+	out, err = Heatmap([]string{"a", "b"}, []string{"x"}, [][]float64{{math.NaN()}, {1}})
+	if err != nil || !strings.Contains(out, "NaN") {
+		t.Errorf("NaN handling broken: %v\n%s", err, out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out, err := Histogram([]float64{1, 1, 1, 2, 3, 3}, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("histogram lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[0], "3") {
+		t.Errorf("first bin should count 3:\n%s", out)
+	}
+	if _, err := Histogram(nil, 3, 20); err == nil {
+		t.Error("empty sample must error")
+	}
+	if _, err := Histogram([]float64{1}, 0, 20); err == nil {
+		t.Error("zero bins must error")
+	}
+	// Constant sample: single occupied bin.
+	if _, err := Histogram([]float64{5, 5, 5}, 4, 10); err != nil {
+		t.Errorf("constant sample should render: %v", err)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	bars := []StackedBar{
+		{Label: "Apps_VOL3D", Values: []float64{0.38, 0.04, 0.54, 0.04}},
+		{Label: "Lcals_HYDRO_1D", Values: []float64{0.03, 0.03, 0.91, 0.03}},
+	}
+	out, err := StackedBars([]string{"Retiring", "Frontend", "Backend", "BadSpec"}, bars, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "Apps_VOL3D") {
+		t.Errorf("stacked bars missing parts:\n%s", out)
+	}
+	// HYDRO's backend segment ('B') should dominate its bar.
+	hydroLine := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "HYDRO") {
+			hydroLine = l
+		}
+	}
+	if strings.Count(hydroLine, "B") < 30 {
+		t.Errorf("HYDRO bar should be mostly backend:\n%s", hydroLine)
+	}
+	if _, err := StackedBars(nil, bars, 40); err == nil {
+		t.Error("no segments must error")
+	}
+	if _, err := StackedBars([]string{"a"}, []StackedBar{{Label: "x", Values: []float64{1, 2}}}, 40); err == nil {
+		t.Error("segment arity mismatch must error")
+	}
+	if _, err := StackedBars([]string{"a"}, []StackedBar{{Label: "x", Values: []float64{-1}}}, 40); err == nil {
+		t.Error("negative segment must error")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	series := []ScatterSeries{
+		{Label: "cpu", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Label: "gpu", X: []float64{1, 2, 3}, Y: []float64{2, 3, 4}},
+	}
+	out, err := Scatter(series, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0=cpu") || !strings.Contains(out, "1=gpu") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Error("points missing")
+	}
+	if _, err := Scatter(nil, 40, 10); err == nil {
+		t.Error("no series must error")
+	}
+	if _, err := Scatter([]ScatterSeries{{Label: "x", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Scatter([]ScatterSeries{{Label: "x", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, 40, 10); err == nil {
+		t.Error("all-NaN must error")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	series := []LineSeries{
+		{Label: "CTS1", X: []float64{1, 2, 4, 8}, Y: []float64{32, 16, 8, 4}},
+		{Label: "AWS", X: []float64{1, 2, 4, 8}, Y: []float64{28, 14, 7, 3.5}},
+	}
+	out, err := LinePlot(series, 50, 14, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log2 axes") {
+		t.Errorf("log annotation missing:\n%s", out)
+	}
+	if _, err := LinePlot([]LineSeries{{Label: "x", X: []float64{0}, Y: []float64{1}}}, 50, 10, true, false); err == nil {
+		t.Error("non-positive on log axis must error")
+	}
+}
+
+func TestSVGScatter(t *testing.T) {
+	out, err := SVGScatter("title", "x", "y", []ScatterSeries{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "circle", "title"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG scatter missing %q", want)
+		}
+	}
+	if _, err := SVGScatter("t", "x", "y", nil); err == nil {
+		t.Error("no series must error")
+	}
+}
+
+func TestSVGLine(t *testing.T) {
+	out, err := SVGLine("scaling", "nodes", "time", []LineSeries{
+		{Label: "CTS1", X: []float64{1, 2, 4}, Y: []float64{32, 16, 8}},
+	}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "polyline") || !strings.Contains(out, "(log2)") {
+		t.Error("SVG line missing parts")
+	}
+	if _, err := SVGLine("t", "x", "y", []LineSeries{{Label: "a", X: []float64{-1}, Y: []float64{1}}}, true, false); err == nil {
+		t.Error("negative on log axis must error")
+	}
+}
+
+func TestSVGHeatmapAndHistogram(t *testing.T) {
+	hm, err := SVGHeatmap("stats", []string{"a", "b"}, []string{"x"}, [][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hm, "rect") {
+		t.Error("heatmap cells missing")
+	}
+	if _, err := SVGHeatmap("t", []string{"a"}, []string{"x"}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("shape mismatch must error")
+	}
+	hist, err := SVGHistogram("dist", "time", []float64{1, 2, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hist, "rect") {
+		t.Error("histogram bars missing")
+	}
+	if _, err := SVGHistogram("t", "x", nil, 3); err == nil {
+		t.Error("empty sample must error")
+	}
+}
+
+func TestSVGStackedBars(t *testing.T) {
+	out, err := SVGStackedBars("topdown", []string{"ret", "fe", "be", "bs"}, []StackedBar{
+		{Label: "k1", Values: []float64{0.4, 0.05, 0.5, 0.05}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<rect") < 5 { // background + 4 segments + legend
+		t.Error("stacked bar segments missing")
+	}
+	if _, err := SVGStackedBars("t", []string{"a"}, []StackedBar{{Label: "x", Values: []float64{1, 2}}}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestSVGParallelCoordinates(t *testing.T) {
+	axes := []PCPAxis{
+		{Label: "mpi.world.size", Values: []float64{36, 72, 144, 288}},
+		{Label: "walltime", Values: []float64{3200, 1700, 900, 500}},
+		{Label: "num_elems_max", Values: []float64{24576, 12288, 6144, 3072}},
+	}
+	out, err := SVGParallelCoordinates("marbl", axes, []string{"CTS1", "CTS1", "C5n.18xlarge", "C5n.18xlarge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "polyline") != 4 {
+		t.Errorf("expected 4 profile polylines, got %d", strings.Count(out, "polyline"))
+	}
+	if !strings.Contains(out, "C5n.18xlarge") {
+		t.Error("legend missing category")
+	}
+	if _, err := SVGParallelCoordinates("t", axes[:1], nil); err == nil {
+		t.Error("single axis must error")
+	}
+	if _, err := SVGParallelCoordinates("t", axes, []string{"only-one"}); err == nil {
+		t.Error("category count mismatch must error")
+	}
+	// Ragged axes rejected.
+	bad := []PCPAxis{{Label: "a", Values: []float64{1}}, {Label: "b", Values: []float64{1, 2}}}
+	if _, err := SVGParallelCoordinates("t", bad, nil); err == nil {
+		t.Error("ragged axes must error")
+	}
+	// NaN rows are skipped, not fatal.
+	withNaN := []PCPAxis{
+		{Label: "a", Values: []float64{1, math.NaN()}},
+		{Label: "b", Values: []float64{2, 3}},
+	}
+	out, err = SVGParallelCoordinates("t", withNaN, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "polyline") != 1 {
+		t.Error("NaN row should be skipped")
+	}
+}
+
+func TestShadeRamp(t *testing.T) {
+	if shade(0) != ' ' || shade(1) != '@' || shade(math.NaN()) != '?' {
+		t.Error("shade ramp endpoints wrong")
+	}
+	if shade(-5) != ' ' || shade(5) != '@' {
+		t.Error("shade clamping broken")
+	}
+}
+
+func TestTreeTable(t *testing.T) {
+	tr := calltree.New()
+	tr.MustAddPath("main", "solve")
+	tr.MustAddPath("main", "io")
+	vals := map[string][]string{
+		"main":  {"10.0", "0.40"},
+		"solve": {"7.5", "0.54"},
+		"io":    {"2.5", "0.10"},
+	}
+	out, err := TreeTable(tr, []string{"time", "backend"}, func(n *calltree.Node) []string {
+		return vals[n.Name()]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 nodes
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "call tree") || !strings.Contains(lines[0], "backend") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	// solve row aligned with its cells.
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "solve") && strings.Contains(l, "7.5") && strings.Contains(l, "0.54") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("solve row misaligned:\n%s", out)
+	}
+	// nil cells render empty.
+	out2, err := TreeTable(tr, []string{"x"}, func(n *calltree.Node) []string { return nil })
+	if err != nil || !strings.Contains(out2, "io") {
+		t.Errorf("nil cells broken: %v", err)
+	}
+	// Arity mismatch rejected.
+	if _, err := TreeTable(tr, []string{"x"}, func(n *calltree.Node) []string { return []string{"a", "b"} }); err == nil {
+		t.Error("cell arity mismatch must error")
+	}
+	if _, err := TreeTable(tr, nil, nil); err == nil {
+		t.Error("nil cell function must error")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	series := []BoxSeries{
+		{Label: "clang", Values: []float64{1, 2, 3, 4, 5}},
+		{Label: "gcc", Values: []float64{2, 3, 4, 5, 10}},
+	}
+	out, err := BoxPlot(series, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clang", "gcc", "@", "[", "]", "scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("box plot missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := BoxPlot(nil, 40); err == nil {
+		t.Error("no series must error")
+	}
+	if _, err := BoxPlot([]BoxSeries{{Label: "x", Values: nil}}, 40); err == nil {
+		t.Error("empty sample must error")
+	}
+	// Constant sample renders without division by zero.
+	if _, err := BoxPlot([]BoxSeries{{Label: "c", Values: []float64{5, 5}}}, 40); err != nil {
+		t.Errorf("constant sample: %v", err)
+	}
+	// NaNs skipped.
+	if _, err := BoxPlot([]BoxSeries{{Label: "n", Values: []float64{1, math.NaN(), 3}}}, 40); err != nil {
+		t.Errorf("NaN sample: %v", err)
+	}
+}
+
+func TestSVGBoxPlot(t *testing.T) {
+	out, err := SVGBoxPlot("variability", "time (s)", []BoxSeries{
+		{Label: "O0", Values: []float64{5, 6, 7, 8}},
+		{Label: "O2", Values: []float64{2, 2.5, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<rect") < 3 || !strings.Contains(out, "O2") {
+		t.Error("SVG box plot missing parts")
+	}
+	if _, err := SVGBoxPlot("t", "y", nil); err == nil {
+		t.Error("no series must error")
+	}
+}

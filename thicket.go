@@ -1,0 +1,196 @@
+// Package thicket is the public API of this repository: a Go
+// implementation of Thicket (Brink et al., HPDC '23), a toolkit for
+// Exploratory Data Analysis of multi-run performance experiments.
+//
+// A Thicket unifies an ensemble of performance profiles into three linked
+// components — per-(node, profile) performance data, per-profile
+// metadata, and per-node aggregated statistics — and exposes the paper's
+// EDA verbs: metadata filtering, group-by, call-path querying, order
+// reduction, hierarchical (multi-tool / multi-architecture) composition,
+// K-means clustering with silhouette selection, and Extra-P style
+// performance modeling.
+//
+// Quick start:
+//
+//	profiles, _ := profile.LoadDir("runs/")
+//	th, _ := thicket.FromProfiles(profiles, thicket.Options{})
+//	fmt.Println(th.Metadata)
+//	clang := th.FilterMetadata(func(m thicket.MetaRow) bool {
+//	    return m.Str("compiler") == "clang-9.0.0"
+//	})
+//	_ = clang.AggregateStats(nil, []string{"mean", "std"})
+//	fmt.Println(clang.Stats)
+//
+// The facade re-exports the stable subset of the internal packages;
+// power users can reach the substrates directly (repro/internal/...),
+// but everything demonstrated in the paper is available from here.
+package thicket
+
+import (
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/extrap"
+	"repro/internal/mlkit"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Core ensemble types (paper §3).
+type (
+	// Thicket is the unified ensemble object.
+	Thicket = core.Thicket
+	// Options configures FromProfiles (e.g. IndexBy).
+	Options = core.Options
+	// MetaRow is the typed row view passed to FilterMetadata predicates.
+	MetaRow = core.MetaRow
+	// StatsRow is the typed row view passed to FilterStats predicates.
+	StatsRow = core.StatsRow
+	// GroupedThicket is one GroupBy partition.
+	GroupedThicket = core.GroupedThicket
+	// NodeModel pairs a call-tree node with its fitted model.
+	NodeModel = core.NodeModel
+)
+
+// Data substrate types.
+type (
+	// Profile is one run's call tree + metrics + metadata.
+	Profile = profile.Profile
+	// Frame is the multi-indexed table type backing all components.
+	Frame = dataframe.Frame
+	// Value is a typed scalar cell.
+	Value = dataframe.Value
+	// ColKey addresses a (possibly hierarchical) column.
+	ColKey = dataframe.ColKey
+	// Row is a cursor over one frame row.
+	Row = dataframe.Row
+	// Tree is a call tree / forest.
+	Tree = calltree.Tree
+	// Node is one call-tree region.
+	Node = calltree.Node
+	// Matcher is a call-path query under construction.
+	Matcher = query.Matcher
+	// ExtrapModel is a fitted PMNF performance model.
+	ExtrapModel = extrap.Model
+	// ExtrapOptions tunes the model search.
+	ExtrapOptions = extrap.Options
+	// KMeansResult is a fitted clustering.
+	KMeansResult = mlkit.KMeansResult
+	// Matrix is a dense sample matrix for the ML helpers.
+	Matrix = mlkit.Matrix
+)
+
+// Index level names of the thicket tables.
+const (
+	NodeLevel    = core.NodeLevel
+	ProfileLevel = core.ProfileLevel
+)
+
+// FromProfiles composes profiles into a thicket (paper §3.2.1).
+func FromProfiles(profiles []*Profile, opts Options) (*Thicket, error) {
+	return core.FromProfiles(profiles, opts)
+}
+
+// Compose hierarchically composes thickets, adding a column-index level
+// (paper §3.2.2).
+func Compose(groups []string, thickets []*Thicket) (*Thicket, error) {
+	return core.Compose(groups, thickets)
+}
+
+// ConcatProfiles vertically concatenates thickets over disjoint profiles.
+func ConcatProfiles(thickets []*Thicket) (*Thicket, error) {
+	return core.ConcatProfiles(thickets)
+}
+
+// LoadProfile reads one profile from disk.
+func LoadProfile(path string) (*Profile, error) { return profile.Load(path) }
+
+// LoadProfileDir reads every *.json profile under dir.
+func LoadProfileDir(dir string) ([]*Profile, error) { return profile.LoadDir(dir) }
+
+// NewProfile returns an empty profile for programmatic construction.
+func NewProfile() *Profile { return profile.New() }
+
+// NewQuery starts a call-path query in the Hatchet QueryMatcher style
+// (paper §4.1.3).
+func NewQuery() *Matcher { return query.NewMatcher() }
+
+// ParseQuery compiles the textual query DSL (see internal/query.Parse).
+func ParseQuery(text string) (*Matcher, error) { return query.Parse(text) }
+
+// Query-node predicates, re-exported for matcher construction.
+var (
+	NameEquals     = query.NameEquals
+	NameEndsWith   = query.NameEndsWith
+	NameStartsWith = query.NameStartsWith
+	NameContains   = query.NameContains
+	NameMatches    = query.NameMatches
+)
+
+// Typed cell constructors.
+var (
+	Float64 = dataframe.Float64
+	Int64   = dataframe.Int64
+	Str     = dataframe.Str
+	BoolVal = dataframe.BoolVal
+)
+
+// FitModel fits a PMNF performance model to raw (parameter, measurement)
+// pairs — the standalone form of Thicket.ModelExtrap.
+func FitModel(params, measurements []float64, opts ExtrapOptions) (ExtrapModel, error) {
+	return extrap.Fit(params, measurements, opts)
+}
+
+// Scale standardizes a sample matrix to zero mean and unit variance.
+func Scale(m Matrix) (Matrix, error) {
+	var s mlkit.StandardScaler
+	return s.FitTransform(m)
+}
+
+// KMeans clusters samples with k-means++ seeded Lloyd iterations.
+func KMeans(m Matrix, k int, seed int64) (*KMeansResult, error) {
+	return mlkit.KMeans(m, k, mlkit.KMeansOptions{Seed: seed})
+}
+
+// ChooseK selects the cluster count in [kMin,kMax] by silhouette score.
+func ChooseK(m Matrix, kMin, kMax int, seed int64) (int, *KMeansResult, error) {
+	return mlkit.ChooseK(m, kMin, kMax, mlkit.KMeansOptions{Seed: seed})
+}
+
+// Describe summarizes a sample (count/mean/std/quartiles).
+func Describe(xs []float64) stats.Summary { return stats.Describe(xs) }
+
+// Two-parameter modeling and serialization extensions.
+type (
+	// ExtrapModel2 is a fitted two-parameter PMNF model.
+	ExtrapModel2 = extrap.Model2
+	// ExtrapOptions2 tunes the two-parameter search.
+	ExtrapOptions2 = extrap.Options2
+	// ExtrapFraction is a rational exponent for custom search lattices.
+	ExtrapFraction = extrap.Fraction
+	// NodeModel2 pairs a node with its two-parameter model.
+	NodeModel2 = core.NodeModel2
+	// PCAResult is a fitted principal component analysis.
+	PCAResult = mlkit.PCAResult
+)
+
+// FitModel2 fits a two-parameter PMNF model to raw (p, q, y) triples —
+// Extra-P's multi-parameter modeling.
+func FitModel2(ps, qs, ys []float64, opts ExtrapOptions2) (ExtrapModel2, error) {
+	return extrap.Fit2(ps, qs, ys, opts)
+}
+
+// PCA computes the top nComponents principal components of a sample
+// matrix (the scikit-learn integration the paper demonstrates alongside
+// clustering, §4.2.2).
+func PCA(m Matrix, nComponents int) (*PCAResult, error) {
+	return mlkit.PCA(m, nComponents)
+}
+
+// LoadThicket reads a serialized thicket object (written by
+// Thicket.Save/WriteJSON) from disk.
+func LoadThicket(path string) (*Thicket, error) { return core.LoadThicket(path) }
+
+// ThicketFromBytes parses a serialized thicket object.
+func ThicketFromBytes(data []byte) (*Thicket, error) { return core.ThicketFromBytes(data) }

@@ -1,0 +1,236 @@
+package thicket
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quick start describes: build profiles, save/load, compose, filter,
+// group, query, aggregate, and model.
+func TestFacadeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	for i, size := range []int64{1048576, 4194304} {
+		p := NewProfile()
+		p.SetMeta("problem size", Int64(size))
+		p.SetMeta("compiler", Str("clang-9.0.0"))
+		p.SetMeta("mpi.world.size", Int64(int64(36*(i+1))))
+		if err := p.AddSample([]string{"main", "Stream_DOT"}, map[string]Value{
+			"time (exc)": Float64(0.066 * float64(i+1)),
+			"Reps":       Int64(2000),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddSample([]string{"main", "Apps_VOL3D"}, map[string]Value{
+			"time (exc)": Float64(0.067 * float64(i+1)),
+			"Reps":       Int64(100),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Save(filepath.Join(dir, "run"+string(rune('a'+i))+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	profiles, err := LoadProfileDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := FromProfiles(profiles, Options{IndexBy: "problem size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.NumProfiles() != 2 {
+		t.Fatalf("profiles = %d", th.NumProfiles())
+	}
+
+	// Filter (Figure 6 idiom).
+	clang := th.FilterMetadata(func(m MetaRow) bool { return m.Str("compiler") == "clang-9.0.0" })
+	if clang.NumProfiles() != 2 {
+		t.Error("filter lost profiles")
+	}
+
+	// GroupBy (Figure 7 idiom).
+	groups, err := th.GroupBy("problem size")
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("groups = %d (%v)", len(groups), err)
+	}
+
+	// Query (Figure 8 idiom) — builder and DSL.
+	q := NewQuery().Match(".", NameEquals("main")).Rel(".", NameEndsWith("DOT"))
+	sub, err := th.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Tree.Leaves()) != 1 {
+		t.Error("query should isolate Stream_DOT")
+	}
+	if _, err := ParseQuery(". name == main / . name $= DOT"); err != nil {
+		t.Error(err)
+	}
+
+	// Aggregated statistics (Figure 9 idiom).
+	if err := th.AggregateStats([]ColKey{{"time (exc)"}}, []string{"mean", "std"}); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Stats.HasColumn(ColKey{"time (exc)_std"}) {
+		t.Error("stats column missing")
+	}
+
+	// Modeling (Figure 11 idiom).
+	model, err := th.ModelNode("main/Stream_DOT", ColKey{"time (exc)"}, "mpi.world.size", ExtrapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Eval(36) <= 0 {
+		t.Error("model evaluation broken")
+	}
+
+	// ML helpers (Figure 10 idiom).
+	m := Matrix{{1, 0.3}, {2.4, 0.19}, {2.5, 0.18}, {1.7, 0.28}}
+	scaled, err := Scale(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KMeans(scaled, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if k, _, err := ChooseK(scaled, 2, 3, 1); err != nil || k < 2 {
+		t.Fatalf("ChooseK = %d (%v)", k, err)
+	}
+
+	// Stats helper.
+	if s := Describe([]float64{1, 2, 3}); s.Mean != 2 {
+		t.Error("Describe broken")
+	}
+
+	// Composition (Figure 4 idiom): same profiles re-tagged as GPU data.
+	gpuProfiles, err := LoadProfileDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuTh, err := FromProfiles(gpuProfiles, Options{IndexBy: "problem size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Compose([]string{"CPU", "GPU"}, []*Thicket{th, gpuTh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.PerfData.ColIndex().NLevels() != 2 {
+		t.Error("composition should nest columns")
+	}
+	if !composed.PerfData.HasColumn(ColKey{"GPU", "time (exc)"}) {
+		t.Error("group column missing")
+	}
+
+	// FitModel standalone.
+	fm, err := FitModel([]float64{1, 4, 16, 64}, []float64{2, 4, 8, 16}, ExtrapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.IsConstant() {
+		t.Error("growing data should not fit constant")
+	}
+}
+
+// TestFacadeExtensions covers the remaining facade surface: profile IO,
+// vertical concat, PCA, two-parameter fitting, and thicket persistence.
+func TestFacadeExtensions(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfile()
+	p.SetMeta("id", Int64(1))
+	p.SetMeta("ok", BoolVal(true))
+	if err := p.AddSample([]string{"main"}, map[string]Value{"time": Float64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "one.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != p.Hash() {
+		t.Error("LoadProfile mismatch")
+	}
+
+	// Vertical concatenation of two single-profile thickets.
+	q := NewProfile()
+	q.SetMeta("id", Int64(2))
+	if err := q.AddSample([]string{"main"}, map[string]Value{"time": Float64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	thA, err := FromProfiles([]*Profile{p}, Options{IndexBy: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thB, err := FromProfiles([]*Profile{q}, Options{IndexBy: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := ConcatProfiles([]*Thicket{thA, thB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumProfiles() != 2 {
+		t.Error("ConcatProfiles lost profiles")
+	}
+
+	// Thicket persistence.
+	tpath := filepath.Join(dir, "ensemble.thicket.json")
+	if err := cat.Save(tpath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadThicket(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumProfiles() != 2 {
+		t.Error("LoadThicket mismatch")
+	}
+	raw, err := cat.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThicketFromBytes(raw); err != nil {
+		t.Error(err)
+	}
+
+	// PCA on a simple correlated matrix.
+	m := Matrix{{1, 2}, {2, 4.1}, {3, 5.9}, {4, 8.2}}
+	pca, err := PCA(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.ExplainedRatio[0] < 0.95 {
+		t.Errorf("PC1 ratio = %v", pca.ExplainedRatio[0])
+	}
+
+	// Two-parameter fit.
+	var ps, qs, ys []float64
+	for _, pp := range []float64{2, 4, 8} {
+		for _, qq := range []float64{16, 64, 256} {
+			ps = append(ps, pp)
+			qs = append(qs, qq)
+			ys = append(ys, 1+0.25*pp*qq)
+		}
+	}
+	m2, err := FitModel2(ps, qs, ys, ExtrapOptions2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.R2 < 0.999 {
+		t.Errorf("FitModel2 R² = %v (%s)", m2.R2, m2)
+	}
+
+	// Query predicate re-exports.
+	if !NameContains("ai")(cat.Tree.Roots()[0]) {
+		t.Error("NameContains re-export broken")
+	}
+	if NameMatches(regexp.MustCompile("^x$"))(cat.Tree.Roots()[0]) {
+		t.Error("NameMatches re-export broken")
+	}
+}
