@@ -164,6 +164,33 @@ func BenchmarkAggregateStats(b *testing.B) {
 	}
 }
 
+// benchAggregateStatsParallel measures AggregateStats on the 560-profile
+// RAJAPerf ensemble at a fixed worker count; the Parallel1 variant is the
+// sequential reference for the speedup table in EXPERIMENTS.md.
+func benchAggregateStatsParallel(b *testing.B, workers int) {
+	ps, err := sim.Figure13Ensemble(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := core.FromProfiles(ps, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := SetParallelism(workers)
+	defer SetParallelism(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.AggregateStats(nil, []string{"mean", "median", "std", "min", "max"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateStats_Parallel1(b *testing.B) { benchAggregateStatsParallel(b, 1) }
+func BenchmarkAggregateStats_Parallel4(b *testing.B) { benchAggregateStatsParallel(b, 4) }
+func BenchmarkAggregateStats_Parallel8(b *testing.B) { benchAggregateStatsParallel(b, 8) }
+
 func BenchmarkCompose(b *testing.B) {
 	cpu, err := sim.TopdownEnsemble([]int64{1048576, 4194304}, []string{"-O2"}, 1, 1)
 	if err != nil {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestCLIGolden pins the exact text output of the statistics-oriented
+// subcommands against checked-in golden files. The ensemble is generated
+// from the MARBL simulator with a fixed seed, so output is reproducible;
+// any formatting or aggregation change must be acknowledged by rerunning
+// with -update.
+func TestCLIGolden(t *testing.T) {
+	dir := writeEnsemble(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"stats", []string{"stats", "-dir", dir, "-metrics", "Avg time/rank", "-aggs", "mean,median,std,cv"}},
+		{"groupstats", []string{"groupstats", "-dir", dir, "-by", "cluster", "-metrics", "Avg time/rank", "-aggs", "mean,std"}},
+		{"describe", []string{"describe", "-dir", dir}},
+		{"summary", []string{"summary", "-dir", dir, "-by", "cluster,numhosts"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := invoke(t, tc.args...)
+			golden := filepath.Join("testdata", "golden", tc.name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./cmd/thicket -run TestCLIGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					tc.name, golden, got, want)
+			}
+		})
+	}
+}

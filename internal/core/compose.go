@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/calltree"
 	"repro/internal/dataframe"
+	"repro/internal/parallel"
 )
 
 // Compose hierarchically composes thickets with the same index structure
@@ -50,14 +51,24 @@ func Compose(groups []string, thickets []*Thicket) (*Thicket, error) {
 	}
 	tree := calltree.Intersect(trees...)
 
-	// Surviving profile-index values.
-	keep := map[string]bool{}
+	// Surviving profile-index values: encode per-profile rows in chunk
+	// parallel, then union the partials (set union is order-insensitive).
 	profLv := perf.Index().LevelByName(first.profileLevel)
 	if profLv == nil {
 		return nil, fmt.Errorf("core: composed index lacks level %q", first.profileLevel)
 	}
-	for r := 0; r < profLv.Len(); r++ {
-		keep[dataframe.EncodeKey([]dataframe.Value{profLv.At(r)})] = true
+	parts := parallel.MapChunks(profLv.Len(), func(lo, hi int) map[string]bool {
+		part := make(map[string]bool)
+		for r := lo; r < hi; r++ {
+			part[dataframe.EncodeKey([]dataframe.Value{profLv.At(r)})] = true
+		}
+		return part
+	})
+	keep := map[string]bool{}
+	for _, part := range parts {
+		for enc := range part {
+			keep[enc] = true
+		}
 	}
 	meta := first.Metadata.Filter(func(r dataframe.Row) bool {
 		return keep[dataframe.EncodeKey(first.Metadata.Index().KeyAt(r.Pos()))]

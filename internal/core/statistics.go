@@ -3,12 +3,43 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataframe"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
+
+// rowsByNodeOf groups a frame's row positions by the named index level,
+// scanning chunks in parallel; merging partials in chunk order keeps
+// per-node row lists in ascending (sequential) order.
+func rowsByNodeOf(f *dataframe.Frame, level string) (map[string][]int, error) {
+	lv := f.Index().LevelByName(level)
+	if lv == nil {
+		return nil, fmt.Errorf("core: frame lacks index level %q", level)
+	}
+	type partition struct {
+		rows  map[string][]int
+		order []string
+	}
+	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) partition {
+		p := partition{rows: make(map[string][]int)}
+		for r := lo; r < hi; r++ {
+			path := lv.At(r).Str()
+			if _, ok := p.rows[path]; !ok {
+				p.order = append(p.order, path)
+			}
+			p.rows[path] = append(p.rows[path], r)
+		}
+		return p
+	})
+	out := make(map[string][]int)
+	for _, p := range parts {
+		for _, path := range p.order {
+			out[path] = append(out[path], p.rows[path]...)
+		}
+	}
+	return out, nil
+}
 
 // AggregateStats computes order-reduced statistics (paper §4.2.1): for
 // each requested metric column and aggregator, one statistics column
@@ -46,14 +77,9 @@ func (t *Thicket) AggregateStats(metrics []dataframe.ColKey, aggs []string) erro
 	}
 
 	// Group PerfData rows per node path.
-	nodeLv := t.PerfData.Index().LevelByName(NodeLevel)
-	if nodeLv == nil {
+	rowsByNode, err := rowsByNodeOf(t.PerfData, NodeLevel)
+	if err != nil {
 		return fmt.Errorf("core: perf data lacks node level")
-	}
-	rowsByNode := map[string][]int{}
-	for r := 0; r < t.PerfData.NRows(); r++ {
-		p := nodeLv.At(r).Str()
-		rowsByNode[p] = append(rowsByNode[p], r)
 	}
 
 	statsLv := t.Stats.Index().LevelByName(NodeLevel)
@@ -70,42 +96,25 @@ func (t *Thicket) AggregateStats(metrics []dataframe.ColKey, aggs []string) erro
 		}
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > t.Stats.NRows() && t.Stats.NRows() > 0 {
-		workers = t.Stats.NRows()
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	rowCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sr := range rowCh {
-				path := statsLv.At(sr).Str()
-				rows := rowsByNode[path]
-				for mi, col := range cols {
-					vals := make([]float64, 0, len(rows))
-					for _, r := range rows {
-						f, ok := col.At(r).AsFloat()
-						if ok {
-							vals = append(vals, f)
-						}
-					}
-					for ai, agg := range aggregators {
-						results[mi][ai][sr] = agg.Fn(vals)
-					}
+	// Nodes fan out across the worker pool; every aggregate is computed
+	// by the same sequential stats code over the node's full (ascending)
+	// row list and written to a fixed slot, so the output is bit-identical
+	// to the sequential path at any parallelism.
+	parallel.For(t.Stats.NRows(), func(sr int) {
+		rows := rowsByNode[statsLv.At(sr).Str()]
+		for mi, col := range cols {
+			vals := make([]float64, 0, len(rows))
+			for _, r := range rows {
+				f, ok := col.At(r).AsFloat()
+				if ok {
+					vals = append(vals, f)
 				}
 			}
-		}()
-	}
-	for sr := 0; sr < t.Stats.NRows(); sr++ {
-		rowCh <- sr
-	}
-	close(rowCh)
-	wg.Wait()
+			for ai, agg := range aggregators {
+				results[mi][ai][sr] = agg.Fn(vals)
+			}
+		}
+	})
 
 	for mi, mk := range metrics {
 		for ai, agg := range aggregators {
@@ -155,15 +164,13 @@ func (t *Thicket) CorrelateMetrics(a, b dataframe.ColKey, method string) error {
 	default:
 		return fmt.Errorf("core: unknown correlation method %q", method)
 	}
-	nodeLv := t.PerfData.Index().LevelByName(NodeLevel)
-	rowsByNode := map[string][]int{}
-	for r := 0; r < t.PerfData.NRows(); r++ {
-		p := nodeLv.At(r).Str()
-		rowsByNode[p] = append(rowsByNode[p], r)
+	rowsByNode, err := rowsByNodeOf(t.PerfData, NodeLevel)
+	if err != nil {
+		return err
 	}
 	statsLv := t.Stats.Index().LevelByName(NodeLevel)
 	out := make([]float64, t.Stats.NRows())
-	for sr := 0; sr < t.Stats.NRows(); sr++ {
+	if err := parallel.ForErr(t.Stats.NRows(), func(sr int) error {
 		rows := rowsByNode[statsLv.At(sr).Str()]
 		xs := make([]float64, len(rows))
 		ys := make([]float64, len(rows))
@@ -176,6 +183,9 @@ func (t *Thicket) CorrelateMetrics(a, b dataframe.ColKey, method string) error {
 			return err
 		}
 		out[sr] = c
+		return nil
+	}); err != nil {
+		return err
 	}
 	name := fmt.Sprintf("%s_vs_%s_%s", a.Leaf(), b.Leaf(), method)
 	return t.Stats.AddColumnWithKey(dataframe.ColKey{name}, dataframe.NewFloatSeries(name, out))
@@ -221,13 +231,18 @@ func (t *Thicket) GroupedStats(groupColumns []string, metrics []dataframe.ColKey
 	if err != nil {
 		return nil, err
 	}
+	// Each group's order reduction touches only its own sub-thicket;
+	// groups fan out across the pool, then rows are assembled in group
+	// order so the result is independent of parallelism.
+	if err := parallel.ForErr(len(groups), func(gi int) error {
+		return groups[gi].Thicket.AggregateStats(metrics, aggs)
+	}); err != nil {
+		return nil, err
+	}
 	indexNames := append(append([]string(nil), groupColumns...), NodeLevel)
 	var b *dataframe.Builder
 	for _, g := range groups {
 		sub := g.Thicket
-		if err := sub.AggregateStats(metrics, aggs); err != nil {
-			return nil, err
-		}
 		if b == nil {
 			kinds := make([]dataframe.Kind, len(indexNames))
 			for i, kv := range g.Key {

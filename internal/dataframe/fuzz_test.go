@@ -1,7 +1,12 @@
 package dataframe
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // FuzzFrameFromJSON hardens the frame deserializer: arbitrary bytes must
@@ -36,6 +41,98 @@ func FuzzFrameFromJSON(f *testing.F) {
 		}
 		if !fr.Equal(back) {
 			t.Fatal("round trip not idempotent")
+		}
+	})
+}
+
+// FuzzGroupByAggregate exercises the chunked group-by path: a randomized
+// frame is partitioned sequentially and at a fuzzed worker count, the
+// two partitions must agree exactly, and per-group left-fold sums must
+// round-trip against a whole-frame scan (proving no row is lost,
+// duplicated, or reordered by the chunk merge).
+func FuzzGroupByAggregate(f *testing.F) {
+	// Seed corpus mirrors the shapes of the RAJAPerf and MARBL sim
+	// generators: the 560-profile Figure 13 campaign (many rows, few
+	// groups), the 60-profile Figure 16 MARBL ensemble, and the
+	// degenerate shapes the chunker must survive.
+	f.Add(int64(1), uint16(560), uint8(8), uint8(4))  // RAJAPerf fig13: 560 rows, 8 kernels
+	f.Add(int64(16), uint16(60), uint8(12), uint8(2)) // MARBL fig16: 60 rows, 12 configs
+	f.Add(int64(3), uint16(0), uint8(1), uint8(1))    // empty frame
+	f.Add(int64(4), uint16(1), uint8(1), uint8(7))    // single row, many workers
+	f.Add(int64(5), uint16(3), uint8(200), uint8(8))  // fewer rows than groups
+
+	f.Fuzz(func(t *testing.T, seed int64, nRows uint16, nGroups, workers uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(nRows) % 2048
+		groups := int(nGroups)%32 + 1
+		par := int(workers)%8 + 1
+
+		keys := make([]string, rows)
+		vals := make([]float64, rows)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("kernel_%d", rng.Intn(groups))
+			if rng.Intn(8) == 0 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = rng.NormFloat64() * 100
+			}
+		}
+		fr := MustFrame(
+			MustIndex(NewStringSeries("node", keys)),
+			NewFloatSeries("time", vals),
+		)
+
+		prev := parallel.Set(1)
+		defer parallel.Set(prev)
+		seq, err := fr.GroupBy("node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.Set(par)
+		par8, err := fr.GroupBy("node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par8) {
+			t.Fatalf("sequential %d groups, parallel %d", len(seq), len(par8))
+		}
+		total := 0
+		for gi := range seq {
+			if !seq[gi].Key[0].Equal(par8[gi].Key[0]) {
+				t.Fatalf("group %d key differs: %s vs %s", gi, seq[gi].Key[0], par8[gi].Key[0])
+			}
+			if !seq[gi].Frame.Equal(par8[gi].Frame) {
+				t.Fatalf("group %d frame differs between sequential and parallel", gi)
+			}
+			total += seq[gi].Frame.NRows()
+		}
+		if total != fr.NRows() {
+			t.Fatalf("groups cover %d rows, frame has %d", total, fr.NRows())
+		}
+
+		// Aggregate round trip: per-group left-fold sums re-assembled in
+		// group order must bit-match a whole-frame scan bucketed by key,
+		// because chunk-merged buckets preserve ascending row order.
+		wantSums := map[string]float64{}
+		for i := range keys {
+			if !math.IsNaN(vals[i]) {
+				wantSums[keys[i]] += vals[i]
+			}
+		}
+		for gi := range par8 {
+			col, err := par8[gi].Frame.ColumnByName("time")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for r := 0; r < col.Len(); r++ {
+				if v, ok := col.At(r).AsFloat(); ok && !math.IsNaN(v) {
+					sum += v
+				}
+			}
+			if want := wantSums[par8[gi].Key[0].Str()]; sum != want {
+				t.Fatalf("group %s: parallel fold %v, sequential scan %v", par8[gi].Key[0], sum, want)
+			}
 		}
 	})
 }

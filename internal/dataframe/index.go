@@ -99,6 +99,12 @@ func (ix *Index) buildLookup() {
 	ix.lookup = m
 }
 
+// Warm forces construction of the lazy key→rows map. Lookup and
+// Contains build it on first use, which is a data race when the first
+// uses happen concurrently; call Warm before handing the index to
+// parallel readers.
+func (ix *Index) Warm() { ix.buildLookup() }
+
 // Lookup returns the row positions matching the full composite key, in
 // index order. The returned slice must not be modified.
 func (ix *Index) Lookup(key []Value) []int {

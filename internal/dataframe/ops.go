@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Row is a lightweight cursor over one frame row, passed to predicates.
@@ -118,6 +120,67 @@ type Group struct {
 	Frame *Frame
 }
 
+// keyBucket accumulates the member rows of one group-by key.
+type keyBucket struct {
+	key  []Value
+	rows []int
+}
+
+// keyPartition is one chunk's partial group-by result: buckets plus
+// their first-appearance order within the chunk.
+type keyPartition struct {
+	byKey map[string]*keyBucket
+	order []string
+}
+
+// partitionByKey groups rows [0, NRows) by the composite key produced by
+// keyAt, scanning chunks in parallel and merging the partials in chunk
+// order — which reproduces exactly the first-appearance key order and
+// ascending per-bucket row order of a sequential scan.
+func (f *Frame) partitionByKey(keyAt func(r int) []Value) (map[string]*keyBucket, []string) {
+	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) keyPartition {
+		p := keyPartition{byKey: make(map[string]*keyBucket)}
+		for r := lo; r < hi; r++ {
+			key := keyAt(r)
+			enc := EncodeKey(key)
+			b, ok := p.byKey[enc]
+			if !ok {
+				b = &keyBucket{key: key}
+				p.byKey[enc] = b
+				p.order = append(p.order, enc)
+			}
+			b.rows = append(b.rows, r)
+		}
+		return p
+	})
+	byKey := make(map[string]*keyBucket)
+	var order []string
+	for _, p := range parts {
+		for _, enc := range p.order {
+			pb := p.byKey[enc]
+			b, ok := byKey[enc]
+			if !ok {
+				byKey[enc] = pb
+				order = append(order, enc)
+				continue
+			}
+			b.rows = append(b.rows, pb.rows...)
+		}
+	}
+	return byKey, order
+}
+
+// materializeGroups builds the per-group sub-frames (in parallel; each
+// group writes only its own slot).
+func (f *Frame) materializeGroups(byKey map[string]*keyBucket, order []string) []Group {
+	groups := make([]Group, len(order))
+	parallel.For(len(order), func(i int) {
+		b := byKey[order[i]]
+		groups[i] = Group{Key: b.key, Frame: f.SelectRows(b.rows)}
+	})
+	return groups
+}
+
 // GroupBy partitions the frame by unique combinations of values in the
 // named leaf columns (or index levels), returning groups ordered by key.
 // This implements the mechanism behind thicket.GroupBy (paper §4.1.2,
@@ -131,35 +194,17 @@ func (f *Frame) GroupBy(names ...string) ([]Group, error) {
 		}
 		cols[i] = c
 	}
-	type bucket struct {
-		key  []Value
-		rows []int
-	}
-	byKey := make(map[string]*bucket)
-	var order []string
-	for r := 0; r < f.NRows(); r++ {
+	byKey, order := f.partitionByKey(func(r int) []Value {
 		key := make([]Value, len(cols))
 		for i, c := range cols {
 			key[i] = c.At(r)
 		}
-		enc := EncodeKey(key)
-		b, ok := byKey[enc]
-		if !ok {
-			b = &bucket{key: key}
-			byKey[enc] = b
-			order = append(order, enc)
-		}
-		b.rows = append(b.rows, r)
-	}
+		return key
+	})
 	sort.Slice(order, func(a, b int) bool {
 		return CompareKeys(byKey[order[a]].key, byKey[order[b]].key) < 0
 	})
-	groups := make([]Group, 0, len(order))
-	for _, enc := range order {
-		b := byKey[enc]
-		groups = append(groups, Group{Key: b.key, Frame: f.SelectRows(b.rows)})
-	}
-	return groups, nil
+	return f.materializeGroups(byKey, order), nil
 }
 
 // GroupByIndexLevel partitions rows by unique values of one index level,
@@ -169,29 +214,10 @@ func (f *Frame) GroupByIndexLevel(level string) ([]Group, error) {
 	if lv == nil {
 		return nil, fmt.Errorf("dataframe: no index level %q", level)
 	}
-	type bucket struct {
-		key  Value
-		rows []int
-	}
-	byKey := make(map[string]*bucket)
-	var order []string
-	for r := 0; r < f.NRows(); r++ {
-		v := lv.At(r)
-		enc := EncodeKey([]Value{v})
-		b, ok := byKey[enc]
-		if !ok {
-			b = &bucket{key: v}
-			byKey[enc] = b
-			order = append(order, enc)
-		}
-		b.rows = append(b.rows, r)
-	}
-	groups := make([]Group, 0, len(order))
-	for _, enc := range order {
-		b := byKey[enc]
-		groups = append(groups, Group{Key: []Value{b.key}, Frame: f.SelectRows(b.rows)})
-	}
-	return groups, nil
+	byKey, order := f.partitionByKey(func(r int) []Value {
+		return []Value{lv.At(r)}
+	})
+	return f.materializeGroups(byKey, order), nil
 }
 
 // ConcatRows vertically concatenates frames with identical column keys and
@@ -250,19 +276,25 @@ func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
 		}
 	}
 
-	// Intersection of keys, in the first frame's order.
-	var keys [][]Value
-	for r := 0; r < base.NRows(); r++ {
+	// Intersection of keys, in the first frame's order. Lookup maps are
+	// built lazily; warm them before the scan fans out across workers.
+	for _, f := range frames {
+		f.index.Warm()
+	}
+	keep := make([]bool, base.NRows())
+	parallel.For(base.NRows(), func(r int) {
 		key := base.index.KeyAt(r)
-		inAll := true
 		for _, f := range frames[1:] {
 			if !f.index.Contains(key) {
-				inAll = false
-				break
+				return
 			}
 		}
-		if inAll {
-			keys = append(keys, key)
+		keep[r] = true
+	})
+	var keys [][]Value
+	for r := 0; r < base.NRows(); r++ {
+		if keep[r] {
+			keys = append(keys, base.index.KeyAt(r))
 		}
 	}
 
@@ -288,13 +320,17 @@ func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
 	var outCols []*Series
 	for gi, f := range frames {
 		rows := make([]int, len(keys))
-		for ki, key := range keys {
-			rows[ki] = f.index.Lookup(key)[0]
-		}
+		parallel.For(len(keys), func(ki int) {
+			rows[ki] = f.index.Lookup(keys[ki])[0]
+		})
 		pref := f.cols.Prefixed(groups[gi])
+		gathered := make([]*Series, f.NCols())
+		parallel.For(f.NCols(), func(c int) {
+			gathered[c] = f.data[c].Gather(rows)
+		})
 		for c := 0; c < f.NCols(); c++ {
 			outKeys = append(outKeys, pref.Key(c))
-			outCols = append(outCols, f.data[c].Gather(rows))
+			outCols = append(outCols, gathered[c])
 		}
 	}
 	return NewFrameWithColIndex(outIndex, outKeys, outCols)
@@ -322,14 +358,23 @@ func NewBuilder(indexNames []string, indexKinds []Kind) *Builder {
 	}
 }
 
-// AddRow appends a record: its index key and named cell values.
+// AddRow appends a record: its index key and named cell values. Columns
+// new to the builder are registered in sorted name order (not Go map
+// iteration order, which would make the column layout nondeterministic
+// run-to-run).
 func (b *Builder) AddRow(key []Value, cells map[string]Value) error {
 	if len(key) != len(b.indexNames) {
 		return fmt.Errorf("dataframe: key has %d parts, builder index has %d levels", len(key), len(b.indexNames))
 	}
 	b.rows = append(b.rows, append([]Value(nil), key...))
+	names := make([]string, 0, len(cells))
+	for name := range cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	copied := make(map[string]Value, len(cells))
-	for name, v := range cells {
+	for _, name := range names {
+		v := cells[name]
 		if _, ok := b.colKind[name]; !ok {
 			b.colKind[name] = v.Kind()
 			b.colOrder = append(b.colOrder, name)
@@ -446,22 +491,42 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 	for i, k := range colKeys {
 		colPos[EncodeKey([]Value{k})] = i
 	}
+	// Collect cell samples chunk-parallel; merging chunk partials in
+	// order preserves the sequential per-cell sample order, so
+	// order-sensitive aggregators see identical inputs.
+	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) [][][]float64 {
+		part := make([][][]float64, len(rowKeys))
+		for r := lo; r < hi; r++ {
+			rv, cv := rowS.At(r), colS.At(r)
+			if rv.IsNull() || cv.IsNull() {
+				continue
+			}
+			v, ok := valS.At(r).AsFloat()
+			if !ok {
+				continue
+			}
+			ri := rowPos[EncodeKey([]Value{rv})]
+			ci := colPos[EncodeKey([]Value{cv})]
+			if part[ri] == nil {
+				part[ri] = make([][]float64, len(colKeys))
+			}
+			part[ri][ci] = append(part[ri][ci], v)
+		}
+		return part
+	})
 	cells := make([][][]float64, len(rowKeys))
 	for i := range cells {
 		cells[i] = make([][]float64, len(colKeys))
 	}
-	for r := 0; r < f.NRows(); r++ {
-		rv, cv := rowS.At(r), colS.At(r)
-		if rv.IsNull() || cv.IsNull() {
-			continue
+	for _, part := range parts {
+		for ri, byCol := range part {
+			if byCol == nil {
+				continue
+			}
+			for ci, vals := range byCol {
+				cells[ri][ci] = append(cells[ri][ci], vals...)
+			}
 		}
-		v, ok := valS.At(r).AsFloat()
-		if !ok {
-			continue
-		}
-		ri := rowPos[EncodeKey([]Value{rv})]
-		ci := colPos[EncodeKey([]Value{cv})]
-		cells[ri][ci] = append(cells[ri][ci], v)
 	}
 
 	idxSeries := NewSeries(rowName, rowKeys[0].Kind())
@@ -475,7 +540,7 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 		return nil, err
 	}
 	columns := make([]*Series, len(colKeys))
-	for ci, ck := range colKeys {
+	parallel.For(len(colKeys), func(ci int) {
 		data := make([]float64, len(rowKeys))
 		for ri := range rowKeys {
 			if len(cells[ri][ci]) == 0 {
@@ -484,8 +549,8 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 			}
 			data[ri] = agg(cells[ri][ci])
 		}
-		columns[ci] = NewFloatSeries(ck.String(), data)
-	}
+		columns[ci] = NewFloatSeries(colKeys[ci].String(), data)
+	})
 	return NewFrame(ix, columns...)
 }
 

@@ -5,6 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // KMeansOptions tunes the clustering run. Zero values select defaults.
@@ -71,9 +74,13 @@ func kmeansOnce(m Matrix, k, maxIter int, rng *rand.Rand) *KMeansResult {
 	centroids := seedPlusPlus(m, k, rng)
 	labels := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		// Assignment step.
-		for i, x := range m {
+		// Assignment step: each sample's nearest centroid is independent,
+		// so samples fan out across the worker pool; labels land in fixed
+		// slots and the changed flag is an order-insensitive OR, keeping
+		// the iteration bit-identical to the sequential path.
+		var changedFlag atomic.Bool
+		parallel.For(len(m), func(i int) {
+			x := m[i]
 			bi, bd := 0, math.Inf(1)
 			for c := range centroids {
 				if dist := euclidean2(x, centroids[c]); dist < bd {
@@ -82,10 +89,10 @@ func kmeansOnce(m Matrix, k, maxIter int, rng *rand.Rand) *KMeansResult {
 			}
 			if labels[i] != bi {
 				labels[i] = bi
-				changed = true
+				changedFlag.Store(true)
 			}
-		}
-		if !changed && iter > 0 {
+		})
+		if !changedFlag.Load() && iter > 0 {
 			break
 		}
 		// Update step.
@@ -120,11 +127,17 @@ func kmeansOnce(m Matrix, k, maxIter int, rng *rand.Rand) *KMeansResult {
 		}
 		centroids = next
 	}
-	// Final stats.
+	// Final stats. Distances are computed in parallel into fixed slots;
+	// the inertia sum folds them in ascending sample order, matching the
+	// sequential accumulation exactly.
+	dists := make([]float64, len(m))
+	parallel.For(len(m), func(i int) {
+		dists[i] = euclidean2(m[i], centroids[labels[i]])
+	})
 	inertia := 0.0
 	sizes := make([]int, k)
-	for i, x := range m {
-		inertia += euclidean2(x, centroids[labels[i]])
+	for i := range m {
+		inertia += dists[i]
 		sizes[labels[i]]++
 	}
 	return &KMeansResult{K: k, Labels: labels, Centroids: centroids, Inertia: inertia, Sizes: sizes}
@@ -138,16 +151,21 @@ func seedPlusPlus(m Matrix, k int, rng *rand.Rand) Matrix {
 	centroids = append(centroids, append([]float64(nil), m[first]...))
 	d2 := make([]float64, n)
 	for len(centroids) < k {
-		total := 0.0
-		for i, x := range m {
+		// D² weights per sample are independent; the total folds them in
+		// ascending order so the weighted draw is seed-stable at any
+		// parallelism.
+		parallel.For(n, func(i int) {
 			best := math.Inf(1)
 			for _, c := range centroids {
-				if dist := euclidean2(x, c); dist < best {
+				if dist := euclidean2(m[i], c); dist < best {
 					best = dist
 				}
 			}
 			d2[i] = best
-			total += best
+		})
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += d2[i]
 		}
 		var pick int
 		if total == 0 {
@@ -227,11 +245,14 @@ func Silhouette(m Matrix, labels []int) (float64, error) {
 		clusters = append(clusters, c)
 	}
 	sort.Ints(clusters)
-	total := 0.0
-	for i := 0; i < n; i++ {
+	// Per-sample coefficients are independent (O(n²) distance work), so
+	// they fan out across the pool; the mean folds them in ascending
+	// sample order, matching the sequential accumulation.
+	coeff := make([]float64, n)
+	parallel.For(n, func(i int) {
 		own := labels[i]
 		if len(members[own]) == 1 {
-			continue // silhouette of a singleton is defined as 0
+			return // silhouette of a singleton is defined as 0
 		}
 		a := 0.0
 		for _, j := range members[own] {
@@ -254,10 +275,13 @@ func Silhouette(m Matrix, labels []int) (float64, error) {
 				b = d
 			}
 		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
+		if den := math.Max(a, b); den > 0 {
+			coeff[i] = (b - a) / den
 		}
+	})
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += coeff[i]
 	}
 	return total / float64(n), nil
 }

@@ -1,0 +1,278 @@
+// The differential harness: the correctness proof that ships with the
+// parallel engine. It executes every parallelized aggregation both ways
+// — sequential reference (parallelism 1) and parallel (2 and 8 workers)
+// — on randomized thickets and frames, and asserts the outputs are
+// exactly equal, bit for bit. Run under -race (CI does) it doubles as
+// the concurrency-safety check for every parallel path.
+package parallel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/mlkit"
+	"repro/internal/parallel"
+	"repro/internal/profile"
+)
+
+// differentialTrials is the number of randomized inputs per op family;
+// across the thicket, frame, and K-means families the harness exercises
+// well over 100 randomized frames (the acceptance floor).
+const differentialTrials = 40
+
+// randomThicket builds a valid random ensemble: overlapping tree shapes
+// from a shared vocabulary, random metric subsets (missing cells), and
+// groupable metadata.
+func randomThicket(t *testing.T, seed int64) *core.Thicket {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"solve", "io", "mult", "add", "halo", "reduce"}
+	nProfiles := 2 + rng.Intn(6)
+	profiles := make([]*profile.Profile, nProfiles)
+	for i := range profiles {
+		p := profile.New()
+		p.SetMeta("id", dataframe.Int64(int64(i)))
+		p.SetMeta("group", dataframe.Str(fmt.Sprintf("g%d", rng.Intn(3))))
+		p.SetMeta("scale", dataframe.Int64(int64(1<<rng.Intn(4))))
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			depth := 1 + rng.Intn(3)
+			path := []string{"main"}
+			for d := 1; d < depth; d++ {
+				path = append(path, vocab[rng.Intn(len(vocab))])
+			}
+			metrics := map[string]dataframe.Value{}
+			for _, m := range []string{"time", "bytes", "flops"} {
+				if rng.Intn(4) > 0 {
+					metrics[m] = dataframe.Float64(rng.NormFloat64() * 50)
+				}
+			}
+			if err := p.AddSample(path, metrics); err != nil {
+				t.Fatal(err)
+			}
+		}
+		profiles[i] = p
+	}
+	th, err := core.FromProfiles(profiles, core.Options{IndexBy: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// diffThicketOp runs op on fresh copies of a thicket at the sequential
+// reference and at each parallel worker count, asserting the resulting
+// frames are exactly equal.
+func diffThicketOp(t *testing.T, label string, th *core.Thicket, op func(*core.Thicket) (*dataframe.Frame, error)) {
+	t.Helper()
+	run := func(w int) (*dataframe.Frame, error) {
+		prev := parallel.Set(w)
+		defer parallel.Set(prev)
+		return op(th.Copy())
+	}
+	want, wantErr := run(1)
+	for _, w := range workerCounts[1:] {
+		got, gotErr := run(w)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s workers=%d: errors differ (%v vs %v)", label, w, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s workers=%d: parallel output differs from sequential reference", label, w)
+		}
+	}
+}
+
+func TestDifferentialAggregateStats(t *testing.T) {
+	aggSets := [][]string{
+		{"mean", "std"},
+		{"median", "var", "min", "max", "sum", "count", "p25", "p99"},
+	}
+	for trial := 0; trial < differentialTrials; trial++ {
+		th := randomThicket(t, int64(trial))
+		aggs := aggSets[trial%len(aggSets)]
+		diffThicketOp(t, fmt.Sprintf("AggregateStats trial=%d", trial), th,
+			func(th *core.Thicket) (*dataframe.Frame, error) {
+				if err := th.AggregateStats(nil, aggs); err != nil {
+					return nil, err
+				}
+				return th.Stats, nil
+			})
+	}
+}
+
+func TestDifferentialGroupedStats(t *testing.T) {
+	for trial := 0; trial < differentialTrials; trial++ {
+		th := randomThicket(t, int64(1000+trial))
+		diffThicketOp(t, fmt.Sprintf("GroupedStats trial=%d", trial), th,
+			func(th *core.Thicket) (*dataframe.Frame, error) {
+				return th.GroupedStats([]string{"group"}, nil, []string{"mean", "std"})
+			})
+	}
+}
+
+func TestDifferentialCorrelateMetrics(t *testing.T) {
+	for trial := 0; trial < differentialTrials; trial++ {
+		th := randomThicket(t, int64(2000+trial))
+		method := []string{"pearson", "spearman"}[trial%2]
+		diffThicketOp(t, fmt.Sprintf("CorrelateMetrics trial=%d", trial), th,
+			func(th *core.Thicket) (*dataframe.Frame, error) {
+				err := th.CorrelateMetrics(dataframe.ColKey{"time"}, dataframe.ColKey{"bytes"}, method)
+				if err != nil {
+					return nil, err
+				}
+				return th.Stats, nil
+			})
+	}
+}
+
+func TestDifferentialThicketGroupBy(t *testing.T) {
+	for trial := 0; trial < differentialTrials; trial++ {
+		th := randomThicket(t, int64(3000+trial))
+		run := func(w int) []core.GroupedThicket {
+			prev := parallel.Set(w)
+			defer parallel.Set(prev)
+			groups, err := th.Copy().GroupBy("group", "scale")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return groups
+		}
+		want := run(1)
+		for _, w := range workerCounts[1:] {
+			got := run(w)
+			if len(want) != len(got) {
+				t.Fatalf("GroupBy trial=%d workers=%d: %d groups vs %d", trial, w, len(want), len(got))
+			}
+			for gi := range want {
+				for ki := range want[gi].Key {
+					if !want[gi].Key[ki].Equal(got[gi].Key[ki]) {
+						t.Fatalf("GroupBy trial=%d workers=%d: group %d key differs", trial, w, gi)
+					}
+				}
+				wt, gt := want[gi].Thicket, got[gi].Thicket
+				if !wt.PerfData.Equal(gt.PerfData) || !wt.Metadata.Equal(gt.Metadata) {
+					t.Fatalf("GroupBy trial=%d workers=%d: group %d sub-thicket differs", trial, w, gi)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialCompose(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		a := randomThicket(t, int64(4000+trial))
+		b := randomThicket(t, int64(4500+trial))
+		run := func(w int) (*dataframe.Frame, error) {
+			prev := parallel.Set(w)
+			defer parallel.Set(prev)
+			composed, err := core.Compose([]string{"A", "B"}, []*core.Thicket{a.Copy(), b.Copy()})
+			if err != nil {
+				return nil, err
+			}
+			return composed.PerfData, nil
+		}
+		want, wantErr := run(1)
+		for _, w := range workerCounts[1:] {
+			got, gotErr := run(w)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("Compose trial=%d workers=%d: errors differ (%v vs %v)", trial, w, wantErr, gotErr)
+			}
+			if wantErr == nil && !want.Equal(got) {
+				t.Fatalf("Compose trial=%d workers=%d: composed perf data differs", trial, w)
+			}
+		}
+	}
+}
+
+// TestDifferentialKMeans proves the parallel assignment step (and the
+// parallel D² seeding and inertia distance computations) leave the full
+// clustering result — labels, centroids, inertia, sizes — bit-identical
+// to the sequential path for a fixed seed.
+func TestDifferentialKMeans(t *testing.T) {
+	for trial := 0; trial < differentialTrials; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		n := 2 + rng.Intn(120)
+		d := 1 + rng.Intn(5)
+		m := make(mlkit.Matrix, n)
+		for i := range m {
+			m[i] = make([]float64, d)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64() * 10
+			}
+		}
+		k := 1 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		run := func(w int) *mlkit.KMeansResult {
+			prev := parallel.Set(w)
+			defer parallel.Set(prev)
+			res, err := mlkit.KMeans(m, k, mlkit.KMeansOptions{Seed: int64(trial + 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want := run(1)
+		for _, w := range workerCounts[1:] {
+			got := run(w)
+			if want.Inertia != got.Inertia {
+				t.Fatalf("KMeans trial=%d workers=%d: inertia %v vs %v", trial, w, want.Inertia, got.Inertia)
+			}
+			for i := range want.Labels {
+				if want.Labels[i] != got.Labels[i] {
+					t.Fatalf("KMeans trial=%d workers=%d: label[%d] differs", trial, w, i)
+				}
+			}
+			for c := range want.Centroids {
+				for j := range want.Centroids[c] {
+					if want.Centroids[c][j] != got.Centroids[c][j] {
+						t.Fatalf("KMeans trial=%d workers=%d: centroid[%d][%d] %v vs %v",
+							trial, w, c, j, want.Centroids[c][j], got.Centroids[c][j])
+					}
+				}
+			}
+			for c := range want.Sizes {
+				if want.Sizes[c] != got.Sizes[c] {
+					t.Fatalf("KMeans trial=%d workers=%d: size[%d] differs", trial, w, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialSilhouette(t *testing.T) {
+	for trial := 0; trial < differentialTrials; trial++ {
+		rng := rand.New(rand.NewSource(int64(6000 + trial)))
+		n := 4 + rng.Intn(80)
+		m := make(mlkit.Matrix, n)
+		labels := make([]int, n)
+		for i := range m {
+			c := rng.Intn(3)
+			labels[i] = c
+			m[i] = []float64{float64(c)*8 + rng.NormFloat64(), rng.NormFloat64()}
+		}
+		// Guarantee at least two clusters have members.
+		labels[0], labels[1] = 0, 1
+		run := func(w int) float64 {
+			prev := parallel.Set(w)
+			defer parallel.Set(prev)
+			s, err := mlkit.Silhouette(m, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		want := run(1)
+		for _, w := range workerCounts[1:] {
+			if got := run(w); got != want {
+				t.Fatalf("Silhouette trial=%d workers=%d: %v vs %v", trial, w, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn under a fixed worker count, restoring the previous
+// setting afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Set(n)
+	defer Set(prev)
+	fn()
+}
+
+func TestWorkersDefaultAndSet(t *testing.T) {
+	prev := Set(0)
+	defer Set(prev)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+	if Set(3) != 0 {
+		t.Fatal("Set did not return previous default setting")
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after Set(3)", Workers())
+	}
+	if Set(-5) != 3 {
+		t.Fatal("Set did not return previous explicit setting")
+	}
+	if got := int(override.Load()); got != 0 {
+		t.Fatalf("Set(-5) stored %d, want 0 (default)", got)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	prev := Set(0)
+	defer func() { Set(prev); FromEnv() }()
+
+	t.Setenv(EnvVar, "8")
+	FromEnv()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d with %s=8", Workers(), EnvVar)
+	}
+	t.Setenv(EnvVar, "not-a-number")
+	FromEnv()
+	if int(override.Load()) != 0 {
+		t.Fatalf("junk %s did not restore the default", EnvVar)
+	}
+	t.Setenv(EnvVar, "0")
+	FromEnv()
+	if int(override.Load()) != 0 {
+		t.Fatalf("%s=0 did not restore the default", EnvVar)
+	}
+}
+
+func TestChunksCoverRangeInOrder(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		for _, w := range []int{1, 2, 8, 200} {
+			cs := chunks(n, w)
+			if len(cs) > n {
+				t.Fatalf("chunks(%d,%d): %d chunks exceed range", n, w, len(cs))
+			}
+			next := 0
+			for _, c := range cs {
+				if c.Lo != next {
+					t.Fatalf("chunks(%d,%d): chunk starts at %d, want %d", n, w, c.Lo, next)
+				}
+				if c.Hi <= c.Lo {
+					t.Fatalf("chunks(%d,%d): empty chunk [%d,%d)", n, w, c.Lo, c.Hi)
+				}
+				next = c.Hi
+			}
+			if next != n {
+				t.Fatalf("chunks(%d,%d): covered [0,%d), want [0,%d)", n, w, next, n)
+			}
+		}
+	}
+	if chunks(0, 4) != nil {
+		t.Fatal("chunks(0, _) should be nil")
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 2, 7, 1000} {
+			withWorkers(t, w, func() {
+				visits := make([]int32, n)
+				For(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForChunksCoversRange(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w, func() {
+			const n = 257
+			visits := make([]int32, n)
+			ForChunks(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d: index %d visited %d times", w, i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestMapChunksMergeOrder is the heart of the determinism contract:
+// concatenating chunk partials in slice order must reproduce one
+// sequential ascending scan, at any worker count.
+func TestMapChunksMergeOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 2, 5, 63, 64, 65, 999} {
+			withWorkers(t, w, func() {
+				parts := MapChunks(n, func(lo, hi int) []int {
+					out := make([]int, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						out = append(out, i)
+					}
+					return out
+				})
+				var flat []int
+				for _, p := range parts {
+					flat = append(flat, p...)
+				}
+				if len(flat) != n {
+					t.Fatalf("workers=%d n=%d: merged %d items", w, n, len(flat))
+				}
+				for i, v := range flat {
+					if v != i {
+						t.Fatalf("workers=%d n=%d: merged[%d] = %d, out of order", w, n, i, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w, func() {
+			err := ForErr(100, func(i int) error {
+				if i == 97 || i == 13 || i == 55 {
+					return fmt.Errorf("unit %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "unit 13 failed" {
+				t.Fatalf("workers=%d: err = %v, want the lowest-index failure", w, err)
+			}
+			if err := ForErr(50, func(int) error { return nil }); err != nil {
+				t.Fatalf("workers=%d: unexpected error %v", w, err)
+			}
+		})
+	}
+}
+
+func TestForErrSequentialStopsEarly(t *testing.T) {
+	withWorkers(t, 1, func() {
+		calls := 0
+		sentinel := errors.New("stop")
+		err := ForErr(10, func(i int) error {
+			calls++
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v", err)
+		}
+		if calls != 4 {
+			t.Fatalf("sequential ForErr made %d calls, want 4 (stop at first error)", calls)
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, w := range []int{2, 8} {
+		withWorkers(t, w, func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", w)
+				}
+			}()
+			For(100, func(i int) {
+				if i == 42 {
+					panic("worker exploded")
+				}
+			})
+		})
+	}
+}
+
+func TestNestedParallelism(t *testing.T) {
+	withWorkers(t, 4, func() {
+		outer := make([][]int32, 8)
+		For(8, func(i int) {
+			inner := make([]int32, 64)
+			For(64, func(j int) { atomic.AddInt32(&inner[j], 1) })
+			outer[i] = inner
+		})
+		for i, inner := range outer {
+			for j, v := range inner {
+				if v != 1 {
+					t.Fatalf("nested visit (%d,%d) = %d", i, j, v)
+				}
+			}
+		}
+	})
+}

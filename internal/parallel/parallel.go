@@ -1,0 +1,216 @@
+// Package parallel is the shared execution engine behind thicket's hot
+// loops: group-by partitioning, per-node order reduction, pivoting, and
+// K-means assignment all fan their index ranges across a bounded worker
+// pool through the primitives here.
+//
+// Determinism contract. Every primitive guarantees results bit-identical
+// to a sequential left-to-right loop, at any worker count:
+//
+//   - Work is only ever split across *independent* units (rows, nodes,
+//     groups, samples). A unit's own arithmetic runs the exact sequential
+//     code, so no floating-point reduction is ever re-associated.
+//   - Units write to fixed, index-addressed output slots (For, ForErr),
+//     or produce per-chunk partials over contiguous ascending ranges that
+//     the caller merges in fixed chunk order (MapChunks). Concatenating
+//     contiguous chunk partials in chunk order is equivalent to one
+//     ascending scan, so first-appearance orders and per-bucket row
+//     orders match the sequential reference exactly.
+//
+// The worker count comes from Set (the thicket.SetParallelism knob) or
+// the THICKET_PARALLELISM environment variable, defaulting to
+// GOMAXPROCS. A count of 1 short-circuits every primitive to a plain
+// inline loop — that path *is* the reference implementation the
+// differential test harness compares against.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable consulted for the default worker
+// count (overridden at runtime by Set).
+const EnvVar = "THICKET_PARALLELISM"
+
+// override holds the configured worker count; 0 selects the GOMAXPROCS
+// default. Atomic so the knob is safe to flip from tests while other
+// goroutines read it.
+var override atomic.Int64
+
+func init() { FromEnv() }
+
+// FromEnv resets the worker count from THICKET_PARALLELISM: a positive
+// integer fixes the pool size, anything else restores the GOMAXPROCS
+// default. Called once at init; exposed so tests can re-read the
+// environment after t.Setenv.
+func FromEnv() {
+	override.Store(0)
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			override.Store(int64(n))
+		}
+	}
+}
+
+// Set fixes the worker count and returns the previous setting (0 means
+// "GOMAXPROCS default"). n <= 0 restores the default; n == 1 forces the
+// sequential reference path.
+func Set(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int64(n)))
+}
+
+// Workers reports the effective worker count.
+func Workers() int {
+	if n := int(override.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Range is one contiguous chunk [Lo, Hi) of an index range.
+type Range struct{ Lo, Hi int }
+
+// chunksPerWorker over-partitions the range so dynamic scheduling can
+// absorb load imbalance between units.
+const chunksPerWorker = 4
+
+// chunks splits [0, n) into at most workers*chunksPerWorker contiguous
+// ascending ranges. The exact boundaries never affect results (see the
+// package determinism contract), only load balance.
+func chunks(n, workers int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	nc := workers * chunksPerWorker
+	if nc > n {
+		nc = n
+	}
+	out := make([]Range, nc)
+	for i := range out {
+		out[i] = Range{Lo: i * n / nc, Hi: (i + 1) * n / nc}
+	}
+	return out
+}
+
+// dispatch fans fn(chunk) over the worker pool with dynamic (atomic
+// counter) scheduling and propagates the first panic to the caller.
+func dispatch(nChunks, workers int, fn func(chunk int)) {
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// For runs fn(i) for every i in [0, n). fn must only write to state
+// addressed by its own index; under that contract the result is
+// identical at any worker count.
+func For(n int, fn func(i int)) {
+	w := Workers()
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	cs := chunks(n, w)
+	dispatch(len(cs), w, func(c int) {
+		for i := cs[c].Lo; i < cs[c].Hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForErr runs fn(i) for every i in [0, n) and returns the error of the
+// lowest index that failed — the same error a sequential loop that stops
+// at the first failure would surface — or nil. All units run even when
+// an earlier one fails (their writes are discarded by the caller).
+func ForErr(n int, fn func(i int) error) error {
+	w := Workers()
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForChunks runs fn(lo, hi) over contiguous ascending sub-ranges covering
+// [0, n). Useful when per-unit dispatch is too fine-grained; fn must
+// only write to state addressed by [lo, hi).
+func ForChunks(n int, fn func(lo, hi int)) {
+	w := Workers()
+	if w <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	cs := chunks(n, w)
+	dispatch(len(cs), w, func(c int) { fn(cs[c].Lo, cs[c].Hi) })
+}
+
+// MapChunks runs fn over contiguous ascending sub-ranges covering [0, n)
+// and returns the per-chunk partial results in chunk order. Merging the
+// partials in slice order is equivalent to one sequential ascending scan,
+// which is what makes map-merge parallelism (group-by partitioning,
+// pivot cell collection) bit-identical to the sequential path.
+func MapChunks[T any](n int, fn func(lo, hi int) T) []T {
+	w := Workers()
+	if w <= 1 || n <= 1 {
+		if n <= 0 {
+			return nil
+		}
+		return []T{fn(0, n)}
+	}
+	cs := chunks(n, w)
+	out := make([]T, len(cs))
+	dispatch(len(cs), w, func(c int) { out[c] = fn(cs[c].Lo, cs[c].Hi) })
+	return out
+}

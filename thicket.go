@@ -32,10 +32,23 @@ import (
 	"repro/internal/dataframe"
 	"repro/internal/extrap"
 	"repro/internal/mlkit"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
+
+// SetParallelism fixes the worker count used by the parallel aggregation
+// engine (group-by, order reduction, pivoting, K-means assignment) and
+// returns the previous setting. n == 1 forces the sequential reference
+// path; n <= 0 restores the default (THICKET_PARALLELISM, else
+// GOMAXPROCS). Results are bit-identical at any worker count: work is
+// only split across independent units and partials merge in fixed chunk
+// order (see repro/internal/parallel).
+func SetParallelism(n int) int { return parallel.Set(n) }
+
+// Parallelism reports the effective worker count of the parallel engine.
+func Parallelism() int { return parallel.Workers() }
 
 // Core ensemble types (paper §3).
 type (
