@@ -31,9 +31,12 @@
 //	save       serialize the thicket object       -o file
 //	convert    Caliper json-split → native        -caliper in.json -o out.json (no -dir needed)
 //	compose    horizontal multi-tool composition  -dirs a,b -groups CPU,GPU -index-by col [-o out.json]
+//	store      columnar ensemble store ops        store <create|append|info|ls> -store file.tks [-dir profiles/]
+//	serve      HTTP query service (thicketd)      serve -store file.tks [-addr :8080]
 //
-// Profiles load from -dir (raw profile JSONs) or -load (a serialized
-// thicket object written by save).
+// Profiles load from -dir (raw profile JSONs), -load (a serialized
+// thicket object written by save), or -ensemble-store (a binary
+// columnar store written by "thicket store create").
 package main
 
 import (
@@ -76,6 +79,16 @@ func run(args []string, w io.Writer) (err error) {
 		return fmt.Errorf("missing subcommand")
 	}
 	cmd := args[0]
+	// store and serve own their flag sets; dispatch before the shared
+	// EDA flags are parsed.
+	if cmd == "store" {
+		storeCmd(args[1:])
+		return
+	}
+	if cmd == "serve" {
+		serveCmd(args[1:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	caliperPath := fs.String("caliper", "", "Caliper json-split file to convert (convert subcommand)")
 	dirsArg := fs.String("dirs", "", "comma-separated profile directories (compose subcommand)")
@@ -99,6 +112,7 @@ func run(args []string, w io.Writer) (err error) {
 	bins := fs.Int("bins", 8, "histogram bins")
 	outPath := fs.String("o", "", "output file or directory (export/save)")
 	loadPath := fs.String("load", "", "load a serialized thicket object instead of -dir")
+	storePath := fs.String("ensemble-store", "", "load from a columnar ensemble store instead of -dir")
 
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -113,22 +127,23 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	var th *thicket.Thicket
 	switch {
+	case *storePath != "":
+		st := openStore(*storePath)
+		defer st.Close()
+		th, err = st.Load()
+		if err != nil {
+			fatal(err)
+		}
 	case *loadPath != "":
+		// LoadThicket wraps failures with the offending path.
 		th, err = thicket.LoadThicket(*loadPath)
 		if err != nil {
 			fatal(err)
 		}
 	case *dir != "":
-		profiles, err := thicket.LoadProfileDir(*dir)
-		if err != nil {
-			fatal(err)
-		}
-		th, err = thicket.FromProfiles(profiles, thicket.Options{IndexBy: *indexBy})
-		if err != nil {
-			fatal(err)
-		}
+		th = loadDirThicket(*dir, *indexBy)
 	default:
-		fatal(fmt.Errorf("-dir or -load is required"))
+		fatal(fmt.Errorf("-dir, -load, or -ensemble-store is required"))
 	}
 	fmt.Fprintf(stdout, "loaded %d profiles, %d call-tree nodes, %d perf rows\n\n",
 		th.NumProfiles(), th.Tree.Len(), th.PerfData.NRows())
@@ -461,7 +476,7 @@ func splitKeys(arg string) []thicket.ColKey {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose> -dir profiles/ [flags]
+	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve> -dir profiles/ [flags]
 run "thicket <subcommand> -h" for flags`)
 }
 

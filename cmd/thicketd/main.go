@@ -1,0 +1,70 @@
+// Command thicketd serves a columnar ensemble store over HTTP: it opens
+// the store once, keeps the decoded ensemble warm, and answers EDA
+// queries as JSON until interrupted (SIGINT/SIGTERM trigger a graceful
+// drain).
+//
+// Usage:
+//
+//	thicketd -store ensemble.tks [-addr :8080] [-timeout 15s] [-max-concurrent 64]
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness + request counters
+//	GET /api/info                         ensemble + store shape
+//	GET /api/profiles?where=col=value     metadata listing with predicates (=, !=, <, >, <=, >=)
+//	GET /api/stats?metrics=a,b&aggs=mean  aggregated per-node statistics
+//	GET /api/groupby?by=col&metrics=a     per-group aggregated statistics
+//	GET /api/summary?by=col               campaign summary
+//	GET /api/query?q=<call-path DSL>      call-path query, kept node paths
+//	GET /api/tree?metric=a                rendered call tree
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	thicket "repro"
+)
+
+func main() {
+	storePath := flag.String("store", "", "path of the ensemble store file (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
+	maxConc := flag.Int("max-concurrent", 64, "maximum concurrently executing requests")
+	flag.Parse()
+	if *storePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := serve(*storePath, *addr, *timeout, *maxConc); err != nil {
+		log.Fatalf("thicketd: %v", err)
+	}
+}
+
+func serve(storePath, addr string, timeout time.Duration, maxConc int) error {
+	st, err := thicket.OpenStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	th, err := st.Load()
+	if err != nil {
+		return err
+	}
+	srv := thicket.NewServer(th, st, thicket.ServerOptions{MaxConcurrent: maxConc, Timeout: timeout})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("thicketd: serving %d profiles (%d nodes) from %s on %s\n",
+		th.NumProfiles(), th.Tree.Len(), storePath, addr)
+	if err := srv.Serve(ctx, addr); err != nil {
+		return err
+	}
+	fmt.Printf("thicketd: shut down after %d requests\n", srv.Requests())
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeMissingStoreNamesPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.tks")
+	err := serve(path, "127.0.0.1:0", time.Second, 4)
+	if err == nil {
+		t.Fatal("serve on a missing store succeeded")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("serve error %q does not name the offending path %q", err, path)
+	}
+}

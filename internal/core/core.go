@@ -214,6 +214,34 @@ func FromProfiles(profiles []*profile.Profile, opts Options) (*Thicket, error) {
 	}, nil
 }
 
+// FromParts assembles a thicket directly from its components — the
+// reconstruction path used by deserializers (the JSON reader and the
+// columnar store). A nil stats frame gets the canonical empty per-node
+// stats table. The relational invariants of Figure 3 are validated
+// before the thicket is returned.
+func FromParts(tree *calltree.Tree, perf, meta, stats *dataframe.Frame, profileLevel string) (*Thicket, error) {
+	if tree == nil || perf == nil || meta == nil {
+		return nil, fmt.Errorf("core: FromParts requires tree, perf data, and metadata")
+	}
+	if profileLevel == "" {
+		return nil, fmt.Errorf("core: missing profile level")
+	}
+	if stats == nil {
+		stats = emptyStats(tree)
+	}
+	th := &Thicket{
+		Tree:         tree,
+		PerfData:     perf,
+		Metadata:     meta,
+		Stats:        stats,
+		profileLevel: profileLevel,
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	return th, nil
+}
+
 // reorderColumns returns a copy of f with columns in the given leaf-name
 // order; names absent from f are skipped.
 func reorderColumns(f *dataframe.Frame, order []string) (*dataframe.Frame, error) {
@@ -294,12 +322,23 @@ func (t *Thicket) Validate() error {
 	if nodeLv == nil || profLv == nil {
 		return fmt.Errorf("core: perf data index must have levels (%s, %s)", NodeLevel, t.profileLevel)
 	}
+	// Perf rows are the cross product of nodes × profiles, so distinct
+	// level values are few; memoize the per-value checks instead of
+	// re-resolving paths and index keys on every row.
+	okNodes := make(map[string]struct{}, t.Tree.Len())
+	okProfiles := make(map[dataframe.Value]struct{}, t.Metadata.NRows())
 	for r := 0; r < t.PerfData.NRows(); r++ {
-		if t.NodeByPathString(nodeLv.At(r).Str()) == nil {
-			return fmt.Errorf("core: perf row %d references unknown node %q", r, nodeLv.At(r).Str())
+		if path := nodeLv.At(r).Str(); !mapHas(okNodes, path) {
+			if t.NodeByPathString(path) == nil {
+				return fmt.Errorf("core: perf row %d references unknown node %q", r, path)
+			}
+			okNodes[path] = struct{}{}
 		}
-		if !t.Metadata.Index().Contains([]dataframe.Value{profLv.At(r)}) {
-			return fmt.Errorf("core: perf row %d references unknown profile %s", r, profLv.At(r))
+		if prof := profLv.At(r); !mapHasValue(okProfiles, prof) {
+			if !t.Metadata.Index().Contains([]dataframe.Value{prof}) {
+				return fmt.Errorf("core: perf row %d references unknown profile %s", r, prof)
+			}
+			okProfiles[prof] = struct{}{}
 		}
 	}
 	statsLv := t.Stats.Index().LevelByName(NodeLevel)
@@ -307,11 +346,24 @@ func (t *Thicket) Validate() error {
 		return fmt.Errorf("core: stats index must have level %q", NodeLevel)
 	}
 	for r := 0; r < t.Stats.NRows(); r++ {
-		if t.NodeByPathString(statsLv.At(r).Str()) == nil {
-			return fmt.Errorf("core: stats row %d references unknown node %q", r, statsLv.At(r).Str())
+		if path := statsLv.At(r).Str(); !mapHas(okNodes, path) {
+			if t.NodeByPathString(path) == nil {
+				return fmt.Errorf("core: stats row %d references unknown node %q", r, path)
+			}
+			okNodes[path] = struct{}{}
 		}
 	}
 	return nil
+}
+
+func mapHas(m map[string]struct{}, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func mapHasValue(m map[dataframe.Value]struct{}, k dataframe.Value) bool {
+	_, ok := m[k]
+	return ok
 }
 
 // MetricColumns returns the PerfData column keys holding numeric metrics.

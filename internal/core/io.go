@@ -102,17 +102,7 @@ func ReadThicket(r io.Reader) (*Thicket, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: stats: %w", err)
 	}
-	th := &Thicket{
-		Tree:         tree,
-		PerfData:     perf,
-		Metadata:     meta,
-		Stats:        stats,
-		profileLevel: tj.ProfileLevel,
-	}
-	if err := th.Validate(); err != nil {
-		return nil, err
-	}
-	return th, nil
+	return FromParts(tree, perf, meta, stats, tj.ProfileLevel)
 }
 
 // ThicketFromBytes parses a serialized thicket from bytes.

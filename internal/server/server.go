@@ -1,0 +1,429 @@
+// Package server implements thicketd — the resident HTTP query service
+// over a columnar ensemble store. Where the CLI re-parses raw profile
+// JSON and rebuilds the composed thicket on every invocation, thicketd
+// opens a store once, keeps the decoded ensemble warm, and answers EDA
+// queries — profile listing and metadata filtering, aggregated
+// statistics, group-by summaries, call-path queries, and rendered call
+// trees — as JSON over HTTP.
+//
+// Operational behaviour: every request passes through a bounded
+// concurrency gate and a hard per-request timeout; /healthz exposes a
+// liveness snapshot with request counters; Serve drains in-flight
+// requests on context cancellation (graceful shutdown).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/store"
+)
+
+// Options configures the service's operational envelope.
+type Options struct {
+	// MaxConcurrent bounds simultaneously executing requests; further
+	// requests queue until a slot frees or their context cancels.
+	// 0 selects 64.
+	MaxConcurrent int
+	// Timeout aborts any request running longer than this with a 503.
+	// 0 selects 15s.
+	Timeout time.Duration
+}
+
+// Server answers EDA queries over one resident thicket.
+type Server struct {
+	th   *core.Thicket
+	st   *store.Store // optional; enriches /api/info
+	opts Options
+
+	sem      chan struct{}
+	requests atomic.Int64
+	inFlight atomic.Int64
+}
+
+// New builds a server over an already-loaded thicket. st may be nil
+// (serving a thicket that did not come from a store); when present it
+// backs /api/info with storage-level detail. The thicket's lazy index
+// maps are warmed here so concurrent read-only queries never race on
+// first-use construction.
+func New(th *core.Thicket, st *store.Store, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 64
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	th.PerfData.Index().Warm()
+	th.Metadata.Index().Warm()
+	th.Stats.Index().Warm()
+	return &Server{
+		th:   th,
+		st:   st,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxConcurrent),
+	}
+}
+
+// Handler returns the full middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/api/info", s.handleInfo)
+	mux.HandleFunc("/api/profiles", s.handleProfiles)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/groupby", s.handleGroupBy)
+	mux.HandleFunc("/api/summary", s.handleSummary)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/tree", s.handleTree)
+	var h http.Handler = mux
+	h = s.limit(h)
+	h = http.TimeoutHandler(h, s.opts.Timeout, `{"error":"request timed out"}`)
+	h = s.count(h)
+	return h
+}
+
+// Serve runs the service on addr until ctx is cancelled, then shuts
+// down gracefully, draining in-flight requests.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// Requests reports the total number of requests accepted so far.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// count is the outermost middleware: total and in-flight counters.
+func (s *Server) count(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// limit gates request execution on a bounded semaphore. Queued requests
+// abandon the wait when their client goes away.
+func (s *Server) limit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("cancelled while queued"))
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// valueJSON converts a cell for JSON responses (typed nulls → null).
+func valueJSON(v dataframe.Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case dataframe.Float:
+		return v.Float()
+	case dataframe.Int:
+		return v.Int()
+	case dataframe.String:
+		return v.Str()
+	case dataframe.Bool:
+		return v.Bool()
+	}
+	return nil
+}
+
+// frameRows renders a frame as JSON records: index levels under their
+// level names, columns under their "/"-joined keys. encoding/json
+// serializes map keys sorted, so responses are deterministic — the
+// golden endpoint tests rely on that.
+func frameRows(f *dataframe.Frame) []map[string]any {
+	rows := make([]map[string]any, f.NRows())
+	names := f.Index().Names()
+	for r := 0; r < f.NRows(); r++ {
+		rec := make(map[string]any, len(names)+f.NCols())
+		for l, v := range f.Index().KeyAt(r) {
+			rec[names[l]] = valueJSON(v)
+		}
+		for c := 0; c < f.NCols(); c++ {
+			rec[f.ColIndex().Key(c).String()] = valueJSON(f.ColumnAt(c).At(r))
+		}
+		rows[r] = rec
+	}
+	return rows
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"requests":  s.requests.Load(),
+		"in_flight": s.inFlight.Load(),
+		"profiles":  s.th.NumProfiles(),
+		"nodes":     s.th.Tree.Len(),
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	perfCols := make([]string, 0, s.th.PerfData.NCols())
+	for _, k := range s.th.PerfData.ColIndex().Keys() {
+		perfCols = append(perfCols, k.String())
+	}
+	metaCols := make([]string, 0, s.th.Metadata.NCols())
+	for _, k := range s.th.Metadata.ColIndex().Keys() {
+		metaCols = append(metaCols, k.String())
+	}
+	out := map[string]any{
+		"profiles":      s.th.NumProfiles(),
+		"nodes":         s.th.Tree.Len(),
+		"perf_rows":     s.th.PerfData.NRows(),
+		"perf_columns":  perfCols,
+		"meta_columns":  metaCols,
+		"profile_level": s.th.ProfileLevelName(),
+	}
+	if s.st != nil {
+		out["store"] = s.st.Info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// predicate is one parsed metadata filter.
+type predicate struct {
+	column string
+	op     string
+	value  string
+}
+
+var predicateOps = []string{"<=", ">=", "!=", "=", "<", ">"}
+
+func parsePredicate(expr string) (predicate, error) {
+	for _, op := range predicateOps {
+		if i := strings.Index(expr, op); i > 0 {
+			return predicate{column: expr[:i], op: op, value: expr[i+len(op):]}, nil
+		}
+	}
+	return predicate{}, fmt.Errorf("bad predicate %q (want col=value, col!=value, col<value, ...)", expr)
+}
+
+// matches evaluates the predicate on one metadata cell: numeric
+// comparison when both sides parse as numbers, else lexicographic on
+// the rendered cell.
+func (p predicate) matches(v dataframe.Value) bool {
+	var cmp int
+	lf, lok := v.AsFloat()
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(p.value), 64)
+	if lok && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(v.String(), p.value)
+	}
+	switch p.op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case ">":
+		return cmp > 0
+	case "<=":
+		return cmp <= 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	var preds []predicate
+	for _, expr := range r.URL.Query()["where"] {
+		p, err := parsePredicate(expr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, err := s.th.Metadata.ColumnByName(p.column); err != nil &&
+			s.th.Metadata.Index().LevelByName(p.column) == nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metadata column %q", p.column))
+			return
+		}
+		preds = append(preds, p)
+	}
+	filtered := s.th
+	if len(preds) > 0 {
+		filtered = s.th.FilterMetadata(func(m core.MetaRow) bool {
+			for _, p := range preds {
+				v := m.Value(p.column)
+				if v.IsNull() && s.th.Metadata.Index().LevelByName(p.column) != nil {
+					v = m.Profile(p.column)
+				}
+				if !p.matches(v) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": filtered.NumProfiles(),
+		"total": s.th.NumProfiles(),
+		"rows":  frameRows(filtered.Metadata),
+	})
+}
+
+// splitArg parses a comma-separated query parameter.
+func splitArg(r *http.Request, name string) []string {
+	raw := strings.TrimSpace(r.URL.Query().Get(name))
+	if raw == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(raw, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func colKeys(names []string) []dataframe.ColKey {
+	var out []dataframe.ColKey
+	for _, n := range names {
+		out = append(out, dataframe.ColKey{n})
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	aggs := splitArg(r, "aggs")
+	if len(aggs) == 0 {
+		aggs = []string{"mean", "std"}
+	}
+	// AggregateStats mutates its receiver's stats table; work on a copy
+	// so concurrent requests stay isolated.
+	th := s.th.Copy()
+	if err := th.AggregateStats(colKeys(splitArg(r, "metrics")), aggs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": th.Stats.NRows(),
+		"rows":  frameRows(th.Stats),
+	})
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	by := splitArg(r, "by")
+	if len(by) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
+		return
+	}
+	aggs := splitArg(r, "aggs")
+	if len(aggs) == 0 {
+		aggs = []string{"mean", "std"}
+	}
+	out, err := s.th.GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": out.NRows(),
+		"rows":  frameRows(out),
+	})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	by := splitArg(r, "by")
+	if len(by) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
+		return
+	}
+	sum, err := s.th.MetadataSummary(by...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": sum.NRows(),
+		"rows":  frameRows(sum),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<call-path query>"))
+		return
+	}
+	out, err := s.th.QueryString(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kept":  out.Tree.Len(),
+		"total": s.th.Tree.Len(),
+		"nodes": out.NodePaths(),
+	})
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	metric := r.URL.Query().Get("metric")
+	var rendered string
+	if metric == "" {
+		rendered = s.th.Tree.Render(nil)
+	} else {
+		if _, err := s.th.PerfData.Column(dataframe.ColKey{metric}); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rendered = s.th.TreeString(dataframe.ColKey{metric})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metric": metric,
+		"tree":   rendered,
+	})
+}

@@ -1,0 +1,237 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// buildThicket composes the fixed-seed MARBL ensemble used across the
+// CLI golden tests, so endpoint responses are reproducible.
+func buildThicket(t testing.TB) *core.Thicket {
+	t.Helper()
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz, sim.ClusterAWS}, []int{1, 4}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := core.FromProfiles(profiles, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// get fetches one path from a fresh server instance (fresh instance →
+// deterministic request counters in /healthz).
+func get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	srv := server.New(buildThicket(t), nil, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestEndpointsGolden pins the exact JSON of every endpoint against
+// checked-in golden files (rerun with -update to acknowledge changes).
+func TestEndpointsGolden(t *testing.T) {
+	cases := []struct {
+		name       string
+		path       string
+		wantStatus int
+	}{
+		{"healthz", "/healthz", 200},
+		{"info", "/api/info", 200},
+		{"profiles", "/api/profiles", 200},
+		{"profiles_where_eq", "/api/profiles?where=cluster=rztopaz", 200},
+		{"profiles_where_cmp", "/api/profiles?where=" + url.QueryEscape("numhosts>1"), 200},
+		{"profiles_where_multi", "/api/profiles?where=cluster=rztopaz&where=" + url.QueryEscape("numhosts<=1"), 200},
+		{"stats", "/api/stats?metrics=" + url.QueryEscape("Avg time/rank") + "&aggs=mean,std", 200},
+		{"groupby", "/api/groupby?by=cluster&metrics=" + url.QueryEscape("Avg time/rank") + "&aggs=mean", 200},
+		{"summary", "/api/summary?by=cluster,numhosts", 200},
+		{"query", "/api/query?q=" + url.QueryEscape(". name == main / . name == timeStepLoop / *"), 200},
+		{"tree", "/api/tree?metric=" + url.QueryEscape("Avg time/rank"), 200},
+		{"tree_bare", "/api/tree", 200},
+		{"err_bad_predicate", "/api/profiles?where=nonsense", 400},
+		{"err_unknown_column", "/api/profiles?where=bogus=1", 400},
+		{"err_unknown_metric", "/api/tree?metric=bogus", 400},
+		{"err_missing_by", "/api/groupby", 400},
+		{"err_bad_query", "/api/query?q=" + url.QueryEscape("bogus ?? query"), 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := get(t, tc.path)
+			if status != tc.wantStatus {
+				t.Fatalf("GET %s: status %d, want %d\n%s", tc.path, status, tc.wantStatus, body)
+			}
+			golden := filepath.Join("testdata", "golden", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/server -run TestEndpointsGolden -update`): %v", err)
+			}
+			if body != string(want) {
+				t.Errorf("GET %s differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					tc.path, golden, body, want)
+			}
+		})
+	}
+}
+
+// TestInfoIncludesStore checks that a store-backed server surfaces
+// storage-level detail (excluded from the golden set: paths and cache
+// stats are environment-dependent).
+func TestInfoIncludesStore(t *testing.T) {
+	th := buildThicket(t)
+	path := filepath.Join(t.TempDir(), "marbl.tks")
+	if err := store.Create(path, th); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := server.New(th, st, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Store *store.Info `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Store == nil {
+		t.Fatal("store-backed /api/info missing store section")
+	}
+	if out.Store.Profiles != th.NumProfiles() || out.Store.Segments != 1 {
+		t.Errorf("store info = %+v", out.Store)
+	}
+}
+
+// TestConcurrentRequests hammers every endpoint from many goroutines —
+// the race detector validates that warmed indexes, the stats copy, and
+// the counters keep concurrent reads safe.
+func TestConcurrentRequests(t *testing.T) {
+	srv := server.New(buildThicket(t), nil, server.Options{MaxConcurrent: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	paths := []string{
+		"/healthz",
+		"/api/info",
+		"/api/profiles?where=cluster=rztopaz",
+		"/api/stats?aggs=mean",
+		"/api/groupby?by=cluster&aggs=mean",
+		"/api/summary?by=cluster",
+		"/api/query?q=" + url.QueryEscape(". name == main / *"),
+		"/api/tree?metric=" + url.QueryEscape("Avg time/rank"),
+	}
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(paths))
+	for r := 0; r < rounds; r++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", p, resp.StatusCode)
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Requests(); got != rounds*int64(len(paths)) {
+		t.Errorf("request counter = %d, want %d", got, rounds*len(paths))
+	}
+}
+
+// TestStatsIsolation checks that /api/stats aggregates on a copy: the
+// server's resident thicket must keep its original (empty) stats table.
+func TestStatsIsolation(t *testing.T) {
+	th := buildThicket(t)
+	before := th.Stats.NCols()
+	srv := server.New(th, nil, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/stats?aggs=mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if th.Stats.NCols() != before {
+		t.Errorf("resident thicket's stats table grew from %d to %d columns", before, th.Stats.NCols())
+	}
+}
+
+// TestGracefulShutdown checks Serve drains and returns nil once its
+// context is cancelled.
+func TestGracefulShutdown(t *testing.T) {
+	srv := server.New(buildThicket(t), nil, server.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down within 5s")
+	}
+}

@@ -1,0 +1,167 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// benchFixture lazily builds the paper's 560-profile RAJAPerf ensemble
+// (Figure 13) once, persisting it both as a serialized thicket JSON and
+// as a columnar store, so benchmarks compare the two load paths on
+// identical data.
+type benchFixture struct {
+	dir       string
+	jsonPath  string
+	storePath string
+	profiles  int
+	perfRows  int
+}
+
+var (
+	benchOnce sync.Once
+	benchFix  benchFixture
+)
+
+func fixture(b *testing.B) benchFixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "thicket-store-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles, err := sim.Figure13Ensemble(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, err := core.FromProfiles(profiles, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fx := benchFixture{
+			dir:       dir,
+			jsonPath:  filepath.Join(dir, "raja.json"),
+			storePath: filepath.Join(dir, "raja.tks"),
+			profiles:  th.NumProfiles(),
+			perfRows:  th.PerfData.NRows(),
+		}
+		if err := th.Save(fx.jsonPath); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Create(fx.storePath, th); err != nil {
+			b.Fatal(err)
+		}
+		benchFix = fx
+	})
+	if benchFix.dir == "" {
+		b.Fatal("bench fixture failed to build")
+	}
+	return benchFix
+}
+
+// BenchmarkColdOpen measures header-only store opening — the O(header)
+// path that never touches column data.
+func BenchmarkColdOpen(b *testing.B) {
+	fx := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.Open(fx.storePath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkProjectedLoad measures loading ONE metric column ("time
+// (exc)") plus index levels and metadata from a cold store — the query
+// pattern the columnar layout exists for.
+func BenchmarkProjectedLoad(b *testing.B) {
+	fx := fixture(b)
+	key := dataframe.ColKey{"time (exc)"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.OpenWithOptions(fx.storePath, store.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, err := s.LoadProjection([]dataframe.ColKey{key})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if th.PerfData.NRows() != fx.perfRows || th.PerfData.NCols() != 1 {
+			b.Fatalf("projected load: %d rows × %d cols", th.PerfData.NRows(), th.PerfData.NCols())
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkFullStoreLoad measures decoding the complete ensemble from
+// the columnar store (cold cache each iteration).
+func BenchmarkFullStoreLoad(b *testing.B) {
+	fx := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.OpenWithOptions(fx.storePath, store.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		th, err := s.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if th.NumProfiles() != fx.profiles {
+			b.Fatalf("loaded %d profiles", th.NumProfiles())
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkFullJSONLoad is the baseline the projection is judged
+// against: parsing the serialized thicket JSON reads and decodes every
+// column no matter what the caller needs.
+func BenchmarkFullJSONLoad(b *testing.B) {
+	fx := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th, err := core.LoadThicket(fx.jsonPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if th.NumProfiles() != fx.profiles {
+			b.Fatalf("loaded %d profiles", th.NumProfiles())
+		}
+	}
+}
+
+// BenchmarkMetadataOnly measures listing profiles without touching the
+// performance-data frame at all.
+func BenchmarkMetadataOnly(b *testing.B) {
+	fx := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.OpenWithOptions(fx.storePath, store.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		meta, err := s.Metadata()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meta.NRows() != fx.profiles {
+			b.Fatalf("metadata has %d rows", meta.NRows())
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/dataframe"
+)
+
+// DefaultCacheBytes bounds the decoded-column cache of a Store opened
+// with default options: enough for a few projections of a large
+// ensemble without letting a scan of every column pin the whole file
+// in memory.
+const DefaultCacheBytes = 64 << 20
+
+// columnCache is a byte-bounded LRU of decoded column series, keyed by
+// (segment, frame, block). Cached series are shared between the cache
+// and callers-in-flight, so retrieval hands out deep copies; decode
+// cost dominates copy cost by an order of magnitude and copies keep a
+// caller's mutations from poisoning the cache.
+type columnCache struct {
+	mu    sync.Mutex
+	max   int64
+	used  int64
+	order *list.List               // front = most recent; values are *cacheEntry
+	items map[cacheKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	segment int
+	frame   string
+	block   int // index levels first, then data columns
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	s     *dataframe.Series
+	bytes int64
+}
+
+func newColumnCache(maxBytes int64) *columnCache {
+	return &columnCache{
+		max:   maxBytes,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// seriesBytes estimates the resident size of a decoded series.
+func seriesBytes(s *dataframe.Series) int64 {
+	n := int64(s.Len())
+	var per int64
+	switch s.Kind() {
+	case dataframe.Float, dataframe.Int:
+		per = 9 // 8-byte payload + null byte
+	case dataframe.Bool:
+		per = 2
+	case dataframe.String:
+		per = 17 // string header + null byte; content added below
+	}
+	total := n * per
+	if s.Kind() == dataframe.String {
+		for i := 0; i < s.Len(); i++ {
+			v := s.At(i)
+			if !v.IsNull() {
+				total += int64(len(v.Str()))
+			}
+		}
+	}
+	return total
+}
+
+// get returns a deep copy of the cached series, or nil on miss.
+func (c *columnCache) get(k cacheKey) *dataframe.Series {
+	if c.max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).s.Copy()
+}
+
+// put stores a copy of s under k, evicting least-recently-used entries
+// until the byte budget holds. A series larger than the whole budget is
+// simply not cached.
+func (c *columnCache) put(k cacheKey, s *dataframe.Series) {
+	if c.max <= 0 {
+		return
+	}
+	sz := seriesBytes(s)
+	if sz > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+sz > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.bytes
+	}
+	ent := &cacheEntry{key: k, s: s.Copy(), bytes: sz}
+	c.items[k] = c.order.PushFront(ent)
+	c.used += sz
+}
+
+// stats reports (hits, misses, resident bytes, entries).
+func (c *columnCache) stats() (hits, misses, bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used, len(c.items)
+}

@@ -1,0 +1,354 @@
+// Package store implements an append-only, versioned, binary columnar
+// store for thicket objects — the persistence tier behind the thicketd
+// query service.
+//
+// A store file is a fixed magic followed by one or more *segments*.
+// Each segment is fully self-describing: a small header carrying the
+// per-column offset index (frame layouts, column keys and kinds, block
+// offsets and lengths, the call-tree paths, and the profile level) is
+// followed by the raw column blocks. Opening a store reads only the
+// headers — O(header), independent of data volume — and loading a
+// projection (say, one metric column out of forty) reads and decodes
+// only the referenced blocks. Appending writes a new segment at the end
+// of the file; existing blocks are never rewritten.
+//
+// Every column block is independently decodable and CRC-protected, so a
+// corrupted file fails loudly at the offending block instead of
+// producing silent garbage. Block decoding fans out through the
+// internal/parallel engine: blocks are independent units written to
+// fixed output slots, so decoded results are bit-identical at any
+// worker count (the engine's determinism contract).
+//
+// On-disk layout (all integers little-endian):
+//
+//	file    := fileMagic(8) segment*
+//	segment := segMagic(4) headerLen(u32) headerCRC(u32) dataLen(u64) headerJSON data
+//	block   := kind(u8) nrows(uvarint) nullBitmap(ceil(n/8)) payload crc(u32)
+//
+// Payloads are kind-specialized: float64 bit patterns and int64 values
+// as fixed 8-byte words, strings as uvarint-length-prefixed bytes, and
+// bools as a bitmap. Null cells write zero payloads and decode back to
+// typed nulls, matching the JSON codec's null semantics exactly — the
+// property test in this package asserts a store round-trip equals a
+// WriteJSON/ReadThicket round-trip bit for bit.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/dataframe"
+)
+
+// File-level constants of format version 1.
+const (
+	// FileMagic opens every store file.
+	FileMagic = "THKSTOR1"
+	// segMagic opens every segment.
+	segMagic = "TSEG"
+	// FormatVersion is the current store format version, recorded in
+	// every segment header.
+	FormatVersion = 1
+)
+
+// kind codes used in block encodings. They intentionally mirror
+// dataframe.Kind values but are pinned independently so the on-disk
+// format cannot drift if the in-memory enum is ever reordered.
+const (
+	kindFloat  = 0
+	kindInt    = 1
+	kindString = 2
+	kindBool   = 3
+)
+
+func kindCode(k dataframe.Kind) (byte, error) {
+	switch k {
+	case dataframe.Float:
+		return kindFloat, nil
+	case dataframe.Int:
+		return kindInt, nil
+	case dataframe.String:
+		return kindString, nil
+	case dataframe.Bool:
+		return kindBool, nil
+	}
+	return 0, fmt.Errorf("store: unsupported column kind %v", k)
+}
+
+func codeKind(c byte) (dataframe.Kind, error) {
+	switch c {
+	case kindFloat:
+		return dataframe.Float, nil
+	case kindInt:
+		return dataframe.Int, nil
+	case kindString:
+		return dataframe.String, nil
+	case kindBool:
+		return dataframe.Bool, nil
+	}
+	return 0, fmt.Errorf("store: unknown kind code %d", c)
+}
+
+// columnMeta locates one encoded column block inside a segment's data
+// area. Key holds the hierarchical column key (one label for index
+// levels and flat frames, more after horizontal composition).
+type columnMeta struct {
+	Key    []string `json:"key"`
+	Kind   string   `json:"kind"`
+	Offset uint64   `json:"offset"`
+	Length uint64   `json:"length"`
+}
+
+// frameMeta describes one serialized frame: its row count, the blocks
+// holding its index levels, and the blocks holding its data columns.
+type frameMeta struct {
+	Name   string       `json:"name"`
+	NRows  int          `json:"nrows"`
+	Levels []columnMeta `json:"levels"`
+	Cols   []columnMeta `json:"cols"`
+}
+
+// Frame names used in segment headers.
+const (
+	framePerf  = "perf"
+	frameMeta_ = "meta"
+	frameStats = "stats"
+)
+
+// segmentHeader is the JSON-encoded per-segment index: everything
+// needed to locate and type every block without touching the data area.
+type segmentHeader struct {
+	Version      int        `json:"version"`
+	ProfileLevel string     `json:"profile_level"`
+	NProfiles    int        `json:"nprofiles"`
+	TreePaths    [][]string `json:"tree_paths"`
+	Frames       []frameMeta `json:"frames"`
+}
+
+func (h *segmentHeader) frame(name string) *frameMeta {
+	for i := range h.Frames {
+		if h.Frames[i].Name == name {
+			return &h.Frames[i]
+		}
+	}
+	return nil
+}
+
+var crcTable = crc32.IEEETable
+
+// appendUvarint appends v as an unsigned varint.
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+// encodeBlock serializes one series as a self-describing, CRC-protected
+// column block. Null cells contribute zero payloads; their true values
+// are the null bitmap's business.
+func encodeBlock(s *dataframe.Series) ([]byte, error) {
+	kc, err := kindCode(s.Kind())
+	if err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	buf := make([]byte, 0, 16+n)
+	buf = append(buf, kc)
+	buf = appendUvarint(buf, uint64(n))
+
+	nulls := make([]byte, (n+7)/8)
+	vals := make([]dataframe.Value, n)
+	for i := 0; i < n; i++ {
+		vals[i] = s.At(i)
+		if vals[i].IsNull() {
+			nulls[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf = append(buf, nulls...)
+
+	switch s.Kind() {
+	case dataframe.Float:
+		var w [8]byte
+		for i := 0; i < n; i++ {
+			var bits uint64
+			if !vals[i].IsNull() {
+				bits = math.Float64bits(vals[i].Float())
+			}
+			binary.LittleEndian.PutUint64(w[:], bits)
+			buf = append(buf, w[:]...)
+		}
+	case dataframe.Int:
+		var w [8]byte
+		for i := 0; i < n; i++ {
+			var iv int64
+			if !vals[i].IsNull() {
+				iv = vals[i].Int()
+			}
+			binary.LittleEndian.PutUint64(w[:], uint64(iv))
+			buf = append(buf, w[:]...)
+		}
+	case dataframe.String:
+		for i := 0; i < n; i++ {
+			var sv string
+			if !vals[i].IsNull() {
+				sv = vals[i].Str()
+			}
+			buf = appendUvarint(buf, uint64(len(sv)))
+			buf = append(buf, sv...)
+		}
+	case dataframe.Bool:
+		bits := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if !vals[i].IsNull() && vals[i].Bool() {
+				bits[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, bits...)
+	}
+
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+	return append(buf, crc[:]...), nil
+}
+
+// decodeBlock parses a column block produced by encodeBlock into a
+// series named name. wantKind and wantRows cross-check the block's
+// self-description against the segment header; pass wantRows < 0 to
+// skip the row-count check (the fuzzer does). Corruption anywhere —
+// truncated payload, bad CRC, kind mismatch, absurd lengths — is an
+// error, never a panic.
+func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int) (*dataframe.Series, error) {
+	if len(data) < 4+2 {
+		return nil, fmt.Errorf("store: block %q: too short (%d bytes)", name, len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("store: block %q: CRC mismatch (file %08x, computed %08x)", name, want, got)
+	}
+	kind, err := codeKind(body[0])
+	if err != nil {
+		return nil, fmt.Errorf("store: block %q: %w", name, err)
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("store: block %q: kind %s, header says %s", name, kind, wantKind)
+	}
+	rest := body[1:]
+	un, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return nil, fmt.Errorf("store: block %q: bad row count varint", name)
+	}
+	if un > uint64(len(data))*8 {
+		// A block cannot describe more rows than it has bits; reject
+		// before allocating.
+		return nil, fmt.Errorf("store: block %q: implausible row count %d for %d-byte block", name, un, len(data))
+	}
+	n := int(un)
+	if wantRows >= 0 && n != wantRows {
+		return nil, fmt.Errorf("store: block %q: %d rows, header says %d", name, n, wantRows)
+	}
+	rest = rest[sz:]
+	nullLen := (n + 7) / 8
+	if len(rest) < nullLen {
+		return nil, fmt.Errorf("store: block %q: truncated null bitmap", name)
+	}
+	nulls, payload := rest[:nullLen], rest[nullLen:]
+	isNull := func(i int) bool { return nulls[i/8]&(1<<(i%8)) != 0 }
+
+	out := dataframe.NewSeries(name, kind)
+	appendVal := func(i int, v dataframe.Value) error {
+		if isNull(i) {
+			return out.Append(dataframe.Null(kind))
+		}
+		return out.Append(v)
+	}
+	switch kind {
+	case dataframe.Float:
+		if len(payload) != 8*n {
+			return nil, fmt.Errorf("store: block %q: float payload %d bytes, want %d", name, len(payload), 8*n)
+		}
+		for i := 0; i < n; i++ {
+			bits := binary.LittleEndian.Uint64(payload[8*i:])
+			if err := appendVal(i, dataframe.Float64(math.Float64frombits(bits))); err != nil {
+				return nil, err
+			}
+		}
+	case dataframe.Int:
+		if len(payload) != 8*n {
+			return nil, fmt.Errorf("store: block %q: int payload %d bytes, want %d", name, len(payload), 8*n)
+		}
+		for i := 0; i < n; i++ {
+			iv := int64(binary.LittleEndian.Uint64(payload[8*i:]))
+			if err := appendVal(i, dataframe.Int64(iv)); err != nil {
+				return nil, err
+			}
+		}
+	case dataframe.String:
+		for i := 0; i < n; i++ {
+			ln, sz := binary.Uvarint(payload)
+			if sz <= 0 || ln > uint64(len(payload)) {
+				return nil, fmt.Errorf("store: block %q: bad string length at row %d", name, i)
+			}
+			payload = payload[sz:]
+			if uint64(len(payload)) < ln {
+				return nil, fmt.Errorf("store: block %q: truncated string at row %d", name, i)
+			}
+			if err := appendVal(i, dataframe.Str(string(payload[:ln]))); err != nil {
+				return nil, err
+			}
+			payload = payload[ln:]
+		}
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("store: block %q: %d trailing payload bytes", name, len(payload))
+		}
+	case dataframe.Bool:
+		if len(payload) != nullLen {
+			return nil, fmt.Errorf("store: block %q: bool payload %d bytes, want %d", name, len(payload), nullLen)
+		}
+		for i := 0; i < n; i++ {
+			b := payload[i/8]&(1<<(i%8)) != 0
+			if err := appendVal(i, dataframe.BoolVal(b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// encodeFrame appends every index-level and data-column block of f to
+// data, returning the grown buffer and the frame's offset index. Offsets
+// are relative to the segment data area.
+func encodeFrame(name string, f *dataframe.Frame, data []byte) ([]byte, frameMeta, error) {
+	fm := frameMeta{Name: name, NRows: f.NRows()}
+	put := func(key []string, s *dataframe.Series) (columnMeta, error) {
+		blk, err := encodeBlock(s)
+		if err != nil {
+			return columnMeta{}, err
+		}
+		cm := columnMeta{
+			Key:    key,
+			Kind:   s.Kind().String(),
+			Offset: uint64(len(data)),
+			Length: uint64(len(blk)),
+		}
+		data = append(data, blk...)
+		return cm, nil
+	}
+	ix := f.Index()
+	for l := 0; l < ix.NLevels(); l++ {
+		cm, err := put([]string{ix.Names()[l]}, ix.Level(l))
+		if err != nil {
+			return nil, fm, fmt.Errorf("store: frame %s index level %d: %w", name, l, err)
+		}
+		fm.Levels = append(fm.Levels, cm)
+	}
+	for c := 0; c < f.NCols(); c++ {
+		cm, err := put(f.ColIndex().Key(c), f.ColumnAt(c))
+		if err != nil {
+			return nil, fm, fmt.Errorf("store: frame %s column %v: %w", name, f.ColIndex().Key(c), err)
+		}
+		fm.Cols = append(fm.Cols, cm)
+	}
+	return data, fm, nil
+}

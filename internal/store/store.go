@@ -1,0 +1,606 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/parallel"
+	"repro/internal/profile"
+)
+
+// segPreludeLen is the fixed byte length of a segment prelude:
+// segMagic(4) + headerLen(4) + headerCRC(4) + dataLen(8).
+const segPreludeLen = 20
+
+// segment is one parsed on-disk segment: its header plus the file
+// offset and length of its data area.
+type segment struct {
+	header  segmentHeader
+	dataOff int64
+	dataLen int64
+}
+
+// Store is an open columnar ensemble store. All methods are safe for
+// concurrent use; reads go through positional I/O and a shared
+// decoded-column LRU cache.
+type Store struct {
+	path     string
+	f        *os.File
+	readOnly bool
+
+	mu    sync.Mutex // guards segs and appends
+	segs  []segment
+	cache *columnCache
+}
+
+// Options configures Open.
+type Options struct {
+	// CacheBytes bounds the decoded-column LRU cache;
+	// 0 selects DefaultCacheBytes, negative disables caching.
+	CacheBytes int64
+}
+
+// Create writes a brand-new single-segment store holding th, creating
+// parent directories. An existing file at path is truncated.
+func Create(path string, th *core.Thicket) error {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte(FileMagic)); err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	seg, err := encodeSegment(th)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	if _, err := f.Write(seg); err != nil {
+		return fmt.Errorf("store: create %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Open parses the store's segment headers — never the column data — so
+// open cost is proportional to the header index, not the ensemble.
+func Open(path string) (*Store, error) { return OpenWithOptions(path, Options{}) }
+
+// OpenWithOptions is Open with an explicit cache budget.
+func OpenWithOptions(path string, opts Options) (*Store, error) {
+	readOnly := false
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", path, err)
+		}
+		readOnly = true
+	}
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	s := &Store{path: path, f: f, readOnly: readOnly, cache: newColumnCache(cacheBytes)}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// scan (re)parses the file's segment headers.
+func (s *Store) scan() error {
+	magic := make([]byte, len(FileMagic))
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(len(FileMagic))), magic); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != FileMagic {
+		return fmt.Errorf("bad magic %q (want %q)", magic, FileMagic)
+	}
+	var segs []segment
+	off := int64(len(FileMagic))
+	size, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	for off < size.Size() {
+		var prelude [segPreludeLen]byte
+		if _, err := s.f.ReadAt(prelude[:], off); err != nil {
+			return fmt.Errorf("segment %d prelude at offset %d: %w", len(segs), off, err)
+		}
+		if string(prelude[:4]) != segMagic {
+			return fmt.Errorf("segment %d at offset %d: bad segment magic %q", len(segs), off, prelude[:4])
+		}
+		headerLen := binary.LittleEndian.Uint32(prelude[4:8])
+		headerCRC := binary.LittleEndian.Uint32(prelude[8:12])
+		dataLen := binary.LittleEndian.Uint64(prelude[12:20])
+		if int64(headerLen) > size.Size()-off-segPreludeLen {
+			return fmt.Errorf("segment %d: header length %d exceeds file", len(segs), headerLen)
+		}
+		hdrBytes := make([]byte, headerLen)
+		if _, err := s.f.ReadAt(hdrBytes, off+segPreludeLen); err != nil {
+			return fmt.Errorf("segment %d header: %w", len(segs), err)
+		}
+		if got := crc32.Checksum(hdrBytes, crcTable); got != headerCRC {
+			return fmt.Errorf("segment %d: header CRC mismatch (file %08x, computed %08x)", len(segs), headerCRC, got)
+		}
+		var hdr segmentHeader
+		if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+			return fmt.Errorf("segment %d header: %w", len(segs), err)
+		}
+		if hdr.Version != FormatVersion {
+			return fmt.Errorf("segment %d: unsupported format version %d (want %d)", len(segs), hdr.Version, FormatVersion)
+		}
+		dataOff := off + segPreludeLen + int64(headerLen)
+		if dataOff+int64(dataLen) > size.Size() {
+			return fmt.Errorf("segment %d: data area [%d, %d) exceeds file size %d", len(segs), dataOff, dataOff+int64(dataLen), size.Size())
+		}
+		for _, fm := range hdr.Frames {
+			for _, cm := range append(append([]columnMeta(nil), fm.Levels...), fm.Cols...) {
+				if cm.Offset+cm.Length > dataLen {
+					return fmt.Errorf("segment %d: block %v overruns data area", len(segs), cm.Key)
+				}
+			}
+		}
+		segs = append(segs, segment{header: hdr, dataOff: dataOff, dataLen: int64(dataLen)})
+		off = dataOff + int64(dataLen)
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("no segments")
+	}
+	first := segs[0].header.ProfileLevel
+	for i, sg := range segs {
+		if sg.header.ProfileLevel != first {
+			return fmt.Errorf("segment %d uses profile level %q, segment 0 uses %q", i, sg.header.ProfileLevel, first)
+		}
+	}
+	s.mu.Lock()
+	s.segs = segs
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// ProfileLevel reports the profile index level name shared by every
+// segment.
+func (s *Store) ProfileLevel() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segs[0].header.ProfileLevel
+}
+
+// NumSegments reports the number of on-disk segments.
+func (s *Store) NumSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// snapshot returns the current segment slice (copy of the header view;
+// segments themselves are immutable once scanned).
+func (s *Store) snapshot() []segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]segment(nil), s.segs...)
+}
+
+// encodeSegment serializes one thicket as a complete segment record.
+func encodeSegment(th *core.Thicket) ([]byte, error) {
+	hdr := segmentHeader{
+		Version:      FormatVersion,
+		ProfileLevel: th.ProfileLevelName(),
+		NProfiles:    th.NumProfiles(),
+		TreePaths:    th.Tree.Paths(),
+	}
+	var data []byte
+	for _, fr := range []struct {
+		name  string
+		frame *dataframe.Frame
+	}{{framePerf, th.PerfData}, {frameMeta_, th.Metadata}, {frameStats, th.Stats}} {
+		var fm frameMeta
+		var err error
+		data, fm, err = encodeFrame(fr.name, fr.frame, data)
+		if err != nil {
+			return nil, err
+		}
+		hdr.Frames = append(hdr.Frames, fm)
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, segPreludeLen+len(hdrBytes)+len(data))
+	out = append(out, segMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(hdrBytes)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(hdrBytes, crcTable))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(data)))
+	out = append(out, hdrBytes...)
+	out = append(out, data...)
+	return out, nil
+}
+
+// readBlock fetches and decodes one column block, consulting the LRU
+// cache first. name and kind come from the segment header.
+func (s *Store) readBlock(segIdx int, seg segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+	key := cacheKey{segment: segIdx, frame: frame, block: blockIdx}
+	if cached := s.cache.get(key); cached != nil {
+		return cached, nil
+	}
+	kind, err := parseKindName(cm.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: segment %d frame %s block %v: %w", s.path, segIdx, frame, cm.Key, err)
+	}
+	buf := make([]byte, cm.Length)
+	if _, err := s.f.ReadAt(buf, seg.dataOff+int64(cm.Offset)); err != nil {
+		return nil, fmt.Errorf("store: %s: segment %d frame %s block %v: %w", s.path, segIdx, frame, cm.Key, err)
+	}
+	fm := seg.header.frame(frame)
+	wantRows := -1
+	if fm != nil {
+		wantRows = fm.NRows
+	}
+	series, err := decodeBlock(buf, name, kind, wantRows)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: segment %d frame %s: %w", s.path, segIdx, frame, err)
+	}
+	s.cache.put(key, series)
+	return series, nil
+}
+
+func parseKindName(s string) (dataframe.Kind, error) {
+	switch s {
+	case "float":
+		return dataframe.Float, nil
+	case "int":
+		return dataframe.Int, nil
+	case "string":
+		return dataframe.String, nil
+	case "bool":
+		return dataframe.Bool, nil
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+// loadFrame decodes one frame of one segment. keep selects the data
+// columns to materialize (nil keeps all); index levels always load.
+// Block decoding fans out across the parallel engine — blocks are
+// independent units written to fixed slots, so the result is identical
+// at any worker count.
+func (s *Store) loadFrame(segIdx int, seg segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
+	fm := seg.header.frame(name)
+	if fm == nil {
+		return nil, fmt.Errorf("store: %s: segment %d has no frame %q", s.path, segIdx, name)
+	}
+	type job struct {
+		cm       columnMeta
+		blockIdx int
+		name     string
+	}
+	var jobs []job
+	for l, cm := range fm.Levels {
+		jobs = append(jobs, job{cm: cm, blockIdx: l, name: cm.Key[len(cm.Key)-1]})
+	}
+	var colKeys []dataframe.ColKey
+	for c, cm := range fm.Cols {
+		key := dataframe.ColKey(cm.Key)
+		if keep != nil && !keep(key) {
+			continue
+		}
+		colKeys = append(colKeys, key.Copy())
+		jobs = append(jobs, job{cm: cm, blockIdx: len(fm.Levels) + c, name: key.Leaf()})
+	}
+	decoded := make([]*dataframe.Series, len(jobs))
+	if err := parallel.ForErr(len(jobs), func(i int) error {
+		series, err := s.readBlock(segIdx, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
+		if err != nil {
+			return err
+		}
+		decoded[i] = series
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	levels := decoded[:len(fm.Levels)]
+	ix, err := dataframe.NewIndex(levels...)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: segment %d frame %s: %w", s.path, segIdx, name, err)
+	}
+	return dataframe.NewFrameWithColIndex(ix, colKeys, decoded[len(fm.Levels):])
+}
+
+// loadSegment materializes one segment as a thicket. keepPerf projects
+// the performance-data columns; withStats controls whether the stored
+// stats frame is decoded (a projection gets the empty stats table).
+func (s *Store) loadSegment(segIdx int, seg segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
+	tree := calltree.New()
+	for i, p := range seg.header.TreePaths {
+		if _, err := tree.AddPath(p); err != nil {
+			return nil, fmt.Errorf("store: %s: segment %d tree path %d: %w", s.path, segIdx, i, err)
+		}
+	}
+	perf, err := s.loadFrame(segIdx, seg, framePerf, keepPerf)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := s.loadFrame(segIdx, seg, frameMeta_, nil)
+	if err != nil {
+		return nil, err
+	}
+	var stats *dataframe.Frame
+	if withStats {
+		stats, err = s.loadFrame(segIdx, seg, frameStats, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.FromParts(tree, perf, meta, stats, seg.header.ProfileLevel)
+}
+
+// Load materializes the whole store as one thicket. A single-segment
+// store reproduces the stored thicket exactly — frames, tree, stats,
+// and profile level, bit for bit. A multi-segment store concatenates
+// the segments over the union call tree (core.ConcatProfiles
+// semantics); aggregated statistics reset to empty since stored stats
+// no longer cover the appended profiles.
+func (s *Store) Load() (*core.Thicket, error) {
+	return s.load(nil)
+}
+
+// LoadProjection materializes the store with the performance-data
+// columns restricted to keys — only those columns' blocks are read and
+// decoded, which is the point of the columnar layout. Metadata always
+// loads in full (it is small); stats come back empty. An unknown key is
+// an error.
+func (s *Store) LoadProjection(keys []dataframe.ColKey) (*core.Thicket, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("store: %s: empty projection", s.path)
+	}
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		want[k.String()] = true
+	}
+	available := map[string]bool{}
+	for _, seg := range s.snapshot() {
+		if fm := seg.header.frame(framePerf); fm != nil {
+			for _, cm := range fm.Cols {
+				available[dataframe.ColKey(cm.Key).String()] = true
+			}
+		}
+	}
+	for _, k := range keys {
+		if !available[k.String()] {
+			return nil, fmt.Errorf("store: %s: no perf column %v in any segment", s.path, k)
+		}
+	}
+	return s.load(func(k dataframe.ColKey) bool { return want[k.String()] })
+}
+
+func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error) {
+	segs := s.snapshot()
+	withStats := len(segs) == 1 && keepPerf == nil
+	thickets := make([]*core.Thicket, len(segs))
+	for i, seg := range segs {
+		th, err := s.loadSegment(i, seg, keepPerf, withStats)
+		if err != nil {
+			return nil, err
+		}
+		thickets[i] = th
+	}
+	if len(thickets) == 1 {
+		return thickets[0], nil
+	}
+	th, err := core.ConcatProfiles(thickets)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", s.path, err)
+	}
+	return th, nil
+}
+
+// Metadata loads only the metadata frames (concatenated across
+// segments) without touching performance data — the fast path for
+// profile listing and filtering.
+func (s *Store) Metadata() (*dataframe.Frame, error) {
+	segs := s.snapshot()
+	frames := make([]*dataframe.Frame, len(segs))
+	for i, seg := range segs {
+		f, err := s.loadFrame(i, seg, frameMeta_, nil)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = f
+	}
+	if len(frames) == 1 {
+		return frames[0], nil
+	}
+	out, err := dataframe.ConcatRowsOuter(frames...)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: metadata: %w", s.path, err)
+	}
+	return out, nil
+}
+
+// Append writes th as a new segment at the end of the file. Existing
+// blocks are untouched. The thicket must share the store's profile
+// level, must not reuse existing profile-index values, and its column
+// kinds must agree with stored columns of the same key.
+func (s *Store) Append(th *core.Thicket) error {
+	if s.readOnly {
+		return fmt.Errorf("store: %s: opened read-only", s.path)
+	}
+	if got, want := th.ProfileLevelName(), s.ProfileLevel(); got != want {
+		return fmt.Errorf("store: %s: appended thicket uses profile level %q, store uses %q", s.path, got, want)
+	}
+	// Column kinds must agree with every prior segment.
+	kinds := map[string]string{}
+	for _, seg := range s.snapshot() {
+		for _, fm := range seg.header.Frames {
+			for _, cm := range fm.Cols {
+				kinds[fm.Name+"\x00"+dataframe.ColKey(cm.Key).String()] = cm.Kind
+			}
+		}
+	}
+	for name, fr := range map[string]*dataframe.Frame{framePerf: th.PerfData, frameMeta_: th.Metadata} {
+		for c := 0; c < fr.NCols(); c++ {
+			k := name + "\x00" + fr.ColIndex().Key(c).String()
+			if have, ok := kinds[k]; ok && have != fr.ColumnAt(c).Kind().String() {
+				return fmt.Errorf("store: %s: column %v kind %s conflicts with stored kind %s",
+					s.path, fr.ColIndex().Key(c), fr.ColumnAt(c).Kind(), have)
+			}
+		}
+	}
+	// Profile-index values must stay unique across the whole store.
+	existing, err := s.Metadata()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, existing.NRows())
+	for r := 0; r < existing.NRows(); r++ {
+		seen[dataframe.EncodeKey(existing.Index().KeyAt(r))] = true
+	}
+	for _, v := range th.Profiles() {
+		if seen[dataframe.EncodeKey([]dataframe.Value{v})] {
+			return fmt.Errorf("store: %s: profile index %s already present", s.path, v)
+		}
+	}
+
+	rec, err := encodeSegment(th)
+	if err != nil {
+		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	if _, err := s.f.WriteAt(rec, st.Size()); err != nil {
+		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	// Parse the freshly written segment into the in-memory view.
+	hdrLen := binary.LittleEndian.Uint32(rec[4:8])
+	dataLen := binary.LittleEndian.Uint64(rec[12:20])
+	var hdr segmentHeader
+	if err := json.Unmarshal(rec[segPreludeLen:segPreludeLen+int(hdrLen)], &hdr); err != nil {
+		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	s.segs = append(s.segs, segment{
+		header:  hdr,
+		dataOff: st.Size() + segPreludeLen + int64(hdrLen),
+		dataLen: int64(dataLen),
+	})
+	return nil
+}
+
+// AppendProfiles composes raw profiles into a thicket keyed the same
+// way as the store (reusing the stored profile level as IndexBy when it
+// is not the default hash index) and appends them as a new segment —
+// the incremental ingest path.
+func (s *Store) AppendProfiles(profiles []*profile.Profile) error {
+	opts := core.Options{}
+	if lvl := s.ProfileLevel(); lvl != core.ProfileLevel {
+		opts.IndexBy = lvl
+	}
+	th, err := core.FromProfiles(profiles, opts)
+	if err != nil {
+		return fmt.Errorf("store: %s: append profiles: %w", s.path, err)
+	}
+	return s.Append(th)
+}
+
+// ColumnInfo summarizes one stored column across segments.
+type ColumnInfo struct {
+	Key   dataframe.ColKey `json:"key"`
+	Kind  string           `json:"kind"`
+	Bytes int64            `json:"bytes"`
+}
+
+// Info is the store's header-level summary; computing it never touches
+// column data.
+type Info struct {
+	Path         string       `json:"path"`
+	FileBytes    int64        `json:"file_bytes"`
+	Segments     int          `json:"segments"`
+	Profiles     int          `json:"profiles"`
+	PerfRows     int          `json:"perf_rows"`
+	Nodes        int          `json:"nodes"`
+	ProfileLevel string       `json:"profile_level"`
+	PerfColumns  []ColumnInfo `json:"perf_columns"`
+	MetaColumns  []ColumnInfo `json:"meta_columns"`
+	CacheHits    int64        `json:"cache_hits"`
+	CacheMisses  int64        `json:"cache_misses"`
+	CacheBytes   int64        `json:"cache_bytes"`
+	CacheEntries int          `json:"cache_entries"`
+}
+
+// Info reports the store's shape from headers alone.
+func (s *Store) Info() Info {
+	segs := s.snapshot()
+	info := Info{
+		Path:         s.path,
+		Segments:     len(segs),
+		ProfileLevel: segs[0].header.ProfileLevel,
+	}
+	if st, err := s.f.Stat(); err == nil {
+		info.FileBytes = st.Size()
+	}
+	tree := calltree.New()
+	// Columns in first-appearance order, block sizes summed across
+	// segments (a column appended later shows up after the originals).
+	sumCols := func(frame string) []ColumnInfo {
+		pos := map[string]int{}
+		var out []ColumnInfo
+		for _, seg := range segs {
+			fm := seg.header.frame(frame)
+			if fm == nil {
+				continue
+			}
+			for _, cm := range fm.Cols {
+				id := dataframe.ColKey(cm.Key).String()
+				i, ok := pos[id]
+				if !ok {
+					i = len(out)
+					pos[id] = i
+					out = append(out, ColumnInfo{Key: dataframe.ColKey(cm.Key).Copy(), Kind: cm.Kind})
+				}
+				out[i].Bytes += int64(cm.Length)
+			}
+		}
+		return out
+	}
+	for _, seg := range segs {
+		info.Profiles += seg.header.NProfiles
+		if fm := seg.header.frame(framePerf); fm != nil {
+			info.PerfRows += fm.NRows
+		}
+		for _, p := range seg.header.TreePaths {
+			tree.AddPath(p)
+		}
+	}
+	info.Nodes = tree.Len()
+	info.PerfColumns = sumCols(framePerf)
+	info.MetaColumns = sumCols(frameMeta_)
+	info.CacheHits, info.CacheMisses, info.CacheBytes, info.CacheEntries = s.cache.stats()
+	return info
+}

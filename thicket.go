@@ -35,7 +35,9 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // SetParallelism fixes the worker count used by the parallel aggregation
@@ -207,3 +209,36 @@ func LoadThicket(path string) (*Thicket, error) { return core.LoadThicket(path) 
 
 // ThicketFromBytes parses a serialized thicket object.
 func ThicketFromBytes(data []byte) (*Thicket, error) { return core.ThicketFromBytes(data) }
+
+// Columnar ensemble store (persisting and serving ensembles).
+type (
+	// Store is an append-only binary columnar ensemble store: opening
+	// reads only headers, Load decodes columns in parallel, and
+	// LoadProjection reads just the requested metric columns.
+	Store = store.Store
+	// StoreOptions tunes store opening (decoded-column cache budget).
+	StoreOptions = store.Options
+	// StoreInfo is a store's header-level summary.
+	StoreInfo = store.Info
+	// Server is the thicketd HTTP query service over one ensemble.
+	Server = server.Server
+	// ServerOptions bounds the service (concurrency, request timeout).
+	ServerOptions = server.Options
+)
+
+// CreateStore writes th as a new single-segment ensemble store at path.
+func CreateStore(path string, th *Thicket) error { return store.Create(path, th) }
+
+// OpenStore opens an existing ensemble store, reading only its headers.
+func OpenStore(path string) (*Store, error) { return store.Open(path) }
+
+// OpenStoreWithOptions opens a store with an explicit cache budget.
+func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
+	return store.OpenWithOptions(path, opts)
+}
+
+// NewServer builds the thicketd HTTP query service over a loaded
+// thicket; st may be nil when the ensemble did not come from a store.
+func NewServer(th *Thicket, st *Store, opts ServerOptions) *Server {
+	return server.New(th, st, opts)
+}
