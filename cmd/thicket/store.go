@@ -109,6 +109,7 @@ func serveCmd(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout")
 	maxConc := fs.Int("max-concurrent", 64, "maximum concurrently executing requests")
+	cacheBytes := fs.Int64("cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
@@ -121,7 +122,7 @@ func serveCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(th, st, server.Options{MaxConcurrent: *maxConc, Timeout: *timeout})
+	srv := server.New(th, st, server.Options{MaxConcurrent: *maxConc, Timeout: *timeout, CacheBytes: *cacheBytes})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(stdout, "thicketd: serving %d profiles from %s on %s\n",

@@ -37,17 +37,18 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
 	maxConc := flag.Int("max-concurrent", 64, "maximum concurrently executing requests")
+	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
 	flag.Parse()
 	if *storePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := serve(*storePath, *addr, *timeout, *maxConc); err != nil {
+	if err := serve(*storePath, *addr, *timeout, *maxConc, *cacheBytes); err != nil {
 		log.Fatalf("thicketd: %v", err)
 	}
 }
 
-func serve(storePath, addr string, timeout time.Duration, maxConc int) error {
+func serve(storePath, addr string, timeout time.Duration, maxConc int, cacheBytes int64) error {
 	st, err := thicket.OpenStore(storePath)
 	if err != nil {
 		return err
@@ -57,7 +58,7 @@ func serve(storePath, addr string, timeout time.Duration, maxConc int) error {
 	if err != nil {
 		return err
 	}
-	srv := thicket.NewServer(th, st, thicket.ServerOptions{MaxConcurrent: maxConc, Timeout: timeout})
+	srv := thicket.NewServer(th, st, thicket.ServerOptions{MaxConcurrent: maxConc, Timeout: timeout, CacheBytes: cacheBytes})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("thicketd: serving %d profiles (%d nodes) from %s on %s\n",

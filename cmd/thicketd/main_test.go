@@ -9,7 +9,7 @@ import (
 
 func TestServeMissingStoreNamesPath(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "absent.tks")
-	err := serve(path, "127.0.0.1:0", time.Second, 4)
+	err := serve(path, "127.0.0.1:0", time.Second, 4, 0)
 	if err == nil {
 		t.Fatal("serve on a missing store succeeded")
 	}

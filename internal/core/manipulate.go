@@ -56,6 +56,37 @@ func (m MetaRow) Float(column string) float64 {
 	return f
 }
 
+// keepLevelPred builds a Filter predicate keeping rows whose value in
+// the given string index level is a key of keep. For dict-encoded levels
+// the path set is translated to dictionary codes once, so each row test
+// is a bounds-checked slice load instead of a string materialization and
+// hash probe.
+func keepLevelPred(lv *dataframe.Series, keep map[string]bool) func(dataframe.Row) bool {
+	dict, codes := lv.StringData()
+	if dict == nil {
+		return func(r dataframe.Row) bool { return keep[lv.At(r.Pos()).Str()] }
+	}
+	nulls := lv.Nulls()
+	keepNull := keep[""] // a null cell reads back as ""
+	codeKeep := make([]bool, dict.Len())
+	for p, ok := range keep {
+		if !ok {
+			continue
+		}
+		if c, found := dict.Code(p); found && int(c) < len(codeKeep) {
+			codeKeep[c] = true
+		}
+	}
+	return func(r dataframe.Row) bool {
+		i := r.Pos()
+		if nulls[i] {
+			return keepNull
+		}
+		c := codes[i]
+		return int(c) < len(codeKeep) && codeKeep[c]
+	}
+}
+
 // FilterMetadata returns a new thicket containing only the profiles whose
 // metadata row satisfies pred (paper §4.1.1, Figure 6). The performance
 // data is restricted to the surviving profiles; the tree and stats are
@@ -132,13 +163,9 @@ func (t *Thicket) Query(m query.Applier) (*Thicket, error) {
 		keepPath[nodePath(n)] = true
 	}
 	nodeLv := t.PerfData.Index().LevelByName(NodeLevel)
-	perf := t.PerfData.Filter(func(r dataframe.Row) bool {
-		return keepPath[nodeLv.At(r.Pos()).Str()]
-	})
+	perf := t.PerfData.Filter(keepLevelPred(nodeLv, keepPath))
 	statsLv := t.Stats.Index().LevelByName(NodeLevel)
-	stats := t.Stats.Filter(func(r dataframe.Row) bool {
-		return keepPath[statsLv.At(r.Pos()).Str()]
-	})
+	stats := t.Stats.Filter(keepLevelPred(statsLv, keepPath))
 	return t.copyWith(tree, perf, t.Metadata.Copy(), stats), nil
 }
 
@@ -221,9 +248,7 @@ func (t *Thicket) FilterStats(pred func(StatsRow) bool) *Thicket {
 	}
 	tree := t.Tree.FilterKeys(keepKeys, true)
 	nodeLv := t.PerfData.Index().LevelByName(NodeLevel)
-	perf := t.PerfData.Filter(func(r dataframe.Row) bool {
-		return keepPath[nodeLv.At(r.Pos()).Str()]
-	})
+	perf := t.PerfData.Filter(keepLevelPred(nodeLv, keepPath))
 	return t.copyWith(tree, perf, t.Metadata.Copy(), stats)
 }
 
@@ -269,12 +294,8 @@ func (t *Thicket) FilterNodes(pred func(n *calltree.Node) bool) *Thicket {
 		keepPath[nodePath(n)] = true
 	}
 	nodeLv := t.PerfData.Index().LevelByName(NodeLevel)
-	perf := t.PerfData.Filter(func(r dataframe.Row) bool {
-		return keepPath[nodeLv.At(r.Pos()).Str()]
-	})
+	perf := t.PerfData.Filter(keepLevelPred(nodeLv, keepPath))
 	statsLv := t.Stats.Index().LevelByName(NodeLevel)
-	statsF := t.Stats.Filter(func(r dataframe.Row) bool {
-		return keepPath[statsLv.At(r.Pos()).Str()]
-	})
+	statsF := t.Stats.Filter(keepLevelPred(statsLv, keepPath))
 	return t.copyWith(tree, perf, t.Metadata.Copy(), statsF)
 }

@@ -11,17 +11,65 @@ import (
 
 // rowsByNodeOf groups a frame's row positions by the named index level,
 // scanning chunks in parallel; merging partials in chunk order keeps
-// per-node row lists in ascending (sequential) order.
+// per-node row lists in ascending (sequential) order. Dict-encoded
+// levels partition on integer codes — no per-row string materialization
+// or string hashing; the codes decode to paths once per distinct node.
 func rowsByNodeOf(f *dataframe.Frame, level string) (map[string][]int, error) {
 	lv := f.Index().LevelByName(level)
 	if lv == nil {
 		return nil, fmt.Errorf("core: frame lacks index level %q", level)
 	}
+	dict, codes := lv.StringData()
+	if dict == nil {
+		return rowsByNodeSlow(f.NRows(), lv), nil
+	}
+	nulls := lv.Nulls()
+	// Null cells group under the empty path, matching Value.Str() on a
+	// null. The dict may intern "" itself, so nulls borrow its code when
+	// present and a reserved out-of-range code otherwise.
+	nullKey := uint32(dict.Len())
+	if c, ok := dict.Code(""); ok {
+		nullKey = c
+	}
+	type partition struct {
+		rows  map[uint32][]int
+		order []uint32
+	}
+	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) partition {
+		p := partition{rows: make(map[uint32][]int)}
+		for r := lo; r < hi; r++ {
+			c := codes[r]
+			if nulls[r] {
+				c = nullKey
+			}
+			if _, ok := p.rows[c]; !ok {
+				p.order = append(p.order, c)
+			}
+			p.rows[c] = append(p.rows[c], r)
+		}
+		return p
+	})
+	words := dict.Words()
+	out := make(map[string][]int)
+	for _, p := range parts {
+		for _, c := range p.order {
+			path := ""
+			if int(c) < len(words) {
+				path = words[c]
+			}
+			out[path] = append(out[path], p.rows[c]...)
+		}
+	}
+	return out, nil
+}
+
+// rowsByNodeSlow is the per-value fallback for non-string levels.
+func rowsByNodeSlow(n int, lv *dataframe.Series) map[string][]int {
 	type partition struct {
 		rows  map[string][]int
 		order []string
 	}
-	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) partition {
+	parts := parallel.MapChunks(n, func(lo, hi int) partition {
 		p := partition{rows: make(map[string][]int)}
 		for r := lo; r < hi; r++ {
 			path := lv.At(r).Str()
@@ -38,7 +86,7 @@ func rowsByNodeOf(f *dataframe.Frame, level string) (map[string][]int, error) {
 			out[path] = append(out[path], p.rows[path]...)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // AggregateStats computes order-reduced statistics (paper §4.2.1): for

@@ -14,9 +14,19 @@ type Index struct {
 	names  []string
 	levels []*Series
 
-	// lookup maps encoded keys to row positions; built lazily, invalidated
-	// on mutation.
-	lookup map[string][]int
+	// lookup is the lazily built key→rows structure (integer key ids, no
+	// per-row string encoding). It is immutable once built, so deep
+	// copies and identity gathers share it instead of rebuilding;
+	// mutation drops only the mutated index's reference.
+	lookup *indexLookup
+}
+
+// indexLookup resolves composite keys to row positions through the
+// dense-key-id kernel: a retained keySpace maps a []Value key to its id,
+// and rows holds the ascending row list of every id.
+type indexLookup struct {
+	ks   *keySpace
+	rows [][]int
 }
 
 // NewIndex builds an index from named levels. All levels must have equal
@@ -86,20 +96,17 @@ func (ix *Index) KeyAt(row int) []Value {
 	return key
 }
 
-// buildLookup constructs the key→rows map.
-func (ix *Index) buildLookup() {
+// buildLookup constructs the key→rows structure.
+func (ix *Index) buildLookup() *indexLookup {
 	if ix.lookup != nil {
-		return
+		return ix.lookup
 	}
-	m := make(map[string][]int, ix.NRows())
-	for r := 0; r < ix.NRows(); r++ {
-		k := EncodeKey(ix.KeyAt(r))
-		m[k] = append(m[k], r)
-	}
-	ix.lookup = m
+	ks := buildKeySpace(ix.levels, true)
+	ix.lookup = &indexLookup{ks: ks, rows: bucketRows(ks.ids, ks.n)}
+	return ix.lookup
 }
 
-// Warm forces construction of the lazy key→rows map. Lookup and
+// Warm forces construction of the lazy key→rows structure. Lookup and
 // Contains build it on first use, which is a data race when the first
 // uses happen concurrently; call Warm before handing the index to
 // parallel readers.
@@ -108,8 +115,12 @@ func (ix *Index) Warm() { ix.buildLookup() }
 // Lookup returns the row positions matching the full composite key, in
 // index order. The returned slice must not be modified.
 func (ix *Index) Lookup(key []Value) []int {
-	ix.buildLookup()
-	return ix.lookup[EncodeKey(key)]
+	lk := ix.buildLookup()
+	id, ok := lk.ks.idOf(key)
+	if !ok {
+		return nil
+	}
+	return lk.rows[id]
 }
 
 // Contains reports whether the composite key appears in the index.
@@ -117,8 +128,8 @@ func (ix *Index) Contains(key []Value) bool { return len(ix.Lookup(key)) > 0 }
 
 // HasDuplicates reports whether any composite key maps to multiple rows.
 func (ix *Index) HasDuplicates() bool {
-	ix.buildLookup()
-	for _, rows := range ix.lookup {
+	lk := ix.buildLookup()
+	for _, rows := range lk.rows {
 		if len(rows) > 1 {
 			return true
 		}
@@ -128,36 +139,55 @@ func (ix *Index) HasDuplicates() bool {
 
 // UniqueKeys returns the distinct composite keys in first-appearance order.
 func (ix *Index) UniqueKeys() [][]Value {
-	seen := make(map[string]struct{}, ix.NRows())
-	var out [][]Value
-	for r := 0; r < ix.NRows(); r++ {
-		key := ix.KeyAt(r)
-		enc := EncodeKey(key)
-		if _, ok := seen[enc]; ok {
-			continue
-		}
-		seen[enc] = struct{}{}
-		out = append(out, key)
+	lk := ix.buildLookup()
+	if lk.ks.n == 0 {
+		return nil
+	}
+	out := make([][]Value, lk.ks.n)
+	for id, r := range lk.ks.first {
+		out[id] = ix.KeyAt(int(r))
 	}
 	return out
 }
 
-// Gather returns a new index containing the given rows in order.
+// Gather returns a new index containing the given rows in order. An
+// identity gather (all rows, in order) carries the built lookup over —
+// the rows it maps to are unchanged.
 func (ix *Index) Gather(rows []int) *Index {
 	levels := make([]*Series, len(ix.levels))
 	for i, lv := range ix.levels {
 		levels[i] = lv.Gather(rows)
 	}
-	return MustIndex(levels...)
+	out := MustIndex(levels...)
+	if ix.lookup != nil && isIdentity(rows, ix.NRows()) {
+		out.lookup = ix.lookup
+	}
+	return out
 }
 
-// Copy returns a deep copy of the index.
+func isIdentity(rows []int, n int) bool {
+	if len(rows) != n {
+		return false
+	}
+	for i, r := range rows {
+		if r != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns a deep copy of the index. A built lookup is shared with
+// the copy: it is immutable once built, and mutating either index only
+// drops that index's own reference.
 func (ix *Index) Copy() *Index {
 	levels := make([]*Series, len(ix.levels))
 	for i, lv := range ix.levels {
 		levels[i] = lv.Copy()
 	}
-	return MustIndex(levels...)
+	out := MustIndex(levels...)
+	out.lookup = ix.lookup
+	return out
 }
 
 // AppendKey adds a new row with the given composite key.
@@ -167,6 +197,21 @@ func (ix *Index) AppendKey(key []Value) error {
 	}
 	for i, lv := range ix.levels {
 		if err := lv.Append(key[i]); err != nil {
+			return err
+		}
+	}
+	ix.lookup = nil
+	return nil
+}
+
+// AppendIndex bulk-appends every row of o; level names and count must
+// match.
+func (ix *Index) AppendIndex(o *Index) error {
+	if o.NLevels() != ix.NLevels() {
+		return fmt.Errorf("dataframe: appended index has %d levels, want %d", o.NLevels(), ix.NLevels())
+	}
+	for i, lv := range ix.levels {
+		if err := lv.AppendSeries(o.levels[i]); err != nil {
 			return err
 		}
 	}

@@ -120,63 +120,34 @@ type Group struct {
 	Frame *Frame
 }
 
-// keyBucket accumulates the member rows of one group-by key.
-type keyBucket struct {
-	key  []Value
-	rows []int
-}
-
-// keyPartition is one chunk's partial group-by result: buckets plus
-// their first-appearance order within the chunk.
-type keyPartition struct {
-	byKey map[string]*keyBucket
-	order []string
-}
-
-// partitionByKey groups rows [0, NRows) by the composite key produced by
-// keyAt, scanning chunks in parallel and merging the partials in chunk
-// order — which reproduces exactly the first-appearance key order and
-// ascending per-bucket row order of a sequential scan.
-func (f *Frame) partitionByKey(keyAt func(r int) []Value) (map[string]*keyBucket, []string) {
-	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) keyPartition {
-		p := keyPartition{byKey: make(map[string]*keyBucket)}
-		for r := lo; r < hi; r++ {
-			key := keyAt(r)
-			enc := EncodeKey(key)
-			b, ok := p.byKey[enc]
-			if !ok {
-				b = &keyBucket{key: key}
-				p.byKey[enc] = b
-				p.order = append(p.order, enc)
-			}
-			b.rows = append(b.rows, r)
+// partitionByKey groups rows [0, NRows) by the composite key over cols
+// through the dense-key-id kernel: per-row integer codes fold into key
+// ids assigned in first-appearance order, and a counting sort inverts
+// them into per-id ascending row lists — no per-row string encoding or
+// allocation, and bit-identical to the sequential EncodeKey scan it
+// replaces.
+func (f *Frame) partitionByKey(cols []*Series) (buckets [][]int, keys [][]Value) {
+	ks := buildKeySpace(cols, false)
+	buckets = bucketRows(ks.ids, ks.n)
+	keys = make([][]Value, ks.n)
+	for id, r := range ks.first {
+		key := make([]Value, len(cols))
+		for i, c := range cols {
+			key[i] = c.At(int(r))
 		}
-		return p
-	})
-	byKey := make(map[string]*keyBucket)
-	var order []string
-	for _, p := range parts {
-		for _, enc := range p.order {
-			pb := p.byKey[enc]
-			b, ok := byKey[enc]
-			if !ok {
-				byKey[enc] = pb
-				order = append(order, enc)
-				continue
-			}
-			b.rows = append(b.rows, pb.rows...)
-		}
+		keys[id] = key
 	}
-	return byKey, order
+	ks.release()
+	return buckets, keys
 }
 
 // materializeGroups builds the per-group sub-frames (in parallel; each
-// group writes only its own slot).
-func (f *Frame) materializeGroups(byKey map[string]*keyBucket, order []string) []Group {
+// group writes only its own slot). order holds bucket ids.
+func (f *Frame) materializeGroups(buckets [][]int, keys [][]Value, order []int) []Group {
 	groups := make([]Group, len(order))
 	parallel.For(len(order), func(i int) {
-		b := byKey[order[i]]
-		groups[i] = Group{Key: b.key, Frame: f.SelectRows(b.rows)}
+		id := order[i]
+		groups[i] = Group{Key: keys[id], Frame: f.SelectRows(buckets[id])}
 	})
 	return groups
 }
@@ -194,34 +165,37 @@ func (f *Frame) GroupBy(names ...string) ([]Group, error) {
 		}
 		cols[i] = c
 	}
-	byKey, order := f.partitionByKey(func(r int) []Value {
-		key := make([]Value, len(cols))
-		for i, c := range cols {
-			key[i] = c.At(r)
-		}
-		return key
-	})
+	buckets, keys := f.partitionByKey(cols)
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
 	sort.Slice(order, func(a, b int) bool {
-		return CompareKeys(byKey[order[a]].key, byKey[order[b]].key) < 0
+		return CompareKeys(keys[order[a]], keys[order[b]]) < 0
 	})
-	return f.materializeGroups(byKey, order), nil
+	return f.materializeGroups(buckets, keys, order), nil
 }
 
 // GroupByIndexLevel partitions rows by unique values of one index level,
-// preserving key order. Used for per-node order reduction.
+// preserving first-appearance key order. Used for per-node order
+// reduction.
 func (f *Frame) GroupByIndexLevel(level string) ([]Group, error) {
 	lv := f.index.LevelByName(level)
 	if lv == nil {
 		return nil, fmt.Errorf("dataframe: no index level %q", level)
 	}
-	byKey, order := f.partitionByKey(func(r int) []Value {
-		return []Value{lv.At(r)}
-	})
-	return f.materializeGroups(byKey, order), nil
+	buckets, keys := f.partitionByKey([]*Series{lv})
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	return f.materializeGroups(buckets, keys, order), nil
 }
 
 // ConcatRows vertically concatenates frames with identical column keys and
-// index level names, returning a new frame.
+// index level names, returning a new frame. Columns append in bulk —
+// string columns reconcile dictionaries once per distinct word, not once
+// per row.
 func ConcatRows(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("dataframe: ConcatRows requires at least one frame")
@@ -240,18 +214,60 @@ func ConcatRows(frames ...*Frame) (*Frame, error) {
 		if f.index.NLevels() != first.index.NLevels() {
 			return nil, fmt.Errorf("dataframe: ConcatRows index level mismatch")
 		}
-		for r := 0; r < f.NRows(); r++ {
-			if err := out.index.AppendKey(f.index.KeyAt(r)); err != nil {
+		if err := out.index.AppendIndex(f.index); err != nil {
+			return nil, err
+		}
+		for c := 0; c < f.NCols(); c++ {
+			if err := out.data[c].AppendSeries(f.data[c]); err != nil {
 				return nil, err
-			}
-			for c := 0; c < f.NCols(); c++ {
-				if err := out.data[c].Append(f.data[c].At(r)); err != nil {
-					return nil, err
-				}
 			}
 		}
 	}
 	return out, nil
+}
+
+// baseSpaceIDs maps every row of ix into the retained key space ks (built
+// over an equal-shaped index of another frame): per level, the row's code
+// translates into the base frame's code space through a per-distinct-value
+// table, then folds through the base remap tables. Rows whose key the
+// base never saw get absentID.
+func baseSpaceIDs(ks *keySpace, ix *Index) []uint32 {
+	n := ix.NRows()
+	ids := getU32(n)
+	for l := 0; l < ix.NLevels(); l++ {
+		oc := encodeSeries(ix.Level(l))
+		tr := translateCodes(oc, ks.finds[l])
+		if l == 0 {
+			for r := 0; r < n; r++ {
+				bc := tr[oc.codes[r]]
+				if bc == absentID || int(bc) >= len(ks.tr0) {
+					ids[r] = absentID
+					continue
+				}
+				ids[r] = ks.tr0[bc]
+			}
+		} else {
+			m := ks.pairs[l-1]
+			for r := 0; r < n; r++ {
+				if ids[r] == absentID {
+					continue
+				}
+				bc := tr[oc.codes[r]]
+				if bc == absentID {
+					ids[r] = absentID
+					continue
+				}
+				d, ok := m[uint64(ids[r])<<32|uint64(bc)]
+				if !ok {
+					ids[r] = absentID
+					continue
+				}
+				ids[r] = d
+			}
+		}
+		oc.release()
+	}
+	return ids
 }
 
 // InnerJoinOnIndex joins frames on their full composite row index,
@@ -259,6 +275,10 @@ func ConcatRows(frames ...*Frame) (*Frame, error) {
 // uses for hierarchical composition, §3.2.2). Each input's columns are
 // nested under the corresponding group label, adding one column-index
 // level. Duplicate index keys within an input are an error.
+//
+// Matching runs entirely on integer key ids: the first frame's retained
+// key space is the reference, and every other frame's rows translate
+// into it with one table lookup per row per level.
 func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
 	if len(groups) != len(frames) {
 		return nil, fmt.Errorf("dataframe: %d group labels for %d frames", len(groups), len(frames))
@@ -276,53 +296,56 @@ func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
 		}
 	}
 
-	// Intersection of keys, in the first frame's order. Lookup maps are
-	// built lazily; warm them before the scan fans out across workers.
-	for _, f := range frames {
-		f.index.Warm()
-	}
-	keep := make([]bool, base.NRows())
-	parallel.For(base.NRows(), func(r int) {
-		key := base.index.KeyAt(r)
-		for _, f := range frames[1:] {
-			if !f.index.Contains(key) {
-				return
+	baseLk := base.index.buildLookup()
+	baseKs := baseLk.ks
+
+	// Per non-base frame: base key id → that frame's row (-1 = absent).
+	rowOf := make([][]int32, len(frames))
+	for i := 1; i < len(frames); i++ {
+		m := make([]int32, baseKs.n)
+		for j := range m {
+			m[j] = -1
+		}
+		ids := baseSpaceIDs(baseKs, frames[i].index)
+		for r, id := range ids {
+			if id != absentID {
+				m[id] = int32(r)
 			}
 		}
-		keep[r] = true
-	})
-	var keys [][]Value
+		putU32(ids)
+		rowOf[i] = m
+	}
+
+	// Intersection, in the first frame's order.
+	var baseRows []int
 	for r := 0; r < base.NRows(); r++ {
-		if keep[r] {
-			keys = append(keys, base.index.KeyAt(r))
+		id := baseKs.ids[r]
+		ok := true
+		for i := 1; i < len(frames); i++ {
+			if rowOf[i][id] < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			baseRows = append(baseRows, r)
 		}
 	}
 
-	// New index from intersected keys.
-	levels := make([]*Series, base.index.NLevels())
-	for l := 0; l < base.index.NLevels(); l++ {
-		levels[l] = NewSeries(base.index.Names()[l], base.index.Level(l).Kind())
-	}
-	for _, key := range keys {
-		for l, v := range key {
-			if err := levels[l].Append(v); err != nil {
-				return nil, err
-			}
-		}
-	}
-	outIndex, err := NewIndex(levels...)
-	if err != nil {
-		return nil, err
-	}
+	outIndex := base.index.Gather(baseRows)
 
 	// Gather each frame's columns in key order and nest under its group.
 	var outKeys []ColKey
 	var outCols []*Series
 	for gi, f := range frames {
-		rows := make([]int, len(keys))
-		parallel.For(len(keys), func(ki int) {
-			rows[ki] = f.index.Lookup(keys[ki])[0]
-		})
+		rows := baseRows
+		if gi > 0 {
+			rows = make([]int, len(baseRows))
+			m := rowOf[gi]
+			for ki, br := range baseRows {
+				rows[ki] = int(m[baseKs.ids[br]])
+			}
+		}
 		pref := f.cols.Prefixed(groups[gi])
 		gathered := make([]*Series, f.NCols())
 		parallel.For(f.NCols(), func(c int) {
@@ -455,6 +478,35 @@ func (f *Frame) Describe() (*Frame, error) {
 	return out.SelectColumns(keys)
 }
 
+// denseNonNull remaps a coded column to dense ids in first-appearance
+// order, mapping null cells to absentID — the unique-key extraction
+// behind Pivot. Returns per-row ids, first-appearance rows, and the
+// distinct count. ids is pooled; the caller releases it with putU32.
+func denseNonNull(c coded) (ids []uint32, firsts []int32, k int) {
+	tr := getU32(int(c.space) + 1)
+	for i := range tr {
+		tr[i] = absentID
+	}
+	ids = getU32(len(c.codes))
+	next := uint32(0)
+	for r, code := range c.codes {
+		if code == nullCode {
+			ids[r] = absentID
+			continue
+		}
+		d := tr[code]
+		if d == absentID {
+			d = next
+			next++
+			tr[code] = d
+			firsts = append(firsts, int32(r))
+		}
+		ids[r] = d
+	}
+	putU32(tr)
+	return ids, firsts, int(next)
+}
+
 // Pivot reshapes the frame: rows become the unique values of one index
 // level, columns become the unique values of a second index level (or a
 // data column), and cells hold agg over the value column's entries for
@@ -477,46 +529,51 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 		return nil, fmt.Errorf("dataframe: pivot requires an aggregator")
 	}
 
-	// Unique row/column keys in first-appearance order.
-	rowKeys := rowS.Uniques()
-	colKeys := colS.Uniques()
-	if len(rowKeys) == 0 || len(colKeys) == 0 {
+	// Unique row/column keys in first-appearance order, as dense ids.
+	rowC := encodeSeries(rowS)
+	rowIDs, rowFirsts, nRows := denseNonNull(rowC)
+	rowC.release()
+	colC := encodeSeries(colS)
+	colIDs, colFirsts, nCols := denseNonNull(colC)
+	colC.release()
+	defer putU32(rowIDs)
+	defer putU32(colIDs)
+	if nRows == 0 || nCols == 0 {
 		return nil, fmt.Errorf("dataframe: pivot over empty keys")
 	}
-	rowPos := map[string]int{}
-	for i, k := range rowKeys {
-		rowPos[EncodeKey([]Value{k})] = i
+	rowKeys := make([]Value, nRows)
+	for i, r := range rowFirsts {
+		rowKeys[i] = rowS.At(int(r))
 	}
-	colPos := map[string]int{}
-	for i, k := range colKeys {
-		colPos[EncodeKey([]Value{k})] = i
+	colKeys := make([]Value, nCols)
+	for i, r := range colFirsts {
+		colKeys[i] = colS.At(int(r))
 	}
+
 	// Collect cell samples chunk-parallel; merging chunk partials in
 	// order preserves the sequential per-cell sample order, so
 	// order-sensitive aggregators see identical inputs.
 	parts := parallel.MapChunks(f.NRows(), func(lo, hi int) [][][]float64 {
-		part := make([][][]float64, len(rowKeys))
+		part := make([][][]float64, nRows)
 		for r := lo; r < hi; r++ {
-			rv, cv := rowS.At(r), colS.At(r)
-			if rv.IsNull() || cv.IsNull() {
+			ri, ci := rowIDs[r], colIDs[r]
+			if ri == absentID || ci == absentID {
 				continue
 			}
 			v, ok := valS.At(r).AsFloat()
 			if !ok {
 				continue
 			}
-			ri := rowPos[EncodeKey([]Value{rv})]
-			ci := colPos[EncodeKey([]Value{cv})]
 			if part[ri] == nil {
-				part[ri] = make([][]float64, len(colKeys))
+				part[ri] = make([][]float64, nCols)
 			}
 			part[ri][ci] = append(part[ri][ci], v)
 		}
 		return part
 	})
-	cells := make([][][]float64, len(rowKeys))
+	cells := make([][][]float64, nRows)
 	for i := range cells {
-		cells[i] = make([][]float64, len(colKeys))
+		cells[i] = make([][]float64, nCols)
 	}
 	for _, part := range parts {
 		for ri, byCol := range part {
@@ -539,9 +596,9 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 	if err != nil {
 		return nil, err
 	}
-	columns := make([]*Series, len(colKeys))
-	parallel.For(len(colKeys), func(ci int) {
-		data := make([]float64, len(rowKeys))
+	columns := make([]*Series, nCols)
+	parallel.For(nCols, func(ci int) {
+		data := make([]float64, nRows)
 		for ri := range rowKeys {
 			if len(cells[ri][ci]) == 0 {
 				data[ri] = math.NaN()
@@ -557,6 +614,7 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 // ConcatRowsOuter vertically concatenates frames taking the union of
 // their column keys: cells absent from an input are null. Index level
 // names must match. Column order is first-appearance across inputs.
+// Appends run column-at-a-time in bulk.
 func ConcatRowsOuter(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("dataframe: ConcatRowsOuter requires at least one frame")
@@ -591,7 +649,7 @@ func ConcatRowsOuter(frames ...*Frame) (*Frame, error) {
 			keys = append(keys, k.Copy())
 		}
 	}
-	// Build output.
+	// Build output frame column-at-a-time.
 	levels := make([]*Series, first.index.NLevels())
 	for l := range levels {
 		levels[l] = NewSeries(first.index.Names()[l], first.index.Level(l).Kind())
@@ -601,24 +659,19 @@ func ConcatRowsOuter(frames ...*Frame) (*Frame, error) {
 		cols[i] = NewSeries(k.Leaf(), kinds[k.encode()])
 	}
 	for _, f := range frames {
-		pos := make([]int, len(keys)) // output col -> input col (or -1)
-		for i, k := range keys {
-			pos[i] = f.cols.Find(k)
-		}
-		for r := 0; r < f.NRows(); r++ {
-			for l, v := range f.index.KeyAt(r) {
-				if err := levels[l].Append(v); err != nil {
-					return nil, err
-				}
+		for l := range levels {
+			if err := levels[l].AppendSeries(f.index.Level(l)); err != nil {
+				return nil, err
 			}
-			for i := range keys {
-				v := Null(cols[i].Kind())
-				if pos[i] >= 0 {
-					v = f.data[pos[i]].At(r)
-				}
-				if err := cols[i].Append(v); err != nil {
-					return nil, err
-				}
+		}
+		for i, k := range keys {
+			pos := f.cols.Find(k)
+			if pos < 0 {
+				cols[i].AppendNulls(f.NRows())
+				continue
+			}
+			if err := cols[i].AppendSeries(f.data[pos]); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -6,20 +6,28 @@ import (
 )
 
 // Series is a named, typed column of values with a null mask. Storage is
-// kind-specialized so numeric scans do not box.
+// kind-specialized so numeric scans do not box; String columns are
+// dictionary-encoded (per-row uint32 codes into a shared *Dict), so
+// grouping, joining, and serialization of string keys reduce to integer
+// operations.
 type Series struct {
 	name string
 	kind Kind
 	f    []float64
 	i    []int64
-	s    []string
+	sc   []uint32 // String: per-row dict codes
+	dict *Dict    // String: shared append-only dictionary
 	b    []bool
 	null []bool
 }
 
 // NewSeries returns an empty series of the given name and kind.
 func NewSeries(name string, kind Kind) *Series {
-	return &Series{name: name, kind: kind}
+	s := &Series{name: name, kind: kind}
+	if kind == String {
+		s.dict = NewDict()
+	}
+	return s
 }
 
 // NewFloatSeries builds a float series from data; NaNs become nulls.
@@ -40,7 +48,35 @@ func NewIntSeries(name string, data []int64) *Series {
 
 // NewStringSeries builds a string series from data.
 func NewStringSeries(name string, data []string) *Series {
-	return &Series{name: name, kind: String, s: append([]string(nil), data...), null: make([]bool, len(data))}
+	s := &Series{name: name, kind: String, dict: NewDict(), sc: make([]uint32, len(data)), null: make([]bool, len(data))}
+	for idx, v := range data {
+		s.sc[idx] = s.dict.Intern(v)
+	}
+	return s
+}
+
+// NewStringSeriesFromCodes builds a string series directly from a
+// dictionary and per-row codes — the zero-re-interning path used by the
+// store's dictionary pages. nulls may be nil (no nulls). The dict and
+// code slice are adopted, not copied; every non-null code must be in
+// range for dict.
+func NewStringSeriesFromCodes(name string, dict *Dict, codes []uint32, nulls []bool) (*Series, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("dataframe: series %q: nil dict", name)
+	}
+	if nulls == nil {
+		nulls = make([]bool, len(codes))
+	}
+	if len(nulls) != len(codes) {
+		return nil, fmt.Errorf("dataframe: series %q: %d codes but %d null flags", name, len(codes), len(nulls))
+	}
+	n := uint32(dict.Len())
+	for i, c := range codes {
+		if !nulls[i] && c >= n {
+			return nil, fmt.Errorf("dataframe: series %q: code %d out of range (dict has %d words)", name, c, n)
+		}
+	}
+	return &Series{name: name, kind: String, dict: dict, sc: codes, null: nulls}, nil
 }
 
 // NewBoolSeries builds a bool series from data.
@@ -87,6 +123,21 @@ func (s *Series) Rename(name string) *Series {
 	return s
 }
 
+// StringData exposes a String series' dictionary encoding: the shared
+// dictionary and the per-row codes (meaningful only where the null mask
+// is clear). Both are shared storage — treat as read-only. Returns
+// (nil, nil) for non-string series.
+func (s *Series) StringData() (*Dict, []uint32) {
+	if s.kind != String {
+		return nil, nil
+	}
+	return s.dict, s.sc
+}
+
+// Nulls returns the series' null mask (shared storage; treat as
+// read-only). Float NaN cells are additionally null by IsNull semantics.
+func (s *Series) Nulls() []bool { return s.null }
+
 // At returns the value at row idx.
 func (s *Series) At(idx int) Value {
 	if s.null[idx] {
@@ -98,7 +149,7 @@ func (s *Series) At(idx int) Value {
 	case Int:
 		return Int64(s.i[idx])
 	case String:
-		return Str(s.s[idx])
+		return Str(s.dict.Word(s.sc[idx]))
 	case Bool:
 		return BoolVal(s.b[idx])
 	}
@@ -124,9 +175,74 @@ func (s *Series) Append(v Value) error {
 	case Int:
 		s.i = append(s.i, v.i)
 	case String:
-		s.s = append(s.s, v.s)
+		var c uint32
+		if !v.IsNull() {
+			c = s.dict.Intern(v.s)
+		}
+		s.sc = append(s.sc, c)
 	case Bool:
 		s.b = append(s.b, v.b)
+	}
+	return nil
+}
+
+// AppendNulls extends the series with n null cells.
+func (s *Series) AppendNulls(n int) {
+	for i := 0; i < n; i++ {
+		s.null = append(s.null, true)
+	}
+	switch s.kind {
+	case Float:
+		s.f = append(s.f, make([]float64, n)...)
+	case Int:
+		s.i = append(s.i, make([]int64, n)...)
+	case String:
+		s.sc = append(s.sc, make([]uint32, n)...)
+	case Bool:
+		s.b = append(s.b, make([]bool, n)...)
+	}
+}
+
+// AppendSeries bulk-appends every cell of o. Kinds must match. For
+// string columns the two dictionaries are reconciled once per distinct
+// word (a translation table), not once per row.
+func (s *Series) AppendSeries(o *Series) error {
+	if o.kind != s.kind {
+		// A fully-null column of any kind appends as typed nulls,
+		// mirroring per-cell Append semantics.
+		if o.NullCount() == o.Len() {
+			s.AppendNulls(o.Len())
+			return nil
+		}
+		return fmt.Errorf("dataframe: series %q holds %s, cannot append %s", s.name, s.kind, o.kind)
+	}
+	s.null = append(s.null, o.null...)
+	switch s.kind {
+	case Float:
+		s.f = append(s.f, o.f...)
+	case Int:
+		s.i = append(s.i, o.i...)
+	case String:
+		if o.dict == s.dict {
+			s.sc = append(s.sc, o.sc...)
+			return nil
+		}
+		// Translate o's codes into s's dictionary: one intern per
+		// distinct word in o's dict, then O(rows) integer copies.
+		words := o.dict.Words()
+		tr := make([]uint32, len(words))
+		for c, w := range words {
+			tr[c] = s.dict.Intern(w)
+		}
+		base := len(s.sc)
+		s.sc = append(s.sc, make([]uint32, len(o.sc))...)
+		for j, c := range o.sc {
+			if !o.null[j] {
+				s.sc[base+j] = tr[c]
+			}
+		}
+	case Bool:
+		s.b = append(s.b, o.b...)
 	}
 	return nil
 }
@@ -143,14 +259,19 @@ func (s *Series) Set(idx int, v Value) error {
 	case Int:
 		s.i[idx] = v.i
 	case String:
-		s.s[idx] = v.s
+		if v.IsNull() {
+			s.sc[idx] = 0
+		} else {
+			s.sc[idx] = s.dict.Intern(v.s)
+		}
 	case Bool:
 		s.b[idx] = v.b
 	}
 	return nil
 }
 
-// Gather returns a new series containing the given rows in order.
+// Gather returns a new series containing the given rows in order. String
+// gathers copy codes and share the dictionary — no string traffic.
 func (s *Series) Gather(rows []int) *Series {
 	out := &Series{name: s.name, kind: s.kind, null: make([]bool, len(rows))}
 	switch s.kind {
@@ -167,9 +288,10 @@ func (s *Series) Gather(rows []int) *Series {
 			out.null[j] = s.null[r]
 		}
 	case String:
-		out.s = make([]string, len(rows))
+		out.dict = s.dict
+		out.sc = make([]uint32, len(rows))
 		for j, r := range rows {
-			out.s[j] = s.s[r]
+			out.sc[j] = s.sc[r]
 			out.null[j] = s.null[r]
 		}
 	case Bool:
@@ -182,12 +304,14 @@ func (s *Series) Gather(rows []int) *Series {
 	return out
 }
 
-// Copy returns a deep copy of the series.
+// Copy returns a deep copy of the series. The string dictionary is
+// shared: it is append-only, so growth through one series never changes
+// what another series' codes decode to.
 func (s *Series) Copy() *Series {
-	out := &Series{name: s.name, kind: s.kind}
+	out := &Series{name: s.name, kind: s.kind, dict: s.dict}
 	out.f = append([]float64(nil), s.f...)
 	out.i = append([]int64(nil), s.i...)
-	out.s = append([]string(nil), s.s...)
+	out.sc = append([]uint32(nil), s.sc...)
 	out.b = append([]bool(nil), s.b...)
 	out.null = append([]bool(nil), s.null...)
 	return out
@@ -214,19 +338,16 @@ func (s *Series) Values() []Value {
 
 // Uniques returns distinct non-null values in first-appearance order.
 func (s *Series) Uniques() []Value {
-	seen := make(map[string]struct{})
+	cc := encodeSeries(s)
+	defer cc.release()
+	seen := make([]bool, cc.space+1)
 	var out []Value
-	for i := 0; i < s.Len(); i++ {
-		v := s.At(i)
-		if v.IsNull() {
+	for i, c := range cc.codes {
+		if c == nullCode || seen[c] {
 			continue
 		}
-		k := EncodeKey([]Value{v})
-		if _, ok := seen[k]; ok {
-			continue
-		}
-		seen[k] = struct{}{}
-		out = append(out, v)
+		seen[c] = true
+		out = append(out, s.At(i))
 	}
 	return out
 }

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"container/list"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheBytes bounds the rendered-response cache of a server built
+// with default options. Responses are small (tens of KB); the default
+// holds thousands of distinct query shapes.
+const DefaultCacheBytes = 16 << 20
+
+// respCache is a byte-bounded LRU of rendered 200-OK response bodies,
+// keyed by canonicalized request. Entries are generation-stamped: the
+// whole cache flushes when the backing store's generation moves, and a
+// put computed against an older generation is discarded rather than
+// poisoning the fresh cache. Concurrent misses on one key dedup through
+// a single-flight table: one request computes, the rest wait and reuse
+// its bytes.
+type respCache struct {
+	max int64
+
+	mu     sync.Mutex
+	used   int64
+	gen    int64
+	order  *list.List // front = most recent; values are *respEntry
+	items  map[string]*list.Element
+	flight map[string]*flightCall
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type respEntry struct {
+	key  string
+	body []byte
+}
+
+// entryOverhead approximates per-entry bookkeeping bytes (list element,
+// map slot, headers) added to each body's length.
+const entryOverhead = 128
+
+// flightCall is one in-flight computation of a cacheable response.
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+func newRespCache(maxBytes int64) *respCache {
+	return &respCache{
+		max:    maxBytes,
+		order:  list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flightCall),
+	}
+}
+
+// enabled reports whether caching is on at all.
+func (c *respCache) enabled() bool { return c.max > 0 }
+
+// generation returns the cache's current generation stamp.
+func (c *respCache) generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// get returns the cached body for key, counting a hit or miss.
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*respEntry).body, true
+}
+
+// put stores body under key if gen still matches the cache generation,
+// evicting least-recently-used entries to fit the byte budget.
+func (c *respCache) put(key string, body []byte, gen int64) {
+	sz := int64(len(body)+len(key)) + entryOverhead
+	if sz > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return // computed against a flushed generation
+	}
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	for c.used+sz > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*respEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.body)+len(ent.key)) + entryOverhead
+	}
+	c.items[key] = c.order.PushFront(&respEntry{key: key, body: body})
+	c.used += sz
+}
+
+// flush drops every entry and advances the generation stamp.
+func (c *respCache) flush(gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+	c.gen = gen
+}
+
+// join registers interest in computing key. The first caller becomes the
+// leader (computes and must call leave); followers receive the existing
+// call to wait on.
+func (c *respCache) join(key string) (*flightCall, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fc, ok := c.flight[key]; ok {
+		return fc, false
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.flight[key] = fc
+	return fc, true
+}
+
+// leave publishes the leader's result and releases its followers.
+func (c *respCache) leave(key string, fc *flightCall) {
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(fc.done)
+}
+
+// stats reports (hits, misses, resident bytes, entries).
+func (c *respCache) stats() (hits, misses, bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.used, len(c.items)
+}
+
+// canonicalKey renders a request as a cache key: the endpoint path plus
+// every query parameter in sorted name order (values sorted within a
+// name), so equivalent requests written differently share one entry.
+func canonicalKey(endpoint string, q url.Values) string {
+	names := make([]string, 0, len(q))
+	for name := range q {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(endpoint)
+	for _, name := range names {
+		vals := append([]string(nil), q[name]...)
+		sort.Strings(vals)
+		for _, v := range vals {
+			b.WriteByte('&')
+			b.WriteString(name)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}
+
+// endpointStats accumulates per-endpoint request metrics for /healthz.
+type endpointStats struct {
+	requests    atomic.Int64
+	totalMicros atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}

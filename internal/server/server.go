@@ -8,8 +8,16 @@
 //
 // Operational behaviour: every request passes through a bounded
 // concurrency gate and a hard per-request timeout; /healthz exposes a
-// liveness snapshot with request counters; Serve drains in-flight
-// requests on context cancellation (graceful shutdown).
+// liveness snapshot with request counters, per-endpoint latency, and
+// response-cache statistics; Serve drains in-flight requests on context
+// cancellation (graceful shutdown).
+//
+// Expensive read endpoints (/api/stats, /api/groupby, /api/summary,
+// /api/query) are served from a byte-bounded, generation-stamped
+// response cache keyed by the canonicalized request, with single-flight
+// dedup of concurrent identical misses. When the backing store gains a
+// segment (its generation moves), the server reloads the thicket and
+// flushes the cache before answering.
 package server
 
 import (
@@ -20,6 +28,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,24 +46,42 @@ type Options struct {
 	// Timeout aborts any request running longer than this with a 503.
 	// 0 selects 15s.
 	Timeout time.Duration
+	// CacheBytes bounds the rendered-response cache; 0 selects
+	// DefaultCacheBytes, negative disables response caching.
+	CacheBytes int64
 }
 
 // Server answers EDA queries over one resident thicket.
 type Server struct {
-	th   *core.Thicket
-	st   *store.Store // optional; enriches /api/info
+	th   atomic.Pointer[core.Thicket]
+	st   *store.Store // optional; enriches /api/info, drives reloads
 	opts Options
 
 	sem      chan struct{}
 	requests atomic.Int64
 	inFlight atomic.Int64
+
+	cache      *respCache
+	gen        atomic.Int64 // store generation the resident thicket reflects
+	reloadMu   sync.Mutex   // serializes thicket reloads
+	reloads    atomic.Int64
+	reloadErrs atomic.Int64
+	eps        map[string]*endpointStats
+}
+
+// warm pre-builds a thicket's lazy index lookups so concurrent read-only
+// queries never race on first-use construction.
+func warm(th *core.Thicket) {
+	th.PerfData.Index().Warm()
+	th.Metadata.Index().Warm()
+	th.Stats.Index().Warm()
 }
 
 // New builds a server over an already-loaded thicket. st may be nil
 // (serving a thicket that did not come from a store); when present it
-// backs /api/info with storage-level detail. The thicket's lazy index
-// maps are warmed here so concurrent read-only queries never race on
-// first-use construction.
+// backs /api/info with storage-level detail and triggers a reload +
+// cache flush whenever the store's generation moves (e.g. an in-process
+// Append).
 func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = 64
@@ -62,33 +89,139 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 15 * time.Second
 	}
-	th.PerfData.Index().Warm()
-	th.Metadata.Index().Warm()
-	th.Stats.Index().Warm()
-	return &Server{
-		th:   th,
-		st:   st,
-		opts: opts,
-		sem:  make(chan struct{}, opts.MaxConcurrent),
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
 	}
+	warm(th)
+	s := &Server{
+		st:    st,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+		cache: newRespCache(opts.CacheBytes),
+		eps:   make(map[string]*endpointStats),
+	}
+	s.th.Store(th)
+	if st != nil {
+		s.gen.Store(st.Generation())
+	}
+	for _, path := range []string{
+		"/healthz", "/api/info", "/api/profiles", "/api/stats",
+		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
+	} {
+		s.eps[path] = &endpointStats{}
+	}
+	return s
+}
+
+// thicket returns the resident thicket snapshot.
+func (s *Server) thicket() *core.Thicket { return s.th.Load() }
+
+// maybeReload swaps in a fresh thicket and flushes the response cache
+// when the backing store's generation has moved past the resident one.
+// On load failure the server keeps answering from the stale thicket and
+// counts the error; the next request retries.
+func (s *Server) maybeReload() {
+	if s.st == nil {
+		return
+	}
+	gen := s.st.Generation()
+	if gen == s.gen.Load() {
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if gen == s.gen.Load() { // another request reloaded while we waited
+		return
+	}
+	th, err := s.st.Load()
+	if err != nil {
+		s.reloadErrs.Add(1)
+		return
+	}
+	warm(th)
+	s.th.Store(th)
+	s.cache.flush(gen)
+	s.gen.Store(gen)
+	s.reloads.Add(1)
 }
 
 // Handler returns the full middleware-wrapped HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/api/info", s.handleInfo)
-	mux.HandleFunc("/api/profiles", s.handleProfiles)
-	mux.HandleFunc("/api/stats", s.handleStats)
-	mux.HandleFunc("/api/groupby", s.handleGroupBy)
-	mux.HandleFunc("/api/summary", s.handleSummary)
-	mux.HandleFunc("/api/query", s.handleQuery)
-	mux.HandleFunc("/api/tree", s.handleTree)
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/api/info", s.route("/api/info", false, s.infoResponse))
+	mux.HandleFunc("/api/profiles", s.route("/api/profiles", false, s.profilesResponse))
+	mux.HandleFunc("/api/stats", s.route("/api/stats", true, s.statsResponse))
+	mux.HandleFunc("/api/groupby", s.route("/api/groupby", true, s.groupByResponse))
+	mux.HandleFunc("/api/summary", s.route("/api/summary", true, s.summaryResponse))
+	mux.HandleFunc("/api/query", s.route("/api/query", true, s.queryResponse))
+	mux.HandleFunc("/api/tree", s.route("/api/tree", false, s.treeResponse))
 	var h http.Handler = mux
 	h = s.limit(h)
 	h = http.TimeoutHandler(h, s.opts.Timeout, `{"error":"request timed out"}`)
 	h = s.count(h)
 	return h
+}
+
+// instrument records per-endpoint request count and latency.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.eps[path]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			ep.requests.Add(1)
+			ep.totalMicros.Add(time.Since(start).Microseconds())
+		}()
+		h(w, r)
+	}
+}
+
+// route adapts a (status, payload) handler to HTTP, adding latency
+// instrumentation, the store-generation freshness check, and — for
+// cacheable endpoints — the response cache with single-flight dedup.
+// Only 200-OK bodies are cached.
+func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, any)) http.HandlerFunc {
+	return s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
+		s.maybeReload()
+		if !cacheable || !s.cache.enabled() {
+			status, v := h(r)
+			writeJSON(w, status, v)
+			return
+		}
+		ep := s.eps[path]
+		key := canonicalKey(path, r.URL.Query())
+		if body, ok := s.cache.get(key); ok {
+			ep.cacheHits.Add(1)
+			s.cache.hits.Add(1)
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		fc, leader := s.cache.join(key)
+		if !leader {
+			// Another request is computing this exact response; wait and
+			// reuse its bytes (statuses are deterministic per key).
+			<-fc.done
+			ep.cacheHits.Add(1)
+			s.cache.hits.Add(1)
+			writeBody(w, fc.status, fc.body)
+			return
+		}
+		ep.cacheMisses.Add(1)
+		s.cache.misses.Add(1)
+		gen := s.cache.generation()
+		status, v := h(r)
+		body, err := renderJSON(v)
+		if err != nil {
+			status = http.StatusInternalServerError
+			body, _ = renderJSON(map[string]string{"error": err.Error()})
+		}
+		fc.status, fc.body = status, body
+		if status == http.StatusOK {
+			s.cache.put(key, body, gen)
+		}
+		s.cache.leave(key, fc)
+		writeBody(w, status, body)
+	})
 }
 
 // Serve runs the service on addr until ctx is cancelled, then shuts
@@ -116,6 +249,12 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 // Requests reports the total number of requests accepted so far.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
+// CacheStats reports response-cache counters (hits, misses).
+func (s *Server) CacheStats() (hits, misses int64) {
+	h, m, _, _ := s.cache.stats()
+	return h, m
+}
+
 // count is the outermost middleware: total and in-flight counters.
 func (s *Server) count(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -141,6 +280,23 @@ func (s *Server) limit(h http.Handler) http.Handler {
 	})
 }
 
+// renderJSON marshals a response payload exactly as writeJSON writes it
+// (two-space indent, trailing newline), so cached bytes are
+// byte-identical to streamed responses.
+func renderJSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -151,6 +307,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errPayload is the (status, payload) form of writeError.
+func errPayload(status int, err error) (int, any) {
+	return status, map[string]string{"error": err.Error()}
 }
 
 // valueJSON converts a cell for JSON responses (typed nulls → null).
@@ -192,36 +353,62 @@ func frameRows(f *dataframe.Frame) []map[string]any {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	th := s.thicket()
+	hits, misses, bytes, entries := s.cache.stats()
+	endpoints := map[string]any{}
+	for path, ep := range s.eps {
+		n := ep.requests.Load()
+		if n == 0 {
+			continue
+		}
+		endpoints[path] = map[string]any{
+			"requests":       n,
+			"cache_hits":     ep.cacheHits.Load(),
+			"cache_misses":   ep.cacheMisses.Load(),
+			"avg_latency_us": ep.totalMicros.Load() / n,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"requests":  s.requests.Load(),
 		"in_flight": s.inFlight.Load(),
-		"profiles":  s.th.NumProfiles(),
-		"nodes":     s.th.Tree.Len(),
+		"profiles":  th.NumProfiles(),
+		"nodes":     th.Tree.Len(),
+		"cache": map[string]any{
+			"hits":       hits,
+			"misses":     misses,
+			"bytes":      bytes,
+			"entries":    entries,
+			"generation": s.gen.Load(),
+		},
+		"reloads":     s.reloads.Load(),
+		"reload_errs": s.reloadErrs.Load(),
+		"endpoints":   endpoints,
 	})
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	perfCols := make([]string, 0, s.th.PerfData.NCols())
-	for _, k := range s.th.PerfData.ColIndex().Keys() {
+func (s *Server) infoResponse(r *http.Request) (int, any) {
+	th := s.thicket()
+	perfCols := make([]string, 0, th.PerfData.NCols())
+	for _, k := range th.PerfData.ColIndex().Keys() {
 		perfCols = append(perfCols, k.String())
 	}
-	metaCols := make([]string, 0, s.th.Metadata.NCols())
-	for _, k := range s.th.Metadata.ColIndex().Keys() {
+	metaCols := make([]string, 0, th.Metadata.NCols())
+	for _, k := range th.Metadata.ColIndex().Keys() {
 		metaCols = append(metaCols, k.String())
 	}
 	out := map[string]any{
-		"profiles":      s.th.NumProfiles(),
-		"nodes":         s.th.Tree.Len(),
-		"perf_rows":     s.th.PerfData.NRows(),
+		"profiles":      th.NumProfiles(),
+		"nodes":         th.Tree.Len(),
+		"perf_rows":     th.PerfData.NRows(),
 		"perf_columns":  perfCols,
 		"meta_columns":  metaCols,
-		"profile_level": s.th.ProfileLevelName(),
+		"profile_level": th.ProfileLevelName(),
 	}
 	if s.st != nil {
 		out["store"] = s.st.Info()
 	}
-	writeJSON(w, http.StatusOK, out)
+	return http.StatusOK, out
 }
 
 // predicate is one parsed metadata filter.
@@ -276,27 +463,26 @@ func (p predicate) matches(v dataframe.Value) bool {
 	return false
 }
 
-func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+func (s *Server) profilesResponse(r *http.Request) (int, any) {
+	th := s.thicket()
 	var preds []predicate
 	for _, expr := range r.URL.Query()["where"] {
 		p, err := parsePredicate(expr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return errPayload(http.StatusBadRequest, err)
 		}
-		if _, err := s.th.Metadata.ColumnByName(p.column); err != nil &&
-			s.th.Metadata.Index().LevelByName(p.column) == nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metadata column %q", p.column))
-			return
+		if _, err := th.Metadata.ColumnByName(p.column); err != nil &&
+			th.Metadata.Index().LevelByName(p.column) == nil {
+			return errPayload(http.StatusBadRequest, fmt.Errorf("unknown metadata column %q", p.column))
 		}
 		preds = append(preds, p)
 	}
-	filtered := s.th
+	filtered := th
 	if len(preds) > 0 {
-		filtered = s.th.FilterMetadata(func(m core.MetaRow) bool {
+		filtered = th.FilterMetadata(func(m core.MetaRow) bool {
 			for _, p := range preds {
 				v := m.Value(p.column)
-				if v.IsNull() && s.th.Metadata.Index().LevelByName(p.column) != nil {
+				if v.IsNull() && th.Metadata.Index().LevelByName(p.column) != nil {
 					v = m.Profile(p.column)
 				}
 				if !p.matches(v) {
@@ -306,11 +492,11 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 			return true
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"count": filtered.NumProfiles(),
-		"total": s.th.NumProfiles(),
+		"total": th.NumProfiles(),
 		"rows":  frameRows(filtered.Metadata),
-	})
+	}
 }
 
 // splitArg parses a comma-separated query parameter.
@@ -336,94 +522,88 @@ func colKeys(names []string) []dataframe.ColKey {
 	return out
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) statsResponse(r *http.Request) (int, any) {
 	aggs := splitArg(r, "aggs")
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
 	// AggregateStats mutates its receiver's stats table; work on a copy
 	// so concurrent requests stay isolated.
-	th := s.th.Copy()
+	th := s.thicket().Copy()
 	if err := th.AggregateStats(colKeys(splitArg(r, "metrics")), aggs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errPayload(http.StatusBadRequest, err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"count": th.Stats.NRows(),
 		"rows":  frameRows(th.Stats),
-	})
+	}
 }
 
-func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+func (s *Server) groupByResponse(r *http.Request) (int, any) {
 	by := splitArg(r, "by")
 	if len(by) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
-		return
+		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
 	}
 	aggs := splitArg(r, "aggs")
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
-	out, err := s.th.GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
+	out, err := s.thicket().GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errPayload(http.StatusBadRequest, err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"count": out.NRows(),
 		"rows":  frameRows(out),
-	})
+	}
 }
 
-func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+func (s *Server) summaryResponse(r *http.Request) (int, any) {
 	by := splitArg(r, "by")
 	if len(by) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
-		return
+		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
 	}
-	sum, err := s.th.MetadataSummary(by...)
+	sum, err := s.thicket().MetadataSummary(by...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errPayload(http.StatusBadRequest, err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"count": sum.NRows(),
 		"rows":  frameRows(sum),
-	})
+	}
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) queryResponse(r *http.Request) (int, any) {
+	th := s.thicket()
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?q=<call-path query>"))
-		return
+		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?q=<call-path query>"))
 	}
-	out, err := s.th.QueryString(q)
+	out, err := th.QueryString(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return errPayload(http.StatusBadRequest, err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"kept":  out.Tree.Len(),
-		"total": s.th.Tree.Len(),
+		"total": th.Tree.Len(),
 		"nodes": out.NodePaths(),
-	})
+	}
 }
 
-func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+func (s *Server) treeResponse(r *http.Request) (int, any) {
+	th := s.thicket()
 	metric := r.URL.Query().Get("metric")
 	var rendered string
 	if metric == "" {
-		rendered = s.th.Tree.Render(nil)
+		rendered = th.Tree.Render(nil)
 	} else {
-		if _, err := s.th.PerfData.Column(dataframe.ColKey{metric}); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+		if _, err := th.PerfData.Column(dataframe.ColKey{metric}); err != nil {
+			return errPayload(http.StatusBadRequest, err)
 		}
-		rendered = s.th.TreeString(dataframe.ColKey{metric})
+		rendered = th.TreeString(dataframe.ColKey{metric})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"metric": metric,
 		"tree":   rendered,
-	})
+	}
 }

@@ -59,15 +59,13 @@ func seriesBytes(s *dataframe.Series) int64 {
 	case dataframe.Bool:
 		per = 2
 	case dataframe.String:
-		per = 17 // string header + null byte; content added below
+		per = 5 // 4-byte dict code + null byte; dictionary added below
 	}
 	total := n * per
 	if s.Kind() == dataframe.String {
-		for i := 0; i < s.Len(); i++ {
-			v := s.At(i)
-			if !v.IsNull() {
-				total += int64(len(v.Str()))
-			}
+		dict, _ := s.StringData()
+		for _, w := range dict.Words() {
+			total += int64(len(w)) + 16 // content + header
 		}
 	}
 	return total

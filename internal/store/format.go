@@ -42,25 +42,34 @@ import (
 	"repro/internal/dataframe"
 )
 
-// File-level constants of format version 1.
+// File-level format constants.
 const (
-	// FileMagic opens every store file.
+	// FileMagic opens every store file (shared by format versions 1
+	// and 2; the segment header carries the version).
 	FileMagic = "THKSTOR1"
 	// segMagic opens every segment.
 	segMagic = "TSEG"
-	// FormatVersion is the current store format version, recorded in
-	// every segment header.
-	FormatVersion = 1
+	// FormatVersion is the store format version new segments are
+	// written with. Version 2 replaced plain string blocks with
+	// dictionary pages (kindStringDict).
+	FormatVersion = 2
+	// minReadVersion is the oldest segment version the read path
+	// accepts. Version 1 files (plain string blocks) still load.
+	minReadVersion = 1
 )
 
 // kind codes used in block encodings. They intentionally mirror
 // dataframe.Kind values but are pinned independently so the on-disk
 // format cannot drift if the in-memory enum is ever reordered.
+// kindString is the v1 plain encoding (uvarint-length-prefixed bytes
+// per row); v2 writes string columns as kindStringDict dictionary
+// pages (unique-words block + per-row uvarint codes). Both decode.
 const (
-	kindFloat  = 0
-	kindInt    = 1
-	kindString = 2
-	kindBool   = 3
+	kindFloat      = 0
+	kindInt        = 1
+	kindString     = 2
+	kindBool       = 3
+	kindStringDict = 4
 )
 
 func kindCode(k dataframe.Kind) (byte, error) {
@@ -70,7 +79,7 @@ func kindCode(k dataframe.Kind) (byte, error) {
 	case dataframe.Int:
 		return kindInt, nil
 	case dataframe.String:
-		return kindString, nil
+		return kindStringDict, nil
 	case dataframe.Bool:
 		return kindBool, nil
 	}
@@ -83,7 +92,7 @@ func codeKind(c byte) (dataframe.Kind, error) {
 		return dataframe.Float, nil
 	case kindInt:
 		return dataframe.Int, nil
-	case kindString:
+	case kindString, kindStringDict:
 		return dataframe.String, nil
 	case kindBool:
 		return dataframe.Bool, nil
@@ -148,6 +157,12 @@ func appendUvarint(buf []byte, v uint64) []byte {
 // encodeBlock serializes one series as a self-describing, CRC-protected
 // column block. Null cells contribute zero payloads; their true values
 // are the null bitmap's business.
+//
+// String columns write dictionary pages: the block-local unique words in
+// first-appearance order, then one uvarint code per row. The page is
+// built straight from the series' dictionary codes — no per-row string
+// traffic — and a block's dictionary holds only words the column
+// actually uses, so sharing a large dictionary does not bloat blocks.
 func encodeBlock(s *dataframe.Series) ([]byte, error) {
 	kc, err := kindCode(s.Kind())
 	if err != nil {
@@ -157,6 +172,52 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 	buf := make([]byte, 0, 16+n)
 	buf = append(buf, kc)
 	buf = appendUvarint(buf, uint64(n))
+
+	if s.Kind() == dataframe.String {
+		dict, codes := s.StringData()
+		nullMask := s.Nulls()
+		nulls := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if nullMask[i] {
+				nulls[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, nulls...)
+
+		// Remap shared-dict codes to block-local codes in
+		// first-appearance order; collect the used words.
+		const unset = ^uint32(0)
+		remap := make([]uint32, dict.Len())
+		for i := range remap {
+			remap[i] = unset
+		}
+		var words []string
+		local := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			if nullMask[i] {
+				continue
+			}
+			c := codes[i]
+			lc := remap[c]
+			if lc == unset {
+				lc = uint32(len(words))
+				words = append(words, dict.Word(c))
+				remap[c] = lc
+			}
+			local[i] = lc
+		}
+		buf = appendUvarint(buf, uint64(len(words)))
+		for _, w := range words {
+			buf = appendUvarint(buf, uint64(len(w)))
+			buf = append(buf, w...)
+		}
+		for i := 0; i < n; i++ {
+			buf = appendUvarint(buf, uint64(local[i]))
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+		return append(buf, crc[:]...), nil
+	}
 
 	nulls := make([]byte, (n+7)/8)
 	vals := make([]dataframe.Value, n)
@@ -189,15 +250,6 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 			binary.LittleEndian.PutUint64(w[:], uint64(iv))
 			buf = append(buf, w[:]...)
 		}
-	case dataframe.String:
-		for i := 0; i < n; i++ {
-			var sv string
-			if !vals[i].IsNull() {
-				sv = vals[i].Str()
-			}
-			buf = appendUvarint(buf, uint64(len(sv)))
-			buf = append(buf, sv...)
-		}
 	case dataframe.Bool:
 		bits := make([]byte, (n+7)/8)
 		for i := 0; i < n; i++ {
@@ -227,7 +279,8 @@ func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int
 	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(crcBytes); got != want {
 		return nil, fmt.Errorf("store: block %q: CRC mismatch (file %08x, computed %08x)", name, want, got)
 	}
-	kind, err := codeKind(body[0])
+	kc := body[0]
+	kind, err := codeKind(kc)
 	if err != nil {
 		return nil, fmt.Errorf("store: block %q: %w", name, err)
 	}
@@ -255,6 +308,10 @@ func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int
 	}
 	nulls, payload := rest[:nullLen], rest[nullLen:]
 	isNull := func(i int) bool { return nulls[i/8]&(1<<(i%8)) != 0 }
+
+	if kc == kindStringDict {
+		return decodeStringDict(payload, name, n, isNull)
+	}
 
 	out := dataframe.NewSeries(name, kind)
 	appendVal := func(i int, v dataframe.Value) error {
@@ -314,6 +371,53 @@ func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int
 		}
 	}
 	return out, nil
+}
+
+// decodeStringDict parses a v2 dictionary page payload: unique words in
+// code order, then one uvarint code per row. The decoded series adopts
+// the page dictionary and codes directly — no per-row re-interning.
+func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool) (*dataframe.Series, error) {
+	nw, sz := binary.Uvarint(payload)
+	if sz <= 0 || nw > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: block %q: bad dictionary word count", name)
+	}
+	payload = payload[sz:]
+	dict := dataframe.NewDict()
+	for w := uint64(0); w < nw; w++ {
+		ln, sz := binary.Uvarint(payload)
+		if sz <= 0 || ln > uint64(len(payload)) {
+			return nil, fmt.Errorf("store: block %q: bad dictionary word length at word %d", name, w)
+		}
+		payload = payload[sz:]
+		if uint64(len(payload)) < ln {
+			return nil, fmt.Errorf("store: block %q: truncated dictionary word %d", name, w)
+		}
+		if c := dict.Intern(string(payload[:ln])); uint64(c) != w {
+			return nil, fmt.Errorf("store: block %q: duplicate dictionary word %q", name, payload[:ln])
+		}
+		payload = payload[ln:]
+	}
+	codes := make([]uint32, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		c, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("store: block %q: bad code at row %d", name, i)
+		}
+		payload = payload[sz:]
+		if isNull(i) {
+			nulls[i] = true
+			continue
+		}
+		if c >= nw {
+			return nil, fmt.Errorf("store: block %q: code %d out of range at row %d (dictionary has %d words)", name, c, i, nw)
+		}
+		codes[i] = uint32(c)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("store: block %q: %d trailing payload bytes", name, len(payload))
+	}
+	return dataframe.NewStringSeriesFromCodes(name, dict, codes, nulls)
 }
 
 // encodeFrame appends every index-level and data-column block of f to

@@ -37,8 +37,9 @@ type Store struct {
 	f        *os.File
 	readOnly bool
 
-	mu    sync.Mutex // guards segs and appends
+	mu    sync.Mutex // guards segs, gen, and appends
 	segs  []segment
+	gen   int64 // bumped on every append; see Generation
 	cache *columnCache
 }
 
@@ -142,8 +143,8 @@ func (s *Store) scan() error {
 		if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
 			return fmt.Errorf("segment %d header: %w", len(segs), err)
 		}
-		if hdr.Version != FormatVersion {
-			return fmt.Errorf("segment %d: unsupported format version %d (want %d)", len(segs), hdr.Version, FormatVersion)
+		if hdr.Version < minReadVersion || hdr.Version > FormatVersion {
+			return fmt.Errorf("segment %d: unsupported format version %d (want %d..%d)", len(segs), hdr.Version, minReadVersion, FormatVersion)
 		}
 		dataOff := off + segPreludeLen + int64(headerLen)
 		if dataOff+int64(dataLen) > size.Size() {
@@ -193,6 +194,16 @@ func (s *Store) NumSegments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.segs)
+}
+
+// Generation reports a counter that changes whenever the store's
+// contents change (every Append bumps it). Derived caches stamp their
+// entries with the generation they were computed at and drop them when
+// it moves.
+func (s *Store) Generation() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // snapshot returns the current segment slice (copy of the header view;
@@ -510,6 +521,7 @@ func (s *Store) Append(th *core.Thicket) error {
 		dataOff: st.Size() + segPreludeLen + int64(hdrLen),
 		dataLen: int64(dataLen),
 	})
+	s.gen++
 	return nil
 }
 

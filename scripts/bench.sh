@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the old-vs-new dataframe kernel benchmark pairs and emit
+# a machine-readable BENCH_kernels.json.
+#
+# Each kernel has a *Ref benchmark (the preserved string-key
+# implementation from differential_test.go) and a *New benchmark (the
+# shipping integer-key kernel); this script diffs the pairs into
+# wall-clock speedups and allocation reductions.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=30x scripts/bench.sh     # override go test -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+BENCHTIME="${BENCHTIME:-20x}"
+
+RAW="$(go test ./internal/dataframe -run '^$' -bench '(Ref|New)$' \
+	-benchtime "$BENCHTIME" -timeout 20m)"
+echo "$RAW" >&2
+
+echo "$RAW" | awk -v benchtime="$BENCHTIME" '
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)      # strip GOMAXPROCS suffix
+	sub(/^Benchmark/, "", name)
+	ns = $3; bytes = $5; allocs = $7
+	if (name ~ /Ref$/) {
+		stem = substr(name, 1, length(name) - 3)
+		refNs[stem] = ns; refB[stem] = bytes; refA[stem] = allocs
+	} else if (name ~ /New$/) {
+		stem = substr(name, 1, length(name) - 3)
+		newNs[stem] = ns; newB[stem] = bytes; newA[stem] = allocs
+		if (!(stem in seen)) { order[++n] = stem; seen[stem] = 1 }
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"description\": \"Dataframe kernel rewrite: string-keyed reference implementations vs dictionary-encoded integer-key kernels, sequential (1 worker), %d-row mixed-kind frames with nulls. Ref benchmarks preserve the pre-rewrite EncodeKey code paths verbatim.\",\n", 20000
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"environment\": { \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\" },\n", goos, goarch, cpu
+	printf "  \"kernels\": {\n"
+	first = 1
+	for (i = 1; i <= n; i++) {
+		stem = order[i]
+		if (!first) printf ",\n"
+		first = 0
+		printf "    \"%s\": {\n", stem
+		if (stem in refNs) {
+			printf "      \"ref\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d },\n", refNs[stem], refB[stem], refA[stem]
+		}
+		printf "      \"new\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d }", newNs[stem], newB[stem], newA[stem]
+		if (stem in refNs) {
+			printf ",\n      \"speedup\": %.2f,\n", refNs[stem] / newNs[stem]
+			printf "      \"alloc_reduction\": %.1f\n", (newA[stem] > 0) ? refA[stem] / newA[stem] : 0
+		} else {
+			printf "\n"
+		}
+		printf "    }"
+	}
+	printf "\n  }\n}\n"
+}
+' > "$OUT"
+
+echo "wrote $OUT" >&2
