@@ -113,9 +113,13 @@ func run(args []string, w io.Writer) (err error) {
 	outPath := fs.String("o", "", "output file or directory (export/save)")
 	loadPath := fs.String("load", "", "load a serialized thicket object instead of -dir")
 	storePath := fs.String("ensemble-store", "", "load from a columnar ensemble store instead of -dir")
+	traceOut := fs.String("trace-out", "", "self-profile: write collected telemetry spans as Chrome trace_event JSON here (plus a native .profile.json) on exit")
 
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		defer startTrace(*traceOut)()
 	}
 	if cmd == "convert" {
 		convertCaliper(fs, *caliperPath)
@@ -478,6 +482,30 @@ func splitKeys(arg string) []thicket.ColKey {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve> -dir profiles/ [flags]
 run "thicket <subcommand> -h" for flags`)
+}
+
+// startTrace enables telemetry span collection and returns the export
+// hook: it writes every span tree collected while the subcommand ran as
+// Chrome trace_event JSON at path and as a native thicket profile
+// alongside it — the CLI profiling itself with its own profile format.
+func startTrace(path string) func() {
+	thicket.EnableTelemetry(true)
+	col := &thicket.TraceCollector{}
+	prev := thicket.SetTraceCollector(col)
+	return func() {
+		thicket.SetTraceCollector(prev)
+		thicket.EnableTelemetry(false)
+		trees := col.Roots()
+		if len(trees) == 0 {
+			fmt.Fprintf(stdout, "\nno telemetry spans collected; %s not written\n", path)
+			return
+		}
+		profilePath, err := thicket.SaveTrace(path, trees)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(stdout, "\nwrote %d span trees to %s and %s\n", len(trees), path, profilePath)
+	}
 }
 
 // stdout is the destination for subcommand output (replaced in tests).

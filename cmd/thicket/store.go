@@ -110,11 +110,16 @@ func serveCmd(args []string) {
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout")
 	maxConc := fs.Int("max-concurrent", 64, "maximum concurrently executing requests")
 	cacheBytes := fs.Int64("cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
+	slowQuery := fs.Duration("slow-query", time.Second, "slow-request log threshold (negative disables)")
+	traceOut := fs.String("trace-out", "", "self-profile: write collected telemetry spans as Chrome trace_event JSON here (plus a native .profile.json) on shutdown")
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
 	if *storePath == "" {
 		fatal(fmt.Errorf("serve requires -store <file>"))
+	}
+	if *traceOut != "" {
+		defer startTrace(*traceOut)()
 	}
 	st := openStore(*storePath)
 	defer st.Close()
@@ -122,7 +127,10 @@ func serveCmd(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(th, st, server.Options{MaxConcurrent: *maxConc, Timeout: *timeout, CacheBytes: *cacheBytes})
+	srv := server.New(th, st, server.Options{
+		MaxConcurrent: *maxConc, Timeout: *timeout, CacheBytes: *cacheBytes,
+		SlowQuery: *slowQuery, Registry: thicket.DefaultMetrics(),
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(stdout, "thicketd: serving %d profiles from %s on %s\n",

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	thicketd -store ensemble.tks [-addr :8080] [-timeout 15s] [-max-concurrent 64]
+//	         [-slow-query 1s] [-debug-addr :6060] [-trace-out trace.json]
 //
 // Endpoints:
 //
 //	GET /healthz                          liveness + request counters
+//	GET /metrics                          Prometheus text metrics
 //	GET /api/info                         ensemble + store shape
 //	GET /api/profiles?where=col=value     metadata listing with predicates (=, !=, <, >, <=, >=)
 //	GET /api/stats?metrics=a,b&aggs=mean  aggregated per-node statistics
@@ -17,13 +19,22 @@
 //	GET /api/summary?by=col               campaign summary
 //	GET /api/query?q=<call-path DSL>      call-path query, kept node paths
 //	GET /api/tree?metric=a                rendered call tree
+//
+// Observability: -debug-addr starts a second listener with net/http/pprof
+// under /debug/pprof/ and the process-wide /metrics; -trace-out enables
+// span collection and, on shutdown, writes every collected span tree as
+// Chrome trace_event JSON plus a native thicket profile the library can
+// load and analyze itself; -slow-query tunes the slow-request log.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,24 +43,52 @@ import (
 	thicket "repro"
 )
 
+// config collects every flag so serve is testable without a real
+// command line.
+type config struct {
+	storePath  string
+	addr       string
+	timeout    time.Duration
+	maxConc    int
+	cacheBytes int64
+	slowQuery  time.Duration
+	debugAddr  string
+	traceOut   string
+}
+
 func main() {
-	storePath := flag.String("store", "", "path of the ensemble store file (required)")
-	addr := flag.String("addr", ":8080", "listen address")
-	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout")
-	maxConc := flag.Int("max-concurrent", 64, "maximum concurrently executing requests")
-	cacheBytes := flag.Int64("cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
+	var cfg config
+	flag.StringVar(&cfg.storePath, "store", "", "path of the ensemble store file (required)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.timeout, "timeout", 15*time.Second, "per-request timeout")
+	flag.IntVar(&cfg.maxConc, "max-concurrent", 64, "maximum concurrently executing requests")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
+	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "slow-request log threshold (negative disables)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listener with /debug/pprof/ and process-wide /metrics")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "enable span collection; on shutdown write Chrome trace_event JSON here plus a native .profile.json")
 	flag.Parse()
-	if *storePath == "" {
+	if cfg.storePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := serve(*storePath, *addr, *timeout, *maxConc, *cacheBytes); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, cfg, os.Stdout); err != nil {
 		log.Fatalf("thicketd: %v", err)
 	}
 }
 
-func serve(storePath, addr string, timeout time.Duration, maxConc int, cacheBytes int64) error {
-	st, err := thicket.OpenStore(storePath)
+func serve(ctx context.Context, cfg config, out io.Writer) error {
+	// Enable telemetry before the store loads so the load itself is the
+	// first span tree in the trace.
+	var col *thicket.TraceCollector
+	if cfg.traceOut != "" {
+		thicket.EnableTelemetry(true)
+		col = &thicket.TraceCollector{}
+		prev := thicket.SetTraceCollector(col)
+		defer thicket.SetTraceCollector(prev)
+	}
+	st, err := thicket.OpenStore(cfg.storePath)
 	if err != nil {
 		return err
 	}
@@ -58,14 +97,68 @@ func serve(storePath, addr string, timeout time.Duration, maxConc int, cacheByte
 	if err != nil {
 		return err
 	}
-	srv := thicket.NewServer(th, st, thicket.ServerOptions{MaxConcurrent: maxConc, Timeout: timeout, CacheBytes: cacheBytes})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	fmt.Printf("thicketd: serving %d profiles (%d nodes) from %s on %s\n",
-		th.NumProfiles(), th.Tree.Len(), storePath, addr)
-	if err := srv.Serve(ctx, addr); err != nil {
+	srv := thicket.NewServer(th, st, thicket.ServerOptions{
+		MaxConcurrent: cfg.maxConc,
+		Timeout:       cfg.timeout,
+		CacheBytes:    cfg.cacheBytes,
+		SlowQuery:     cfg.slowQuery,
+		// The process-wide registry: /metrics merges the server's HTTP
+		// metrics with kernel, store, and span-duration metrics.
+		Registry: thicket.DefaultMetrics(),
+	})
+	if cfg.debugAddr != "" {
+		dbg := debugServer(cfg.debugAddr)
+		defer dbg.Close()
+		go dbg.ListenAndServe()
+		fmt.Fprintf(out, "thicketd: pprof + metrics on %s\n", cfg.debugAddr)
+	}
+	fmt.Fprintf(out, "thicketd: serving %d profiles (%d nodes) from %s on %s\n",
+		th.NumProfiles(), th.Tree.Len(), cfg.storePath, cfg.addr)
+	if err := srv.Serve(ctx, cfg.addr); err != nil {
 		return err
 	}
-	fmt.Printf("thicketd: shut down after %d requests\n", srv.Requests())
+	fmt.Fprintf(out, "thicketd: shut down after %d requests\n", srv.Requests())
+	if cfg.traceOut != "" {
+		if err := exportTrace(cfg.traceOut, col, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// debugServer builds the optional diagnostics listener: net/http/pprof
+// handlers plus the process-wide Prometheus metrics. Kept off the main
+// mux so production query traffic and profiling endpoints can be
+// firewalled separately.
+func debugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		thicket.DefaultMetrics().WritePrometheus(w)
+	})
+	return &http.Server{Addr: addr, Handler: mux}
+}
+
+// exportTrace writes the collected span trees as Chrome trace_event JSON
+// and as a native thicket profile.
+func exportTrace(path string, col *thicket.TraceCollector, out io.Writer) error {
+	trees := col.Roots()
+	if len(trees) == 0 {
+		fmt.Fprintf(out, "thicketd: no spans collected; %s not written\n", path)
+		return nil
+	}
+	profilePath, err := thicket.SaveTrace(path, trees)
+	if err != nil {
+		return err
+	}
+	if n := col.Dropped(); n > 0 {
+		fmt.Fprintf(out, "thicketd: trace retention bound dropped %d oldest trees\n", n)
+	}
+	fmt.Fprintf(out, "thicketd: wrote %d span trees to %s and %s\n", len(trees), path, profilePath)
 	return nil
 }

@@ -1,19 +1,99 @@
 package main
 
 import (
+	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	thicket "repro"
+	"repro/internal/sim"
 )
+
+func testConfig(storePath string) config {
+	return config{
+		storePath: storePath,
+		addr:      "127.0.0.1:0",
+		timeout:   time.Second,
+		maxConc:   4,
+	}
+}
 
 func TestServeMissingStoreNamesPath(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "absent.tks")
-	err := serve(path, "127.0.0.1:0", time.Second, 4, 0)
+	err := serve(context.Background(), testConfig(path), os.Stderr)
 	if err == nil {
 		t.Fatal("serve on a missing store succeeded")
 	}
 	if !strings.Contains(err.Error(), path) {
 		t.Errorf("serve error %q does not name the offending path %q", err, path)
+	}
+}
+
+// writeStore builds a small ensemble store for serve tests.
+func writeStore(t *testing.T) string {
+	t.Helper()
+	profiles, err := sim.MarblEnsemble([]sim.MarblCluster{sim.ClusterRZTopaz}, []int{1, 4}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := thicket.FromProfiles(profiles, thicket.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ensemble.tks")
+	if err := thicket.CreateStore(path, th); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeTraceOut drives serve with -trace-out on an already-cancelled
+// context: the store load runs under telemetry, the server drains
+// immediately, and shutdown must write both the Chrome trace and the
+// native self-profile — which the library then loads and queries like
+// any other input (the round trip the exporter exists for).
+func TestServeTraceOut(t *testing.T) {
+	prevEnabled := thicket.EnableTelemetry(false)
+	defer thicket.EnableTelemetry(prevEnabled)
+
+	cfg := testConfig(writeStore(t))
+	cfg.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	if err := serve(ctx, cfg, &sb); err != nil {
+		t.Fatalf("serve: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Errorf("serve output does not report trace export:\n%s", sb.String())
+	}
+
+	raw, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+	if !strings.Contains(string(raw), `"traceEvents":[{"name":`) ||
+		!strings.Contains(string(raw), `"store.Load"`) {
+		t.Errorf("chrome trace missing store.Load span:\n%.400s", raw)
+	}
+
+	profilePath := strings.TrimSuffix(cfg.traceOut, ".json") + ".profile.json"
+	p, err := thicket.LoadProfile(profilePath)
+	if err != nil {
+		t.Fatalf("self-profile not loadable: %v", err)
+	}
+	th, err := thicket.FromProfiles([]*thicket.Profile{p}, thicket.Options{})
+	if err != nil {
+		t.Fatalf("self-profile does not compose: %v", err)
+	}
+	out, err := th.QueryString(". name == store.Load / *")
+	if err != nil {
+		t.Fatalf("call-path query over self-profile: %v", err)
+	}
+	if out.Tree.Len() < 2 {
+		t.Errorf("query kept %d nodes; want store.Load plus its children", out.Tree.Len())
 	}
 }

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/dataframe"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // rowsByNodeOf groups a frame's row positions by the named index level,
@@ -101,6 +103,12 @@ func rowsByNodeSlow(n int, lv *dataframe.Series) map[string][]int {
 // Nodes fan out across a bounded worker pool; results are written to
 // fixed positions so the output is deterministic.
 func (t *Thicket) AggregateStats(metrics []dataframe.ColKey, aggs []string) error {
+	sp := telemetry.StartOp("core.AggregateStats")
+	if sp != nil {
+		sp.SetAttr("rows", strconv.Itoa(t.PerfData.NRows()))
+		sp.SetAttr("aggs", strconv.Itoa(len(aggs)))
+		defer sp.End()
+	}
 	if len(metrics) == 0 {
 		metrics = t.MetricColumns()
 	}
@@ -272,6 +280,12 @@ func (t *Thicket) MetricVector(node string, metric dataframe.ColKey) ([]float64,
 // (groupCols..., node) with one "<metric>_<agg>" column per pair — the
 // pandas groupby().agg() workflow over an ensemble.
 func (t *Thicket) GroupedStats(groupColumns []string, metrics []dataframe.ColKey, aggs []string) (*dataframe.Frame, error) {
+	sp := telemetry.StartOp("core.GroupedStats")
+	if sp != nil {
+		sp.SetAttr("rows", strconv.Itoa(t.PerfData.NRows()))
+		sp.SetAttr("by", strconv.Itoa(len(groupColumns)))
+		defer sp.End()
+	}
 	if len(groupColumns) == 0 {
 		return nil, fmt.Errorf("core: GroupedStats requires group columns")
 	}

@@ -4,9 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
+
+// itoa shortens the span-attribute rendering below.
+func itoa(n int) string { return strconv.Itoa(n) }
 
 // Row is a lightweight cursor over one frame row, passed to predicates.
 type Row struct {
@@ -157,6 +162,12 @@ func (f *Frame) materializeGroups(buckets [][]int, keys [][]Value, order []int) 
 // This implements the mechanism behind thicket.GroupBy (paper §4.1.2,
 // Figure 7).
 func (f *Frame) GroupBy(names ...string) ([]Group, error) {
+	sp := telemetry.StartOp("dataframe.GroupBy")
+	if sp != nil {
+		sp.SetAttr("rows", itoa(f.NRows()))
+		sp.SetAttr("keys", itoa(len(names)))
+		defer sp.End()
+	}
 	cols := make([]*Series, len(names))
 	for i, n := range names {
 		c, err := f.seriesByName(n)
@@ -180,6 +191,12 @@ func (f *Frame) GroupBy(names ...string) ([]Group, error) {
 // preserving first-appearance key order. Used for per-node order
 // reduction.
 func (f *Frame) GroupByIndexLevel(level string) ([]Group, error) {
+	sp := telemetry.StartOp("dataframe.GroupByIndexLevel")
+	if sp != nil {
+		sp.SetAttr("rows", itoa(f.NRows()))
+		sp.SetAttr("level", level)
+		defer sp.End()
+	}
 	lv := f.index.LevelByName(level)
 	if lv == nil {
 		return nil, fmt.Errorf("dataframe: no index level %q", level)
@@ -199,6 +216,11 @@ func (f *Frame) GroupByIndexLevel(level string) ([]Group, error) {
 func ConcatRows(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("dataframe: ConcatRows requires at least one frame")
+	}
+	sp := telemetry.StartOp("dataframe.ConcatRows")
+	if sp != nil {
+		sp.SetAttr("frames", itoa(len(frames)))
+		defer sp.End()
 	}
 	first := frames[0]
 	out := first.Copy()
@@ -285,6 +307,12 @@ func InnerJoinOnIndex(groups []string, frames []*Frame) (*Frame, error) {
 	}
 	if len(frames) < 2 {
 		return nil, fmt.Errorf("dataframe: InnerJoinOnIndex requires at least two frames")
+	}
+	sp := telemetry.StartOp("dataframe.InnerJoinOnIndex")
+	if sp != nil {
+		sp.SetAttr("frames", itoa(len(frames)))
+		sp.SetAttr("rows", itoa(frames[0].NRows()))
+		defer sp.End()
 	}
 	base := frames[0]
 	for i, f := range frames {
@@ -528,6 +556,13 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 	if agg == nil {
 		return nil, fmt.Errorf("dataframe: pivot requires an aggregator")
 	}
+	sp := telemetry.StartOp("dataframe.Pivot")
+	if sp != nil {
+		sp.SetAttr("rows", itoa(f.NRows()))
+		sp.SetAttr("row_key", rowName)
+		sp.SetAttr("col_key", colName)
+		defer sp.End()
+	}
 
 	// Unique row/column keys in first-appearance order, as dense ids.
 	rowC := encodeSeries(rowS)
@@ -618,6 +653,11 @@ func (f *Frame) Pivot(rowName, colName, valueName string, agg func([]float64) fl
 func ConcatRowsOuter(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("dataframe: ConcatRowsOuter requires at least one frame")
+	}
+	sp := telemetry.StartOp("dataframe.ConcatRowsOuter")
+	if sp != nil {
+		sp.SetAttr("frames", itoa(len(frames)))
+		defer sp.End()
 	}
 	first := frames[0]
 	for i, f := range frames[1:] {

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // EnvVar is the environment variable consulted for the default worker
@@ -98,11 +100,32 @@ func chunks(n, workers int) []Range {
 	return out
 }
 
+// Scheduling metrics: dispatches and chunks are counted unconditionally
+// (two atomic adds per dispatch call); per-worker spans only materialize
+// while telemetry is enabled.
+var (
+	mDispatches = telemetry.Default.Counter("thicket_parallel_dispatches_total",
+		"Parallel-engine fan-out invocations.")
+	mChunks = telemetry.Default.Counter("thicket_parallel_chunks_total",
+		"Work chunks scheduled across the parallel-engine worker pool.")
+)
+
 // dispatch fans fn(chunk) over the worker pool with dynamic (atomic
 // counter) scheduling and propagates the first panic to the caller.
+// With telemetry enabled, the fan-out is wrapped in a span whose
+// per-worker children demonstrate span trees crossing goroutine
+// boundaries: each worker opens a child on its own goroutine.
 func dispatch(nChunks, workers int, fn func(chunk int)) {
 	if workers > nChunks {
 		workers = nChunks
+	}
+	mDispatches.Inc()
+	mChunks.Add(int64(nChunks))
+	sp := telemetry.StartOp("parallel.dispatch")
+	if sp != nil {
+		sp.SetAttr("workers", strconv.Itoa(workers))
+		sp.SetAttr("chunks", strconv.Itoa(nChunks))
+		defer sp.End()
 	}
 	var (
 		next     atomic.Int64
@@ -114,6 +137,8 @@ func dispatch(nChunks, workers int, fn func(chunk int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			wsp := sp.StartChild("parallel.worker")
+			defer wsp.End()
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
@@ -123,12 +148,15 @@ func dispatch(nChunks, workers int, fn func(chunk int)) {
 					panicMu.Unlock()
 				}
 			}()
+			n := 0
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nChunks {
+					wsp.SetAttr("chunks", strconv.Itoa(n))
 					return
 				}
 				fn(c)
+				n++
 			}
 		}()
 	}

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestDispatchSpansCrossWorkers verifies the production demonstration of
+// spans crossing goroutine boundaries: a dispatch opens a root span on
+// the calling goroutine and every pool worker opens a child on its own.
+func TestDispatchSpansCrossWorkers(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	col := &telemetry.Collector{}
+	prevCol := telemetry.SetCollector(col)
+	defer telemetry.SetCollector(prevCol)
+	prevW := Set(4)
+	defer Set(prevW)
+
+	var sum atomic.Int64
+	For(1000, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 1000*999/2 {
+		t.Fatalf("For result %d wrong", sum.Load())
+	}
+
+	var tree *telemetry.TraceNode
+	for _, r := range col.Roots() {
+		if r.Name == "parallel.dispatch" {
+			tree = r
+		}
+	}
+	if tree == nil {
+		t.Fatal("no parallel.dispatch span collected")
+	}
+	if len(tree.Children) == 0 || len(tree.Children) > 4 {
+		t.Fatalf("dispatch has %d worker children, want 1..4", len(tree.Children))
+	}
+	for _, w := range tree.Children {
+		if w.Name != "parallel.worker" {
+			t.Errorf("child span %q, want parallel.worker", w.Name)
+		}
+		if w.StartNS < tree.StartNS || w.EndNS > tree.EndNS {
+			t.Errorf("worker span [%d,%d] outside dispatch [%d,%d]",
+				w.StartNS, w.EndNS, tree.StartNS, tree.EndNS)
+		}
+	}
+}
+
+// TestDispatchCountsChunks verifies the always-on scheduling counters.
+func TestDispatchCountsChunks(t *testing.T) {
+	prevW := Set(4)
+	defer Set(prevW)
+	d0 := telemetry.Default.Counter("thicket_parallel_dispatches_total", "").Value()
+	For(1000, func(i int) {})
+	if d1 := telemetry.Default.Counter("thicket_parallel_dispatches_total", "").Value(); d1 != d0+1 {
+		t.Errorf("dispatch counter moved %d, want 1", d1-d0)
+	}
+}

@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/calltree"
+	"repro/internal/dataframe"
+	"repro/internal/telemetry"
+)
+
+// Telemetry metric names emitted by FromTraceNodes.
+const (
+	TraceMetricTotalNS = "time_total_ns" // summed span duration
+	TraceMetricAvgNS   = "time_avg_ns"   // mean span duration
+	TraceMetricCalls   = "calls"         // span count at the path
+)
+
+// FromTraceNodes converts collected telemetry span trees into a native
+// thicket profile: the call tree is the span tree (paths are span names
+// root-down), and each node carries the summed and mean durations plus
+// the call count of every span that landed on that path. This is the
+// dogfooding exporter — the profile loads through the ordinary reader,
+// composes into a Thicket, and answers the same aggregation and
+// call-path queries as any Caliper-style input.
+//
+// meta is recorded as profile metadata (run context such as the binary
+// name or flags); a "source" key defaults to "thicket-telemetry".
+//
+// '/' is the call-path separator and is rejected in region names by
+// core validation, so span names containing it (HTTP endpoint spans
+// like "http /api/stats") are exported with '/' rewritten to ':'.
+func FromTraceNodes(trees []*telemetry.TraceNode, meta map[string]dataframe.Value) (*Profile, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("profile: no telemetry trees to export")
+	}
+	type acc struct {
+		path  []string
+		total int64
+		calls int64
+	}
+	var order []*acc
+	byPath := map[string]*acc{}
+	var walk func(n *telemetry.TraceNode, prefix []string)
+	walk = func(n *telemetry.TraceNode, prefix []string) {
+		path := append(append([]string(nil), prefix...), strings.ReplaceAll(n.Name, "/", ":"))
+		key := calltree.EncodePath(path)
+		a, ok := byPath[key]
+		if !ok {
+			a = &acc{path: path}
+			byPath[key] = a
+			order = append(order, a)
+		}
+		a.total += n.DurNS()
+		a.calls++
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	for _, t := range trees {
+		walk(t, nil)
+	}
+
+	p := New()
+	p.SetMeta("source", dataframe.Str("thicket-telemetry"))
+	metaKeys := make([]string, 0, len(meta))
+	for k := range meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		p.SetMeta(k, meta[k])
+	}
+	for _, a := range order {
+		if err := p.AddSample(a.path, map[string]dataframe.Value{
+			TraceMetricTotalNS: dataframe.Float64(float64(a.total)),
+			TraceMetricAvgNS:   dataframe.Float64(float64(a.total) / float64(a.calls)),
+			TraceMetricCalls:   dataframe.Int64(a.calls),
+		}); err != nil {
+			return nil, fmt.Errorf("profile: telemetry export: %w", err)
+		}
+	}
+	return p, nil
+}

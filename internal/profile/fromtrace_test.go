@@ -1,0 +1,84 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataframe"
+	"repro/internal/telemetry"
+)
+
+func TestFromTraceNodesAggregates(t *testing.T) {
+	trees := []*telemetry.TraceNode{
+		{
+			Name: "store.Load", StartNS: 0, EndNS: 1000,
+			Children: []*telemetry.TraceNode{
+				{Name: "store.readSegment", StartNS: 100, EndNS: 400},
+				{Name: "store.readSegment", StartNS: 400, EndNS: 900},
+			},
+		},
+	}
+	p, err := FromTraceNodes(trees, map[string]dataframe.Value{"binary": dataframe.Str("test")})
+	if err != nil {
+		t.Fatalf("FromTraceNodes: %v", err)
+	}
+	nodes := p.Tree().Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("got %d call-tree nodes, want 2", len(nodes))
+	}
+	var segKey string
+	for _, n := range nodes {
+		if n.Name() == "store.readSegment" {
+			segKey = n.Key()
+		}
+	}
+	if segKey == "" {
+		t.Fatal("no store.readSegment node")
+	}
+	if got, ok := p.Metric(segKey, TraceMetricCalls); !ok || got != dataframe.Int64(2) {
+		t.Errorf("calls = %v, want 2", got)
+	}
+	if got, ok := p.Metric(segKey, TraceMetricTotalNS); !ok || got != dataframe.Float64(800) {
+		t.Errorf("total ns = %v, want 800", got)
+	}
+	if got, ok := p.Meta("source"); !ok || got != dataframe.Str("thicket-telemetry") {
+		t.Errorf("source meta = %v, want thicket-telemetry", got)
+	}
+}
+
+// HTTP endpoint spans are named after their path ("http /api/stats");
+// '/' is the call-path separator and is rejected by core validation, so
+// the exporter must rewrite it or thicketd's own trace profile would
+// refuse to load back through the CLI.
+func TestFromTraceNodesSanitizesSlashes(t *testing.T) {
+	trees := []*telemetry.TraceNode{
+		{Name: "http /api/stats", StartNS: 0, EndNS: 500,
+			Children: []*telemetry.TraceNode{{Name: "query.Run", StartNS: 10, EndNS: 90}}},
+	}
+	p, err := FromTraceNodes(trees, nil)
+	if err != nil {
+		t.Fatalf("FromTraceNodes: %v", err)
+	}
+	var names []string
+	for _, n := range p.Tree().Nodes() {
+		if strings.Contains(n.Name(), "/") {
+			t.Errorf("region name %q contains '/'", n.Name())
+		}
+		names = append(names, n.Name())
+	}
+	found := false
+	for _, n := range names {
+		if n == "http :api:stats" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sanitized root missing, got nodes %v", names)
+	}
+}
+
+func TestFromTraceNodesEmpty(t *testing.T) {
+	if _, err := FromTraceNodes(nil, nil); err == nil {
+		t.Fatal("want error on empty forest")
+	}
+}

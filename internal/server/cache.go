@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultCacheBytes bounds the rendered-response cache of a server built
@@ -30,9 +29,6 @@ type respCache struct {
 	order  *list.List // front = most recent; values are *respEntry
 	items  map[string]*list.Element
 	flight map[string]*flightCall
-
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 type respEntry struct {
@@ -70,7 +66,9 @@ func (c *respCache) generation() int64 {
 	return c.gen
 }
 
-// get returns the cached body for key, counting a hit or miss.
+// get returns the cached body for key. Hit/miss counting lives with the
+// caller (the per-endpoint registry counters) — the cache itself holds
+// no statistics beyond occupancy.
 func (c *respCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -143,11 +141,11 @@ func (c *respCache) leave(key string, fc *flightCall) {
 	close(fc.done)
 }
 
-// stats reports (hits, misses, resident bytes, entries).
-func (c *respCache) stats() (hits, misses, bytes int64, entries int) {
+// stats reports (resident bytes, entries).
+func (c *respCache) stats() (bytes int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits.Load(), c.misses.Load(), c.used, len(c.items)
+	return c.used, len(c.items)
 }
 
 // canonicalKey renders a request as a cache key: the endpoint path plus
@@ -172,12 +170,4 @@ func canonicalKey(endpoint string, q url.Values) string {
 		}
 	}
 	return b.String()
-}
-
-// endpointStats accumulates per-endpoint request metrics for /healthz.
-type endpointStats struct {
-	requests    atomic.Int64
-	totalMicros atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -35,7 +36,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
+
+// DefaultSlowQuery is the slow-request log threshold of a server built
+// with default options.
+const DefaultSlowQuery = time.Second
 
 // Options configures the service's operational envelope.
 type Options struct {
@@ -49,6 +55,31 @@ type Options struct {
 	// CacheBytes bounds the rendered-response cache; 0 selects
 	// DefaultCacheBytes, negative disables response caching.
 	CacheBytes int64
+	// Registry receives the server's metrics (request counters,
+	// latency histograms, cache and reload counters) and backs the
+	// /metrics endpoint. nil selects a fresh private registry, keeping
+	// separate Server instances isolated; pass telemetry.Default to
+	// merge with process-wide kernel/store/span metrics (thicketd
+	// does).
+	Registry *telemetry.Registry
+	// SlowQuery is the slow-request log threshold: any request slower
+	// than this is logged with its endpoint, query, and latency.
+	// 0 selects DefaultSlowQuery, negative disables the log.
+	SlowQuery time.Duration
+	// Logger receives slow-request lines; nil selects log.Default().
+	Logger *log.Logger
+}
+
+// endpointMetrics bundles one endpoint's registry handles. All latency
+// accounting goes through the histogram, whose snapshot is internally
+// consistent — /healthz mean latency can no longer tear between a
+// request-count read and a total-time read under concurrent traffic.
+type endpointMetrics struct {
+	requests    *telemetry.Counter
+	latency     *telemetry.Histogram
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	slow        *telemetry.Counter
 }
 
 // Server answers EDA queries over one resident thicket.
@@ -57,16 +88,19 @@ type Server struct {
 	st   *store.Store // optional; enriches /api/info, drives reloads
 	opts Options
 
-	sem      chan struct{}
-	requests atomic.Int64
-	inFlight atomic.Int64
+	sem chan struct{}
 
-	cache      *respCache
-	gen        atomic.Int64 // store generation the resident thicket reflects
-	reloadMu   sync.Mutex   // serializes thicket reloads
-	reloads    atomic.Int64
-	reloadErrs atomic.Int64
-	eps        map[string]*endpointStats
+	reg        *telemetry.Registry
+	requests   *telemetry.Counter
+	inFlight   *telemetry.Gauge
+	reloads    *telemetry.Counter
+	reloadErrs *telemetry.Counter
+	genGauge   *telemetry.Gauge
+
+	cache    *respCache
+	gen      atomic.Int64 // store generation the resident thicket reflects
+	reloadMu sync.Mutex   // serializes thicket reloads
+	eps      map[string]*endpointMetrics
 }
 
 // warm pre-builds a thicket's lazy index lookups so concurrent read-only
@@ -92,26 +126,52 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = DefaultCacheBytes
 	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.SlowQuery == 0 {
+		opts.SlowQuery = DefaultSlowQuery
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
 	warm(th)
+	reg := opts.Registry
 	s := &Server{
 		st:    st,
 		opts:  opts,
 		sem:   make(chan struct{}, opts.MaxConcurrent),
+		reg:   reg,
 		cache: newRespCache(opts.CacheBytes),
-		eps:   make(map[string]*endpointStats),
+		eps:   make(map[string]*endpointMetrics),
 	}
+	s.requests = reg.Counter("thicket_http_requests_total", "HTTP requests accepted (all paths).")
+	s.inFlight = reg.Gauge("thicket_http_in_flight", "HTTP requests currently executing or queued.")
+	s.reloads = reg.Counter("thicket_reloads_total", "Successful thicket reloads after a store generation change.")
+	s.reloadErrs = reg.Counter("thicket_reload_errors_total", "Failed thicket reload attempts.")
+	s.genGauge = reg.Gauge("thicket_resident_generation", "Store generation the resident thicket reflects.")
 	s.th.Store(th)
 	if st != nil {
 		s.gen.Store(st.Generation())
+		s.genGauge.Set(st.Generation())
 	}
 	for _, path := range []string{
-		"/healthz", "/api/info", "/api/profiles", "/api/stats",
+		"/healthz", "/metrics", "/api/info", "/api/profiles", "/api/stats",
 		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
 	} {
-		s.eps[path] = &endpointStats{}
+		s.eps[path] = &endpointMetrics{
+			requests:    reg.Counter("thicket_http_endpoint_requests_total", "HTTP requests by endpoint.", "endpoint", path),
+			latency:     reg.Histogram("thicket_http_request_seconds", "HTTP request latency by endpoint.", "endpoint", path),
+			cacheHits:   reg.Counter("thicket_response_cache_hits_total", "Response-cache hits by endpoint.", "endpoint", path),
+			cacheMisses: reg.Counter("thicket_response_cache_misses_total", "Response-cache misses by endpoint.", "endpoint", path),
+			slow:        reg.Counter("thicket_http_slow_requests_total", "Requests slower than the slow-query threshold.", "endpoint", path),
+		}
 	}
 	return s
 }
+
+// Registry returns the registry holding the server's metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // thicket returns the resident thicket snapshot.
 func (s *Server) thicket() *core.Thicket { return s.th.Load() }
@@ -135,20 +195,22 @@ func (s *Server) maybeReload() {
 	}
 	th, err := s.st.Load()
 	if err != nil {
-		s.reloadErrs.Add(1)
+		s.reloadErrs.Inc()
 		return
 	}
 	warm(th)
 	s.th.Store(th)
 	s.cache.flush(gen)
 	s.gen.Store(gen)
-	s.reloads.Add(1)
+	s.genGauge.Set(gen)
+	s.reloads.Inc()
 }
 
 // Handler returns the full middleware-wrapped HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/api/info", s.route("/api/info", false, s.infoResponse))
 	mux.HandleFunc("/api/profiles", s.route("/api/profiles", false, s.profilesResponse))
 	mux.HandleFunc("/api/stats", s.route("/api/stats", true, s.statsResponse))
@@ -163,14 +225,28 @@ func (s *Server) Handler() http.Handler {
 	return h
 }
 
-// instrument records per-endpoint request count and latency.
+// instrument wraps a handler with per-endpoint accounting: a request
+// counter, a latency histogram, the slow-request log, and — when
+// telemetry is enabled — a span covering the whole request, propagated
+// through the request context so downstream work can nest under it.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.eps[path]
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := telemetry.StartSpan(r.Context(), "http "+path)
+		if sp != nil {
+			r = r.WithContext(ctx)
+		}
 		start := time.Now()
 		defer func() {
-			ep.requests.Add(1)
-			ep.totalMicros.Add(time.Since(start).Microseconds())
+			elapsed := time.Since(start)
+			sp.End()
+			ep.requests.Inc()
+			ep.latency.Observe(elapsed.Seconds())
+			if s.opts.SlowQuery > 0 && elapsed > s.opts.SlowQuery {
+				ep.slow.Inc()
+				s.opts.Logger.Printf("thicketd: slow request: %s %s (%s > %s)",
+					r.Method, r.URL.RequestURI(), elapsed.Round(time.Microsecond), s.opts.SlowQuery)
+			}
 		}()
 		h(w, r)
 	}
@@ -184,15 +260,19 @@ func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, 
 	return s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 		s.maybeReload()
 		if !cacheable || !s.cache.enabled() {
+			if cacheable {
+				telemetry.FromContext(r.Context()).SetAttr("cache", "uncached")
+			}
 			status, v := h(r)
 			writeJSON(w, status, v)
 			return
 		}
 		ep := s.eps[path]
+		sp := telemetry.FromContext(r.Context())
 		key := canonicalKey(path, r.URL.Query())
 		if body, ok := s.cache.get(key); ok {
-			ep.cacheHits.Add(1)
-			s.cache.hits.Add(1)
+			ep.cacheHits.Inc()
+			sp.SetAttr("cache", "hit")
 			writeBody(w, http.StatusOK, body)
 			return
 		}
@@ -201,13 +281,13 @@ func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, 
 			// Another request is computing this exact response; wait and
 			// reuse its bytes (statuses are deterministic per key).
 			<-fc.done
-			ep.cacheHits.Add(1)
-			s.cache.hits.Add(1)
+			ep.cacheHits.Inc()
+			sp.SetAttr("cache", "wait")
 			writeBody(w, fc.status, fc.body)
 			return
 		}
-		ep.cacheMisses.Add(1)
-		s.cache.misses.Add(1)
+		ep.cacheMisses.Inc()
+		sp.SetAttr("cache", "miss")
 		gen := s.cache.generation()
 		status, v := h(r)
 		body, err := renderJSON(v)
@@ -247,18 +327,19 @@ func (s *Server) Serve(ctx context.Context, addr string) error {
 }
 
 // Requests reports the total number of requests accepted so far.
-func (s *Server) Requests() int64 { return s.requests.Load() }
+func (s *Server) Requests() int64 { return s.requests.Value() }
 
-// CacheStats reports response-cache counters (hits, misses).
+// CacheStats reports response-cache counters (hits, misses), summed
+// across endpoints from the registry — the single counting site.
 func (s *Server) CacheStats() (hits, misses int64) {
-	h, m, _, _ := s.cache.stats()
-	return h, m
+	return s.reg.SumCounter("thicket_response_cache_hits_total"),
+		s.reg.SumCounter("thicket_response_cache_misses_total")
 }
 
 // count is the outermost middleware: total and in-flight counters.
 func (s *Server) count(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
+		s.requests.Inc()
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
 		h.ServeHTTP(w, r)
@@ -354,24 +435,28 @@ func frameRows(f *dataframe.Frame) []map[string]any {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	th := s.thicket()
-	hits, misses, bytes, entries := s.cache.stats()
+	hits, misses := s.CacheStats()
+	bytes, entries := s.cache.stats()
 	endpoints := map[string]any{}
 	for path, ep := range s.eps {
-		n := ep.requests.Load()
+		// One consistent histogram snapshot yields both the request
+		// count and the latency sum — the mean can no longer tear
+		// between a count read and a sum read under concurrent traffic.
+		n, sum := ep.latency.Snapshot()
 		if n == 0 {
 			continue
 		}
 		endpoints[path] = map[string]any{
 			"requests":       n,
-			"cache_hits":     ep.cacheHits.Load(),
-			"cache_misses":   ep.cacheMisses.Load(),
-			"avg_latency_us": ep.totalMicros.Load() / n,
+			"cache_hits":     ep.cacheHits.Value(),
+			"cache_misses":   ep.cacheMisses.Value(),
+			"avg_latency_us": int64(sum * 1e6 / float64(n)),
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"requests":  s.requests.Load(),
-		"in_flight": s.inFlight.Load(),
+		"requests":  s.requests.Value(),
+		"in_flight": s.inFlight.Value(),
 		"profiles":  th.NumProfiles(),
 		"nodes":     th.Tree.Len(),
 		"cache": map[string]any{
@@ -381,10 +466,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"entries":    entries,
 			"generation": s.gen.Load(),
 		},
-		"reloads":     s.reloads.Load(),
-		"reload_errs": s.reloadErrs.Load(),
+		"reloads":     s.reloads.Value(),
+		"reload_errs": s.reloadErrs.Value(),
 		"endpoints":   endpoints,
+		"telemetry": map[string]any{
+			"spans_enabled": telemetry.Enabled(),
+			"slow_requests": s.reg.SumCounter("thicket_http_slow_requests_total"),
+		},
 	})
+}
+
+// handleMetrics renders the server's registry in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 func (s *Server) infoResponse(r *http.Request) (int, any) {

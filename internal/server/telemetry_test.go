@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// TestMetricsEndpoint drives a few requests and checks /metrics renders
+// the registry in Prometheus text format with the expected families.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := server.New(buildThicket(t), nil, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, p := range []string{"/api/info", "/api/stats?aggs=mean", "/api/stats?aggs=mean"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE thicket_http_requests_total counter",
+		"thicket_http_requests_total 4",
+		"# TYPE thicket_http_request_seconds histogram",
+		`thicket_http_endpoint_requests_total{endpoint="/api/stats"} 2`,
+		`thicket_response_cache_hits_total{endpoint="/api/stats"} 1`,
+		`thicket_response_cache_misses_total{endpoint="/api/stats"} 1`,
+		"# TYPE thicket_http_in_flight gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestRegistryIsolation verifies two servers with default options do not
+// share metric series (fresh private registries), while an explicit
+// shared registry merges.
+func TestRegistryIsolation(t *testing.T) {
+	th := buildThicket(t)
+	a := server.New(th, nil, server.Options{})
+	b := server.New(th, nil, server.Options{})
+	if a.Registry() == b.Registry() {
+		t.Error("default-option servers share a registry")
+	}
+	reg := telemetry.NewRegistry()
+	c := server.New(th, nil, server.Options{Registry: reg})
+	if c.Registry() != reg {
+		t.Error("explicit registry not adopted")
+	}
+}
+
+// TestSlowQueryLog checks that requests beyond the threshold are logged
+// and counted, and that a negative threshold disables the log.
+func TestSlowQueryLog(t *testing.T) {
+	var sb strings.Builder
+	srv := server.New(buildThicket(t), nil, server.Options{
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logger:    log.New(&sb, "", 0),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(sb.String(), "slow request: GET /api/info") {
+		t.Errorf("slow-query log missing entry:\n%s", sb.String())
+	}
+	if got := srv.Registry().SumCounter("thicket_http_slow_requests_total"); got != 1 {
+		t.Errorf("slow request counter = %d, want 1", got)
+	}
+
+	// Negative threshold: disabled.
+	sb.Reset()
+	srv2 := server.New(buildThicket(t), nil, server.Options{
+		SlowQuery: -1,
+		Logger:    log.New(&sb, "", 0),
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/api/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if sb.Len() != 0 {
+		t.Errorf("disabled slow-query log wrote:\n%s", sb.String())
+	}
+}
+
+// TestRequestSpans enables telemetry and checks a request produces a
+// span tree rooted at the endpoint with the cache branch annotated.
+func TestRequestSpans(t *testing.T) {
+	prev := telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(prev)
+	col := &telemetry.Collector{}
+	prevCol := telemetry.SetCollector(col)
+	defer telemetry.SetCollector(prevCol)
+
+	srv := server.New(buildThicket(t), nil, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ { // miss then hit
+		resp, err := http.Get(ts.URL + "/api/stats?aggs=mean")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var branches []string
+	for _, tree := range col.Roots() {
+		if tree.Name != "http /api/stats" {
+			continue
+		}
+		for _, a := range tree.Attrs {
+			if a.Key == "cache" {
+				branches = append(branches, a.Value)
+			}
+		}
+	}
+	if len(branches) != 2 || branches[0] != "miss" || branches[1] != "hit" {
+		t.Errorf("cache branches = %v, want [miss hit]", branches)
+	}
+}

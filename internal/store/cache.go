@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/dataframe"
+	"repro/internal/telemetry"
 )
 
 // DefaultCacheBytes bounds the decoded-column cache of a Store opened
@@ -22,11 +23,13 @@ type columnCache struct {
 	mu    sync.Mutex
 	max   int64
 	used  int64
-	order *list.List               // front = most recent; values are *cacheEntry
+	order *list.List // front = most recent; values are *cacheEntry
 	items map[cacheKey]*list.Element
 
-	hits   int64
-	misses int64
+	// Hit/miss counters live in the telemetry registry (the single
+	// counting site, labeled by store path); Info() reads them back.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 type cacheKey struct {
@@ -41,11 +44,15 @@ type cacheEntry struct {
 	bytes int64
 }
 
-func newColumnCache(maxBytes int64) *columnCache {
+func newColumnCache(maxBytes int64, path string) *columnCache {
 	return &columnCache{
 		max:   maxBytes,
 		order: list.New(),
 		items: make(map[cacheKey]*list.Element),
+		hits: telemetry.Default.Counter("thicket_store_cache_hits_total",
+			"Decoded-column cache hits.", "store", path),
+		misses: telemetry.Default.Counter("thicket_store_cache_misses_total",
+			"Decoded-column cache misses.", "store", path),
 	}
 }
 
@@ -80,10 +87,10 @@ func (c *columnCache) get(k cacheKey) *dataframe.Series {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil
 	}
-	c.hits++
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).s.Copy()
 }
@@ -124,5 +131,5 @@ func (c *columnCache) put(k cacheKey, s *dataframe.Series) {
 func (c *columnCache) stats() (hits, misses, bytes int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.used, len(c.items)
+	return c.hits.Value(), c.misses.Value(), c.used, len(c.items)
 }

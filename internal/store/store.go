@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataframe"
 	"repro/internal/parallel"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // segPreludeLen is the fixed byte length of a segment prelude:
@@ -41,6 +42,8 @@ type Store struct {
 	segs  []segment
 	gen   int64 // bumped on every append; see Generation
 	cache *columnCache
+
+	genGauge *telemetry.Gauge // mirrors gen into the registry
 }
 
 // Options configures Open.
@@ -95,7 +98,13 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 	if cacheBytes == 0 {
 		cacheBytes = DefaultCacheBytes
 	}
-	s := &Store{path: path, f: f, readOnly: readOnly, cache: newColumnCache(cacheBytes)}
+	s := &Store{
+		path: path, f: f, readOnly: readOnly,
+		cache: newColumnCache(cacheBytes, path),
+		genGauge: telemetry.Default.Gauge("thicket_store_generation",
+			"Store content generation (bumps on every append).", "store", path),
+	}
+	s.genGauge.Set(0)
 	if err := s.scan(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
@@ -250,12 +259,22 @@ func encodeSegment(th *core.Thicket) ([]byte, error) {
 }
 
 // readBlock fetches and decodes one column block, consulting the LRU
-// cache first. name and kind come from the segment header.
-func (s *Store) readBlock(segIdx int, seg segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+// cache first. name and kind come from the segment header. parent is
+// the enclosing loadFrame span (nil-safe); readBlock runs on parallel
+// worker goroutines, so its spans cross goroutine boundaries.
+func (s *Store) readBlock(parent *telemetry.Span, segIdx int, seg segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+	sp := parent.StartChild("store.readBlock")
+	if sp != nil {
+		sp.SetAttr("frame", frame)
+		sp.SetAttr("column", name)
+		defer sp.End()
+	}
 	key := cacheKey{segment: segIdx, frame: frame, block: blockIdx}
 	if cached := s.cache.get(key); cached != nil {
+		sp.SetAttr("cache", "hit")
 		return cached, nil
 	}
+	sp.SetAttr("cache", "miss")
 	kind, err := parseKindName(cm.Kind)
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: segment %d frame %s block %v: %w", s.path, segIdx, frame, cm.Key, err)
@@ -296,7 +315,13 @@ func parseKindName(s string) (dataframe.Kind, error) {
 // Block decoding fans out across the parallel engine — blocks are
 // independent units written to fixed slots, so the result is identical
 // at any worker count.
-func (s *Store) loadFrame(segIdx int, seg segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
+func (s *Store) loadFrame(parent *telemetry.Span, segIdx int, seg segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
+	sp := parent.StartChild("store.loadFrame")
+	if sp != nil {
+		sp.SetAttr("frame", name)
+		sp.SetAttr("segment", fmt.Sprint(segIdx))
+		defer sp.End()
+	}
 	fm := seg.header.frame(name)
 	if fm == nil {
 		return nil, fmt.Errorf("store: %s: segment %d has no frame %q", s.path, segIdx, name)
@@ -321,7 +346,7 @@ func (s *Store) loadFrame(segIdx int, seg segment, name string, keep func(datafr
 	}
 	decoded := make([]*dataframe.Series, len(jobs))
 	if err := parallel.ForErr(len(jobs), func(i int) error {
-		series, err := s.readBlock(segIdx, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
+		series, err := s.readBlock(sp, segIdx, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
 		if err != nil {
 			return err
 		}
@@ -341,24 +366,29 @@ func (s *Store) loadFrame(segIdx int, seg segment, name string, keep func(datafr
 // loadSegment materializes one segment as a thicket. keepPerf projects
 // the performance-data columns; withStats controls whether the stored
 // stats frame is decoded (a projection gets the empty stats table).
-func (s *Store) loadSegment(segIdx int, seg segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
+func (s *Store) loadSegment(parent *telemetry.Span, segIdx int, seg segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
+	sp := parent.StartChild("store.loadSegment")
+	if sp != nil {
+		sp.SetAttr("segment", fmt.Sprint(segIdx))
+		defer sp.End()
+	}
 	tree := calltree.New()
 	for i, p := range seg.header.TreePaths {
 		if _, err := tree.AddPath(p); err != nil {
 			return nil, fmt.Errorf("store: %s: segment %d tree path %d: %w", s.path, segIdx, i, err)
 		}
 	}
-	perf, err := s.loadFrame(segIdx, seg, framePerf, keepPerf)
+	perf, err := s.loadFrame(sp, segIdx, seg, framePerf, keepPerf)
 	if err != nil {
 		return nil, err
 	}
-	meta, err := s.loadFrame(segIdx, seg, frameMeta_, nil)
+	meta, err := s.loadFrame(sp, segIdx, seg, frameMeta_, nil)
 	if err != nil {
 		return nil, err
 	}
 	var stats *dataframe.Frame
 	if withStats {
-		stats, err = s.loadFrame(segIdx, seg, frameStats, nil)
+		stats, err = s.loadFrame(sp, segIdx, seg, frameStats, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -406,11 +436,17 @@ func (s *Store) LoadProjection(keys []dataframe.ColKey) (*core.Thicket, error) {
 }
 
 func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error) {
+	sp := telemetry.StartOp("store.Load")
+	defer sp.End()
 	segs := s.snapshot()
+	if sp != nil {
+		sp.SetAttr("path", s.path)
+		sp.SetAttr("segments", fmt.Sprint(len(segs)))
+	}
 	withStats := len(segs) == 1 && keepPerf == nil
 	thickets := make([]*core.Thicket, len(segs))
 	for i, seg := range segs {
-		th, err := s.loadSegment(i, seg, keepPerf, withStats)
+		th, err := s.loadSegment(sp, i, seg, keepPerf, withStats)
 		if err != nil {
 			return nil, err
 		}
@@ -430,10 +466,12 @@ func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error
 // segments) without touching performance data — the fast path for
 // profile listing and filtering.
 func (s *Store) Metadata() (*dataframe.Frame, error) {
+	sp := telemetry.StartOp("store.Metadata")
+	defer sp.End()
 	segs := s.snapshot()
 	frames := make([]*dataframe.Frame, len(segs))
 	for i, seg := range segs {
-		f, err := s.loadFrame(i, seg, frameMeta_, nil)
+		f, err := s.loadFrame(sp, i, seg, frameMeta_, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -454,6 +492,12 @@ func (s *Store) Metadata() (*dataframe.Frame, error) {
 // level, must not reuse existing profile-index values, and its column
 // kinds must agree with stored columns of the same key.
 func (s *Store) Append(th *core.Thicket) error {
+	sp := telemetry.StartOp("store.Append")
+	if sp != nil {
+		sp.SetAttr("path", s.path)
+		sp.SetAttr("profiles", fmt.Sprint(th.NumProfiles()))
+		defer sp.End()
+	}
 	if s.readOnly {
 		return fmt.Errorf("store: %s: opened read-only", s.path)
 	}
@@ -522,6 +566,7 @@ func (s *Store) Append(th *core.Thicket) error {
 		dataLen: int64(dataLen),
 	})
 	s.gen++
+	s.genGauge.Set(s.gen)
 	return nil
 }
 

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the per-operation cost instrumented
+// code pays while telemetry is off: one atomic load in StartOp plus
+// nil-receiver no-ops. This is the cost added to every kernel call and
+// must stay in the low-nanosecond range (the ≤2% budget on microsecond
+// kernels; see EXPERIMENTS.md).
+func BenchmarkSpanDisabled(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	// op mirrors the kernel instrumentation pattern (guard + deferred End
+	// inside the instrumented function).
+	op := func(i int) {
+		sp := StartOp("bench.op")
+		if sp != nil {
+			sp.SetAttr("rows", strconv.Itoa(i))
+			defer sp.End()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(i)
+	}
+}
+
+// BenchmarkSpanEnabled measures live span collection without a collector
+// installed (pooled spans, histogram record, no retention).
+func BenchmarkSpanEnabled(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	prevCol := SetCollector(nil)
+	defer SetCollector(prevCol)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := StartOp("bench.op")
+		if sp != nil {
+			sp.SetAttr("rows", "1000")
+			sp.End()
+		}
+	}
+}
+
+// BenchmarkSpanEnabledTree measures a root with four children, the shape
+// a parallel dispatch produces.
+func BenchmarkSpanEnabledTree(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	prevCol := SetCollector(nil)
+	defer SetCollector(prevCol)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := StartOp("bench.op")
+		for w := 0; w < 4; w++ {
+			sp.StartChild("bench.worker").End()
+		}
+		sp.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0001)
+	}
+}

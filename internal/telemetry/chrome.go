@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChromeTrace renders trees as Chrome trace_event JSON ("X"
+// complete events), loadable by chrome://tracing and Perfetto.
+//
+// Output is deterministic for a given input: events are emitted in
+// (ts, depth-first) order with a fixed field order per event, and every
+// timestamp is monotonic (nanoseconds since process start, rendered as
+// fractional microseconds). Children that overlap in time — spans from
+// parallel workers — are placed on separate tid lanes of their tree's
+// pid so the viewer shows true concurrency instead of garbled nesting.
+func WriteChromeTrace(w io.Writer, trees []*TraceNode) error {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	for ti, root := range trees {
+		events := flatten(root)
+		assignLanes(events)
+		for _, ev := range events {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			writeEvent(&b, ti+1, ev)
+		}
+	}
+	b.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// traceEvent is one flattened span with its assigned viewer lane.
+type traceEvent struct {
+	node  *TraceNode
+	depth int
+	lane  int
+}
+
+// flatten lists a tree depth-first, then stable-sorts by start time so
+// the emitted stream is monotonic.
+func flatten(root *TraceNode) []*traceEvent {
+	var out []*traceEvent
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		out = append(out, &traceEvent{node: n, depth: depth})
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].node.StartNS < out[b].node.StartNS })
+	return out
+}
+
+// assignLanes greedily packs events onto tid lanes: an event reuses the
+// first lane whose last event has already finished, so sequential spans
+// share a lane while overlapping (parallel-worker) spans spread out.
+func assignLanes(events []*traceEvent) {
+	var laneEnd []int64
+	for _, ev := range events {
+		placed := false
+		for l, end := range laneEnd {
+			if ev.node.StartNS >= end {
+				ev.lane = l
+				laneEnd[l] = ev.node.EndNS
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ev.lane = len(laneEnd)
+			laneEnd = append(laneEnd, ev.node.EndNS)
+		}
+	}
+}
+
+// micros renders nanoseconds as fractional microseconds with fixed
+// precision (stable across runs for equal inputs).
+func micros(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+// writeEvent emits one complete event with a fixed field order.
+func writeEvent(b *strings.Builder, pid int, ev *traceEvent) {
+	n := ev.node
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(n.Name))
+	b.WriteString(`,"cat":"thicket","ph":"X","ts":`)
+	b.WriteString(micros(n.StartNS))
+	b.WriteString(`,"dur":`)
+	b.WriteString(micros(n.EndNS - n.StartNS))
+	fmt.Fprintf(b, `,"pid":%d,"tid":%d`, pid, ev.lane+1)
+	if len(n.Attrs) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range n.Attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(a.Key))
+			b.WriteByte(':')
+			b.WriteString(strconv.Quote(a.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+}

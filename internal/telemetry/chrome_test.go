@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// testTrees builds a deterministic two-tree forest: a sequential chain
+// and a dispatch whose workers overlap in time (forcing separate lanes).
+func testTrees() []*TraceNode {
+	return []*TraceNode{
+		{
+			Name: "store.Load", StartNS: 1000, EndNS: 9000,
+			Attrs: []Attr{{"segments", "2"}},
+			Children: []*TraceNode{
+				{Name: "store.loadSegment", StartNS: 1500, EndNS: 4000},
+				{Name: "store.loadSegment", StartNS: 4100, EndNS: 8000},
+			},
+		},
+		{
+			Name: "parallel.dispatch", StartNS: 10000, EndNS: 20000,
+			Children: []*TraceNode{
+				{Name: "parallel.worker", StartNS: 10100, EndNS: 19000},
+				{Name: "parallel.worker", StartNS: 10200, EndNS: 18000},
+				{Name: "parallel.worker", StartNS: 19100, EndNS: 19900},
+			},
+		},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, testTrees()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", sb.String())
+}
+
+// chromeEvent mirrors the subset of trace_event fields the tests check.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+func decodeTrace(t *testing.T, raw string) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, testTrees()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, sb.String())
+	if len(events) != 7 {
+		t.Fatalf("%d events, want 7", len(events))
+	}
+	// Timestamps are monotonic within each pid (tree).
+	last := map[int]float64{}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < last[ev.Pid] {
+			t.Errorf("event %q ts %v goes backwards (pid %d)", ev.Name, ev.TS, ev.Pid)
+		}
+		last[ev.Pid] = ev.TS
+	}
+	// The two overlapping workers must land on different lanes; the
+	// third (after both finish) reuses the first lane.
+	var workerTids []int
+	for _, ev := range events {
+		if ev.Name == "parallel.worker" {
+			workerTids = append(workerTids, ev.Tid)
+		}
+	}
+	if len(workerTids) != 3 || workerTids[0] == workerTids[1] {
+		t.Errorf("overlapping workers share a lane: tids %v", workerTids)
+	}
+	if workerTids[2] != workerTids[0] {
+		t.Errorf("sequential worker did not reuse lane: tids %v", workerTids)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, sb.String()); len(events) != 0 {
+		t.Errorf("empty forest produced %d events", len(events))
+	}
+}
+
+// TestChromeTraceDeepTree exports a >1000-node chain: the exporter (and
+// the collector conversion feeding it) must handle deep recursion and
+// keep timestamps monotonic.
+func TestChromeTraceDeepTree(t *testing.T) {
+	const depth = 1500
+	root := &TraceNode{Name: "lvl", StartNS: 0, EndNS: int64(2 * depth)}
+	cur := root
+	for i := 1; i < depth; i++ {
+		child := &TraceNode{Name: "lvl", StartNS: int64(i), EndNS: int64(2*depth - i)}
+		cur.Children = []*TraceNode{child}
+		cur = child
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []*TraceNode{root}); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, sb.String())
+	if len(events) != depth {
+		t.Fatalf("%d events, want %d", len(events), depth)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("event %d ts %v goes backwards", i, events[i].TS)
+		}
+	}
+}
+
+// TestDeepSpanTreeLifecycle drives the same >1000-node shape through the
+// live span path: nested StartChild/End, collection, and export.
+func TestDeepSpanTreeLifecycle(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	const depth = 1200
+	root := StartOp("deep")
+	spans := []*Span{root}
+	for i := 1; i < depth; i++ {
+		spans = append(spans, spans[i-1].StartChild("deep"))
+	}
+	for i := depth - 1; i >= 0; i-- {
+		spans[i].End()
+	}
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, c.Roots()); err != nil {
+		t.Fatal(err)
+	}
+	if events := decodeTrace(t, sb.String()); len(events) != depth {
+		t.Fatalf("%d events, want %d", len(events), depth)
+	}
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TraceNode is the exportable form of one finished span: plain data,
+// detached from the span pool, safe to hold indefinitely. StartNS/EndNS
+// are monotonic nanoseconds since process start (see EpochWall).
+type TraceNode struct {
+	Name     string
+	StartNS  int64
+	EndNS    int64
+	Attrs    []Attr
+	Children []*TraceNode
+}
+
+// DurNS returns the node's duration in nanoseconds.
+func (n *TraceNode) DurNS() int64 { return n.EndNS - n.StartNS }
+
+// Collector retains finished span trees for export. Install one with
+// SetCollector; every root span that Ends while it is installed is
+// converted to a TraceNode tree and appended. MaxTrees bounds retention
+// (oldest trees drop first); 0 selects DefaultMaxTrees.
+type Collector struct {
+	MaxTrees int
+
+	mu      sync.Mutex
+	roots   []*TraceNode
+	dropped int64
+}
+
+// DefaultMaxTrees bounds a Collector's retained root trees.
+const DefaultMaxTrees = 4096
+
+// sink is the installed collector (nil when tracing without retention).
+var sink atomic.Pointer[Collector]
+
+// SetCollector installs c (nil uninstalls) and returns the previous one.
+func SetCollector(c *Collector) *Collector { return sink.Swap(c) }
+
+// convert deep-copies a finished span tree into TraceNodes.
+func convert(s *Span) *TraceNode {
+	n := &TraceNode{
+		Name:    s.name,
+		StartNS: s.startNS,
+		EndNS:   s.endNS,
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, convert(c))
+	}
+	return n
+}
+
+// consume appends a finished root tree, evicting the oldest beyond the
+// retention bound.
+func (c *Collector) consume(root *Span) {
+	n := convert(root)
+	max := c.MaxTrees
+	if max <= 0 {
+		max = DefaultMaxTrees
+	}
+	c.mu.Lock()
+	c.roots = append(c.roots, n)
+	if over := len(c.roots) - max; over > 0 {
+		c.roots = append(c.roots[:0:0], c.roots[over:]...)
+		c.dropped += int64(over)
+	}
+	c.mu.Unlock()
+}
+
+// Roots returns the retained trees in completion order.
+func (c *Collector) Roots() []*TraceNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*TraceNode(nil), c.roots...)
+}
+
+// Len reports the number of retained trees.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.roots)
+}
+
+// Dropped reports trees evicted by the retention bound.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Reset drops every retained tree.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.roots, c.dropped = nil, 0
+	c.mu.Unlock()
+}

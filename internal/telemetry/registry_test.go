@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestLookupIsIdempotentAndLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", "x", "1", "y", "2")
+	b := r.Counter("c_total", "help", "y", "2", "x", "1") // same set, different order
+	if a != b {
+		t.Error("label order created two series for one label set")
+	}
+	other := r.Counter("c_total", "help", "x", "other", "y", "2")
+	if a == other {
+		t.Error("distinct label values share a series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list did not panic")
+		}
+	}()
+	r.Counter("m", "help", "key-without-value")
+}
+
+func TestSumCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "help", "ep", "a").Add(3)
+	r.Counter("hits_total", "help", "ep", "b").Add(4)
+	if got := r.SumCounter("hits_total"); got != 7 {
+		t.Errorf("SumCounter = %d, want 7", got)
+	}
+	if got := r.SumCounter("absent_total"); got != 0 {
+		t.Errorf("SumCounter(absent) = %d, want 0", got)
+	}
+}
+
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	// The /healthz mean-latency fix: count and sum must come from one
+	// atomic snapshot. Hammer Observe while reading snapshots and check
+	// the invariant sum ≤ count·max-observation always holds.
+	h := new(Histogram)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Observe(0.001)
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		count, sum := h.Snapshot()
+		if float64(count)*0.001-sum > 1e-9 || sum-float64(count)*0.001 > 1e-9 {
+			t.Fatalf("torn snapshot: count=%d sum=%g", count, sum)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thicket_requests_total", "Requests accepted.").Add(12)
+	r.Counter("thicket_cache_hits_total", "Cache hits by endpoint.", "endpoint", "/api/stats").Add(3)
+	r.Counter("thicket_cache_hits_total", "Cache hits by endpoint.", "endpoint", "/api/query").Add(1)
+	r.Gauge("thicket_in_flight", "Requests executing.").Set(2)
+	h := r.Histogram("thicket_request_seconds", "Request latency.", "endpoint", "/api/stats")
+	for _, v := range []float64{0.5e-6, 3e-6, 3e-6, 0.002, 1.5, 5000} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", sb.String())
+}

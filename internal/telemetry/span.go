@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Attr is one span annotation. Values are strings; callers render
+// numbers themselves (span annotation is off the hot path).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed region of a span tree. Spans are created with
+// StartOp (a new root), StartSpan (context-propagated), or StartChild,
+// and closed with End. A nil *Span — what every constructor returns
+// while telemetry is disabled — supports the full method set as no-ops,
+// so instrumentation sites never branch beyond the constructor.
+//
+// Spans are pooled: once a root span Ends, the whole tree is recycled
+// (after optional delivery to the installed Collector). Callers must not
+// touch any span of a tree after its root has Ended.
+type Span struct {
+	name    string
+	startNS int64
+	endNS   int64
+	attrs   []Attr
+	parent  *Span
+	ended   atomic.Bool
+
+	mu       sync.Mutex // guards children
+	children []*Span
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// newSpan checks out a pooled span.
+func newSpan(name string, parent *Span) *Span {
+	s := spanPool.Get().(*Span)
+	s.name = name
+	s.startNS = nowNS()
+	s.endNS = 0
+	s.attrs = s.attrs[:0]
+	s.parent = parent
+	s.ended.Store(false)
+	s.children = s.children[:0]
+	return s
+}
+
+// release returns a finished tree to the pool.
+func release(s *Span) {
+	for _, c := range s.children {
+		release(c)
+	}
+	s.parent = nil
+	s.children = s.children[:0]
+	spanPool.Put(s)
+}
+
+// StartOp starts a new root span, or returns nil when telemetry is
+// disabled. This is the entry point for instrumented code without a
+// context (dataframe kernels, store I/O, the parallel engine).
+func StartOp(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return newSpan(name, nil)
+}
+
+// StartChild starts a nested span. Safe to call from any goroutine —
+// this is how spans cross parallel-engine worker boundaries: the
+// dispatching goroutine holds the parent, each worker opens children.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name, s)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Name returns the span's name ("" for nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End closes the span. The first End wins; later calls (a span ended
+// twice) are no-ops. Ending a root span records every span of the tree
+// into the Default registry's per-span duration histograms, hands the
+// tree to the installed Collector (if any), and recycles the spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.endNS = nowNS()
+	if s.parent != nil {
+		return
+	}
+	finishTree(s)
+	if c := sink.Load(); c != nil {
+		c.consume(s)
+	}
+	release(s)
+}
+
+// spanHists caches per-span-name duration histograms in the Default
+// registry, so End performs one sync.Map load instead of a registry
+// lookup with label rendering.
+var spanHists sync.Map // span name -> *Histogram
+
+// finishTree closes any still-open descendants (clamping them to the
+// root's end) and records durations.
+func finishTree(s *Span) {
+	record(s)
+	for _, c := range s.children {
+		if c.ended.CompareAndSwap(false, true) {
+			c.endNS = s.endNS
+		}
+		finishTree(c)
+	}
+}
+
+func record(s *Span) {
+	h, ok := spanHists.Load(s.name)
+	if !ok {
+		h, _ = spanHists.LoadOrStore(s.name,
+			Default.Histogram("thicket_span_seconds", "Duration of telemetry spans by name.", "span", s.name))
+	}
+	h.(*Histogram).Observe(float64(s.endNS-s.startNS) / 1e9)
+}
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sp as the active span.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan starts a span as a child of the context's active span (a new
+// root when there is none) and returns a derived context carrying it.
+// When telemetry is disabled it returns (ctx, nil) untouched.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	var sp *Span
+	if parent != nil {
+		sp = parent.StartChild(name)
+	} else {
+		sp = newSpan(name, nil)
+	}
+	return NewContext(ctx, sp), sp
+}

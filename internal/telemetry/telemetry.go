@@ -1,0 +1,66 @@
+// Package telemetry is thicket's zero-dependency self-profiling layer:
+// hierarchical spans over the hot paths (dataframe kernels, the parallel
+// engine, store I/O, thicketd endpoints), a typed metrics registry
+// (counters, gauges, log-bucketed histograms) rendered in Prometheus
+// text format, and exporters that turn completed span trees into Chrome
+// trace_event JSON — or, through internal/profile.FromTraceNodes, into a
+// native thicket profile the library can load and analyze itself.
+//
+// Cost model. Metrics are always on: they are single atomic adds (or one
+// short mutex section for histograms) on paths that already cost
+// microseconds. Spans are gated by a single atomic load: when telemetry
+// is disabled (the default), StartOp/StartSpan return a nil *Span whose
+// whole method set is nil-safe no-ops, so instrumented code pays one
+// atomic load and one branch per operation — benchmarked at ≤2% on the
+// BENCH_kernels workloads (see EXPERIMENTS.md). Spans themselves are
+// pooled; steady-state tracing allocates only when trees are handed to a
+// Collector.
+//
+// The switch is THICKET_TELEMETRY=1 (or "true"/"on"/"yes") in the
+// environment, or SetEnabled at runtime.
+package telemetry
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable consulted at init for the initial
+// enabled state.
+const EnvVar = "THICKET_TELEMETRY"
+
+// enabled gates span creation. Metrics counters are not gated — they are
+// cheap enough to stay on unconditionally.
+var enabled atomic.Bool
+
+func init() { FromEnv() }
+
+// FromEnv resets the enabled state from THICKET_TELEMETRY. Exposed so
+// tests can re-read the environment after t.Setenv.
+func FromEnv() {
+	switch os.Getenv(EnvVar) {
+	case "1", "true", "on", "yes":
+		enabled.Store(true)
+	default:
+		enabled.Store(false)
+	}
+}
+
+// Enabled reports whether span collection is on. This is the guarded
+// atomic check instrumented code performs per operation.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips span collection and returns the previous state.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// epoch anchors span timestamps: all spans carry nanoseconds since
+// process start, measured on the monotonic clock.
+var epoch = time.Now()
+
+// nowNS returns monotonic nanoseconds since process start.
+func nowNS() int64 { return int64(time.Since(epoch)) }
+
+// EpochWall returns the wall-clock instant nanosecond timestamps are
+// relative to.
+func EpochWall() time.Time { return epoch }

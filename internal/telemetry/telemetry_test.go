@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withSpans enables span collection for one test and restores the prior
+// state afterwards.
+func withSpans(t *testing.T) {
+	t.Helper()
+	prev := SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+// withCollector installs a fresh collector for one test.
+func withCollector(t *testing.T) *Collector {
+	t.Helper()
+	c := &Collector{}
+	prev := SetCollector(c)
+	t.Cleanup(func() { SetCollector(prev) })
+	return c
+}
+
+func TestFromEnv(t *testing.T) {
+	defer FromEnv() // restore from the real environment at the end
+	cases := []struct {
+		val  string
+		want bool
+	}{
+		{"1", true}, {"true", true}, {"on", true}, {"yes", true},
+		{"", false}, {"0", false}, {"false", false}, {"TRUE", false},
+	}
+	for _, tc := range cases {
+		t.Setenv(EnvVar, tc.val)
+		FromEnv()
+		if Enabled() != tc.want {
+			t.Errorf("%s=%q: Enabled() = %v, want %v", EnvVar, tc.val, Enabled(), tc.want)
+		}
+	}
+}
+
+func TestDisabledSpansAreNil(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	c := withCollector(t)
+
+	sp := StartOp("op")
+	if sp != nil {
+		t.Fatalf("StartOp while disabled returned %v, want nil", sp)
+	}
+	// The whole method set must be safe on the nil span.
+	child := sp.StartChild("child")
+	child.SetAttr("k", "v")
+	if got := child.Name(); got != "" {
+		t.Errorf("nil span Name() = %q, want empty", got)
+	}
+	child.End()
+	sp.End()
+	if c.Len() != 0 {
+		t.Errorf("disabled spans reached the collector: %d trees", c.Len())
+	}
+}
+
+func TestSpanTreeLifecycle(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	root := StartOp("root")
+	root.SetAttr("rows", "10")
+	a := root.StartChild("a")
+	a.End()
+	b := root.StartChild("b")
+	bb := b.StartChild("bb")
+	bb.End()
+	b.End()
+	root.End()
+
+	roots := c.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("collector holds %d trees, want 1", len(roots))
+	}
+	tree := roots[0]
+	if tree.Name != "root" || len(tree.Children) != 2 {
+		t.Fatalf("tree = %q with %d children, want root with 2", tree.Name, len(tree.Children))
+	}
+	if len(tree.Attrs) != 1 || tree.Attrs[0] != (Attr{"rows", "10"}) {
+		t.Errorf("root attrs = %v", tree.Attrs)
+	}
+	if tree.Children[0].Name != "a" || tree.Children[1].Name != "b" {
+		t.Errorf("children = %q, %q", tree.Children[0].Name, tree.Children[1].Name)
+	}
+	if got := tree.Children[1].Children; len(got) != 1 || got[0].Name != "bb" {
+		t.Errorf("grandchildren = %v", got)
+	}
+	for _, n := range []*TraceNode{tree, tree.Children[0], tree.Children[1]} {
+		if n.DurNS() < 0 {
+			t.Errorf("span %q has negative duration %d", n.Name, n.DurNS())
+		}
+		if n.EndNS < n.StartNS {
+			t.Errorf("span %q ends before it starts", n.Name)
+		}
+	}
+}
+
+func TestDoubleEndIsNoOp(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	root := StartOp("root")
+	child := root.StartChild("child")
+	child.End()
+	child.End() // second End on a child: ignored
+	root.End()
+	root.End() // second End on the root: must not re-deliver or re-release
+	if got := c.Len(); got != 1 {
+		t.Fatalf("collector holds %d trees after double-End, want 1", got)
+	}
+}
+
+func TestUnendedChildrenClampToRoot(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	root := StartOp("root")
+	root.StartChild("leaked") // never Ended by the caller
+	root.End()
+
+	tree := c.Roots()[0]
+	leaked := tree.Children[0]
+	if leaked.EndNS != tree.EndNS {
+		t.Errorf("leaked child end %d != root end %d", leaked.EndNS, tree.EndNS)
+	}
+}
+
+func TestSpansCrossGoroutines(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	root := StartOp("dispatch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.StartChild("worker")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	tree := c.Roots()[0]
+	if len(tree.Children) != 8 {
+		t.Fatalf("root has %d children, want 8 (one per goroutine)", len(tree.Children))
+	}
+	for _, ch := range tree.Children {
+		if ch.Name != "worker" {
+			t.Errorf("child %q, want worker", ch.Name)
+		}
+	}
+}
+
+func TestSpanDurationsRecorded(t *testing.T) {
+	withSpans(t)
+	name := "test.span.histogram"
+	sp := StartOp(name)
+	sp.End()
+	var sb strings.Builder
+	if err := Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `thicket_span_seconds_count{span="`+name+`"} 1`) {
+		t.Errorf("span duration histogram missing from Default registry")
+	}
+}
+
+func TestCollectorEviction(t *testing.T) {
+	withSpans(t)
+	c := &Collector{MaxTrees: 3}
+	prev := SetCollector(c)
+	defer SetCollector(prev)
+
+	for i := 0; i < 5; i++ {
+		StartOp("op").End()
+	}
+	if c.Len() != 3 {
+		t.Errorf("collector retains %d trees, want 3", c.Len())
+	}
+	if c.Dropped() != 2 {
+		t.Errorf("collector dropped %d trees, want 2", c.Dropped())
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Errorf("Reset left %d trees, %d dropped", c.Len(), c.Dropped())
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	ctx, root := StartSpan(context.Background(), "request")
+	if FromContext(ctx) != root {
+		t.Fatal("context does not carry the started span")
+	}
+	_, child := StartSpan(ctx, "kernel")
+	child.End()
+	root.End()
+
+	tree := c.Roots()[0]
+	if tree.Name != "request" || len(tree.Children) != 1 || tree.Children[0].Name != "kernel" {
+		t.Errorf("context-propagated tree wrong: %q with %d children", tree.Name, len(tree.Children))
+	}
+
+	// Disabled: StartSpan must return the context untouched and nil.
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	ctx2, sp := StartSpan(context.Background(), "off")
+	if sp != nil || FromContext(ctx2) != nil {
+		t.Error("StartSpan while disabled produced a span")
+	}
+}

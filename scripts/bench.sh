@@ -9,8 +9,82 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=30x scripts/bench.sh     # override go test -benchtime
+#
+# Overhead mode: scripts/bench.sh overhead [output.json]
+#   Runs the *New kernel benchmarks twice — THICKET_TELEMETRY disabled
+#   and enabled — compares per-kernel best-of-COUNT ns/op, writes
+#   BENCH_telemetry_overhead.json, and exits non-zero if the MEAN
+#   overhead across kernels exceeds MAX_OVERHEAD_PCT (default 5)
+#   percent. The gate uses the mean because single-kernel deltas on a
+#   shared machine carry ±5-10% run-to-run noise in either direction,
+#   while a real instrumentation cost would shift every kernel the same
+#   way. This is the CI gate on the instrumentation layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+overhead_mode() {
+	local OUT="${1:-BENCH_telemetry_overhead.json}"
+	local BENCHTIME="${BENCHTIME:-30x}"
+	local COUNT="${COUNT:-3}"
+	local MAX_PCT="${MAX_OVERHEAD_PCT:-5}"
+	local tmp_off tmp_on
+	tmp_off="$(mktemp)"
+	tmp_on="$(mktemp)"
+	trap 'rm -f "$tmp_off" "$tmp_on"' RETURN
+
+	echo "== telemetry disabled ==" >&2
+	THICKET_TELEMETRY=0 go test ./internal/dataframe -run '^$' -bench 'New$' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -timeout 20m | tee "$tmp_off" >&2
+	echo "== telemetry enabled ==" >&2
+	THICKET_TELEMETRY=1 go test ./internal/dataframe -run '^$' -bench 'New$' \
+		-benchtime "$BENCHTIME" -count "$COUNT" -timeout 20m | tee "$tmp_on" >&2
+
+	{ sed 's/^/off /' "$tmp_off"; sed 's/^/on /' "$tmp_on"; } | awk \
+		-v max="$MAX_PCT" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+	$2 ~ /^Benchmark/ && /ns\/op/ {
+		mode = $1; name = $2
+		sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+		ns = $4
+		if (mode == "off") {
+			if (!(name in off) || ns < off[name]) off[name] = ns
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		} else {
+			if (!(name in on) || ns < on[name]) on[name] = ns
+		}
+	}
+	END {
+		printf "{\n"
+		printf "  \"description\": \"Per-kernel best-of-%d ns/op with THICKET_TELEMETRY disabled vs enabled; overhead_pct is the enabled-path regression. Per-kernel values carry machine noise; the gate is on the mean: %s%%.\",\n", count, max
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"max_mean_overhead_pct\": %s,\n", max
+		printf "  \"kernels\": {\n"
+		total = 0
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			pct = (on[name] - off[name]) * 100.0 / off[name]
+			total += pct
+			printf "    \"%s\": { \"disabled_ns_per_op\": %d, \"enabled_ns_per_op\": %d, \"overhead_pct\": %.2f },\n", \
+				name, off[name], on[name], pct
+			printf "%-28s disabled %10d ns/op   enabled %10d ns/op   overhead %+6.2f%%\n", \
+				name, off[name], on[name], pct > "/dev/stderr"
+		}
+		mean = (n > 0) ? total / n : 0
+		fail = (mean > max) ? 1 : 0
+		printf "    \"_mean\": { \"overhead_pct\": %.2f }\n", mean
+		printf "  }\n}\n"
+		printf "%-28s mean overhead %+6.2f%%  (gate %s%%)  %s\n", \
+			"TOTAL", mean, max, fail ? "FAIL" : "ok" > "/dev/stderr"
+		exit fail
+	}' > "$OUT"
+
+	echo "wrote $OUT" >&2
+}
+
+if [[ "${1:-}" == "overhead" ]]; then
+	shift
+	overhead_mode "$@"
+	exit 0
+fi
 
 OUT="${1:-BENCH_kernels.json}"
 BENCHTIME="${BENCHTIME:-20x}"

@@ -27,6 +27,10 @@
 package thicket
 
 import (
+	"io"
+	"os"
+	"strings"
+
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/dataframe"
@@ -38,6 +42,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // SetParallelism fixes the worker count used by the parallel aggregation
@@ -241,4 +246,70 @@ func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
 // thicket; st may be nil when the ensemble did not come from a store.
 func NewServer(th *Thicket, st *Store, opts ServerOptions) *Server {
 	return server.New(th, st, opts)
+}
+
+// Observability (self-profiling, see repro/internal/telemetry).
+type (
+	// TraceNode is one exported telemetry span (a finished timed region).
+	TraceNode = telemetry.TraceNode
+	// TraceCollector retains finished span trees for export.
+	TraceCollector = telemetry.Collector
+	// MetricsRegistry holds typed counters/gauges/histograms and renders
+	// them in the Prometheus text format.
+	MetricsRegistry = telemetry.Registry
+)
+
+// EnableTelemetry flips span collection on or off at runtime and returns
+// the previous state. When off (the default unless THICKET_TELEMETRY is
+// set), instrumented code pays one atomic load per operation.
+func EnableTelemetry(on bool) bool { return telemetry.SetEnabled(on) }
+
+// TelemetryEnabled reports whether span collection is on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// SetTraceCollector installs c as the destination for finished span
+// trees (nil uninstalls) and returns the previous collector.
+func SetTraceCollector(c *TraceCollector) *TraceCollector { return telemetry.SetCollector(c) }
+
+// DefaultMetrics returns the process-wide metrics registry (kernel,
+// store, parallel-engine, and span-duration metrics record here).
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default }
+
+// WriteChromeTrace renders span trees as Chrome trace_event JSON,
+// loadable by chrome://tracing and Perfetto.
+func WriteChromeTrace(w io.Writer, trees []*TraceNode) error {
+	return telemetry.WriteChromeTrace(w, trees)
+}
+
+// ProfileFromTrace converts collected span trees into a native thicket
+// profile — the dogfooding exporter: thicket's own execution becomes a
+// profile it can compose, aggregate, and query like any other input.
+func ProfileFromTrace(trees []*TraceNode, meta map[string]Value) (*Profile, error) {
+	return profile.FromTraceNodes(trees, meta)
+}
+
+// SaveTrace writes trees to path as Chrome trace_event JSON and to a
+// sibling native thicket profile (path's ".json" suffix replaced by
+// ".profile.json"). It returns the profile path.
+func SaveTrace(path string, trees []*TraceNode) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := telemetry.WriteChromeTrace(f, trees); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	p, err := profile.FromTraceNodes(trees, nil)
+	if err != nil {
+		return "", err
+	}
+	profilePath := strings.TrimSuffix(path, ".json") + ".profile.json"
+	if err := p.Save(profilePath); err != nil {
+		return "", err
+	}
+	return profilePath, nil
 }
