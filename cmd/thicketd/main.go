@@ -1,12 +1,15 @@
 // Command thicketd serves a columnar ensemble store over HTTP: it opens
 // the store once, keeps the decoded ensemble warm, and answers EDA
 // queries as JSON until interrupted (SIGINT/SIGTERM trigger a graceful
-// drain).
+// drain that also flushes every observability sink).
 //
 // Usage:
 //
 //	thicketd -store ensemble.tks [-addr :8080] [-timeout 15s] [-max-concurrent 64]
 //	         [-slow-query 1s] [-debug-addr :6060] [-trace-out trace.json]
+//	         [-trace-sample 1.0] [-baseline-window 10s] [-baseline-sigma 3]
+//	         [-self-profile-store self.tks] [-self-profile-interval 30s]
+//	         [-log-level info] [-inject-latency /api/stats=50ms]
 //
 // Endpoints:
 //
@@ -19,12 +22,22 @@
 //	GET /api/summary?by=col               campaign summary
 //	GET /api/query?q=<call-path DSL>      call-path query, kept node paths
 //	GET /api/tree?metric=a                rendered call tree
+//	GET /debug/traces?n=32                retained (sampled) traces with retention reasons
+//	GET /debug/anomalies                  latency baselines + flagged regressions
 //
-// Observability: -debug-addr starts a second listener with net/http/pprof
-// under /debug/pprof/ and the process-wide /metrics; -trace-out enables
-// span collection and, on shutdown, writes every collected span tree as
-// Chrome trace_event JSON plus a native thicket profile the library can
-// load and analyze itself; -slow-query tunes the slow-request log.
+// Observability: requests accept and emit W3C traceparent headers, and
+// every log line is one JSON object carrying the request's trace ID.
+// -trace-out / -self-profile-store enable span collection; -trace-sample
+// keeps that fraction of traces (head sampling) while traces slower than
+// the rolling per-endpoint baseline are always retained; the baseline
+// watchdog (-baseline-window, -baseline-sigma) flags latency regressions
+// at /debug/anomalies and in /metrics. -self-profile-store appends each
+// retained slow trace to a dedicated ensemble store that thicket
+// query/serve can analyze — the server's own performance forest. On
+// shutdown (including SIGINT/SIGTERM) -trace-out receives every retained
+// span tree as Chrome trace_event JSON plus a native thicket profile,
+// and the self-profile store is flushed — the trace tail is never
+// dropped. -debug-addr starts a second listener with net/http/pprof.
 package main
 
 import (
@@ -33,10 +46,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +69,14 @@ type config struct {
 	slowQuery  time.Duration
 	debugAddr  string
 	traceOut   string
+
+	traceSample     float64
+	baselineWindow  time.Duration
+	baselineSigma   float64
+	selfProfilePath string
+	selfProfileIntv time.Duration
+	injectLatency   string
+	logLevel        string
 }
 
 func main() {
@@ -66,6 +89,13 @@ func main() {
 	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "slow-request log threshold (negative disables)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listener with /debug/pprof/ and process-wide /metrics")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "enable span collection; on shutdown write Chrome trace_event JSON here plus a native .profile.json")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1.0, "head-sampling probability in [0,1]; traces slower than the rolling baseline are always kept")
+	flag.DurationVar(&cfg.baselineWindow, "baseline-window", 10*time.Second, "latency-baseline watchdog snapshot interval")
+	flag.Float64Var(&cfg.baselineSigma, "baseline-sigma", 3.0, "EWMA standard deviations beyond the baseline that flag a regression")
+	flag.StringVar(&cfg.selfProfilePath, "self-profile-store", "", "enable span collection and append retained slow traces to this ensemble store")
+	flag.DurationVar(&cfg.selfProfileIntv, "self-profile-interval", 30*time.Second, "slow-trace export interval of the self-profile store")
+	flag.StringVar(&cfg.injectLatency, "inject-latency", "", "artificial endpoint delays for regression demos, e.g. /api/stats=50ms; an @onset (e.g. /api/stats=50ms@8s) arms the delay after the baseline has warmed")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured-log level: debug, info, warn, error")
 	flag.Parse()
 	if cfg.storePath == "" {
 		flag.Usage()
@@ -78,16 +108,111 @@ func main() {
 	}
 }
 
-func serve(ctx context.Context, cfg config, out io.Writer) error {
+// parseLevel maps the -log-level flag onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+}
+
+// injectSpec is one parsed -inject-latency entry. A zero After starts
+// the delay immediately; a positive After arms it that long into the
+// run, after the endpoint's baseline has warmed on honest latencies —
+// an injection live from t=0 IS the baseline and the watchdog rightly
+// stays quiet.
+type injectSpec struct {
+	delay time.Duration
+	after time.Duration
+}
+
+// parseInjectLatency parses "/api/stats=50ms,/api/query=10ms@8s".
+func parseInjectLatency(s string) (map[string]injectSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]injectSpec{}
+	for _, part := range strings.Split(s, ",") {
+		path, raw, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || path == "" {
+			return nil, fmt.Errorf("bad -inject-latency entry %q (want /path=duration[@after])", part)
+		}
+		var spec injectSpec
+		durRaw, afterRaw, hasOnset := strings.Cut(raw, "@")
+		if hasOnset {
+			a, err := time.ParseDuration(afterRaw)
+			if err != nil {
+				return nil, fmt.Errorf("bad -inject-latency onset in %q: %v", part, err)
+			}
+			spec.after = a
+		}
+		d, err := time.ParseDuration(durRaw)
+		if err != nil {
+			return nil, fmt.Errorf("bad -inject-latency entry %q: %v", part, err)
+		}
+		spec.delay = d
+		out[path] = spec
+	}
+	return out, nil
+}
+
+func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
+	level, err := parseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	inject, err := parseInjectLatency(cfg.injectLatency)
+	if err != nil {
+		return err
+	}
+	if cfg.traceSample < 0 || cfg.traceSample > 1 {
+		return fmt.Errorf("-trace-sample %v out of [0,1]", cfg.traceSample)
+	}
+	logger := thicket.NewJSONLogger(out, level)
+	dlog := logger.With("component", "thicketd")
+	thicket.SetStoreLogger(logger)
+	defer thicket.SetStoreLogger(nil)
+
+	// The watchdog always runs: baselines are cheap, and they double as
+	// the tail-sampling judge when tracing is on.
+	wd := thicket.NewWatchdog(thicket.DefaultMetrics(), thicket.WatchdogOptions{
+		Window: cfg.baselineWindow,
+		Sigma:  cfg.baselineSigma,
+	})
+	wdCtx, wdCancel := context.WithCancel(context.Background())
+	defer wdCancel()
+	go wd.Run(wdCtx)
+
 	// Enable telemetry before the store loads so the load itself is the
 	// first span tree in the trace.
 	var col *thicket.TraceCollector
-	if cfg.traceOut != "" {
+	if cfg.traceOut != "" || cfg.selfProfilePath != "" {
 		thicket.EnableTelemetry(true)
-		col = &thicket.TraceCollector{}
+		col = &thicket.TraceCollector{Policy: &thicket.TracePolicy{
+			HeadProbability: cfg.traceSample,
+			Judge:           wd.IsSlow,
+		}}
 		prev := thicket.SetTraceCollector(col)
 		defer thicket.SetTraceCollector(prev)
 	}
+	// Flush the trace file on EVERY exit path — error returns included —
+	// so SIGTERM (or a late failure) never drops the trace tail. The
+	// defer runs before the collector is uninstalled (LIFO).
+	if cfg.traceOut != "" {
+		defer func() {
+			if eerr := exportTrace(cfg.traceOut, col, dlog); eerr != nil && err == nil {
+				err = eerr
+			}
+		}()
+	}
+
 	st, err := thicket.OpenStore(cfg.storePath)
 	if err != nil {
 		return err
@@ -97,32 +222,83 @@ func serve(ctx context.Context, cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// The dogfood loop: retained slow traces become profiles in a
+	// dedicated ensemble store, flushed periodically and once more on
+	// shutdown.
+	if cfg.selfProfilePath != "" {
+		sp, serr := thicket.NewSelfProfiler(thicket.SelfProfileOptions{
+			StorePath: cfg.selfProfilePath,
+			Collector: col,
+			Interval:  cfg.selfProfileIntv,
+			Logger:    logger,
+			Meta: map[string]thicket.Value{
+				"served_store": thicket.Str(cfg.storePath),
+				"addr":         thicket.Str(cfg.addr),
+			},
+		})
+		if serr != nil {
+			return serr
+		}
+		spCtx, spCancel := context.WithCancel(context.Background())
+		spDone := make(chan struct{})
+		go func() { defer close(spDone); sp.Run(spCtx) }()
+		defer func() {
+			spCancel()
+			<-spDone
+			if cerr := sp.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		dlog.Info("self-profiling enabled",
+			"path", cfg.selfProfilePath, "interval", cfg.selfProfileIntv.String())
+	}
+
+	immediate := map[string]time.Duration{}
+	for path, spec := range inject {
+		if spec.after <= 0 {
+			immediate[path] = spec.delay
+		}
+	}
 	srv := thicket.NewServer(th, st, thicket.ServerOptions{
 		MaxConcurrent: cfg.maxConc,
 		Timeout:       cfg.timeout,
 		CacheBytes:    cfg.cacheBytes,
 		SlowQuery:     cfg.slowQuery,
+		Logger:        logger,
+		Trace:         col,
+		Watchdog:      wd,
+		InjectLatency: immediate,
 		// The process-wide registry: /metrics merges the server's HTTP
 		// metrics with kernel, store, and span-duration metrics.
 		Registry: thicket.DefaultMetrics(),
 	})
+	// Delayed injections arm after the endpoint's baseline has warmed on
+	// honest latencies, so the watchdog demo flags a real regression.
+	for path, spec := range inject {
+		if spec.after > 0 {
+			path, spec := path, spec
+			tm := time.AfterFunc(spec.after, func() {
+				srv.SetInjectedLatency(path, spec.delay)
+				dlog.Warn("injected latency armed",
+					"endpoint", path, "delay", spec.delay.String())
+			})
+			defer tm.Stop()
+		}
+	}
 	if cfg.debugAddr != "" {
 		dbg := debugServer(cfg.debugAddr)
 		defer dbg.Close()
 		go dbg.ListenAndServe()
-		fmt.Fprintf(out, "thicketd: pprof + metrics on %s\n", cfg.debugAddr)
+		dlog.Info("pprof + metrics listener", "addr", cfg.debugAddr)
 	}
-	fmt.Fprintf(out, "thicketd: serving %d profiles (%d nodes) from %s on %s\n",
-		th.NumProfiles(), th.Tree.Len(), cfg.storePath, cfg.addr)
+	dlog.Info("serving",
+		"profiles", th.NumProfiles(), "nodes", th.Tree.Len(),
+		"store", cfg.storePath, "addr", cfg.addr)
 	if err := srv.Serve(ctx, cfg.addr); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "thicketd: shut down after %d requests\n", srv.Requests())
-	if cfg.traceOut != "" {
-		if err := exportTrace(cfg.traceOut, col, out); err != nil {
-			return err
-		}
-	}
+	dlog.Info("shut down", "requests", srv.Requests())
 	return nil
 }
 
@@ -146,10 +322,10 @@ func debugServer(addr string) *http.Server {
 
 // exportTrace writes the collected span trees as Chrome trace_event JSON
 // and as a native thicket profile.
-func exportTrace(path string, col *thicket.TraceCollector, out io.Writer) error {
+func exportTrace(path string, col *thicket.TraceCollector, dlog *slog.Logger) error {
 	trees := col.Roots()
 	if len(trees) == 0 {
-		fmt.Fprintf(out, "thicketd: no spans collected; %s not written\n", path)
+		dlog.Info("no spans collected; trace not written", "path", path)
 		return nil
 	}
 	profilePath, err := thicket.SaveTrace(path, trees)
@@ -157,8 +333,9 @@ func exportTrace(path string, col *thicket.TraceCollector, out io.Writer) error 
 		return err
 	}
 	if n := col.Dropped(); n > 0 {
-		fmt.Fprintf(out, "thicketd: trace retention bound dropped %d oldest trees\n", n)
+		dlog.Warn("trace retention bound dropped oldest trees", "dropped", n)
 	}
-	fmt.Fprintf(out, "thicketd: wrote %d span trees to %s and %s\n", len(trees), path, profilePath)
+	dlog.Info("wrote trace",
+		"trees", len(trees), "trace", path, "profile", profilePath)
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,10 +16,11 @@ import (
 
 func testConfig(storePath string) config {
 	return config{
-		storePath: storePath,
-		addr:      "127.0.0.1:0",
-		timeout:   time.Second,
-		maxConc:   4,
+		storePath:   storePath,
+		addr:        "127.0.0.1:0",
+		timeout:     time.Second,
+		maxConc:     4,
+		traceSample: 1, // flag default; struct literals bypass flag.Parse
 	}
 }
 
@@ -48,6 +51,85 @@ func writeStore(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+func TestParseInjectLatency(t *testing.T) {
+	got, err := parseInjectLatency("/api/stats=50ms, /api/query=10ms@8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["/api/stats"] != (injectSpec{delay: 50 * time.Millisecond}) {
+		t.Errorf("parseInjectLatency[/api/stats] = %v", got["/api/stats"])
+	}
+	if got["/api/query"] != (injectSpec{delay: 10 * time.Millisecond, after: 8 * time.Second}) {
+		t.Errorf("parseInjectLatency[/api/query] = %v", got["/api/query"])
+	}
+	if got, err := parseInjectLatency(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	for _, bad := range []string{"/api/stats", "=50ms", "/api/stats=fast", "/api/stats=50ms@soon"} {
+		if _, err := parseInjectLatency(bad); err == nil {
+			t.Errorf("parseInjectLatency(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := parseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseLevel("loud"); err == nil {
+		t.Error(`parseLevel("loud") accepted`)
+	}
+}
+
+func TestServeRejectsBadFlags(t *testing.T) {
+	path := writeStore(t)
+	cfg := testConfig(path)
+	cfg.traceSample = 1.5
+	if err := serve(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("out-of-range -trace-sample accepted")
+	}
+	cfg = testConfig(path)
+	cfg.logLevel = "loud"
+	if err := serve(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	cfg = testConfig(path)
+	cfg.injectLatency = "nonsense"
+	if err := serve(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("bad -inject-latency accepted")
+	}
+}
+
+// TestServeSelfProfileLifecycle: a serve run with -self-profile-store
+// set must start and cleanly stop the self-profiler even when no slow
+// traces were retained (the store file is then never created).
+func TestServeSelfProfileLifecycle(t *testing.T) {
+	prevEnabled := thicket.EnableTelemetry(false)
+	defer thicket.EnableTelemetry(prevEnabled)
+
+	cfg := testConfig(writeStore(t))
+	cfg.selfProfilePath = filepath.Join(t.TempDir(), "self.tks")
+	cfg.selfProfileIntv = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	if err := serve(ctx, cfg, &sb); err != nil {
+		t.Fatalf("serve: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "self-profiling enabled") {
+		t.Errorf("serve output missing self-profiler startup:\n%s", sb.String())
+	}
+	if _, err := os.Stat(cfg.selfProfilePath); !os.IsNotExist(err) {
+		t.Errorf("self-profile store created with nothing to export (err=%v)", err)
+	}
 }
 
 // TestServeTraceOut drives serve with -trace-out on an already-cancelled

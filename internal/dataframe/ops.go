@@ -217,13 +217,13 @@ func ConcatRows(frames ...*Frame) (*Frame, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("dataframe: ConcatRows requires at least one frame")
 	}
-	sp := telemetry.StartOp("dataframe.ConcatRows")
-	if sp != nil {
-		sp.SetAttr("frames", itoa(len(frames)))
-		defer sp.End()
-	}
 	first := frames[0]
-	out := first.Copy()
+	if len(frames) == 1 {
+		// Degenerate concat: a bare copy, too cheap to be worth a span.
+		return first.Copy(), nil
+	}
+	// Validate shapes before opening the span so error paths stay
+	// span-free and the timed region is the actual append work.
 	for _, f := range frames[1:] {
 		if f.NCols() != first.NCols() {
 			return nil, fmt.Errorf("dataframe: ConcatRows column count mismatch: %d vs %d", f.NCols(), first.NCols())
@@ -236,6 +236,14 @@ func ConcatRows(frames ...*Frame) (*Frame, error) {
 		if f.index.NLevels() != first.index.NLevels() {
 			return nil, fmt.Errorf("dataframe: ConcatRows index level mismatch")
 		}
+	}
+	sp := telemetry.StartOp("dataframe.ConcatRows")
+	if sp != nil {
+		sp.SetAttr("frames", itoa(len(frames)))
+		defer sp.End()
+	}
+	out := first.Copy()
+	for _, f := range frames[1:] {
 		if err := out.index.AppendIndex(f.index); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,191 @@
+package selfprofile
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataframe"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// slowTree ends one root span judged slow by the test policy, with a
+// child so the exported profile has a call path to query.
+func slowTree(t *testing.T, endpoint, traceID, status string) {
+	t.Helper()
+	root := telemetry.StartOp(endpoint)
+	root.SetTraceID(traceID)
+	if status != "" {
+		root.SetAttr("status", status)
+	}
+	child := root.StartChild("store.Load")
+	child.End()
+	root.End()
+}
+
+// newCollector installs a collector whose judge marks everything slow,
+// so every finished tree lands in the TakeSlow feed.
+func newCollector(t *testing.T) *telemetry.Collector {
+	t.Helper()
+	prevOn := telemetry.SetEnabled(true)
+	t.Cleanup(func() { telemetry.SetEnabled(prevOn) })
+	c := &telemetry.Collector{
+		MaxTrees: 64,
+		Policy:   &telemetry.Policy{Judge: func(string, float64) bool { return true }},
+	}
+	prev := telemetry.SetCollector(c)
+	t.Cleanup(func() { telemetry.SetCollector(prev) })
+	return c
+}
+
+func TestFlushCreatesAndAppends(t *testing.T) {
+	c := newCollector(t)
+	path := filepath.Join(t.TempDir(), "self.thicket")
+	p, err := New(Options{
+		StorePath: path,
+		Collector: c,
+		Meta:      map[string]dataframe.Value{"addr": dataframe.Str("127.0.0.1:0")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing retained yet: no flush, no file.
+	if n, err := p.Flush(); err != nil || n != 0 {
+		t.Fatalf("empty flush = (%d, %v)", n, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("empty flush touched the store file")
+	}
+
+	// First batch creates the store.
+	slowTree(t, "http /api/query", "4bf92f3577b34da6a3ce929d0e0e4736", "200")
+	slowTree(t, "http /api/stats", "aaaa2f3577b34da6a3ce929d0e0e4736", "500")
+	if n, err := p.Flush(); err != nil || n != 2 {
+		t.Fatalf("first flush = (%d, %v), want 2", n, err)
+	}
+	// Second batch appends to the existing store through the held handle.
+	slowTree(t, "http /api/query", "bbbb2f3577b34da6a3ce929d0e0e4736", "200")
+	if n, err := p.Flush(); err != nil || n != 1 {
+		t.Fatalf("second flush = (%d, %v), want 1", n, err)
+	}
+	// A re-flush exports nothing new: TakeSlow drains each trace once.
+	if n, err := p.Flush(); err != nil || n != 0 {
+		t.Fatalf("idempotent flush = (%d, %v)", n, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	th, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.Metadata.NRows(); got != 3 {
+		t.Fatalf("self-profile store holds %d profiles, want 3", got)
+	}
+	// The metadata rows carry the request identity columns.
+	for _, col := range []string{MetaEndpoint, MetaTraceID, MetaTimestamp, MetaStatus, MetaReason, MetaDurNS, "addr", "source"} {
+		if _, err := th.Metadata.ColumnByName(col); err != nil {
+			t.Errorf("metadata lacks column %q: %v", col, err)
+		}
+	}
+	// The slow call path is queryable like any ensemble: the store's own
+	// spans answer call-path queries ('/' in endpoint names is rewritten
+	// to ':' by the exporter).
+	out, err := th.QueryString(`. name $= :api:query / *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range out.Tree.Nodes() {
+		if n.Name() == "store.Load" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("call-path query did not surface the store.Load child span")
+	}
+}
+
+func TestFlushStatusFallback(t *testing.T) {
+	c := newCollector(t)
+	path := filepath.Join(t.TempDir(), "self.thicket")
+	p, err := New(Options{StorePath: path, Collector: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowTree(t, "http /api/info", "cccc2f3577b34da6a3ce929d0e0e4736", "")
+	if n, err := p.Flush(); err != nil || n != 1 {
+		t.Fatalf("flush = (%d, %v)", n, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	th, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := th.Metadata.ColumnByName(MetaStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := col.At(0); v != dataframe.Int64(-1) {
+		t.Errorf("status without attr = %v, want -1", v)
+	}
+}
+
+func TestRunFinalFlushOnCancel(t *testing.T) {
+	c := newCollector(t)
+	path := filepath.Join(t.TempDir(), "self.thicket")
+	var sb strings.Builder
+	p, err := New(Options{
+		StorePath: path,
+		Collector: c,
+		Interval:  time.Hour, // ticker never fires: only the final flush can write
+		Logger:    telemetry.NewDeterministicJSONLogger(&sb, slog.LevelDebug),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowTree(t, "http /api/query", "dddd2f3577b34da6a3ce929d0e0e4736", "200")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); p.Run(ctx) }()
+	cancel()
+	<-done
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final flush did not write the store: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"component":"selfprofile"`) {
+		t.Errorf("flush log missing component field: %s", sb.String())
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Options{Collector: &telemetry.Collector{}}); err == nil {
+		t.Error("missing store path accepted")
+	}
+	if _, err := New(Options{StorePath: "x"}); err == nil {
+		t.Error("missing collector accepted")
+	}
+}

@@ -25,7 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -66,8 +66,22 @@ type Options struct {
 	// than this is logged with its endpoint, query, and latency.
 	// 0 selects DefaultSlowQuery, negative disables the log.
 	SlowQuery time.Duration
-	// Logger receives slow-request lines; nil selects log.Default().
-	Logger *log.Logger
+	// Logger receives the server's structured logs: per-request access
+	// records at Debug, slow-request warnings at Warn. Every record
+	// carries the canonical telemetry.LogKey* fields, including the
+	// request's trace and span IDs. nil selects slog.Default().
+	Logger *slog.Logger
+	// Trace, when set, backs /debug/traces with the collector's retained
+	// (sampled) traces.
+	Trace *telemetry.Collector
+	// Watchdog, when set, backs /debug/anomalies with the rolling
+	// latency baselines and flagged regressions.
+	Watchdog *telemetry.Watchdog
+	// InjectLatency adds an artificial delay to the named endpoints
+	// (path -> delay) — the regression-injection hook behind the
+	// watchdog demo and its tests. Adjustable at runtime via
+	// SetInjectedLatency.
+	InjectLatency map[string]time.Duration
 }
 
 // endpointMetrics bundles one endpoint's registry handles. All latency
@@ -101,6 +115,9 @@ type Server struct {
 	gen      atomic.Int64 // store generation the resident thicket reflects
 	reloadMu sync.Mutex   // serializes thicket reloads
 	eps      map[string]*endpointMetrics
+
+	log    *slog.Logger
+	inject sync.Map // endpoint path -> time.Duration artificial delay
 }
 
 // warm pre-builds a thicket's lazy index lookups so concurrent read-only
@@ -133,7 +150,7 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 		opts.SlowQuery = DefaultSlowQuery
 	}
 	if opts.Logger == nil {
-		opts.Logger = log.Default()
+		opts.Logger = slog.Default()
 	}
 	warm(th)
 	reg := opts.Registry
@@ -144,6 +161,10 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 		reg:   reg,
 		cache: newRespCache(opts.CacheBytes),
 		eps:   make(map[string]*endpointMetrics),
+		log:   opts.Logger.With(telemetry.LogKeyComponent, "server"),
+	}
+	for path, d := range opts.InjectLatency {
+		s.inject.Store(path, d)
 	}
 	s.requests = reg.Counter("thicket_http_requests_total", "HTTP requests accepted (all paths).")
 	s.inFlight = reg.Gauge("thicket_http_in_flight", "HTTP requests currently executing or queued.")
@@ -158,6 +179,7 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	for _, path := range []string{
 		"/healthz", "/metrics", "/api/info", "/api/profiles", "/api/stats",
 		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
+		"/debug/traces", "/debug/anomalies",
 	} {
 		s.eps[path] = &endpointMetrics{
 			requests:    reg.Counter("thicket_http_endpoint_requests_total", "HTTP requests by endpoint.", "endpoint", path),
@@ -218,6 +240,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/summary", s.route("/api/summary", true, s.summaryResponse))
 	mux.HandleFunc("/api/query", s.route("/api/query", true, s.queryResponse))
 	mux.HandleFunc("/api/tree", s.route("/api/tree", false, s.treeResponse))
+	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
+	mux.HandleFunc("/debug/anomalies", s.instrument("/debug/anomalies", s.handleDebugAnomalies))
 	var h http.Handler = mux
 	h = s.limit(h)
 	h = http.TimeoutHandler(h, s.opts.Timeout, `{"error":"request timed out"}`)
@@ -225,30 +249,83 @@ func (s *Server) Handler() http.Handler {
 	return h
 }
 
-// instrument wraps a handler with per-endpoint accounting: a request
-// counter, a latency histogram, the slow-request log, and — when
-// telemetry is enabled — a span covering the whole request, propagated
-// through the request context so downstream work can nest under it.
+// SetInjectedLatency sets (or, with d <= 0, clears) the artificial
+// delay added to one endpoint — the runtime knob behind the watchdog
+// regression demo.
+func (s *Server) SetInjectedLatency(path string, d time.Duration) {
+	if d <= 0 {
+		s.inject.Delete(path)
+		return
+	}
+	s.inject.Store(path, d)
+}
+
+func (s *Server) injectedLatency(path string) time.Duration {
+	if v, ok := s.inject.Load(path); ok {
+		return v.(time.Duration)
+	}
+	return 0
+}
+
+// statusRecorder captures the response status for span attrs and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint accounting: W3C trace
+// context (an incoming traceparent is honoured, otherwise a fresh trace
+// is minted, and either way the response carries the server's own
+// traceparent), a request counter, a latency histogram, structured
+// access/slow-request logs carrying the trace ID, and — when telemetry
+// is enabled — a span covering the whole request, propagated through
+// the request context so downstream work can nest under it.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.eps[path]
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, sp := telemetry.StartSpan(r.Context(), "http "+path)
-		if sp != nil {
-			r = r.WithContext(ctx)
+		tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = telemetry.NewTraceContext()
 		}
+		self := tc.Child() // this request's server-side span identity
+		ctx := telemetry.ContextWithTrace(r.Context(), self)
+		ctx, sp := telemetry.StartSpan(ctx, "http "+path)
+		sp.SetTraceID(self.TraceID)
+		r = r.WithContext(ctx)
+		w.Header().Set("traceparent", self.Traceparent())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		if d := s.injectedLatency(path); d > 0 {
+			time.Sleep(d)
+		}
 		defer func() {
 			elapsed := time.Since(start)
+			sp.SetAttr("status", strconv.Itoa(rec.status))
 			sp.End()
 			ep.requests.Inc()
 			ep.latency.Observe(elapsed.Seconds())
+			fields := []any{
+				slog.String(telemetry.LogKeyMethod, r.Method),
+				slog.String(telemetry.LogKeyEndpoint, path),
+				slog.String(telemetry.LogKeyQuery, r.URL.RawQuery),
+				slog.Int(telemetry.LogKeyStatus, rec.status),
+				slog.Int64(telemetry.LogKeyLatencyUS, elapsed.Microseconds()),
+				slog.String(telemetry.LogKeyTraceID, self.TraceID),
+				slog.String(telemetry.LogKeySpanID, self.SpanID),
+			}
 			if s.opts.SlowQuery > 0 && elapsed > s.opts.SlowQuery {
 				ep.slow.Inc()
-				s.opts.Logger.Printf("thicketd: slow request: %s %s (%s > %s)",
-					r.Method, r.URL.RequestURI(), elapsed.Round(time.Microsecond), s.opts.SlowQuery)
+				s.log.Warn("slow request", fields...)
+			} else {
+				s.log.Debug("request", fields...)
 			}
 		}()
-		h(w, r)
+		h(rec, r)
 	}
 }
 
@@ -481,6 +558,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// handleDebugTraces exposes the trace collector's retained ring:
+// sampling counters plus the newest ?n= retained traces (default 32,
+// oldest of the selection first), each annotated with its retention
+// reason.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	c := s.opts.Trace
+	if c == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	n := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?n=%q", raw))
+			return
+		}
+		n = v
+	}
+	retained := c.Retained()
+	if len(retained) > n {
+		retained = retained[len(retained)-n:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":     true,
+		"retained":    c.Len(),
+		"dropped":     c.Dropped(),
+		"sampled_out": c.SampledOut(),
+		"traces":      retained,
+	})
+}
+
+// handleDebugAnomalies exposes the latency-baseline watchdog: resolved
+// thresholds, per-target rolling baselines, and the retained anomaly
+// log (plus the latest tick's flags under "current").
+func (s *Server) handleDebugAnomalies(w http.ResponseWriter, r *http.Request) {
+	wd := s.opts.Watchdog
+	if wd == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	o := wd.Options()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"ticks":   wd.Ticks(),
+		"options": map[string]any{
+			"window_s":    o.Window.Seconds(),
+			"alpha":       o.Alpha,
+			"sigma":       o.Sigma,
+			"factor":      o.Factor,
+			"min_samples": o.MinSamples,
+			"warmup":      o.Warmup,
+		},
+		"baselines": wd.Baselines(),
+		"current":   wd.Current(),
+		"anomalies": wd.Anomalies(),
+	})
 }
 
 func (s *Server) infoResponse(r *http.Request) (int, any) {

@@ -1,8 +1,9 @@
 package server_test
 
 import (
+	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -73,13 +74,14 @@ func TestRegistryIsolation(t *testing.T) {
 	}
 }
 
-// TestSlowQueryLog checks that requests beyond the threshold are logged
-// and counted, and that a negative threshold disables the log.
+// TestSlowQueryLog checks that requests beyond the threshold emit a
+// structured warning record with the canonical fields and are counted,
+// and that a negative threshold disables the log.
 func TestSlowQueryLog(t *testing.T) {
 	var sb strings.Builder
 	srv := server.New(buildThicket(t), nil, server.Options{
 		SlowQuery: time.Nanosecond, // everything is slow
-		Logger:    log.New(&sb, "", 0),
+		Logger:    telemetry.NewJSONLogger(&sb, slog.LevelWarn),
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -89,8 +91,25 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(sb.String(), "slow request: GET /api/info") {
-		t.Errorf("slow-query log missing entry:\n%s", sb.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &rec); err != nil {
+		t.Fatalf("slow-request log is not one JSON record: %v\n%s", err, sb.String())
+	}
+	if rec[slog.MessageKey] != "slow request" || rec[slog.LevelKey] != "WARN" {
+		t.Errorf("slow log rendered as %v", rec)
+	}
+	if rec[telemetry.LogKeyMethod] != "GET" || rec[telemetry.LogKeyEndpoint] != "/api/info" {
+		t.Errorf("slow log fields: %v", rec)
+	}
+	if rec[telemetry.LogKeyComponent] != "server" {
+		t.Errorf("component = %v", rec[telemetry.LogKeyComponent])
+	}
+	tid, _ := rec[telemetry.LogKeyTraceID].(string)
+	if len(tid) != 32 {
+		t.Errorf("trace_id = %q, want a 32-hex id", tid)
+	}
+	if _, ok := rec[telemetry.LogKeyLatencyUS]; !ok {
+		t.Error("latency_us missing from slow log")
 	}
 	if got := srv.Registry().SumCounter("thicket_http_slow_requests_total"); got != 1 {
 		t.Errorf("slow request counter = %d, want 1", got)
@@ -100,7 +119,7 @@ func TestSlowQueryLog(t *testing.T) {
 	sb.Reset()
 	srv2 := server.New(buildThicket(t), nil, server.Options{
 		SlowQuery: -1,
-		Logger:    log.New(&sb, "", 0),
+		Logger:    telemetry.NewJSONLogger(&sb, slog.LevelWarn),
 	})
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()

@@ -76,7 +76,12 @@ func Create(path string, th *core.Thicket) error {
 	if _, err := f.Write(seg); err != nil {
 		return fmt.Errorf("store: create %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logEvent("store create", "path", path,
+		"profiles", th.NumProfiles(), "bytes", int64(len(seg)))
+	return nil
 }
 
 // Open parses the store's segment headers — never the column data — so
@@ -109,6 +114,8 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
+	logEvent("store open", "path", path,
+		"segments", len(s.segs), "read_only", readOnly)
 	return s, nil
 }
 
@@ -467,6 +474,7 @@ func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error
 // profile listing and filtering.
 func (s *Store) Metadata() (*dataframe.Frame, error) {
 	sp := telemetry.StartOp("store.Metadata")
+	sp.SetAttr("path", s.path)
 	defer sp.End()
 	segs := s.snapshot()
 	frames := make([]*dataframe.Frame, len(segs))
@@ -567,6 +575,8 @@ func (s *Store) Append(th *core.Thicket) error {
 	})
 	s.gen++
 	s.genGauge.Set(s.gen)
+	logEvent("store append", "path", s.path,
+		"profiles", th.NumProfiles(), "generation", s.gen, "bytes", int64(len(rec)))
 	return nil
 }
 

@@ -98,12 +98,19 @@ func writeEvent(b *strings.Builder, pid int, ev *traceEvent) {
 	b.WriteString(`,"dur":`)
 	b.WriteString(micros(n.EndNS - n.StartNS))
 	fmt.Fprintf(b, `,"pid":%d,"tid":%d`, pid, ev.lane+1)
-	if len(n.Attrs) > 0 {
+	if len(n.Attrs) > 0 || n.TraceID != "" {
 		b.WriteString(`,"args":{`)
-		for i, a := range n.Attrs {
-			if i > 0 {
+		first := true
+		if n.TraceID != "" {
+			b.WriteString(`"trace_id":`)
+			b.WriteString(strconv.Quote(n.TraceID))
+			first = false
+		}
+		for _, a := range n.Attrs {
+			if !first {
 				b.WriteByte(',')
 			}
+			first = false
 			b.WriteString(strconv.Quote(a.Key))
 			b.WriteByte(':')
 			b.WriteString(strconv.Quote(a.Value))

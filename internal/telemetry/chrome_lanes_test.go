@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// laneByName maps event name+ts to its assigned tid for assertions.
+func renderLanes(t *testing.T, trees []*TraceNode) []chromeEvent {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, trees); err != nil {
+		t.Fatal(err)
+	}
+	return decodeTrace(t, sb.String())
+}
+
+// TestChromeLanePackingTruncatedTree renders the kind of tree the
+// sampler produces when intermediate spans are dropped: the surviving
+// children overlap each other and even extend past the (truncated)
+// parent's recorded end. Lane packing must keep overlapping events on
+// distinct lanes and stay monotonic, not garble the nesting.
+func TestChromeLanePackingTruncatedTree(t *testing.T) {
+	trees := []*TraceNode{
+		{
+			// Parent's end was clamped when its subtree was truncated:
+			// children legitimately outlive it in the retained view.
+			Name: "http /api/query", StartNS: 1000, EndNS: 5000,
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+			Children: []*TraceNode{
+				{Name: "parallel.worker", StartNS: 1100, EndNS: 6000},
+				{Name: "parallel.worker", StartNS: 1200, EndNS: 7000},
+				{Name: "parallel.worker", StartNS: 6100, EndNS: 8000},
+			},
+		},
+	}
+	events := renderLanes(t, trees)
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	// ts-monotonic output regardless of the odd durations.
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Errorf("event %d ts %.3f before event %d ts %.3f", i, events[i].TS, i-1, events[i-1].TS)
+		}
+	}
+	// Root and the two concurrent workers all overlap: three lanes.
+	lanes := map[int]bool{}
+	for _, ev := range events[:3] {
+		if lanes[ev.Tid] {
+			t.Errorf("overlapping events share lane %d", ev.Tid)
+		}
+		lanes[ev.Tid] = true
+	}
+	// The late worker starts after the root span ends (lane 1 free at
+	// 6100 ≥ 5000) — greedy packing reuses the first free lane.
+	late := events[3]
+	if late.Tid != events[0].Tid {
+		t.Errorf("late worker on lane %d, want reuse of root lane %d", late.Tid, events[0].Tid)
+	}
+}
+
+// TestChromeLanePackingOrphanSiblings: when sampling drops a parent
+// entirely, its children surface as sibling roots of the retained
+// trace. Each tree gets its own pid, so lanes never bleed across trees
+// even with identical time ranges.
+func TestChromeLanePackingOrphanSiblings(t *testing.T) {
+	trees := []*TraceNode{
+		{Name: "store.loadSegment", StartNS: 100, EndNS: 900},
+		{Name: "store.loadSegment", StartNS: 100, EndNS: 900},
+	}
+	events := renderLanes(t, trees)
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	if events[0].Pid == events[1].Pid {
+		t.Error("distinct trees share a pid")
+	}
+	for _, ev := range events {
+		if ev.Tid != 1 {
+			t.Errorf("single-span tree on lane %d, want 1", ev.Tid)
+		}
+	}
+}
+
+// TestChromeTraceIDInArgs: retained spans carry their trace ID into the
+// viewer args block, before any span attrs, and spans without one emit
+// no args at all.
+func TestChromeTraceIDInArgs(t *testing.T) {
+	trees := []*TraceNode{
+		{
+			Name: "http /api/stats", StartNS: 0, EndNS: 100,
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+			Attrs:   []Attr{{"status", "200"}},
+		},
+		{Name: "bare", StartNS: 200, EndNS: 300},
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, trees); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `"args":{"trace_id":"4bf92f3577b34da6a3ce929d0e0e4736","status":"200"}`
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %s:\n%s", want, out)
+	}
+	if strings.Contains(out, `"bare","cat":"thicket","ph":"X","ts":200.000,"dur":100.000,"pid":2,"tid":1,"args"`) {
+		t.Error("span without trace ID or attrs emitted an args block")
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestStructuredLogGoldenSchema pins the JSON shape of the canonical
+// log records every component emits: key names, level rendering, and
+// field order must not drift, because downstream EDA loads these lines
+// back into dataframes.
+func TestStructuredLogGoldenSchema(t *testing.T) {
+	var sb strings.Builder
+	logger := NewDeterministicJSONLogger(&sb, slog.LevelDebug).With(
+		LogKeyComponent, "server",
+	)
+
+	// The request access log (server.instrument).
+	logger.Debug("request",
+		LogKeyMethod, "GET",
+		LogKeyEndpoint, "/api/stats",
+		LogKeyQuery, `. name == store.Load / *`,
+		LogKeyStatus, 200,
+		LogKeyLatencyUS, int64(1250),
+		LogKeyTraceID, "4bf92f3577b34da6a3ce929d0e0e4736",
+		LogKeySpanID, "00f067aa0ba902b7",
+	)
+	// The slow-request warning.
+	logger.Warn("slow request",
+		LogKeyMethod, "GET",
+		LogKeyEndpoint, "/api/info",
+		LogKeyLatencyUS, int64(2500000),
+		LogKeyTraceID, "4bf92f3577b34da6a3ce929d0e0e4736",
+	)
+	// A store event.
+	logger.Info("store append",
+		LogKeyComponent, "store",
+		"path", "runs.thicket",
+		"rows", 128,
+		"generation", int64(7),
+	)
+
+	checkGolden(t, "log_schema.json", sb.String())
+
+	// Every line must round-trip as standalone JSON with the pinned keys.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d log lines, want 3", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not valid JSON: %v", err)
+	}
+	for _, k := range []string{
+		slog.LevelKey, slog.MessageKey, LogKeyComponent, LogKeyMethod,
+		LogKeyEndpoint, LogKeyQuery, LogKeyStatus, LogKeyLatencyUS,
+		LogKeyTraceID, LogKeySpanID,
+	} {
+		if _, ok := rec[k]; !ok {
+			t.Errorf("request record missing key %q", k)
+		}
+	}
+	if _, ok := rec[slog.TimeKey]; ok {
+		t.Error("deterministic logger leaked a time attribute")
+	}
+}
+
+// TestJSONLoggerLevels: the level gate works and time is present in the
+// non-deterministic production logger.
+func TestJSONLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	logger := NewJSONLogger(&sb, slog.LevelInfo)
+	logger.Debug("hidden")
+	logger.Info("shown", LogKeyEndpoint, "/api/query")
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug record passed an info-level gate")
+	}
+	if !strings.Contains(out, `"time"`) {
+		t.Error("production logger dropped the time attribute")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if rec[LogKeyEndpoint] != "/api/query" {
+		t.Errorf("endpoint = %v", rec[LogKeyEndpoint])
+	}
+}

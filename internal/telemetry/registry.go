@@ -87,8 +87,9 @@ func (h *Histogram) snapshotFull() (buckets [17]int64, count int64, sum float64)
 
 // series is one labeled instance of a metric family.
 type series struct {
-	labels string // rendered {k="v",...} or ""
-	metric any    // *Counter, *Gauge, or *Histogram
+	labels string   // rendered {k="v",...} or ""
+	kv     []string // alternating key, value pairs, sorted by key
+	metric any      // *Counter, *Gauge, or *Histogram
 }
 
 // family is one named metric with help text, a type, and its series.
@@ -119,11 +120,11 @@ func NewRegistry() *Registry {
 }
 
 // renderLabels turns alternating key, value pairs into a canonical
-// label string. Pairs are sorted by key so equivalent label sets share
-// one series.
-func renderLabels(kv []string) string {
+// label string plus the sorted pair list. Pairs are sorted by key so
+// equivalent label sets share one series.
+func renderLabels(kv []string) (string, []string) {
 	if len(kv) == 0 {
-		return ""
+		return "", nil
 	}
 	if len(kv)%2 != 0 {
 		panic(fmt.Sprintf("telemetry: odd label list %q", kv))
@@ -135,6 +136,7 @@ func renderLabels(kv []string) string {
 	}
 	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
 	var b strings.Builder
+	sorted := make([]string, 0, len(kv))
 	b.WriteByte('{')
 	for i, p := range pairs {
 		if i > 0 {
@@ -143,15 +145,16 @@ func renderLabels(kv []string) string {
 		b.WriteString(p.k)
 		b.WriteString(`=`)
 		b.WriteString(strconv.Quote(p.v))
+		sorted = append(sorted, p.k, p.v)
 	}
 	b.WriteByte('}')
-	return b.String()
+	return b.String(), sorted
 }
 
 // lookup finds or creates the series for (name, labels), verifying the
 // family's type and constructing the metric with mk on first sight.
 func (r *Registry) lookup(name, help, typ string, labels []string, mk func() any) any {
-	ls := renderLabels(labels)
+	ls, kv := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.fams[name]
@@ -164,10 +167,31 @@ func (r *Registry) lookup(name, help, typ string, labels []string, mk func() any
 	}
 	s, ok := f.series[ls]
 	if !ok {
-		s = &series{labels: ls, metric: mk()}
+		s = &series{labels: ls, kv: kv, metric: mk()}
 		f.series[ls] = s
 	}
 	return s.metric
+}
+
+// VisitHistograms calls f for every series of the named histogram
+// family with its sorted (key, value) label pairs. Series appearing
+// after the snapshot under the lock are picked up on the next visit —
+// the latency-baseline watchdog polls this every window.
+func (r *Registry) VisitHistograms(name string, f func(kv []string, h *Histogram)) {
+	r.mu.Lock()
+	fam := r.fams[name]
+	var views []*series
+	if fam != nil && fam.typ == "histogram" {
+		views = make([]*series, 0, len(fam.series))
+		for _, s := range fam.series {
+			views = append(views, s)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(views, func(a, b int) bool { return views[a].labels < views[b].labels })
+	for _, s := range views {
+		f(s.kv, s.metric.(*Histogram))
+	}
 }
 
 // Counter returns the counter for (name, labels), creating it on first

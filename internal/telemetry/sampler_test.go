@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// endTree produces one finished single-span tree named name with the
+// given trace ID and duration in nanoseconds (duration is synthesized
+// by clamping endNS, which finishTree tolerates because the span has
+// already ended).
+func endTree(name, traceID string) {
+	sp := StartOp(name)
+	sp.SetTraceID(traceID)
+	sp.End()
+}
+
+// TestCollectorRingWraparound drives 2.5× the ring capacity through the
+// collector and checks the ring overwrites oldest-first, keeps
+// completion order, and counts evictions exactly.
+func TestCollectorRingWraparound(t *testing.T) {
+	withSpans(t)
+	c := &Collector{MaxTrees: 8}
+	prev := SetCollector(c)
+	t.Cleanup(func() { SetCollector(prev) })
+
+	const total = 20
+	for i := 0; i < total; i++ {
+		endTree(fmt.Sprintf("op-%02d", i), "")
+	}
+	if got := c.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := c.Dropped(); got != total-8 {
+		t.Errorf("Dropped = %d, want %d", got, total-8)
+	}
+	roots := c.Roots()
+	for i, r := range roots {
+		want := fmt.Sprintf("op-%02d", total-8+i)
+		if r.Name != want {
+			t.Errorf("roots[%d] = %q, want %q (oldest-first after wraparound)", i, r.Name, want)
+		}
+	}
+	// Sequence numbers keep climbing across wraparounds.
+	retained := c.Retained()
+	for i, rt := range retained {
+		if want := uint64(total - 8 + i); rt.Seq != want {
+			t.Errorf("retained[%d].Seq = %d, want %d", i, rt.Seq, want)
+		}
+		if rt.Reason != ReasonAll {
+			t.Errorf("retained[%d].Reason = %q, want %q (no policy)", i, rt.Reason, ReasonAll)
+		}
+	}
+	// Reset rewinds everything, and the ring re-arms afterwards.
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Errorf("after Reset: Len=%d Dropped=%d", c.Len(), c.Dropped())
+	}
+	endTree("post-reset", "")
+	if got := c.Len(); got != 1 {
+		t.Errorf("ring did not re-arm after Reset: Len = %d", got)
+	}
+}
+
+// TestPolicyHeadSampling checks head-based sampling is deterministic in
+// the trace ID and keeps roughly the configured fraction.
+func TestPolicyHeadSampling(t *testing.T) {
+	withSpans(t)
+	c := &Collector{MaxTrees: 4096, Policy: &Policy{HeadProbability: 0.25}}
+	prev := SetCollector(c)
+	t.Cleanup(func() { SetCollector(prev) })
+
+	const total = 2000
+	ids := make([]string, total)
+	for i := range ids {
+		ids[i] = NewTraceContext().TraceID
+	}
+	for _, id := range ids {
+		endTree("http /api/stats", id)
+	}
+	kept := c.Len()
+	if kept == 0 || kept == total {
+		t.Fatalf("head sampling kept %d of %d", kept, total)
+	}
+	if frac := float64(kept) / total; frac < 0.15 || frac > 0.35 {
+		t.Errorf("kept fraction %.3f, want ≈0.25", frac)
+	}
+	if got := c.SampledOut(); got != int64(total-kept) {
+		t.Errorf("SampledOut = %d, want %d", got, total-kept)
+	}
+	for _, rt := range c.Retained() {
+		if rt.Reason != ReasonHead {
+			t.Errorf("reason %q, want head", rt.Reason)
+		}
+	}
+
+	// Determinism: the same trace IDs produce the same decisions.
+	keptIDs := map[string]bool{}
+	for _, rt := range c.Retained() {
+		keptIDs[rt.TraceID] = true
+	}
+	c.Reset()
+	for _, id := range ids {
+		endTree("http /api/stats", id)
+	}
+	if got := c.Len(); got != kept {
+		t.Fatalf("re-run kept %d, first run kept %d", got, kept)
+	}
+	for _, rt := range c.Retained() {
+		if !keptIDs[rt.TraceID] {
+			t.Fatalf("trace %s kept on re-run but not first run", rt.TraceID)
+		}
+	}
+}
+
+// TestPolicyTailRetention checks the judge overrides the head decision:
+// slow traces are always retained with reason "slow", and TakeSlow
+// drains each exactly once.
+func TestPolicyTailRetention(t *testing.T) {
+	withSpans(t)
+	c := &Collector{
+		MaxTrees: 64,
+		Policy: &Policy{
+			HeadProbability: 0, // head sampling off: only slow traces survive
+			Judge: func(name string, seconds float64) bool {
+				return strings.HasSuffix(name, "/api/slow")
+			},
+		},
+	}
+	prev := SetCollector(c)
+	t.Cleanup(func() { SetCollector(prev) })
+
+	for i := 0; i < 10; i++ {
+		endTree("http /api/fast", fmt.Sprintf("%032x", 1000+i))
+	}
+	for i := 0; i < 3; i++ {
+		endTree("http /api/slow", fmt.Sprintf("%032x", 2000+i))
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("retained %d traces, want 3 slow ones", got)
+	}
+	for _, rt := range c.Retained() {
+		if rt.Reason != ReasonSlow {
+			t.Errorf("reason %q, want slow", rt.Reason)
+		}
+	}
+	first := c.TakeSlow(2)
+	if len(first) != 2 {
+		t.Fatalf("TakeSlow(2) returned %d", len(first))
+	}
+	rest := c.TakeSlow(0)
+	if len(rest) != 1 {
+		t.Fatalf("TakeSlow(0) after TakeSlow(2) returned %d, want the 1 remaining", len(rest))
+	}
+	if again := c.TakeSlow(0); len(again) != 0 {
+		t.Errorf("TakeSlow re-delivered %d traces", len(again))
+	}
+	// Draining does not evict: /debug/traces still sees all three.
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len after drain = %d, want 3", got)
+	}
+}
+
+// TestPolicyHeadProbabilityOne keeps everything without hashing.
+func TestPolicyHeadProbabilityOne(t *testing.T) {
+	withSpans(t)
+	c := &Collector{MaxTrees: 16, Policy: &Policy{HeadProbability: 1}}
+	prev := SetCollector(c)
+	t.Cleanup(func() { SetCollector(prev) })
+	for i := 0; i < 5; i++ {
+		endTree("op", "")
+	}
+	if got := c.Len(); got != 5 {
+		t.Errorf("kept %d of 5 at probability 1", got)
+	}
+}

@@ -26,6 +26,7 @@ type Span struct {
 	name    string
 	startNS int64
 	endNS   int64
+	traceID string // request identity; set on roots via SetTraceID
 	attrs   []Attr
 	parent  *Span
 	ended   atomic.Bool
@@ -42,6 +43,7 @@ func newSpan(name string, parent *Span) *Span {
 	s.name = name
 	s.startNS = nowNS()
 	s.endNS = 0
+	s.traceID = ""
 	s.attrs = s.attrs[:0]
 	s.parent = parent
 	s.ended.Store(false)
@@ -97,6 +99,35 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// SetTraceID stamps the span's tree with a request trace ID (the W3C
+// trace-id of the request the tree belongs to). The ID is stored on the
+// tree's root, so every span of the tree — including children opened on
+// parallel-worker goroutines and store I/O spans — resolves to it
+// through TraceID. Nil-safe.
+func (s *Span) SetTraceID(id string) {
+	if s == nil {
+		return
+	}
+	root := s
+	for root.parent != nil {
+		root = root.parent
+	}
+	root.traceID = id
+}
+
+// TraceID returns the trace ID of the span's tree ("" when unset or
+// nil). Valid only while the tree is live (before its root Ends).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	root := s
+	for root.parent != nil {
+		root = root.parent
+	}
+	return root.traceID
 }
 
 // End closes the span. The first End wins; later calls (a span ended

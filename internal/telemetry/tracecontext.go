@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceContext is the W3C Trace Context identity of one request: a
+// 128-bit trace ID shared by every hop of a distributed request and a
+// 64-bit span (parent) ID naming the hop itself, both lowercase hex.
+// thicketd accepts an incoming `traceparent` header, threads the trace
+// ID through every span of the request tree (across parallel workers
+// and store I/O), and emits a fresh child context on the response — so
+// a thicketd request slots into whatever tracing system called it.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars, not all-zero
+	SpanID  string // 16 lowercase hex chars, not all-zero
+	Sampled bool   // the 01 flag bit of the traceparent
+}
+
+// Valid reports whether the context carries well-formed, non-zero IDs.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 W3C traceparent
+// header value: 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// Child returns a context with the same trace ID and a fresh span ID —
+// the identity of the work this process performs on the trace's behalf.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: randHex(8), Sampled: tc.Sampled}
+}
+
+// NewTraceContext mints a new root trace identity with random IDs.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8), Sampled: true}
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Unknown
+// versions other than the reserved ff are accepted with their IDs
+// (forward compatibility, as the spec requires); malformed values
+// return an error.
+func ParseTraceparent(h string) (TraceContext, error) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: want version-traceid-spanid-flags", h)
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHexLower(version) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: bad version %q", h, version)
+	}
+	if version == "ff" {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: reserved version ff", h)
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: version 00 has exactly four fields", h)
+	}
+	if !isHexID(traceID, 32) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: bad trace-id", h)
+	}
+	if !isHexID(spanID, 16) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: bad parent-id", h)
+	}
+	if len(flags) != 2 || !isHexLower(flags) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent %q: bad flags %q", h, flags)
+	}
+	var fb byte
+	if b, err := hex.DecodeString(flags); err == nil {
+		fb = b[0]
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: fb&0x01 != 0}, nil
+}
+
+// isHexID reports whether s is exactly n lowercase hex chars and not
+// all zeros (all-zero IDs are invalid per the W3C spec).
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHexLower(s) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idCounter de-duplicates fallback IDs if crypto/rand ever fails.
+var idCounter atomic.Uint64
+
+// randHex returns 2n lowercase hex chars of randomness, never all-zero.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		// Monotonic fallback: unique within the process, still non-zero.
+		binary.BigEndian.PutUint64(b[:8], idCounter.Add(1)|1<<63)
+	}
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[n-1] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+// tcKey keys the request trace context in a context.Context. Kept
+// separate from the active-span key so trace identity survives even
+// when span collection is disabled (structured logs still want the
+// trace ID).
+type tcKey struct{}
+
+// ContextWithTrace returns ctx carrying tc as the request identity.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, tcKey{}, tc)
+}
+
+// TraceFromContext returns the request trace context, or a zero value
+// when none is attached.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(tcKey{}).(TraceContext)
+	return tc, ok
+}

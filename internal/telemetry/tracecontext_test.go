@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("TraceID = %q", tc.TraceID)
+	}
+	if tc.SpanID != "00f067aa0ba902b7" {
+		t.Errorf("SpanID = %q", tc.SpanID)
+	}
+	if !tc.Sampled {
+		t.Error("Sampled = false, want true")
+	}
+	if got := tc.Traceparent(); got != in {
+		t.Errorf("Traceparent() = %q, want %q", got, in)
+	}
+	if un, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"); err != nil || un.Sampled {
+		t.Errorf("flags 00 parsed as (%+v, %v), want unsampled", un, err)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-header",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // missing flags
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // all-zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // all-zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",    // uppercase hex
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // reserved version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx", // extra field on version 00
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",      // short trace id
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // non-hex version
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) succeeded, want error", h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Future versions may append fields; the spec says parse the known
+	// prefix.
+	tc, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || !tc.Sampled {
+		t.Errorf("future version parsed as %+v", tc)
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		tc := NewTraceContext()
+		if !tc.Valid() {
+			t.Fatalf("NewTraceContext() invalid: %+v", tc)
+		}
+		if !tc.Sampled {
+			t.Fatal("new root context not sampled")
+		}
+		if seen[tc.TraceID] {
+			t.Fatalf("duplicate trace ID %s", tc.TraceID)
+		}
+		seen[tc.TraceID] = true
+		if _, err := ParseTraceparent(tc.Traceparent()); err != nil {
+			t.Fatalf("self-emitted traceparent does not parse: %v", err)
+		}
+	}
+}
+
+func TestTraceContextChild(t *testing.T) {
+	tc := NewTraceContext()
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("child changed the trace ID")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("child kept the parent span ID")
+	}
+	if !strings.HasPrefix(child.Traceparent(), "00-"+tc.TraceID+"-") {
+		t.Errorf("child traceparent %q", child.Traceparent())
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Error("empty context reported a trace")
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceFromContext = (%+v, %v), want (%+v, true)", got, ok, tc)
+	}
+}
+
+// TestSpanTraceID checks trace IDs resolve through the parent chain:
+// a child opened on any goroutine reports the root's trace ID.
+func TestSpanTraceID(t *testing.T) {
+	withSpans(t)
+	c := withCollector(t)
+
+	root := StartOp("http /api/x")
+	root.SetTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	child := root.StartChild("store.Load")
+	grand := child.StartChild("store.readBlock")
+	for _, sp := range []*Span{root, child, grand} {
+		if got := sp.TraceID(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("span %q TraceID = %q", sp.Name(), got)
+		}
+	}
+	// Setting through a descendant also lands on the root.
+	grand.SetTraceID("aaaa2f3577b34da6a3ce929d0e0e4736")
+	if got := root.TraceID(); got != "aaaa2f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("SetTraceID via child: root TraceID = %q", got)
+	}
+	grand.End()
+	child.End()
+	root.End()
+
+	roots := c.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("%d trees collected", len(roots))
+	}
+	if roots[0].TraceID != "aaaa2f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("exported root TraceID = %q", roots[0].TraceID)
+	}
+	// Nil spans: the whole trace-ID method set must be no-ops.
+	var nilSpan *Span
+	nilSpan.SetTraceID("x")
+	if nilSpan.TraceID() != "" {
+		t.Error("nil span TraceID not empty")
+	}
+}

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Watchdog defaults.
+const (
+	DefaultWatchdogWindow = 10 * time.Second
+	DefaultWatchdogAlpha  = 0.3
+	DefaultWatchdogSigma  = 3.0
+	// DefaultWatchdogFactor is the minimum multiplicative regression: an
+	// interval (or a single trace) must also exceed baseline×factor to
+	// flag, so near-zero-variance baselines don't alert on microsecond
+	// jitter.
+	DefaultWatchdogFactor       = 1.5
+	DefaultWatchdogMinSamples   = 5
+	DefaultWatchdogWarmup       = 3
+	DefaultWatchdogMaxAnomalies = 256
+)
+
+// watchedFamilies are the histogram families a watchdog folds by
+// default: per-endpoint HTTP latency and per-kernel span durations.
+var watchedFamilies = []string{"thicket_http_request_seconds", "thicket_span_seconds"}
+
+// WatchdogOptions tunes the latency-baseline watchdog.
+type WatchdogOptions struct {
+	// Window is the snapshot interval of Run. 0 selects
+	// DefaultWatchdogWindow.
+	Window time.Duration
+	// Alpha is the EWMA weight of the newest interval (0 < alpha <= 1).
+	// 0 selects DefaultWatchdogAlpha.
+	Alpha float64
+	// Sigma flags an interval whose mean exceeds the baseline by this
+	// many EWMA standard deviations. 0 selects DefaultWatchdogSigma.
+	Sigma float64
+	// Factor is the minimum multiplicative regression to flag.
+	// 0 selects DefaultWatchdogFactor.
+	Factor float64
+	// MinSamples skips intervals with fewer observations (too noisy to
+	// judge). 0 selects DefaultWatchdogMinSamples.
+	MinSamples int64
+	// Warmup is the number of folded intervals a baseline needs before
+	// it can flag anomalies or judge slowness. 0 selects
+	// DefaultWatchdogWarmup.
+	Warmup int
+	// MaxAnomalies bounds the retained anomaly log (oldest drop first).
+	// 0 selects DefaultWatchdogMaxAnomalies.
+	MaxAnomalies int
+	// Families overrides the watched histogram families.
+	Families []string
+}
+
+func (o WatchdogOptions) withDefaults() WatchdogOptions {
+	if o.Window <= 0 {
+		o.Window = DefaultWatchdogWindow
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = DefaultWatchdogAlpha
+	}
+	if o.Sigma <= 0 {
+		o.Sigma = DefaultWatchdogSigma
+	}
+	if o.Factor <= 0 {
+		o.Factor = DefaultWatchdogFactor
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = DefaultWatchdogMinSamples
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = DefaultWatchdogWarmup
+	}
+	if o.MaxAnomalies <= 0 {
+		o.MaxAnomalies = DefaultWatchdogMaxAnomalies
+	}
+	if len(o.Families) == 0 {
+		o.Families = watchedFamilies
+	}
+	return o
+}
+
+// Baseline is the exported view of one target's rolling latency
+// baseline.
+type Baseline struct {
+	Target    string  `json:"target"`    // endpoint path or span name
+	Family    string  `json:"family"`    // histogram family the target came from
+	MeanS     float64 `json:"mean_s"`    // EWMA of interval means, seconds
+	StdS      float64 `json:"std_s"`     // EWMA standard deviation, seconds
+	Intervals int     `json:"intervals"` // folded intervals
+	Count     int64   `json:"count"`     // total observations seen
+}
+
+// Anomaly is one flagged latency regression: an interval whose mean
+// exceeded the rolling baseline by the configured sigma and factor.
+type Anomaly struct {
+	Target       string  `json:"target"`
+	Family       string  `json:"family"`
+	IntervalMean float64 `json:"interval_mean_s"`
+	BaselineMean float64 `json:"baseline_mean_s"`
+	StdDevs      float64 `json:"std_devs"` // how far out, in baseline std units
+	Count        int64   `json:"interval_count"`
+	Tick         int64   `json:"tick"`
+	UnixNS       int64   `json:"unix_ns"`
+}
+
+// baseline is the internal accumulator behind one Baseline.
+type baseline struct {
+	target    string
+	family    string
+	lastCount int64
+	lastSum   float64
+	mean      float64 // EWMA of interval means
+	variance  float64 // EWMA of squared deviations
+	intervals int
+}
+
+// ready reports whether the baseline has warmed up enough to judge.
+func (b *baseline) ready(warmup int) bool { return b != nil && b.intervals >= warmup }
+
+// exceeds applies the sigma + factor rule to one observation (an
+// interval mean or a single trace duration, seconds).
+func (b *baseline) exceeds(v, sigma, factor float64) (stds float64, slow bool) {
+	std := math.Sqrt(b.variance)
+	if std > 0 {
+		stds = (v - b.mean) / std
+	} else if v > b.mean {
+		stds = math.Inf(1)
+	}
+	return stds, v > b.mean*factor && (std == 0 || v > b.mean+sigma*std)
+}
+
+// Watchdog folds a registry's log-bucket latency histograms into
+// per-endpoint and per-kernel EWMA baselines and flags regressions.
+// Every Window it snapshots the watched histogram families, computes
+// each series' interval mean, compares it to the rolling baseline
+// (flagging when the sigma and factor thresholds are both exceeded),
+// then folds the interval into the EWMA. Flagged regressions land in a
+// bounded anomaly log (served at /debug/anomalies) and increment
+// thicket_watchdog_anomalies_total in the same registry.
+//
+// IsSlow exposes the baselines as a per-trace judge — the tail-sampling
+// hook of Policy: a single trace is slow when its duration exceeds its
+// target's baseline by the same thresholds.
+type Watchdog struct {
+	reg  *Registry
+	opts WatchdogOptions
+
+	ticksC *Counter
+
+	mu        sync.Mutex
+	base      map[string]*baseline // family "\x00" labels -> state
+	byTarget  map[string]*baseline // target -> state (judge lookups)
+	anomalies []Anomaly            // bounded, oldest first
+	current   []Anomaly            // flagged on the latest tick
+	ticks     int64
+}
+
+// NewWatchdog builds a watchdog over reg's histograms. Call Run to
+// start the background snapshotter, or Tick directly (tests, manual
+// pacing).
+func NewWatchdog(reg *Registry, opts WatchdogOptions) *Watchdog {
+	if reg == nil {
+		reg = Default
+	}
+	return &Watchdog{
+		reg:      reg,
+		opts:     opts.withDefaults(),
+		ticksC:   reg.Counter("thicket_watchdog_ticks_total", "Watchdog snapshot intervals folded."),
+		base:     make(map[string]*baseline),
+		byTarget: make(map[string]*baseline),
+	}
+}
+
+// Options returns the resolved options.
+func (w *Watchdog) Options() WatchdogOptions { return w.opts }
+
+// Run snapshots every Window until ctx is cancelled.
+func (w *Watchdog) Run(ctx context.Context) {
+	t := time.NewTicker(w.opts.Window)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Tick()
+		}
+	}
+}
+
+// Tick folds one snapshot interval and returns the anomalies it
+// flagged. Exported for tests and for callers that pace snapshots
+// themselves.
+func (w *Watchdog) Tick() []Anomaly {
+	now := time.Now().UnixNano()
+	w.mu.Lock()
+	w.ticks++
+	tick := w.ticks
+	var flagged []Anomaly
+	for _, fam := range w.opts.Families {
+		fam := fam
+		w.reg.VisitHistograms(fam, func(kv []string, h *Histogram) {
+			count, sum := h.Snapshot()
+			key := fam + "\x00" + joinKV(kv)
+			b, ok := w.base[key]
+			if !ok {
+				b = &baseline{target: targetOf(kv), family: fam}
+				w.base[key] = b
+				w.byTarget[b.target] = b
+			}
+			dc, ds := count-b.lastCount, sum-b.lastSum
+			b.lastCount, b.lastSum = count, sum
+			if dc < w.opts.MinSamples {
+				return // quiet interval: nothing trustworthy to fold
+			}
+			m := ds / float64(dc)
+			if b.ready(w.opts.Warmup) {
+				if stds, slow := b.exceeds(m, w.opts.Sigma, w.opts.Factor); slow {
+					flagged = append(flagged, Anomaly{
+						Target:       b.target,
+						Family:       fam,
+						IntervalMean: m,
+						BaselineMean: b.mean,
+						StdDevs:      stds,
+						Count:        dc,
+						Tick:         tick,
+						UnixNS:       now,
+					})
+				}
+			}
+			if b.intervals == 0 {
+				b.mean = m // seed: an EWMA started at zero converges too slowly
+			} else {
+				d := m - b.mean
+				b.mean += w.opts.Alpha * d
+				b.variance = (1 - w.opts.Alpha) * (b.variance + w.opts.Alpha*d*d)
+			}
+			b.intervals++
+		})
+	}
+	w.current = flagged
+	w.anomalies = append(w.anomalies, flagged...)
+	if over := len(w.anomalies) - w.opts.MaxAnomalies; over > 0 {
+		w.anomalies = append(w.anomalies[:0:0], w.anomalies[over:]...)
+	}
+	w.mu.Unlock()
+	w.ticksC.Inc()
+	for _, a := range flagged {
+		w.reg.Counter("thicket_watchdog_anomalies_total",
+			"Latency regressions flagged by the baseline watchdog.", "target", a.Target).Inc()
+	}
+	return flagged
+}
+
+// Anomalies returns the retained anomaly log, oldest first.
+func (w *Watchdog) Anomalies() []Anomaly {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Anomaly(nil), w.anomalies...)
+}
+
+// Current returns the anomalies flagged by the latest tick.
+func (w *Watchdog) Current() []Anomaly {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Anomaly(nil), w.current...)
+}
+
+// Ticks reports the number of folded snapshot intervals.
+func (w *Watchdog) Ticks() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ticks
+}
+
+// Baselines returns the rolling baselines, ordered by family then
+// target.
+func (w *Watchdog) Baselines() []Baseline {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Baseline, 0, len(w.base))
+	for _, b := range w.base {
+		out = append(out, Baseline{
+			Target:    b.target,
+			Family:    b.family,
+			MeanS:     b.mean,
+			StdS:      math.Sqrt(b.variance),
+			Intervals: b.intervals,
+			Count:     b.lastCount,
+		})
+	}
+	sortBaselines(out)
+	return out
+}
+
+// IsSlow reports whether a single trace (name, seconds) is slow against
+// its target's rolling baseline — the tail-retention judge wired into
+// the trace Collector's sampling Policy. Span names of HTTP request
+// roots ("http /api/stats") also resolve against the endpoint baseline
+// ("/api/stats"). Targets without a warmed-up baseline are never slow.
+func (w *Watchdog) IsSlow(name string, seconds float64) bool {
+	w.mu.Lock()
+	b := w.byTarget[name]
+	if b == nil && len(name) > 5 && name[:5] == "http " {
+		b = w.byTarget[name[5:]]
+	}
+	if !b.ready(w.opts.Warmup) {
+		w.mu.Unlock()
+		return false
+	}
+	sigma, factor := w.opts.Sigma, w.opts.Factor
+	_, slow := b.exceeds(seconds, sigma, factor)
+	w.mu.Unlock()
+	return slow
+}
+
+// joinKV flattens sorted label pairs into a map key.
+func joinKV(kv []string) string {
+	s := ""
+	for _, p := range kv {
+		s += p + "\x00"
+	}
+	return s
+}
+
+// targetOf picks the human target from a label set: the value of the
+// last (key, value) pair — "endpoint" for HTTP histograms, "span" for
+// kernel histograms — or "(unlabeled)".
+func targetOf(kv []string) string {
+	if len(kv) < 2 {
+		return "(unlabeled)"
+	}
+	return kv[len(kv)-1]
+}
+
+func sortBaselines(bs []Baseline) {
+	for i := 1; i < len(bs); i++ { // insertion sort: n is small
+		for j := i; j > 0; j-- {
+			a, b := &bs[j-1], &bs[j]
+			if a.Family < b.Family || (a.Family == b.Family && a.Target <= b.Target) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}

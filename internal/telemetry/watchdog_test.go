@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feedInterval records n observations of v seconds into the endpoint
+// histogram and folds one watchdog tick, returning what it flagged.
+func feedInterval(w *Watchdog, h *Histogram, n int, v float64) []Anomaly {
+	for i := 0; i < n; i++ {
+		h.Observe(v)
+	}
+	return w.Tick()
+}
+
+func testWatchdog(t *testing.T, opts WatchdogOptions) (*Watchdog, *Registry, *Histogram) {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("thicket_http_request_seconds", "test", "endpoint", "/api/stats")
+	return NewWatchdog(reg, opts), reg, h
+}
+
+// TestWatchdogFlagsInjectedSlowdown warms a baseline on a steady
+// endpoint, injects a slowdown, and checks the anomaly plus the alert
+// counter in the same registry.
+func TestWatchdogFlagsInjectedSlowdown(t *testing.T) {
+	w, reg, h := testWatchdog(t, WatchdogOptions{Warmup: 3, MinSamples: 5})
+
+	for i := 0; i < 5; i++ {
+		if got := feedInterval(w, h, 20, 0.010); len(got) != 0 {
+			t.Fatalf("steady interval %d flagged %v", i, got)
+		}
+	}
+	bs := w.Baselines()
+	if len(bs) != 1 || bs[0].Target != "/api/stats" {
+		t.Fatalf("baselines = %+v", bs)
+	}
+	if math.Abs(bs[0].MeanS-0.010) > 1e-9 {
+		t.Errorf("baseline mean %.6f, want 0.010", bs[0].MeanS)
+	}
+
+	flagged := feedInterval(w, h, 20, 0.100) // 10× regression
+	if len(flagged) != 1 {
+		t.Fatalf("injected slowdown flagged %d anomalies, want 1", len(flagged))
+	}
+	a := flagged[0]
+	if a.Target != "/api/stats" || a.Family != "thicket_http_request_seconds" {
+		t.Errorf("anomaly target/family = %q/%q", a.Target, a.Family)
+	}
+	if a.IntervalMean < 0.09 || a.BaselineMean > 0.02 {
+		t.Errorf("anomaly means: interval %.4f baseline %.4f", a.IntervalMean, a.BaselineMean)
+	}
+	if len(w.Current()) != 1 || len(w.Anomalies()) != 1 {
+		t.Errorf("Current/Anomalies = %d/%d, want 1/1", len(w.Current()), len(w.Anomalies()))
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `thicket_watchdog_anomalies_total{target="/api/stats"} 1`) {
+		t.Errorf("alert counter missing from /metrics:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "thicket_watchdog_ticks_total 6") {
+		t.Errorf("tick counter missing from /metrics")
+	}
+
+	// The regressed interval folds into the EWMA, so a recovery interval
+	// is not flagged as anomalous.
+	if got := feedInterval(w, h, 20, 0.010); len(got) != 0 {
+		t.Errorf("recovery interval flagged %v", got)
+	}
+}
+
+// TestWatchdogWarmupAndMinSamples: quiet or short intervals never flag
+// and never fold.
+func TestWatchdogWarmupAndMinSamples(t *testing.T) {
+	w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 3, MinSamples: 5})
+
+	// Below MinSamples: interval skipped entirely.
+	if got := feedInterval(w, h, 2, 5.0); len(got) != 0 {
+		t.Fatalf("sparse interval flagged %v", got)
+	}
+	if bs := w.Baselines(); len(bs) != 1 || bs[0].Intervals != 0 {
+		t.Fatalf("sparse interval folded: %+v", bs)
+	}
+
+	// During warmup, even a huge jump is folded silently.
+	feedInterval(w, h, 10, 0.001)
+	if got := feedInterval(w, h, 10, 1.0); len(got) != 0 {
+		t.Errorf("warmup interval flagged %v", got)
+	}
+}
+
+// TestWatchdogIsSlow exercises the tail-sampling judge, including the
+// "http " span-name prefix fallback onto endpoint baselines.
+func TestWatchdogIsSlow(t *testing.T) {
+	w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 2, MinSamples: 1})
+
+	if w.IsSlow("/api/stats", 10) {
+		t.Error("cold baseline judged a trace slow")
+	}
+	feedInterval(w, h, 10, 0.010)
+	feedInterval(w, h, 10, 0.010)
+
+	if !w.IsSlow("/api/stats", 0.100) {
+		t.Error("10× trace not judged slow")
+	}
+	if w.IsSlow("/api/stats", 0.011) {
+		t.Error("1.1× trace judged slow")
+	}
+	// HTTP root spans are named "http <path>" but the histogram label is
+	// the bare path; the judge must bridge that.
+	if !w.IsSlow("http /api/stats", 0.100) {
+		t.Error("prefixed span name did not resolve to endpoint baseline")
+	}
+	if w.IsSlow("store.Load", 10) {
+		t.Error("unknown target judged slow")
+	}
+}
+
+// TestWatchdogAnomalyLogBounded: the retained log drops oldest first.
+func TestWatchdogAnomalyLogBounded(t *testing.T) {
+	w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 1, MinSamples: 1, MaxAnomalies: 3, Alpha: 0.01})
+
+	feedInterval(w, h, 5, 0.001)
+	for i := 0; i < 6; i++ {
+		// Alpha is tiny, so the baseline stays near 1ms and every loud
+		// interval flags.
+		if got := feedInterval(w, h, 5, 1.0); len(got) != 1 {
+			t.Fatalf("interval %d flagged %d", i, len(got))
+		}
+	}
+	log := w.Anomalies()
+	if len(log) != 3 {
+		t.Fatalf("anomaly log length %d, want 3", len(log))
+	}
+	if log[0].Tick >= log[2].Tick {
+		t.Errorf("log not oldest-first: ticks %d..%d", log[0].Tick, log[2].Tick)
+	}
+	if log[2].Tick != w.Ticks() {
+		t.Errorf("newest anomaly tick %d, watchdog ticks %d", log[2].Tick, w.Ticks())
+	}
+}
+
+// TestWatchdogRun: the background snapshotter folds ticks until its
+// context is cancelled.
+func TestWatchdogRun(t *testing.T) {
+	w, _, h := testWatchdog(t, WatchdogOptions{Window: 2 * time.Millisecond, MinSamples: 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Ticks() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if w.Ticks() == 0 {
+		t.Error("Run folded no ticks")
+	}
+}

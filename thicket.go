@@ -28,6 +28,7 @@ package thicket
 
 import (
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/query"
+	"repro/internal/selfprofile"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -254,10 +256,56 @@ type (
 	TraceNode = telemetry.TraceNode
 	// TraceCollector retains finished span trees for export.
 	TraceCollector = telemetry.Collector
+	// TracePolicy is a collector's sampling policy: head-based
+	// probabilistic sampling plus tail retention of slow traces.
+	TracePolicy = telemetry.Policy
+	// RetainedTrace is one collected trace annotated with why it
+	// survived sampling.
+	RetainedTrace = telemetry.RetainedTrace
+	// TraceContext is a W3C trace-context identity (traceparent header).
+	TraceContext = telemetry.TraceContext
 	// MetricsRegistry holds typed counters/gauges/histograms and renders
 	// them in the Prometheus text format.
 	MetricsRegistry = telemetry.Registry
+	// Watchdog folds latency histograms into rolling per-target EWMA
+	// baselines and flags regressions.
+	Watchdog = telemetry.Watchdog
+	// WatchdogOptions tunes the latency-baseline watchdog.
+	WatchdogOptions = telemetry.WatchdogOptions
+	// SelfProfiler exports retained slow traces into an ensemble store —
+	// the dogfood loop feeding thicketd's history back to its own EDA.
+	SelfProfiler = selfprofile.Profiler
+	// SelfProfileOptions configures the self-profiler.
+	SelfProfileOptions = selfprofile.Options
 )
+
+// NewTraceContext mints a fresh sampled W3C trace context.
+func NewTraceContext() TraceContext { return telemetry.NewTraceContext() }
+
+// ParseTraceparent parses a W3C traceparent header.
+func ParseTraceparent(h string) (TraceContext, error) { return telemetry.ParseTraceparent(h) }
+
+// NewWatchdog builds a latency-baseline watchdog over reg's histograms
+// (nil selects the process-wide registry). Call Run to start the
+// background snapshotter.
+func NewWatchdog(reg *MetricsRegistry, opts WatchdogOptions) *Watchdog {
+	return telemetry.NewWatchdog(reg, opts)
+}
+
+// NewSelfProfiler builds the slow-trace exporter of the dogfood loop.
+func NewSelfProfiler(opts SelfProfileOptions) (*SelfProfiler, error) {
+	return selfprofile.New(opts)
+}
+
+// NewJSONLogger returns the canonical structured logger: one JSON
+// object per line with the shared telemetry field names.
+func NewJSONLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return telemetry.NewJSONLogger(w, level)
+}
+
+// SetStoreLogger directs structured store events (create, open, append)
+// to logger; nil restores the default silent logger.
+func SetStoreLogger(logger *slog.Logger) { store.SetLogger(logger) }
 
 // EnableTelemetry flips span collection on or off at runtime and returns
 // the previous state. When off (the default unless THICKET_TELEMETRY is
