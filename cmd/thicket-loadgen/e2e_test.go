@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	thicket "repro"
+	"repro/internal/loadgen"
+)
+
+// TestE2EClosedLoop drives the full feedback loop under synthetic
+// traffic: a seeded mixed workload against a self-hosted thicketd, a
+// latency regression injected into /api/stats mid-run, and the
+// assertion chain the ISSUE pins: the watchdog flags the regression at
+// /debug/anomalies, bumps thicket_watchdog_anomalies_total in /metrics,
+// and the retained slow traces land in the self-profile store where a
+// call-path query finds the slowed endpoint.
+func TestE2EClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e needs seconds of replay")
+	}
+	const endpoint = "/api/stats"
+	host, err := loadgen.StartSelfHost(loadgen.SelfHostOptions{
+		ScratchDir: t.TempDir(),
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	sched, err := loadgen.BuildSchedule(loadgen.MixedSpec(42, 6*time.Second, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Onset at the halfway point: three 1s baseline windows warm the
+	// endpoint on honest latencies, then every /api/stats request slows
+	// by 30ms — orders of magnitude past the µs-scale baseline.
+	regress := &loadgen.Regression{Path: endpoint, Delay: 30 * time.Millisecond, Onset: 3 * time.Second}
+	m, err := loadgen.Run(context.Background(), sched, host.Target(16, regress))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(sched, m)
+	exported, err := host.Annotate(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Measured.Anomalies == 0 {
+		t.Fatal("watchdog missed an injected 30ms regression")
+	}
+	if rep.Measured.RetainedTraces == 0 {
+		t.Error("tail sampler retained no slow traces")
+	}
+	if exported == 0 {
+		t.Fatal("no slow-trace profiles exported to the self-profile store")
+	}
+	if rep.Measured.Errors != 0 {
+		t.Errorf("replay had %d request errors", rep.Measured.Errors)
+	}
+
+	// The live server reports the anomaly...
+	resp, err := http.Get(host.URL + "/debug/anomalies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dbg map[string]any
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatalf("bad /debug/anomalies payload: %v\n%s", err, body)
+	}
+	anomalies, _ := dbg["anomalies"].([]any)
+	found := false
+	for _, a := range anomalies {
+		if am, ok := a.(map[string]any); ok && am["target"] == endpoint {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/anomalies missing %s: %s", endpoint, body)
+	}
+
+	// ...and the alert counter in /metrics.
+	resp, err = http.Get(host.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `thicket_watchdog_anomalies_total{target="`+endpoint+`"}`) {
+		t.Error("/metrics missing the watchdog anomaly counter for " + endpoint)
+	}
+
+	// The self-profile store is a regular ensemble store: the slowed
+	// endpoint appears in the metadata and a call-path query returns the
+	// slow request spans.
+	selfPath := host.SelfProfilePath()
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	selfSt, err := thicket.OpenStore(selfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer selfSt.Close()
+	selfTh, err := selfSt.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpointCol, err := selfTh.Metadata.ColumnByName("endpoint")
+	if err != nil {
+		t.Fatalf("self-profile metadata missing endpoint column: %v", err)
+	}
+	found = false
+	for r := 0; r < selfTh.Metadata.NRows(); r++ {
+		if endpointCol.At(r) == thicket.Str("http "+endpoint) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no self-profile row for http %s", endpoint)
+	}
+	out, err := selfTh.QueryString(". name $= " + strings.ReplaceAll(endpoint, "/", ":"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tree.Len() == 0 {
+		t.Error("call-path query over the self-profile store kept no nodes")
+	}
+}
+
+// TestE2ECleanRunQuiet is the other half of the closed-loop contract:
+// the same seed with no injected regression must not alarm.
+func TestE2ECleanRunQuiet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e needs seconds of replay")
+	}
+	host, err := loadgen.StartSelfHost(loadgen.SelfHostOptions{
+		ScratchDir: t.TempDir(),
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	sched, err := loadgen.BuildSchedule(loadgen.MixedSpec(42, 4*time.Second, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadgen.Run(context.Background(), sched, host.Target(16, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.BuildReport(sched, m)
+	if _, err := host.Annotate(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Measured.Anomalies != 0 {
+		t.Fatalf("clean run flagged %d anomalies", rep.Measured.Anomalies)
+	}
+	if rep.Measured.Errors != 0 {
+		t.Errorf("clean run had %d request errors", rep.Measured.Errors)
+	}
+
+	resp, err := http.Get(host.URL + "/debug/anomalies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dbg map[string]any
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if anomalies, _ := dbg["anomalies"].([]any); len(anomalies) != 0 {
+		t.Fatalf("clean run /debug/anomalies not empty: %s", body)
+	}
+}
+
+// TestRunSeedDeterminism is the cmd-level seed contract: two full runs
+// of the binary's run() with the same seed write BENCH reports whose
+// workload halves (schedule digest included) are byte-identical; the
+// measured halves may differ.
+func TestRunSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e needs seconds of replay")
+	}
+	runOnce := func(out string) {
+		t.Helper()
+		cfg := &config{
+			seed: 7, duration: 1500 * time.Millisecond, rate: 120,
+			workload: "mixed", out: out, concurrency: 16,
+			window: time.Second, sigma: 5, factor: 3, minSamples: 10, warmup: 3,
+		}
+		code, err := run(context.Background(), cfg, io.Discard, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 0 {
+			t.Fatalf("run exited %d", code)
+		}
+	}
+	outA := t.TempDir() + "/a.json"
+	outB := t.TempDir() + "/b.json"
+	runOnce(outA)
+	runOnce(outB)
+
+	workload := func(path string) string {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Workload json.RawMessage `json:"workload"`
+			Measured struct {
+				StartedUnixNS int64 `json:"started_unix_ns"`
+			} `json:"measured"`
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Measured.StartedUnixNS == 0 {
+			t.Fatal("report missing wall-clock fields")
+		}
+		return string(rep.Workload)
+	}
+	a, b := workload(outA), workload(outB)
+	if a != b {
+		t.Fatalf("same-seed workload reports differ:\n%s\n%s", a, b)
+	}
+}

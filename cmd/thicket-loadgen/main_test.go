@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-seed", "99", "-duration", "3s", "-rate", "50",
+		"-regress", "/api/stats=20ms@1s", "-expect-anomaly",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.seed != 99 || cfg.duration != 3*time.Second || cfg.rate != 50 {
+		t.Errorf("flags misparsed: %+v", cfg)
+	}
+	if !cfg.expectAnomaly || cfg.regress != "/api/stats=20ms@1s" {
+		t.Errorf("flags misparsed: %+v", cfg)
+	}
+
+	for name, args := range map[string][]string{
+		"conflicting gates": {"-expect-anomaly", "-fail-on-anomaly"},
+		"regress + target":  {"-target", "http://x", "-regress", "/a=1ms"},
+		"unknown flag":      {"-bogus"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		path    string
+		delay   time.Duration
+		onset   time.Duration
+		wantErr bool
+	}{
+		{in: "", path: ""},
+		{in: "/api/stats=30ms@2s", path: "/api/stats", delay: 30 * time.Millisecond, onset: 2 * time.Second},
+		{in: "/api/query=1s", path: "/api/query", delay: time.Second},
+		{in: " /x=5ms@0s ", path: "/x", delay: 5 * time.Millisecond},
+		{in: "api/stats=30ms", wantErr: true},
+		{in: "/api/stats", wantErr: true},
+		{in: "/api/stats=", wantErr: true},
+		{in: "/api/stats=-5ms", wantErr: true},
+		{in: "/api/stats=30ms@-1s", wantErr: true},
+		{in: "/api/stats=30ms@soon", wantErr: true},
+		{in: "=30ms", wantErr: true},
+	} {
+		r, err := loadgen.ParseRegress(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: no error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if tc.path == "" {
+			if r != nil {
+				t.Errorf("%q: want nil regression", tc.in)
+			}
+			continue
+		}
+		if r.Path != tc.path || r.Delay != tc.delay || r.Onset != tc.onset {
+			t.Errorf("%q parsed as %+v", tc.in, r)
+		}
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	// mixed resolves to the multi-client MixedSpec.
+	cfg := &config{seed: 5, duration: 2 * time.Second, rate: 100, workload: "mixed"}
+	spec, err := buildSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Clients) < 4 {
+		t.Errorf("mixed spec has %d clients", len(spec.Clients))
+	}
+
+	// A named mix becomes a single client carrying -max-p99 as budget.
+	cfg = &config{seed: 5, duration: 2 * time.Second, rate: 100,
+		workload: loadgen.WorkloadCacheHostile, maxP99: 100 * time.Millisecond}
+	spec, err = buildSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Clients) != 1 || spec.Clients[0].Workload != loadgen.WorkloadCacheHostile {
+		t.Errorf("named spec: %+v", spec.Clients)
+	}
+	if spec.Classes[0].TargetP99 != 100*time.Millisecond {
+		t.Errorf("budget not carried: %+v", spec.Classes)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A spec file wins over -workload, inheriting seed/duration when
+	// the file leaves them zero.
+	path := filepath.Join(t.TempDir(), "spec.json")
+	custom := loadgen.Spec{Clients: []loadgen.ClientSpec{{
+		Name:     "solo",
+		Arrival:  loadgen.ArrivalSpec{Kind: loadgen.ArrivalWeibull, RatePerSec: 10, Shape: 0.9},
+		Workload: loadgen.WorkloadHotSkew,
+	}}}
+	raw, _ := json.Marshal(custom)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = &config{seed: 123, duration: time.Second, specPath: path, workload: "mixed"}
+	spec, err = buildSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 123 || spec.Duration != time.Second {
+		t.Errorf("spec file did not inherit seed/duration: %+v", spec)
+	}
+	if len(spec.Clients) != 1 || spec.Clients[0].Name != "solo" {
+		t.Errorf("spec file ignored: %+v", spec.Clients)
+	}
+}
+
+func TestVerdictExitCodes(t *testing.T) {
+	mk := func(p99us, targetus int64, anomalies, errors int) *loadgen.Report {
+		return &loadgen.Report{Measured: loadgen.MeasuredReport{
+			Anomalies: anomalies,
+			Errors:    errors,
+			Classes: map[string]loadgen.ClassStats{
+				"c": {P99US: p99us, TargetP99US: targetus},
+			},
+		}}
+	}
+	for name, tc := range map[string]struct {
+		cfg  config
+		rep  *loadgen.Report
+		want int
+	}{
+		"all green":          {config{}, mk(100, 1000, 0, 0), 0},
+		"class over budget":  {config{}, mk(2000, 1000, 0, 0), 2},
+		"fallback budget":    {config{maxP99: time.Millisecond}, mk(2000, 0, 0, 0), 2},
+		"no budget":          {config{}, mk(2000, 0, 0, 0), 0},
+		"spurious anomaly":   {config{failOnAnomaly: true}, mk(100, 1000, 2, 0), 3},
+		"anomaly tolerated":  {config{}, mk(100, 1000, 2, 0), 0},
+		"missing anomaly":    {config{expectAnomaly: true}, mk(100, 1000, 0, 0), 4},
+		"expected anomaly":   {config{expectAnomaly: true}, mk(100, 1000, 1, 0), 0},
+		"errors gated":       {config{failOnError: true}, mk(100, 1000, 0, 3), 5},
+		"errors tolerated":   {config{}, mk(100, 1000, 0, 3), 0},
+		"budget beats gates": {config{failOnError: true}, mk(2000, 1000, 0, 3), 2},
+	} {
+		var sb strings.Builder
+		if got := verdict(&tc.cfg, tc.rep, &sb); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (%s)", name, got, tc.want, sb.String())
+		}
+	}
+}

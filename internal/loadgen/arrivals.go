@@ -1,0 +1,141 @@
+// Package loadgen is thicket's deterministic synthetic-traffic harness:
+// a seed-reproducible, CPU-only, discrete-event load generator that
+// drives a live thicketd over HTTP with multi-client workload mixes and
+// reports per-SLO-class latency percentiles, achieved vs offered
+// throughput, and a Jain fairness index.
+//
+// The harness splits cleanly into a deterministic half and a measured
+// half. BuildSchedule expands a Spec into the complete, time-ordered
+// request schedule — every arrival instant, every query parameter,
+// every token-bucket admission decision — using only seeded PRNG
+// streams, so two runs with the same seed produce byte-identical
+// schedules. Run then replays that schedule against a live server on
+// the wall clock and records what actually happened (latencies, errors,
+// achieved throughput). Reports keep the two halves apart so the
+// deterministic section can be diffed across runs while the measured
+// section carries the machine-dependent numbers.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Arrival kinds. Poisson models open-loop memoryless clients (the M in
+// M/G/k), Gamma generalizes it with a shape knob (shape < 1 is bursty,
+// shape > 1 is smoother than Poisson), and Weibull covers heavy-ish
+// tails (shape < 1) — the three processes BLIS-style simulators use to
+// approximate production arrival traces.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalWeibull = "weibull"
+)
+
+// ArrivalSpec describes one client's arrival process.
+type ArrivalSpec struct {
+	// Kind selects the inter-arrival distribution: poisson, gamma, or
+	// weibull (default poisson).
+	Kind string `json:"kind"`
+	// RatePerSec is the offered arrival rate (mean arrivals per second).
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Shape is the gamma/weibull shape parameter; ignored for poisson.
+	// 0 selects 2.0 (mildly smoother/burstier than exponential).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+func (a ArrivalSpec) withDefaults() ArrivalSpec {
+	if a.Kind == "" {
+		a.Kind = ArrivalPoisson
+	}
+	a.Kind = strings.ToLower(a.Kind)
+	if a.Shape <= 0 {
+		a.Shape = 2.0
+	}
+	return a
+}
+
+func (a ArrivalSpec) validate() error {
+	a = a.withDefaults()
+	switch a.Kind {
+	case ArrivalPoisson, ArrivalGamma, ArrivalWeibull:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival kind %q (want poisson, gamma, or weibull)", a.Kind)
+	}
+	if a.RatePerSec <= 0 || math.IsInf(a.RatePerSec, 0) || math.IsNaN(a.RatePerSec) {
+		return fmt.Errorf("loadgen: arrival rate %v must be a positive finite rate/sec", a.RatePerSec)
+	}
+	return nil
+}
+
+// sampler draws inter-arrival gaps in seconds. Implementations consume
+// only the supplied PRNG, so a seeded stream replays identically.
+type sampler interface {
+	next(r *rand.Rand) float64
+}
+
+// newSampler compiles a validated spec into its sampler. Every
+// distribution is scaled so the mean inter-arrival time is
+// 1/RatePerSec — changing Kind changes burstiness, not offered load.
+func newSampler(a ArrivalSpec) sampler {
+	a = a.withDefaults()
+	switch a.Kind {
+	case ArrivalGamma:
+		// Gamma(k, θ) has mean kθ; θ = 1/(rate·k) keeps the rate.
+		return gammaSampler{shape: a.Shape, scale: 1 / (a.RatePerSec * a.Shape)}
+	case ArrivalWeibull:
+		// Weibull(k, λ) has mean λΓ(1+1/k).
+		return weibullSampler{shape: a.Shape, scale: 1 / (a.RatePerSec * math.Gamma(1+1/a.Shape))}
+	default:
+		return poissonSampler{rate: a.RatePerSec}
+	}
+}
+
+// poissonSampler draws Exp(rate) gaps by inversion.
+type poissonSampler struct{ rate float64 }
+
+func (s poissonSampler) next(r *rand.Rand) float64 {
+	return r.ExpFloat64() / s.rate
+}
+
+// weibullSampler draws Weibull(shape, scale) gaps by inversion:
+// scale·(-ln U)^(1/shape).
+type weibullSampler struct{ shape, scale float64 }
+
+func (s weibullSampler) next(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // (0,1]: keeps ln finite
+	return s.scale * math.Pow(-math.Log(u), 1/s.shape)
+}
+
+// gammaSampler draws Gamma(shape, scale) gaps with Marsaglia–Tsang
+// squeeze sampling; shapes below 1 use the boosting identity
+// Gamma(k) = Gamma(k+1)·U^(1/k).
+type gammaSampler struct{ shape, scale float64 }
+
+func (s gammaSampler) next(r *rand.Rand) float64 {
+	k := s.shape
+	boost := 1.0
+	if k < 1 {
+		boost = math.Pow(1-r.Float64(), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * boost * s.scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * boost * s.scale
+		}
+	}
+}

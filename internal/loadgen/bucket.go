@@ -1,0 +1,54 @@
+package loadgen
+
+// BucketSpec configures a client's token-bucket admission control:
+// arrivals that find the bucket empty are shed before they reach the
+// wire (counted, never sent). A zero spec disables admission control.
+type BucketSpec struct {
+	// RatePerSec is the sustained refill rate in tokens (requests) per
+	// second.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Burst is the bucket depth — the largest back-to-back burst the
+	// client may admit. 0 selects 1 when RatePerSec is set.
+	Burst float64 `json:"burst,omitempty"`
+}
+
+func (b BucketSpec) enabled() bool { return b.RatePerSec > 0 }
+
+// bucket is the discrete-event form of the token bucket: time is the
+// schedule's virtual clock, so admission decisions are part of the
+// deterministic schedule, not of the measured run.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64 // virtual seconds of the previous refill
+}
+
+func newBucket(spec BucketSpec) *bucket {
+	if !spec.enabled() {
+		return nil
+	}
+	burst := spec.Burst
+	if burst < 1 {
+		burst = 1 // a shallower bucket could never admit a whole request
+	}
+	return &bucket{rate: spec.RatePerSec, burst: burst, tokens: burst}
+}
+
+// admit refills the bucket up to the arrival instant and takes one
+// token if available. A nil bucket admits everything.
+func (b *bucket) admit(at float64) bool {
+	if b == nil {
+		return true
+	}
+	b.tokens += (at - b.last) * b.rate
+	b.last = at
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

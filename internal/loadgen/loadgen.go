@@ -1,0 +1,252 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SLOClass names a service tier and its latency objective. Classes
+// exist so the report can answer "did gold traffic stay fast while
+// bronze was hammering the cache" — percentiles are bucketed per class,
+// and budgets are enforced per class.
+type SLOClass struct {
+	Name string `json:"name"`
+	// TargetP99 is the class's p99 latency objective; the report marks
+	// the class over-budget when measured p99 exceeds it. 0 disables
+	// budget checking for the class.
+	TargetP99 time.Duration `json:"target_p99_ns,omitempty"`
+}
+
+// ClientSpec is one synthetic client: an arrival process, a workload
+// mix, an SLO class, and optional token-bucket admission control.
+type ClientSpec struct {
+	Name     string      `json:"name"`
+	Class    string      `json:"class"`
+	Arrival  ArrivalSpec `json:"arrival"`
+	Workload string      `json:"workload"`
+	Bucket   BucketSpec  `json:"bucket,omitempty"`
+}
+
+// Spec is a complete workload description — everything BuildSchedule
+// needs to expand the deterministic request schedule.
+type Spec struct {
+	// Seed feeds every PRNG stream of the schedule (arrivals, query
+	// parameter choice, client interleave). Two BuildSchedule calls with
+	// equal Spec values produce byte-identical schedules.
+	Seed int64 `json:"seed"`
+	// Duration is the virtual length of the run.
+	Duration time.Duration `json:"duration_ns"`
+	Classes  []SLOClass    `json:"classes"`
+	Clients  []ClientSpec  `json:"clients"`
+}
+
+// Validate checks the spec for internal consistency.
+func (s Spec) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration %v must be positive", s.Duration)
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("loadgen: spec has no clients")
+	}
+	classes := map[string]bool{}
+	for _, c := range s.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("loadgen: SLO class with empty name")
+		}
+		if classes[c.Name] {
+			return fmt.Errorf("loadgen: duplicate SLO class %q", c.Name)
+		}
+		classes[c.Name] = true
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Clients {
+		if c.Name == "" {
+			return fmt.Errorf("loadgen: client with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("loadgen: duplicate client %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Class != "" && len(s.Classes) > 0 && !classes[c.Class] {
+			return fmt.Errorf("loadgen: client %q names unknown SLO class %q", c.Name, c.Class)
+		}
+		if err := c.Arrival.validate(); err != nil {
+			return fmt.Errorf("client %q: %w", c.Name, err)
+		}
+		if _, err := newRequestGen(c.Workload, rand.New(rand.NewSource(1))); err != nil {
+			return fmt.Errorf("client %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// Request is one scheduled event: either an HTTP GET against the
+// target or (Ingest) a store append. AtNS is the virtual offset from
+// the start of the run at which the open-loop client fires it.
+type Request struct {
+	Client string `json:"client"`
+	Class  string `json:"class"`
+	Seq    int    `json:"seq"` // per-client admission sequence number
+	AtNS   int64  `json:"at_ns"`
+	Path   string `json:"path,omitempty"`
+	Query  string `json:"query,omitempty"`
+	Ingest bool   `json:"ingest,omitempty"`
+}
+
+// URL renders the request target path (path?query).
+func (r Request) URL() string {
+	if r.Query == "" {
+		return r.Path
+	}
+	return r.Path + "?" + r.Query
+}
+
+// Schedule is the fully expanded, time-ordered request stream — the
+// deterministic artifact of the harness. Everything in it derives from
+// the Spec and its seed alone.
+type Schedule struct {
+	Spec Spec `json:"spec"`
+	// Events is the merged, time-ordered request stream.
+	Events []Request `json:"events"`
+	// Offered counts per-client arrivals before admission control;
+	// Shed counts arrivals the token bucket rejected. Offered - Shed =
+	// admitted = the client's events.
+	Offered map[string]int `json:"offered"`
+	Shed    map[string]int `json:"shed"`
+}
+
+// Digest returns the SHA-256 of the canonical JSON encoding of the
+// schedule — the fingerprint the determinism test (and the report)
+// pins: equal seeds must yield equal digests.
+func (s *Schedule) Digest() string {
+	b, _ := json.Marshal(s)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// clientSeed derives a stable per-client, per-stream seed from the run
+// seed. FNV keeps it dependency-free and platform-stable; the stream
+// tag separates arrival draws from parameter draws so the two PRNG
+// streams cannot perturb each other.
+func clientSeed(seed int64, client, stream string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s", seed, client, stream)
+	return int64(h.Sum64())
+}
+
+// BuildSchedule expands spec into its deterministic request schedule:
+// per-client arrival instants drawn from the seeded arrival process,
+// token-bucket admission applied in virtual time, request parameters
+// drawn from the seeded parameter stream, and all clients merged into
+// one time-ordered stream (ties broken by client name, then sequence —
+// the deterministic client interleave).
+func BuildSchedule(spec Spec) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sched := &Schedule{
+		Spec:    spec,
+		Offered: make(map[string]int, len(spec.Clients)),
+		Shed:    make(map[string]int, len(spec.Clients)),
+	}
+	horizon := spec.Duration.Seconds()
+	for _, c := range spec.Clients {
+		arrivalRng := rand.New(rand.NewSource(clientSeed(spec.Seed, c.Name, "arrivals")))
+		paramRng := rand.New(rand.NewSource(clientSeed(spec.Seed, c.Name, "params")))
+		gen, err := newRequestGen(c.Workload, paramRng)
+		if err != nil {
+			return nil, err
+		}
+		smp := newSampler(c.Arrival)
+		tb := newBucket(c.Bucket)
+		t, seq := 0.0, 0
+		for {
+			t += smp.next(arrivalRng)
+			if t >= horizon {
+				break
+			}
+			sched.Offered[c.Name]++
+			if !tb.admit(t) {
+				sched.Shed[c.Name]++
+				continue
+			}
+			path, query, ingest := gen(paramRng, seq)
+			sched.Events = append(sched.Events, Request{
+				Client: c.Name,
+				Class:  c.Class,
+				Seq:    seq,
+				AtNS:   int64(t * 1e9),
+				Path:   path,
+				Query:  query,
+				Ingest: ingest,
+			})
+			seq++
+		}
+		if _, ok := sched.Shed[c.Name]; !ok {
+			sched.Shed[c.Name] = 0
+		}
+	}
+	sort.SliceStable(sched.Events, func(i, j int) bool {
+		a, b := sched.Events[i], sched.Events[j]
+		if a.AtNS != b.AtNS {
+			return a.AtNS < b.AtNS
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.Seq < b.Seq
+	})
+	return sched, nil
+}
+
+// MixedSpec builds the canonical four-client demonstration workload:
+// a gold cache-friendly Poisson client, a silver cache-hostile Gamma
+// client, a bronze hot-skew Weibull client under token-bucket
+// admission, and a background ingest-query interleave client. rate is
+// the aggregate offered request rate split across the clients.
+func MixedSpec(seed int64, duration time.Duration, rate float64) Spec {
+	return Spec{
+		Seed:     seed,
+		Duration: duration,
+		Classes: []SLOClass{
+			{Name: "gold", TargetP99: 250 * time.Millisecond},
+			{Name: "silver", TargetP99: 500 * time.Millisecond},
+			{Name: "bronze"},
+		},
+		Clients: []ClientSpec{
+			{
+				Name:     "gold-cached",
+				Class:    "gold",
+				Arrival:  ArrivalSpec{Kind: ArrivalPoisson, RatePerSec: rate * 0.40},
+				Workload: WorkloadCacheFriendly,
+			},
+			{
+				Name:     "silver-unique",
+				Class:    "silver",
+				Arrival:  ArrivalSpec{Kind: ArrivalGamma, RatePerSec: rate * 0.25, Shape: 0.7},
+				Workload: WorkloadCacheHostile,
+			},
+			{
+				Name:     "bronze-skew",
+				Class:    "bronze",
+				Arrival:  ArrivalSpec{Kind: ArrivalWeibull, RatePerSec: rate * 0.30, Shape: 0.8},
+				Workload: WorkloadHotSkew,
+				// Admission control sheds the Weibull bursts the class's
+				// best-effort tier is not entitled to.
+				Bucket: BucketSpec{RatePerSec: rate * 0.25, Burst: rate * 0.05},
+			},
+			{
+				Name:     "ingest",
+				Class:    "bronze",
+				Arrival:  ArrivalSpec{Kind: ArrivalPoisson, RatePerSec: rate * 0.05},
+				Workload: WorkloadIngestQuery,
+			},
+		},
+	}
+}

@@ -1,0 +1,250 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubTarget serves instantly and counts hits per path.
+func stubTarget(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if strings.HasPrefix(r.URL.Path, "/fail") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// shortSpec is a fast mixed workload for replay tests: ~60 events in
+// 300ms of virtual time.
+func shortSpec(seed int64) Spec {
+	return MixedSpec(seed, 300*time.Millisecond, 200)
+}
+
+// TestRunReplaysSchedule: every scheduled event is either measured or
+// (hookless ingest) counted as skipped, nothing errors against the
+// stub, and the report's deterministic half matches the schedule.
+func TestRunReplaysSchedule(t *testing.T) {
+	ts, hits := stubTarget(t)
+	sched, err := BuildSchedule(shortSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(context.Background(), sched, Target{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Samples) + m.IngestSkipped; got != len(sched.Events) {
+		t.Fatalf("measured %d + skipped %d != scheduled %d", len(m.Samples), m.IngestSkipped, len(sched.Events))
+	}
+	if int(hits.Load()) != len(m.Samples) {
+		t.Errorf("stub saw %d hits, measured %d samples", hits.Load(), len(m.Samples))
+	}
+	rep := BuildReport(sched, m)
+	if rep.Measured.Errors != 0 {
+		t.Errorf("stub run had %d errors", rep.Measured.Errors)
+	}
+	if rep.Workload.Requests != len(sched.Events) {
+		t.Errorf("workload requests %d != %d", rep.Workload.Requests, len(sched.Events))
+	}
+	if rep.Measured.FairnessJain < 0.99 {
+		t.Errorf("uniform stub run fairness %v, want ~1", rep.Measured.FairnessJain)
+	}
+	var sb strings.Builder
+	rep.RenderText(&sb)
+	for _, want := range []string{"CLASS", "CLIENT", "fairness(Jain)", "gold", "bronze-skew"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestRunIngestHook: ingest events call the hook instead of the wire.
+func TestRunIngestHook(t *testing.T) {
+	ts, _ := stubTarget(t)
+	sched, err := BuildSchedule(Spec{
+		Seed:     9,
+		Duration: 200 * time.Millisecond,
+		Clients: []ClientSpec{{
+			Name:     "ing",
+			Arrival:  ArrivalSpec{RatePerSec: 150},
+			Workload: WorkloadIngestQuery,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIngests := 0
+	for _, ev := range sched.Events {
+		if ev.Ingest {
+			wantIngests++
+		}
+	}
+	if wantIngests == 0 {
+		t.Fatal("schedule has no ingest events")
+	}
+	var calls atomic.Int64
+	m, err := Run(context.Background(), sched, Target{
+		BaseURL: ts.URL,
+		Ingest:  func() error { calls.Add(1); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != wantIngests {
+		t.Errorf("ingest hook called %d times, want %d", calls.Load(), wantIngests)
+	}
+	if m.IngestSkipped != 0 {
+		t.Errorf("ingests skipped with a hook wired: %d", m.IngestSkipped)
+	}
+	rep := BuildReport(sched, m)
+	if rep.Measured.Classes[""].Ingests != wantIngests {
+		t.Errorf("report ingests %d, want %d", rep.Measured.Classes[""].Ingests, wantIngests)
+	}
+}
+
+// TestRunVirtualCallbacks: ticks fire on the virtual clock and one-shot
+// actions fire exactly once, in order, before trailing events.
+func TestRunVirtualCallbacks(t *testing.T) {
+	ts, _ := stubTarget(t)
+	sched, err := BuildSchedule(Spec{
+		Seed:     4,
+		Duration: 400 * time.Millisecond,
+		Clients: []ClientSpec{{
+			Name:     "c",
+			Arrival:  ArrivalSpec{RatePerSec: 100},
+			Workload: WorkloadCacheFriendly,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var armed atomic.Int64
+	var ticks []int
+	m, err := Run(context.Background(), sched, Target{
+		BaseURL:   ts.URL,
+		TickEvery: 100 * time.Millisecond,
+		OnTick:    func(tick int) { ticks = append(ticks, tick) },
+		OnVirtual: []VirtualAction{{At: 150 * time.Millisecond, Do: func() { armed.Add(1) }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.Load() != 1 {
+		t.Errorf("virtual action fired %d times, want 1", armed.Load())
+	}
+	// 400ms horizon at 100ms ticks, plus the trailing flush tick.
+	if m.Ticks < 4 {
+		t.Errorf("only %d ticks over 400ms at 100ms", m.Ticks)
+	}
+	for i, tk := range ticks {
+		if tk != i+1 {
+			t.Fatalf("tick sequence %v not 1..n", ticks)
+		}
+	}
+}
+
+// TestRunErrorsCounted: HTTP >= 400 and transport failures count as
+// errors and are excluded from latency percentiles.
+func TestRunErrorsCounted(t *testing.T) {
+	ts, _ := stubTarget(t)
+	sched := &Schedule{
+		Spec: Spec{Seed: 1, Duration: 50 * time.Millisecond,
+			Classes: []SLOClass{{Name: "c"}},
+			Clients: []ClientSpec{{Name: "x", Class: "c", Arrival: ArrivalSpec{RatePerSec: 1}, Workload: WorkloadCacheFriendly}}},
+		Events: []Request{
+			{Client: "x", Class: "c", Seq: 0, AtNS: 0, Path: "/ok"},
+			{Client: "x", Class: "c", Seq: 1, AtNS: 1000, Path: "/fail"},
+			{Client: "x", Class: "c", Seq: 2, AtNS: 2000, Path: "/ok"},
+		},
+		Offered: map[string]int{"x": 3},
+		Shed:    map[string]int{"x": 0},
+	}
+	m, err := Run(context.Background(), sched, Target{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(sched, m)
+	if rep.Measured.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", rep.Measured.Errors)
+	}
+	cs := rep.Measured.Classes["c"]
+	if cs.Requests != 3 || cs.Errors != 1 {
+		t.Errorf("class stats %+v", cs)
+	}
+	if got := rep.Measured.Clients["x"].Errors; got != 1 {
+		t.Errorf("client errors = %d, want 1", got)
+	}
+}
+
+// TestRunCancel: cancelling mid-replay stops issuing promptly without
+// losing already-measured samples.
+func TestRunCancel(t *testing.T) {
+	ts, _ := stubTarget(t)
+	sched, err := BuildSchedule(Spec{
+		Seed:     2,
+		Duration: 10 * time.Second, // would take 10s uncancelled
+		Clients: []ClientSpec{{
+			Name:     "c",
+			Arrival:  ArrivalSpec{RatePerSec: 50},
+			Workload: WorkloadCacheFriendly,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	m, err := Run(ctx, sched, Target{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Fatalf("cancelled run took %v", e)
+	}
+	if len(m.Samples) == len(sched.Events) {
+		t.Error("cancelled run completed the whole schedule")
+	}
+}
+
+// TestReportDeterministicHalf: the Workload section of two same-seed
+// runs is byte-identical even though the Measured halves differ.
+func TestReportDeterministicHalf(t *testing.T) {
+	ts, _ := stubTarget(t)
+	runOnce := func() *Report {
+		sched, err := BuildSchedule(shortSpec(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(context.Background(), sched, Target{
+			BaseURL: ts.URL,
+			Ingest:  func() error { return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BuildReport(sched, m)
+	}
+	a, b := runOnce(), runOnce()
+	aw, _ := json.Marshal(a.Workload)
+	bw, _ := json.Marshal(b.Workload)
+	if string(aw) != string(bw) {
+		t.Fatalf("deterministic report halves differ:\n%s\n%s", aw, bw)
+	}
+	if a.Measured.StartedUnixNS == b.Measured.StartedUnixNS {
+		t.Error("wall-clock fields suspiciously identical")
+	}
+}

@@ -1,0 +1,338 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/selfprofile"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// Regression is a parsed -regress entry: Delay is injected into Path's
+// handler once the replay's virtual clock passes Onset. A positive
+// Onset lets the endpoint's baseline warm on honest latencies first, so
+// the watchdog flags a real regression instead of learning the slow
+// behaviour as normal.
+type Regression struct {
+	Path  string        `json:"path"`
+	Delay time.Duration `json:"delay_ns"`
+	Onset time.Duration `json:"onset_ns"`
+}
+
+// ParseRegress parses "/api/stats=30ms@2s" (the @onset is optional and
+// defaults to 0 — injected from the first request).
+func ParseRegress(s string) (*Regression, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	path, raw, ok := strings.Cut(s, "=")
+	if !ok || path == "" || !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("loadgen: bad -regress %q (want /path=duration[@onset])", s)
+	}
+	r := &Regression{Path: path}
+	durRaw, onsetRaw, hasOnset := strings.Cut(raw, "@")
+	d, err := time.ParseDuration(durRaw)
+	if err != nil || d <= 0 {
+		return nil, fmt.Errorf("loadgen: bad -regress delay in %q", s)
+	}
+	r.Delay = d
+	if hasOnset {
+		o, err := time.ParseDuration(onsetRaw)
+		if err != nil || o < 0 {
+			return nil, fmt.Errorf("loadgen: bad -regress onset in %q", s)
+		}
+		r.Onset = o
+	}
+	return r, nil
+}
+
+// SelfHostOptions configures an in-process thicketd under test.
+type SelfHostOptions struct {
+	// StorePath serves an existing ensemble store; empty builds a
+	// synthetic MARBL ensemble store under ScratchDir.
+	StorePath string
+	// ScratchDir holds the synthetic store and the self-profile store
+	// (typically a temp dir; required when StorePath is empty).
+	ScratchDir string
+	// Seed feeds the synthetic ensemble and the ingest profile stream.
+	Seed int64
+	// Watchdog thresholds. The loadgen defaults are deliberately less
+	// trigger-happy than thicketd's: CI machines jitter at the scale of
+	// the µs-level baselines this harness produces, and the closed-loop
+	// contract is "a clean run stays quiet" — so a regression must be
+	// both Sigma EWMA deviations and Factor× beyond the baseline.
+	BaselineWindow time.Duration // 0 selects 1s
+	Sigma          float64       // 0 selects 5
+	Factor         float64       // 0 selects 3
+	MinSamples     int64         // 0 selects 10
+	Warmup         int           // 0 selects 3
+	// MinDelta is the absolute regression floor: loopback baselines are
+	// µs-scale, far below the OS noise floor (GC pauses, scheduler
+	// stalls), so without an absolute margin a clean run occasionally
+	// alarms on jitter. A 5ms floor silences noise while any injected
+	// regression worth the name (tens of ms over a µs baseline) clears
+	// it by an order of magnitude. <0 disables; 0 selects 5ms.
+	MinDelta time.Duration
+	MaxConcurrent  int
+	// SelfProfilePath overrides ScratchDir/self.tks.
+	SelfProfilePath string
+	Logger          *slog.Logger
+}
+
+// SelfHost is a live in-process thicketd wired for closed-loop load
+// testing: a private metrics registry, a latency-baseline watchdog
+// ticked by the replay's virtual clock, a trace collector whose tail
+// sampler is the watchdog's judge, and a self-profiler exporting
+// retained slow traces to an ensemble store. Always Close it —
+// installing the collector mutates process-global telemetry state that
+// Close restores.
+type SelfHost struct {
+	URL       string
+	Server    *server.Server
+	Watchdog  *telemetry.Watchdog
+	Collector *telemetry.Collector
+	Profiler  *selfprofile.Profiler
+	Registry  *telemetry.Registry
+
+	opts     SelfHostOptions
+	st       *store.Store
+	ln       net.Listener
+	httpSrv  *http.Server
+	ingestMu sync.Mutex
+	ingestN  int
+	prevCol  *telemetry.Collector
+	prevOn   bool
+	closed   bool
+}
+
+func (o SelfHostOptions) withDefaults() SelfHostOptions {
+	if o.BaselineWindow <= 0 {
+		o.BaselineWindow = time.Second
+	}
+	if o.Sigma <= 0 {
+		o.Sigma = 5
+	}
+	if o.Factor <= 0 {
+		o.Factor = 3
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 10
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 3
+	}
+	if o.MinDelta == 0 {
+		o.MinDelta = 5 * time.Millisecond
+	} else if o.MinDelta < 0 {
+		o.MinDelta = 0
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	return o
+}
+
+// synthStore writes a small synthetic MARBL ensemble store to dir.
+func synthStore(dir string, seed int64) (string, error) {
+	profiles, err := sim.MarblEnsemble(
+		[]sim.MarblCluster{sim.ClusterRZTopaz, sim.ClusterAWS}, []int{1, 2, 4}, 2, seed)
+	if err != nil {
+		return "", err
+	}
+	th, err := core.FromProfiles(profiles, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "ensemble.tks")
+	if err := store.Create(path, th); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// StartSelfHost assembles the in-process thicketd and starts its
+// listener on a loopback port.
+func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
+	opts = opts.withDefaults()
+	storePath := opts.StorePath
+	if storePath == "" {
+		if opts.ScratchDir == "" {
+			return nil, fmt.Errorf("loadgen: selfhost needs StorePath or ScratchDir")
+		}
+		var err error
+		if storePath, err = synthStore(opts.ScratchDir, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	st, err := store.Open(storePath)
+	if err != nil {
+		return nil, err
+	}
+	th, err := st.Load()
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	reg := telemetry.NewRegistry()
+	wd := telemetry.NewWatchdog(reg, telemetry.WatchdogOptions{
+		// The replay paces ticks itself (Target.OnTick); the window here
+		// only matters if a caller starts Run, so keep it equal to the
+		// virtual tick for consistency.
+		Window:     opts.BaselineWindow,
+		Sigma:      opts.Sigma,
+		Factor:     opts.Factor,
+		MinSamples: opts.MinSamples,
+		Warmup:     opts.Warmup,
+		MinDelta:   opts.MinDelta,
+	})
+	col := &telemetry.Collector{Policy: &telemetry.Policy{
+		HeadProbability: 0, // tail-only: retain exactly the slow traces
+		Judge:           wd.IsSlow,
+	}}
+
+	selfPath := opts.SelfProfilePath
+	if selfPath == "" {
+		if opts.ScratchDir == "" {
+			return nil, fmt.Errorf("loadgen: selfhost needs SelfProfilePath or ScratchDir")
+		}
+		selfPath = filepath.Join(opts.ScratchDir, "self.tks")
+	}
+	sp, err := selfprofile.New(selfprofile.Options{
+		StorePath: selfPath,
+		Collector: col,
+		Interval:  time.Hour, // flushed explicitly by Annotate/Close
+		Logger:    opts.Logger,
+		Registry:  reg,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	srv := server.New(th, st, server.Options{
+		MaxConcurrent: opts.MaxConcurrent,
+		Registry:      reg,
+		Logger:        opts.Logger,
+		Trace:         col,
+		Watchdog:      wd,
+		SlowQuery:     -1, // loadgen floods would spam the slow log
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	h := &SelfHost{
+		URL:       "http://" + ln.Addr().String(),
+		Server:    srv,
+		Watchdog:  wd,
+		Collector: col,
+		Profiler:  sp,
+		Registry:  reg,
+		opts:      opts,
+		st:        st,
+		ln:        ln,
+		// The timeouts reap connections that never carry a request
+		// (transport dial-race spares); Shutdown would otherwise wait on
+		// them as potentially active.
+		httpSrv: &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 2 * time.Second,
+			IdleTimeout:       2 * time.Second,
+		},
+	}
+	h.prevOn = telemetry.SetEnabled(true)
+	h.prevCol = telemetry.SetCollector(col)
+	go h.httpSrv.Serve(ln)
+	return h, nil
+}
+
+// Ingest appends one fresh synthetic profile to the served store — the
+// write path of the ingest-query workload mix. Each call generates a
+// unique profile (trial numbers count up from a high base so they never
+// collide with the seeded ensemble), so the store's generation moves
+// and the server reloads + flushes its response cache under traffic.
+func (h *SelfHost) Ingest() error {
+	h.ingestMu.Lock()
+	n := h.ingestN
+	h.ingestN++
+	h.ingestMu.Unlock()
+	p, err := sim.GenerateMarbl(sim.MarblConfig{
+		Cluster: sim.ClusterRZTopaz,
+		Nodes:   1,
+		Trial:   100000 + n,
+		Seed:    h.opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	return h.st.AppendProfiles([]*profile.Profile{p})
+}
+
+// Target wires the self-hosted server into a replay target: requests go
+// to the loopback listener, ingest events append to the store, and the
+// watchdog ticks on the virtual clock. A non-nil regress is armed at
+// its onset.
+func (h *SelfHost) Target(concurrency int, regress *Regression) Target {
+	t := Target{
+		BaseURL:     h.URL,
+		Ingest:      h.Ingest,
+		TickEvery:   h.opts.BaselineWindow,
+		OnTick:      func(int) { h.Watchdog.Tick() },
+		Concurrency: concurrency,
+	}
+	if regress != nil {
+		r := *regress
+		t.OnVirtual = []VirtualAction{{At: r.Onset, Do: func() {
+			h.Server.SetInjectedLatency(r.Path, r.Delay)
+		}}}
+	}
+	return t
+}
+
+// Annotate flushes the self-profiler and fills the report's closed-loop
+// fields (anomaly count, retained traces, exported profiles).
+func (h *SelfHost) Annotate(rep *Report) (exported int, err error) {
+	exported, err = h.Profiler.Flush()
+	rep.Measured.Anomalies = len(h.Watchdog.Anomalies())
+	rep.Measured.RetainedTraces = h.Collector.Len()
+	return exported, err
+}
+
+// SelfProfilePath reports where retained slow traces are exported.
+func (h *SelfHost) SelfProfilePath() string { return h.Profiler.StorePath() }
+
+// Close stops the listener, closes the profiler and store, and restores
+// the process-global telemetry state. Safe to call once.
+func (h *SelfHost) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := h.httpSrv.Shutdown(ctx)
+	telemetry.SetCollector(h.prevCol)
+	telemetry.SetEnabled(h.prevOn)
+	if cerr := h.Profiler.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := h.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

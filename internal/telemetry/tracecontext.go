@@ -40,7 +40,14 @@ func (tc TraceContext) Traceparent() string {
 
 // Child returns a context with the same trace ID and a fresh span ID —
 // the identity of the work this process performs on the trace's behalf.
+// Deriving a child from an invalid context (the zero value, or one with
+// a malformed/all-zero ID) mints a fresh root instead: propagating the
+// broken trace ID would emit traceparent headers the W3C spec forbids
+// and silently stitch unrelated requests into one "trace".
 func (tc TraceContext) Child() TraceContext {
+	if !tc.Valid() {
+		return NewTraceContext()
+	}
 	return TraceContext{TraceID: tc.TraceID, SpanID: randHex(8), Sampled: tc.Sampled}
 }
 

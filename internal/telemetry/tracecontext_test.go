@@ -30,21 +30,78 @@ func TestParseTraceparentRoundTrip(t *testing.T) {
 }
 
 func TestParseTraceparentRejectsMalformed(t *testing.T) {
-	bad := []string{
-		"",
-		"not-a-header",
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // missing flags
-		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // all-zero trace id
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // all-zero span id
-		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",    // uppercase hex
-		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // reserved version
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-xx", // extra field on version 00
-		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",      // short trace id
-		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // non-hex version
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	bad := map[string]string{
+		"empty":                     "",
+		"whitespace only":           "   \t ",
+		"garbage":                   "not-a-header",
+		"single dash":               "-",
+		"all fields empty":          "---",
+		"missing flags":             "00-" + tid + "-" + sid,
+		"all-zero trace id":         "00-00000000000000000000000000000000-" + sid + "-01",
+		"all-zero span id":          "00-" + tid + "-0000000000000000-01",
+		"uppercase trace id":        "00-4BF92F3577B34DA6A3CE929D0E0E4736-" + sid + "-01",
+		"uppercase span id":         "00-" + tid + "-00F067AA0BA902B7-01",
+		"mixed-case trace id":       "00-4bf92F3577b34da6a3ce929d0e0e4736-" + sid + "-01",
+		"reserved version ff":       "ff-" + tid + "-" + sid + "-01",
+		"extra field on version 00": "00-" + tid + "-" + sid + "-01-xx",
+		"trace id too short":        "00-4bf92f3577b34da6a3ce929d0e0e47-" + sid + "-01",
+		"trace id too long":         "00-" + tid + "ab-" + sid + "-01",
+		"span id too short":         "00-" + tid + "-00f067aa0ba902-01",
+		"span id too long":          "00-" + tid + "-" + sid + "ab-01",
+		"non-hex version":           "zz-" + tid + "-" + sid + "-01",
+		"one-char version":          "0-" + tid + "-" + sid + "-01",
+		"three-char version":        "000-" + tid + "-" + sid + "-01",
+		"uppercase version":         "AB-" + tid + "-" + sid + "-01",
+		"non-hex trace id":          "00-4bf92f3577b34da6a3ce929d0e0e47gg-" + sid + "-01",
+		"non-hex span id":           "00-" + tid + "-00f067aa0ba902zz-01",
+		"trace id with space":       "00-4bf92f3577b34da6a3ce929d0e0e47 6-" + sid + "-01",
+		"one-char flags":            "00-" + tid + "-" + sid + "-1",
+		"three-char flags":          "00-" + tid + "-" + sid + "-011",
+		"non-hex flags":             "00-" + tid + "-" + sid + "-gg",
+		"uppercase flags":           "00-" + tid + "-" + sid + "-0F",
+		"empty version":             "-" + tid + "-" + sid + "-01",
+		"empty trace id":            "00--" + sid + "-01",
+		"empty span id":             "00-" + tid + "--01",
+		"empty flags":               "00-" + tid + "-" + sid + "-",
+		"interior whitespace":       "00- " + tid + "-" + sid + "-01",
+		"null byte in trace id":     "00-4bf92f3577b34da6a3ce929d0e0e473\x00-" + sid + "-01",
+		"unicode hex lookalike":     "00-4bf92f3577b34da6a3ce929d0e0e473а-" + sid + "-01",
 	}
-	for _, h := range bad {
-		if _, err := ParseTraceparent(h); err == nil {
-			t.Errorf("ParseTraceparent(%q) succeeded, want error", h)
+	for name, h := range bad {
+		if tc, err := ParseTraceparent(h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) = %+v, want error", name, h, tc)
+		}
+	}
+}
+
+// TestParseTraceparentAccepts pins the lenient edges: surrounding
+// whitespace is trimmed and any hex flag byte is fine (only bit 0 is
+// the sampled flag).
+func TestParseTraceparentAccepts(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	for name, tc := range map[string]struct {
+		in      string
+		sampled bool
+	}{
+		"surrounding whitespace": {"  00-" + tid + "-" + sid + "-01\t", true},
+		"flags ff":               {"00-" + tid + "-" + sid + "-ff", true},
+		"flags fe":               {"00-" + tid + "-" + sid + "-fe", false},
+		"future version":         {"cc-" + tid + "-" + sid + "-01", true},
+	} {
+		got, err := ParseTraceparent(tc.in)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got.TraceID != tid || got.SpanID != sid || got.Sampled != tc.sampled {
+			t.Errorf("%s: parsed %+v", name, got)
 		}
 	}
 }
@@ -92,6 +149,37 @@ func TestTraceContextChild(t *testing.T) {
 	}
 	if !strings.HasPrefix(child.Traceparent(), "00-"+tc.TraceID+"-") {
 		t.Errorf("child traceparent %q", child.Traceparent())
+	}
+}
+
+// TestTraceContextChildInvalid: deriving a child from an invalid
+// context (zero value, malformed or all-zero IDs) must mint a fresh
+// valid root rather than propagate the broken trace ID into outbound
+// traceparent headers.
+func TestTraceContextChildInvalid(t *testing.T) {
+	for name, tc := range map[string]TraceContext{
+		"zero value":        {},
+		"all-zero trace id": {TraceID: strings.Repeat("0", 32), SpanID: "00f067aa0ba902b7"},
+		"all-zero span id":  {TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: strings.Repeat("0", 16)},
+		"short trace id":    {TraceID: "abc", SpanID: "00f067aa0ba902b7"},
+		"uppercase hex":     {TraceID: "4BF92F3577B34DA6A3CE929D0E0E4736", SpanID: "00f067aa0ba902b7"},
+	} {
+		child := tc.Child()
+		if !child.Valid() {
+			t.Errorf("%s: child invalid: %+v", name, child)
+			continue
+		}
+		if child.TraceID == tc.TraceID {
+			t.Errorf("%s: child kept the broken trace ID %q", name, tc.TraceID)
+		}
+		if _, err := ParseTraceparent(child.Traceparent()); err != nil {
+			t.Errorf("%s: child traceparent does not parse: %v", name, err)
+		}
+	}
+	// Two children of the zero value are distinct traces, not one.
+	a, b := TraceContext{}.Child(), TraceContext{}.Child()
+	if a.TraceID == b.TraceID {
+		t.Error("children of invalid contexts share a trace ID")
 	}
 }
 

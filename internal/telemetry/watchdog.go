@@ -50,6 +50,14 @@ type WatchdogOptions struct {
 	// MaxAnomalies bounds the retained anomaly log (oldest drop first).
 	// 0 selects DefaultWatchdogMaxAnomalies.
 	MaxAnomalies int
+	// MinDelta is an absolute floor on the regression: an interval (or
+	// trace, for IsSlow) is only judged slow when it also exceeds the
+	// baseline by at least this much. The sigma and factor rules are
+	// relative, so µs-scale baselines — loopback endpoints, cached
+	// responses — sit below the noise floor of GC pauses and scheduler
+	// stalls and would alarm on jitter a human would never call a
+	// regression. 0 keeps the pure relative rules.
+	MinDelta time.Duration
 	// Families overrides the watched histogram families.
 	Families []string
 }
@@ -120,16 +128,17 @@ type baseline struct {
 // ready reports whether the baseline has warmed up enough to judge.
 func (b *baseline) ready(warmup int) bool { return b != nil && b.intervals >= warmup }
 
-// exceeds applies the sigma + factor rule to one observation (an
-// interval mean or a single trace duration, seconds).
-func (b *baseline) exceeds(v, sigma, factor float64) (stds float64, slow bool) {
+// exceeds applies the sigma + factor + absolute-delta rule to one
+// observation (an interval mean or a single trace duration, seconds).
+func (b *baseline) exceeds(v, sigma, factor, minDelta float64) (stds float64, slow bool) {
 	std := math.Sqrt(b.variance)
 	if std > 0 {
 		stds = (v - b.mean) / std
 	} else if v > b.mean {
 		stds = math.Inf(1)
 	}
-	return stds, v > b.mean*factor && (std == 0 || v > b.mean+sigma*std)
+	slow = v > b.mean*factor && v >= b.mean+minDelta && (std == 0 || v > b.mean+sigma*std)
+	return stds, slow
 }
 
 // Watchdog folds a registry's log-bucket latency histograms into
@@ -218,7 +227,7 @@ func (w *Watchdog) Tick() []Anomaly {
 			}
 			m := ds / float64(dc)
 			if b.ready(w.opts.Warmup) {
-				if stds, slow := b.exceeds(m, w.opts.Sigma, w.opts.Factor); slow {
+				if stds, slow := b.exceeds(m, w.opts.Sigma, w.opts.Factor, w.opts.MinDelta.Seconds()); slow {
 					flagged = append(flagged, Anomaly{
 						Target:       b.target,
 						Family:       fam,
@@ -312,7 +321,7 @@ func (w *Watchdog) IsSlow(name string, seconds float64) bool {
 		return false
 	}
 	sigma, factor := w.opts.Sigma, w.opts.Factor
-	_, slow := b.exceeds(seconds, sigma, factor)
+	_, slow := b.exceeds(seconds, sigma, factor, w.opts.MinDelta.Seconds())
 	w.mu.Unlock()
 	return slow
 }

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property tests for the watchdog's EWMA baseline fold. Each property
+// is checked over many seeded-random parameterizations — latency scales
+// spanning µs to seconds, arbitrary thresholds — so the invariants hold
+// across the whole operating envelope, not just the defaults.
+
+// randLatency draws a log-uniform latency in [1µs, 10s).
+func randLatency(r *rand.Rand) float64 {
+	return math.Pow(10, -6+7*r.Float64())
+}
+
+// TestWatchdogPropertyFirstIntervalSeeds: the first folded interval
+// seeds the baseline at exactly the interval mean with zero variance —
+// an EWMA started at zero would otherwise report every warm endpoint as
+// a regression for the first 1/alpha windows.
+func TestWatchdogPropertyFirstIntervalSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		v := randLatency(r)
+		n := 5 + r.Intn(100)
+		w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 3, MinSamples: 5})
+		if got := feedInterval(w, h, n, v); len(got) != 0 {
+			t.Fatalf("first interval flagged %v", got)
+		}
+		bs := w.Baselines()
+		if len(bs) != 1 {
+			t.Fatalf("baselines = %+v", bs)
+		}
+		b := bs[0]
+		if math.Abs(b.MeanS-v) > v*1e-9 {
+			t.Fatalf("v=%g: seeded mean %g, want the interval mean", v, b.MeanS)
+		}
+		if b.StdS != 0 {
+			t.Fatalf("v=%g: seeded std %g, want 0", v, b.StdS)
+		}
+		if b.Intervals != 1 || b.Count != int64(n) {
+			t.Fatalf("v=%g: intervals/count = %d/%d, want 1/%d", v, b.Intervals, b.Count, n)
+		}
+	}
+}
+
+// TestWatchdogPropertyConstantStreamNeverAlarms: a constant-latency
+// stream must never alarm, no matter how aggressive sigma is. The
+// factor rule guarantees this: an interval equal to its own baseline is
+// never factor× above it, so zero-variance steady state stays quiet
+// even at sigma→0 where the sigma rule alone would fire on fp noise.
+func TestWatchdogPropertyConstantStreamNeverAlarms(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		v := randLatency(r)
+		sigma := math.Pow(10, -3+4*r.Float64()) // 0.001 .. 10
+		alpha := 0.05 + 0.9*r.Float64()
+		w, _, h := testWatchdog(t, WatchdogOptions{
+			Warmup: 1, MinSamples: 1, Sigma: sigma, Factor: 1.05, Alpha: alpha,
+		})
+		for i := 0; i < 50; i++ {
+			n := 1 + r.Intn(40)
+			if got := feedInterval(w, h, n, v); len(got) != 0 {
+				t.Fatalf("v=%g sigma=%g alpha=%g: constant stream flagged %v at interval %d",
+					v, sigma, alpha, got, i)
+			}
+		}
+		bs := w.Baselines()
+		if math.Abs(bs[0].MeanS-v) > v*1e-6 {
+			t.Fatalf("v=%g: baseline drifted to %g on a constant stream", v, bs[0].MeanS)
+		}
+	}
+}
+
+// TestWatchdogPropertySparseIntervalsNeverFold: intervals with fewer
+// than MinSamples observations are ignored entirely — not flagged, not
+// folded — regardless of how extreme their values are.
+func TestWatchdogPropertySparseIntervalsNeverFold(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		minSamples := 2 + r.Intn(20)
+		w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 1, MinSamples: int64(minSamples)})
+		feedInterval(w, h, minSamples, 0.001) // one honest interval seeds
+		for i := 0; i < 20; i++ {
+			n := r.Intn(minSamples) // always short of the gate
+			if got := feedInterval(w, h, n, 100+1000*r.Float64()); len(got) != 0 {
+				t.Fatalf("min=%d: sparse interval flagged %v", minSamples, got)
+			}
+		}
+		bs := w.Baselines()
+		if bs[0].Intervals != 1 {
+			t.Fatalf("min=%d: sparse intervals folded, count %d", minSamples, bs[0].Intervals)
+		}
+		if math.Abs(bs[0].MeanS-0.001) > 1e-12 {
+			t.Fatalf("min=%d: sparse garbage moved the baseline to %g", minSamples, bs[0].MeanS)
+		}
+	}
+}
+
+// TestWatchdogPropertyWarmupNeverFlags: during the warmup window even
+// arbitrarily large level jumps fold silently; the first interval past
+// warmup is judged.
+func TestWatchdogPropertyWarmupNeverFlags(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		warmup := 1 + r.Intn(10)
+		w, _, h := testWatchdog(t, WatchdogOptions{
+			Warmup: warmup, MinSamples: 1, Alpha: 1, // alpha 1: baseline tracks last interval
+		})
+		for i := 0; i < warmup; i++ {
+			if got := feedInterval(w, h, 5, randLatency(r)*math.Pow(10, 3*r.Float64())); len(got) != 0 {
+				t.Fatalf("warmup=%d: interval %d flagged %v", warmup, i, got)
+			}
+		}
+		// Past warmup a 100× step must flag (alpha 1 ⇒ the baseline is the
+		// last warmup interval, variance from its fold is finite).
+		base := w.Baselines()[0].MeanS
+		if got := feedInterval(w, h, 5, base*100); len(got) != 1 {
+			t.Fatalf("warmup=%d: 100× step after warmup flagged %d anomalies, want 1", warmup, len(got))
+		}
+	}
+}
+
+// TestWatchdogPropertyStepAlwaysFlagged: from a zero-variance steady
+// state, any step strictly beyond the factor threshold is flagged on
+// its first interval, for arbitrary scales and factors.
+func TestWatchdogPropertyStepAlwaysFlagged(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		v := randLatency(r)
+		factor := 1.1 + 4*r.Float64()
+		w, _, h := testWatchdog(t, WatchdogOptions{
+			Warmup: 2, MinSamples: 1, Factor: factor, Sigma: 3,
+		})
+		for i := 0; i < 4; i++ {
+			feedInterval(w, h, 10, v)
+		}
+		step := v * factor * 1.5
+		got := feedInterval(w, h, 10, step)
+		if len(got) != 1 {
+			t.Fatalf("v=%g factor=%g: step to %g flagged %d anomalies, want 1", v, factor, step, len(got))
+		}
+		if got[0].IntervalMean < step*0.99 || math.Abs(got[0].BaselineMean-v) > v*1e-6 {
+			t.Fatalf("anomaly means %+v, want interval≈%g baseline≈%g", got[0], step, v)
+		}
+		// Near-zero variance (exactly zero up to fp rounding of the
+		// histogram sums): the reported deviation must dwarf any sane
+		// sigma — +Inf when the variance is exactly zero.
+		if !(got[0].StdDevs > 1e6) {
+			t.Errorf("steady-state step reported only %g std devs", got[0].StdDevs)
+		}
+	}
+}
+
+// TestWatchdogPropertyMinDeltaFloor: with an absolute floor set, a
+// relative blow-up that stays under the floor never alarms (µs-scale
+// jitter), while a shift clearing the floor and the relative rules
+// always does — for arbitrary baselines below the floor.
+func TestWatchdogPropertyMinDeltaFloor(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const floor = 0.005 // 5ms
+	for trial := 0; trial < 40; trial++ {
+		v := math.Pow(10, -6+2.5*r.Float64()) // 1µs .. ~300µs, all below floor
+		w, _, h := testWatchdog(t, WatchdogOptions{
+			Warmup: 2, MinSamples: 1, Factor: 2, Sigma: 3, MinDelta: 5 * time.Millisecond,
+		})
+		for i := 0; i < 4; i++ {
+			feedInterval(w, h, 10, v)
+		}
+		// A 4× relative regression that stays under the absolute floor:
+		// jitter, not a regression.
+		under := math.Min(v*4, v+floor*0.9)
+		if got := feedInterval(w, h, 10, under); len(got) != 0 {
+			t.Fatalf("v=%g: sub-floor 4× interval flagged %v", v, got)
+		}
+		// Clearing the floor (and trivially the relative rules) must flag.
+		if got := feedInterval(w, h, 10, v+floor*10); len(got) != 1 {
+			t.Fatalf("v=%g: floor-clearing step flagged %d anomalies, want 1", v, len(got))
+		}
+		// IsSlow honors the same floor.
+		if w.IsSlow("/api/stats", v+floor*0.5) {
+			t.Fatalf("v=%g: IsSlow judged a sub-floor trace slow", v)
+		}
+		if !w.IsSlow("/api/stats", v+floor*20) {
+			t.Fatalf("v=%g: IsSlow missed a floor-clearing trace", v)
+		}
+	}
+}
+
+// TestWatchdogPropertyEWMAConverges: after a level shift the baseline
+// converges geometrically to the new level — the watchdog adapts
+// instead of alarming forever on a persistent (accepted) regression.
+func TestWatchdogPropertyEWMAConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		v := randLatency(r)
+		alpha := 0.1 + 0.5*r.Float64()
+		w, _, h := testWatchdog(t, WatchdogOptions{Warmup: 1, MinSamples: 1, Alpha: alpha})
+		feedInterval(w, h, 5, v)
+		shifted := v * 10
+		prevGap := math.Inf(1)
+		for i := 0; i < 100; i++ {
+			feedInterval(w, h, 5, shifted)
+			gap := math.Abs(w.Baselines()[0].MeanS - shifted)
+			if gap > prevGap+shifted*1e-12 {
+				t.Fatalf("alpha=%g: gap grew at interval %d: %g > %g", alpha, i, gap, prevGap)
+			}
+			prevGap = gap
+		}
+		if prevGap > shifted*1e-3 {
+			t.Fatalf("alpha=%g: baseline %g has not converged to %g after 100 intervals",
+				alpha, w.Baselines()[0].MeanS, shifted)
+		}
+	}
+}

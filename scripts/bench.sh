@@ -10,6 +10,16 @@
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=30x scripts/bench.sh     # override go test -benchtime
 #
+# Loadgen mode: scripts/bench.sh loadgen [output.json]
+#   Seeded closed-loop traffic run: thicket-loadgen self-hosts a
+#   thicketd and replays the pinned mixed workload against it, writing
+#   BENCH_loadgen.json (per-SLO-class latency percentiles, achieved vs
+#   offered throughput, Jain fairness index). Fails on any HTTP error,
+#   any class p99 over its budget (MAX_P99 is the fallback budget for
+#   classes without one), or any spurious watchdog anomaly — a clean
+#   run must stay quiet. Override with SEED / DURATION / RATE / MAX_P99.
+#   This is the CI gate on the serving path under load.
+#
 # Overhead mode: scripts/bench.sh overhead [output.json]
 #   Runs the *New kernel benchmarks with THICKET_TELEMETRY disabled and
 #   enabled in COUNT interleaved rounds (off, on, off, on, ...),
@@ -94,9 +104,28 @@ overhead_mode() {
 	echo "wrote $OUT" >&2
 }
 
+loadgen_mode() {
+	local OUT="${1:-BENCH_loadgen.json}"
+	local SEED="${SEED:-1337}"
+	local DURATION="${DURATION:-10s}"
+	local RATE="${RATE:-200}"
+	local MAX_P99="${MAX_P99:-1s}"
+	go run ./cmd/thicket-loadgen \
+		-seed "$SEED" -duration "$DURATION" -rate "$RATE" \
+		-max-p99 "$MAX_P99" -fail-on-anomaly -fail-on-error \
+		-out "$OUT"
+	echo "wrote $OUT" >&2
+}
+
 if [[ "${1:-}" == "overhead" ]]; then
 	shift
 	overhead_mode "$@"
+	exit 0
+fi
+
+if [[ "${1:-}" == "loadgen" ]]; then
+	shift
+	loadgen_mode "$@"
 	exit 0
 fi
 
