@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/loadgen"
 )
 
@@ -60,6 +61,11 @@ type config struct {
 	minSamples int64
 	warmup     int
 	minDelta   time.Duration
+
+	ingestQueue   int
+	ingestFlush   int
+	ingestCompact int
+	ingestSync    string
 }
 
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
@@ -87,7 +93,14 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.Int64Var(&cfg.minSamples, "min-samples", 10, "watchdog min observations per interval before judging")
 	fs.IntVar(&cfg.warmup, "warmup", 3, "watchdog warmup intervals per endpoint")
 	fs.DurationVar(&cfg.minDelta, "min-delta", 5*time.Millisecond, "absolute regression floor over the baseline (negative disables)")
+	fs.IntVar(&cfg.ingestQueue, "ingest-queue", 0, "self-host ingest admission-queue depth (0 selects the default)")
+	fs.IntVar(&cfg.ingestFlush, "ingest-flush", 0, "self-host ingest L0 flush threshold in profiles (0 selects the default)")
+	fs.IntVar(&cfg.ingestCompact, "ingest-compact-run", 0, "self-host compaction run length (0 default, negative disables)")
+	fs.StringVar(&cfg.ingestSync, "ingest-sync", "batch", "self-host WAL fsync policy: batch, always, none")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if _, err := ingest.ParseSyncPolicy(cfg.ingestSync); err != nil {
 		return nil, err
 	}
 	if cfg.expectAnomaly && cfg.failOnAnomaly {
@@ -178,6 +191,17 @@ func overBudget(cfg *config, rep *loadgen.Report, stderr io.Writer) bool {
 	return false
 }
 
+// ingestOptions maps the -ingest-* flags onto the pipeline config.
+func ingestOptions(cfg *config) ingest.Options {
+	sync, _ := ingest.ParseSyncPolicy(cfg.ingestSync) // validated at flag parse
+	return ingest.Options{
+		QueueDepth:    cfg.ingestQueue,
+		FlushProfiles: cfg.ingestFlush,
+		CompactRun:    cfg.ingestCompact,
+		Sync:          sync,
+	}
+}
+
 func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) (int, error) {
 	spec, err := buildSpec(cfg)
 	if err != nil {
@@ -215,6 +239,7 @@ func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) (int, error
 			Warmup:          cfg.warmup,
 			MinDelta:        cfg.minDelta,
 			SelfProfilePath: cfg.selfOut,
+			Ingest:          ingestOptions(cfg),
 		})
 		if err != nil {
 			return 1, err

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	thicket "repro"
+)
+
+// ingestCmd implements `thicket ingest` — the producer side of the
+// streaming-ingest pipeline:
+//
+//	ingest -store out.tks -init                   create an empty directory store
+//	ingest -store out.tks -dir profiles/          stream profiles through the local WAL
+//	ingest -target http://host:8080 -dir runs/    POST profiles to a thicketd /ingest
+//	ingest -store out.tks -compact                merge every segment into one
+//
+// Local mode goes through the same Ingester as thicketd (WAL durability,
+// L0 flush, crash recovery); remote mode speaks the HTTP protocol,
+// honouring 429 + Retry-After backpressure with bounded retries.
+func ingestCmd(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	storePath := fs.String("store", "", "directory store to ingest into (local mode)")
+	target := fs.String("target", "", "base URL of a thicketd with -ingest enabled (remote mode)")
+	dir := fs.String("dir", "", "directory of thicket-profile JSON files to stream")
+	initStore := fs.Bool("init", false, "create an empty directory store at -store and exit")
+	compact := fs.Bool("compact", false, "compact the store (after streaming, or alone)")
+	syncRaw := fs.String("sync", "batch", "WAL fsync policy: batch, always, none (local mode)")
+	flush := fs.Int("flush", 0, "profiles per level-0 segment flush (0 selects the default)")
+	retries := fs.Int("retries", 8, "max retries per profile on 429 backpressure (remote mode)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	switch {
+	case *target != "" && *storePath != "":
+		fatal(fmt.Errorf("ingest takes -store or -target, not both"))
+	case *target == "" && *storePath == "":
+		fatal(fmt.Errorf("ingest requires -store <dir> or -target <url>"))
+	case *target != "" && (*initStore || *compact):
+		fatal(fmt.Errorf("-init and -compact are local-mode actions (use -store)"))
+	}
+	sync, err := thicket.ParseIngestSyncPolicy(*syncRaw)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *initStore {
+		if err := thicket.InitDirStore(*storePath, ""); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(stdout, "initialized empty directory store at %s\n", *storePath)
+		if *dir == "" {
+			return
+		}
+	}
+
+	if *target != "" {
+		ingestRemote(*target, *dir, *retries)
+		return
+	}
+	if *dir == "" && !*compact {
+		fatal(fmt.Errorf("ingest requires -dir profiles/ (or -init / -compact)"))
+	}
+
+	st := openStore(*storePath)
+	defer st.Close()
+	if *dir != "" {
+		profiles, err := thicket.LoadProfileDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		ing, err := thicket.NewIngester(st, thicket.IngestOptions{
+			Sync:          sync,
+			FlushProfiles: *flush,
+			CompactRun:    -1, // stream first; compaction is the explicit -compact step
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range profiles {
+			if err := ing.Submit(p); err != nil {
+				ing.Close()
+				fatal(err)
+			}
+		}
+		if err := ing.Close(); err != nil {
+			fatal(err)
+		}
+		info := st.Info()
+		fmt.Fprintf(stdout, "streamed %d profiles into %s: now %d profiles in %d segments\n",
+			len(profiles), *storePath, info.Profiles, info.Segments)
+	}
+	if *compact {
+		before := st.Info().Segments
+		if err := thicket.CompactStore(st); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(stdout, "compacted %s: %d segments -> %d\n",
+			*storePath, before, st.Info().Segments)
+	}
+}
+
+// ingestRemote streams every profile in dir to a thicketd's /ingest
+// endpoint. 429 responses are thicketd shedding load; each profile
+// retries with the server's Retry-After (default 1s) up to retries
+// times before the run fails.
+func ingestRemote(target, dir string, retries int) {
+	if dir == "" {
+		fatal(fmt.Errorf("ingest -target requires -dir profiles/"))
+	}
+	profiles, err := thicket.LoadProfileDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	shed := 0
+	for i, p := range profiles {
+		payload, err := p.MarshalBytes()
+		if err != nil {
+			fatal(err)
+		}
+		attempt := 0
+		for {
+			resp, err := client.Post(target+"/ingest", "application/octet-stream", bytes.NewReader(payload))
+			if err != nil {
+				fatal(fmt.Errorf("profile %d: %w", i, err))
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				fatal(fmt.Errorf("profile %d: server answered %d: %s", i, resp.StatusCode, bytes.TrimSpace(body)))
+			}
+			shed++
+			if attempt++; attempt > retries {
+				fatal(fmt.Errorf("profile %d: still backlogged after %d retries", i, retries))
+			}
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(wait)
+		}
+	}
+	fmt.Fprintf(stdout, "streamed %d profiles to %s/ingest (%d retries after 429)\n",
+		len(profiles), target, shed)
+}

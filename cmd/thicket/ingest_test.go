@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestIngestSubcommandLocal(t *testing.T) {
+	dir := writeEnsemble(t)
+	storePath := filepath.Join(t.TempDir(), "stream.tks")
+
+	out := invoke(t, "ingest", "-store", storePath, "-init")
+	if !strings.Contains(out, "initialized empty directory store") {
+		t.Errorf("ingest -init output:\n%s", out)
+	}
+
+	// Stream with a small flush so the store ends up with several L0
+	// segments, then merge them with -compact.
+	out = invoke(t, "ingest", "-store", storePath, "-dir", dir, "-flush", "2")
+	if !strings.Contains(out, "streamed 8 profiles") || !strings.Contains(out, "now 8 profiles in 4 segments") {
+		t.Errorf("ingest stream output:\n%s", out)
+	}
+
+	out = invoke(t, "ingest", "-store", storePath, "-compact")
+	if !strings.Contains(out, "4 segments -> 1") {
+		t.Errorf("ingest -compact output:\n%s", out)
+	}
+
+	// The streamed store serves the EDA subcommands like a batch-built one.
+	out = invoke(t, "stats", "-ensemble-store", storePath, "-metrics", "Avg time/rank", "-aggs", "mean")
+	if !strings.Contains(out, "loaded 8 profiles") || !strings.Contains(out, "Avg time/rank_mean") {
+		t.Errorf("stats over streamed store:\n%s", out)
+	}
+
+	// -init with -dir does both steps in one invocation.
+	combined := filepath.Join(t.TempDir(), "combined.tks")
+	out = invoke(t, "ingest", "-store", combined, "-init", "-dir", dir, "-compact")
+	if !strings.Contains(out, "streamed 8 profiles") || !strings.Contains(out, "segments -> 1") {
+		t.Errorf("ingest -init -dir -compact output:\n%s", out)
+	}
+}
+
+func TestIngestSubcommandRemote(t *testing.T) {
+	dir := writeEnsemble(t)
+
+	// A stand-in thicketd: sheds the first request with 429 to exercise
+	// the Retry-After path, acks the rest.
+	var posts, sheds atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/ingest" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if posts.Add(1) == 1 {
+			sheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"status":"acked"}`))
+	}))
+	defer srv.Close()
+
+	out := invoke(t, "ingest", "-target", srv.URL, "-dir", dir)
+	if !strings.Contains(out, "streamed 8 profiles to "+srv.URL+"/ingest (1 retries after 429)") {
+		t.Errorf("ingest -target output:\n%s", out)
+	}
+	if got := posts.Load() - sheds.Load(); got != 8 {
+		t.Errorf("server acked %d profiles, want 8", got)
+	}
+}
+
+func TestIngestSubcommandErrors(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "s.tks")
+	cases := []struct {
+		name     string
+		args     []string
+		wantText string
+	}{
+		{"no mode", []string{"ingest"}, "-store <dir> or -target <url>"},
+		{"both modes", []string{"ingest", "-store", storePath, "-target", "http://x"}, "not both"},
+		{"remote compact", []string{"ingest", "-target", "http://x", "-compact"}, "local-mode actions"},
+		{"store without action", []string{"ingest", "-store", storePath}, "-dir profiles/"},
+		{"target without dir", []string{"ingest", "-target", "http://x"}, "requires -dir"},
+		{"bad sync", []string{"ingest", "-store", storePath, "-dir", "x", "-sync", "sometimes"}, "sync policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(tc.args, &sb)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantText)
+			}
+			if !strings.Contains(err.Error(), tc.wantText) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.wantText)
+			}
+		})
+	}
+}

@@ -79,14 +79,18 @@ func run(args []string, w io.Writer) (err error) {
 		return fmt.Errorf("missing subcommand")
 	}
 	cmd := args[0]
-	// store and serve own their flag sets; dispatch before the shared
-	// EDA flags are parsed.
+	// store, serve and ingest own their flag sets; dispatch before the
+	// shared EDA flags are parsed.
 	if cmd == "store" {
 		storeCmd(args[1:])
 		return
 	}
 	if cmd == "serve" {
 		serveCmd(args[1:])
+		return
+	}
+	if cmd == "ingest" {
+		ingestCmd(args[1:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -480,7 +484,7 @@ func splitKeys(arg string) []thicket.ColKey {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve> -dir profiles/ [flags]
+	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve|ingest> -dir profiles/ [flags]
 run "thicket <subcommand> -h" for flags`)
 }
 

@@ -10,6 +10,8 @@
 //	         [-trace-sample 1.0] [-baseline-window 10s] [-baseline-sigma 3]
 //	         [-self-profile-store self.tks] [-self-profile-interval 30s]
 //	         [-log-level info] [-inject-latency /api/stats=50ms]
+//	         [-ingest] [-ingest-wal path] [-ingest-queue 256] [-ingest-flush 16]
+//	         [-ingest-compact-run 4] [-ingest-sync batch]
 //
 // Endpoints:
 //
@@ -22,8 +24,17 @@
 //	GET /api/summary?by=col               campaign summary
 //	GET /api/query?q=<call-path DSL>      call-path query, kept node paths
 //	GET /api/tree?metric=a                rendered call tree
+//	POST /ingest                          stream one profile into the store (-ingest; 429 = backpressure)
 //	GET /debug/traces?n=32                retained (sampled) traces with retention reasons
 //	GET /debug/anomalies                  latency baselines + flagged regressions
+//
+// With -ingest, profiles POSTed to /ingest are acked once durable in a
+// write-ahead log, flushed to small level-0 segments, and merged into
+// sorted higher-level segments by a background compactor; a full
+// admission queue sheds with 429 + Retry-After rather than stalling
+// query traffic. The store should use the directory layout (thicket
+// ingest -init or CreateDirStore) so compaction can run; a single-file
+// store still ingests but only appends.
 //
 // Observability: requests accept and emit W3C traceparent headers, and
 // every log line is one JSON object carrying the request's trace ID.
@@ -77,6 +88,13 @@ type config struct {
 	selfProfileIntv time.Duration
 	injectLatency   string
 	logLevel        string
+
+	ingestEnabled bool
+	ingestWAL     string
+	ingestQueue   int
+	ingestFlush   int
+	ingestCompact int
+	ingestSync    string
 }
 
 func main() {
@@ -96,6 +114,12 @@ func main() {
 	flag.DurationVar(&cfg.selfProfileIntv, "self-profile-interval", 30*time.Second, "slow-trace export interval of the self-profile store")
 	flag.StringVar(&cfg.injectLatency, "inject-latency", "", "artificial endpoint delays for regression demos, e.g. /api/stats=50ms; an @onset (e.g. /api/stats=50ms@8s) arms the delay after the baseline has warmed")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "structured-log level: debug, info, warn, error")
+	flag.BoolVar(&cfg.ingestEnabled, "ingest", false, "enable POST /ingest: stream profiles into the store through a write-ahead log")
+	flag.StringVar(&cfg.ingestWAL, "ingest-wal", "", "write-ahead log path (default <store>.wal)")
+	flag.IntVar(&cfg.ingestQueue, "ingest-queue", 0, "ingest admission-queue depth; beyond it submissions shed with 429 (0 selects 256)")
+	flag.IntVar(&cfg.ingestFlush, "ingest-flush", 0, "profiles per level-0 segment flush (0 selects 16)")
+	flag.IntVar(&cfg.ingestCompact, "ingest-compact-run", 0, "adjacent same-level segments merged per compaction (0 selects 4, negative disables)")
+	flag.StringVar(&cfg.ingestSync, "ingest-sync", "batch", "WAL fsync policy: batch (group commit), always, none")
 	flag.Parse()
 	if cfg.storePath == "" {
 		flag.Usage()
@@ -254,13 +278,43 @@ func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
 			"path", cfg.selfProfilePath, "interval", cfg.selfProfileIntv.String())
 	}
 
+	// Streaming ingest: the WAL replays any crash remnant before the
+	// server takes traffic, and Close drains the queue on shutdown so
+	// every acked profile lands in a segment.
+	var ing *thicket.Ingester
+	if cfg.ingestEnabled {
+		sync, serr := thicket.ParseIngestSyncPolicy(cfg.ingestSync)
+		if serr != nil {
+			return serr
+		}
+		ing, err = thicket.NewIngester(st, thicket.IngestOptions{
+			WALPath:       cfg.ingestWAL,
+			QueueDepth:    cfg.ingestQueue,
+			FlushProfiles: cfg.ingestFlush,
+			CompactRun:    cfg.ingestCompact,
+			Sync:          sync,
+			Registry:      thicket.DefaultMetrics(),
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := ing.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		dlog.Info("ingest enabled",
+			"wal", ing.WALPath(), "sync", cfg.ingestSync, "compact", st.CanCompact())
+	}
+
 	immediate := map[string]time.Duration{}
 	for path, spec := range inject {
 		if spec.after <= 0 {
 			immediate[path] = spec.delay
 		}
 	}
-	srv := thicket.NewServer(th, st, thicket.ServerOptions{
+	serverOpts := thicket.ServerOptions{
 		MaxConcurrent: cfg.maxConc,
 		Timeout:       cfg.timeout,
 		CacheBytes:    cfg.cacheBytes,
@@ -272,7 +326,11 @@ func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
 		// The process-wide registry: /metrics merges the server's HTTP
 		// metrics with kernel, store, and span-duration metrics.
 		Registry: thicket.DefaultMetrics(),
-	})
+	}
+	if ing != nil {
+		serverOpts.Ingest = ing
+	}
+	srv := thicket.NewServer(th, st, serverOpts)
 	// Delayed injections arm after the endpoint's baseline has warmed on
 	// honest latencies, so the watchdog demo flags a real regression.
 	for path, spec := range inject {

@@ -1,0 +1,326 @@
+// Package ingest implements the streaming write path of the thicket
+// store: a crash-safe write-ahead log in front of small level-0
+// segments, with a background compactor folding L0 runs into large
+// sorted higher-level segments.
+//
+// The flow is WAL → memory → L0 → L1+:
+//
+//  1. Submitted profiles are framed into the WAL and fsynced per the
+//     configured policy; a profile is *acked* (the HTTP 200 goes out)
+//     only after its WAL record is durable. Group commit batches many
+//     records per fsync under load.
+//  2. Acked profiles accumulate in memory and flush as a small level-0
+//     store segment once enough gather (or a timer fires). After a
+//     flush the WAL resets — everything it guarded is now in the store.
+//  3. The compactor watches for runs of adjacent same-level segments
+//     and merges each run into one segment a level up, re-sorting rows
+//     node-major (the batch builder's layout) and re-folding dictionary
+//     pages, so a fully compacted store is byte-identical to one built
+//     from the same profiles in a single batch.
+//
+// Crash recovery replays the WAL: complete records become an L0 segment
+// (skipping profiles the store already holds — the crash may have hit
+// between store flush and WAL reset), and a torn tail — a partial or
+// corrupt final record from a mid-write crash — is detected by CRC and
+// truncated, never trusted.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// WALMagic opens every write-ahead log file.
+const WALMagic = "THKWAL01"
+
+// walRecHdrLen is the fixed per-record framing: payload length (u32) +
+// payload CRC32 (u32), little-endian.
+const walRecHdrLen = 8
+
+// DefaultMaxRecordBytes bounds a single WAL record. A length prefix
+// beyond this is treated as corruption, not an allocation request.
+const DefaultMaxRecordBytes = 64 << 20
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs once per Sync() call — the group-commit default:
+	// the ingester appends a batch of records, syncs once, then acks
+	// them all. Nothing is acked before it is durable.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every Append — strongest, slowest.
+	SyncAlways
+	// SyncNone never fsyncs (tests and throwaway ingest only): a crash
+	// can lose acked records.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return "batch"
+}
+
+// ParseSyncPolicy parses "batch", "always", or "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch", "":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown sync policy %q (want batch, always, or none)", s)
+}
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	Sync SyncPolicy
+	// MaxRecordBytes bounds one record; 0 selects DefaultMaxRecordBytes.
+	MaxRecordBytes uint32
+	// Registry receives WAL metrics; nil selects telemetry.Default.
+	Registry *telemetry.Registry
+}
+
+// WAL is a length+CRC framed write-ahead log. It is not safe for
+// concurrent use — the ingester owns it from a single writer goroutine.
+type WAL struct {
+	path   string
+	f      *os.File
+	policy SyncPolicy
+	maxRec uint32
+	size   int64 // durable + buffered bytes
+	buf    []byte
+
+	recovered [][]byte
+
+	records *telemetry.Counter
+	bytes   *telemetry.Counter
+	fsyncs  *telemetry.Counter
+	fsyncS  *telemetry.Histogram
+	resets  *telemetry.Counter
+	torn    *telemetry.Counter
+}
+
+// appendWALRecord frames payload onto buf.
+func appendWALRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// errTornRecord marks a record that cannot be parsed from the bytes at
+// hand — a torn write or corruption. Replay treats it as end-of-log.
+var errTornRecord = fmt.Errorf("ingest: torn or corrupt WAL record")
+
+// parseWALRecord parses one framed record from the front of data.
+// Returns errTornRecord for anything that does not parse completely —
+// short header, length overrunning the data, length beyond maxRec, or a
+// CRC mismatch. The returned payload aliases data.
+func parseWALRecord(data []byte, maxRec uint32) (payload []byte, consumed int, err error) {
+	if len(data) < walRecHdrLen {
+		return nil, 0, errTornRecord
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxRec || uint64(walRecHdrLen)+uint64(n) > uint64(len(data)) {
+		return nil, 0, errTornRecord
+	}
+	payload = data[walRecHdrLen : walRecHdrLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, errTornRecord
+	}
+	return payload, walRecHdrLen + int(n), nil
+}
+
+// OpenWAL opens (or creates) the log at path. An existing log is
+// scanned: complete records are retained for Recovered(), and a torn
+// tail — the residue of a crash mid-append — is truncated away so new
+// records never land after garbage. A file that does not even hold the
+// magic is an error (it is not ours to truncate).
+func OpenWAL(path string, opts WALOptions) (*WAL, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	maxRec := opts.MaxRecordBytes
+	if maxRec == 0 {
+		maxRec = DefaultMaxRecordBytes
+	}
+	w := &WAL{
+		path:   path,
+		policy: opts.Sync,
+		maxRec: maxRec,
+		records: reg.Counter("thicket_wal_records_total",
+			"Records appended to the write-ahead log.", "wal", path),
+		bytes: reg.Counter("thicket_wal_bytes_total",
+			"Bytes appended to the write-ahead log.", "wal", path),
+		fsyncs: reg.Counter("thicket_wal_fsyncs_total",
+			"Write-ahead log fsync calls.", "wal", path),
+		fsyncS: reg.Histogram("thicket_wal_fsync_seconds",
+			"Write-ahead log fsync latency.", "wal", path),
+		resets: reg.Counter("thicket_wal_resets_total",
+			"Write-ahead log checkpoints (truncations after store flush).", "wal", path),
+		torn: reg.Counter("thicket_wal_torn_records_total",
+			"Torn or corrupt tail records dropped during WAL replay.", "wal", path),
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open wal %s: %w", path, err)
+	}
+	w.f = f
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: open wal %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(WALMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: open wal %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: open wal %s: %w", path, err)
+		}
+		w.size = int64(len(WALMagic))
+		return w, nil
+	}
+	if err := w.replay(st.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// replay scans the existing log, retains complete records, and
+// truncates the torn tail (if any) in place.
+func (w *WAL) replay(size int64) error {
+	sp := telemetry.StartOp("wal.replay")
+	defer sp.End()
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(w.f, 0, size), data); err != nil {
+		return fmt.Errorf("ingest: replay wal %s: %w", w.path, err)
+	}
+	if size < int64(len(WALMagic)) || string(data[:len(WALMagic)]) != WALMagic {
+		return fmt.Errorf("ingest: replay wal %s: bad magic", w.path)
+	}
+	off := len(WALMagic)
+	for off < len(data) {
+		payload, consumed, err := parseWALRecord(data[off:], w.maxRec)
+		if err != nil {
+			// Torn tail: everything before off is intact; drop the rest.
+			w.torn.Inc()
+			break
+		}
+		w.recovered = append(w.recovered, append([]byte(nil), payload...))
+		off += consumed
+	}
+	if int64(off) < size {
+		if err := w.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("ingest: replay wal %s: truncate torn tail: %w", w.path, err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: replay wal %s: %w", w.path, err)
+		}
+	}
+	w.size = int64(off)
+	if sp != nil {
+		sp.SetAttr("records", fmt.Sprint(len(w.recovered)))
+		sp.SetAttr("truncated_bytes", fmt.Sprint(size-int64(off)))
+	}
+	return nil
+}
+
+// Recovered returns the complete records found at open, in append
+// order, and releases them.
+func (w *WAL) Recovered() [][]byte {
+	r := w.recovered
+	w.recovered = nil
+	return r
+}
+
+// Append frames payload into the log. Under SyncAlways the record is
+// durable on return; otherwise it is buffered until Sync (the group
+// commit) and MUST NOT be acked before then.
+func (w *WAL) Append(payload []byte) error {
+	if uint32(len(payload)) > w.maxRec {
+		return fmt.Errorf("ingest: wal %s: record %d bytes exceeds max %d", w.path, len(payload), w.maxRec)
+	}
+	w.buf = appendWALRecord(w.buf[:0], payload)
+	if _, err := w.f.WriteAt(w.buf, w.size); err != nil {
+		return fmt.Errorf("ingest: wal %s: append: %w", w.path, err)
+	}
+	w.size += int64(len(w.buf))
+	w.records.Inc()
+	w.bytes.Add(int64(len(w.buf)))
+	if w.policy == SyncAlways {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync makes every appended record durable — the group-commit point.
+// No-op under SyncNone.
+func (w *WAL) Sync() error {
+	if w.policy == SyncNone {
+		return nil
+	}
+	sp := telemetry.StartOp("wal.fsync")
+	start := time.Now()
+	err := w.f.Sync()
+	sp.End()
+	w.fsyncs.Inc()
+	w.fsyncS.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("ingest: wal %s: fsync: %w", w.path, err)
+	}
+	return nil
+}
+
+// Reset checkpoints the log: every record it guards is now durably in
+// the store, so the log truncates back to its header.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(int64(len(WALMagic))); err != nil {
+		return fmt.Errorf("ingest: wal %s: reset: %w", w.path, err)
+	}
+	if w.policy != SyncNone {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: wal %s: reset: %w", w.path, err)
+		}
+	}
+	w.size = int64(len(WALMagic))
+	w.resets.Inc()
+	return nil
+}
+
+// Size reports the log's current length in bytes (header included).
+func (w *WAL) Size() int64 { return w.size }
+
+// Path reports the log file's path.
+func (w *WAL) Path() string { return w.path }
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

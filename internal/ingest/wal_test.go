@@ -1,0 +1,218 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func testWALOpts() WALOptions {
+	return WALOptions{Sync: SyncBatch, Registry: telemetry.NewRegistry()}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, err := OpenWAL(path, testWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, testWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := w2.Recovered()
+	if len(got) != len(records) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Errorf("record %d: got %q, want %q", i, got[i], records[i])
+		}
+	}
+	if again := w2.Recovered(); again != nil {
+		t.Errorf("second Recovered() = %v, want nil", again)
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: complete records followed
+// by assorted torn tails. Replay must keep the complete records, drop the
+// tail, and truncate the file so new appends land cleanly after.
+func TestWALTornTail(t *testing.T) {
+	cases := []struct {
+		name string
+		tail func(good []byte) []byte // bytes to append after valid records
+	}{
+		{"truncated header", func([]byte) []byte { return []byte{0x05, 0x00} }},
+		{"length overruns file", func([]byte) []byte {
+			var b []byte
+			b = binary.LittleEndian.AppendUint32(b, 1000) // claims 1000 bytes
+			b = binary.LittleEndian.AppendUint32(b, 0)
+			return append(b, []byte("only a little")...)
+		}},
+		{"bad crc", func([]byte) []byte {
+			payload := []byte("corrupted")
+			var b []byte
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+			b = binary.LittleEndian.AppendUint32(b, 0xDEADBEEF)
+			return append(b, payload...)
+		}},
+		{"length overflow", func([]byte) []byte {
+			var b []byte
+			b = binary.LittleEndian.AppendUint32(b, ^uint32(0))
+			b = binary.LittleEndian.AppendUint32(b, 0)
+			return append(b, bytes.Repeat([]byte{1}, 64)...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ingest.wal")
+			w, err := OpenWAL(path, testWALOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			good := [][]byte{[]byte("one"), []byte("two")}
+			for _, r := range good {
+				if err := w.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail(nil)); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			before, _ := os.Stat(path)
+
+			w2, err := OpenWAL(path, testWALOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := w2.Recovered()
+			if len(got) != len(good) {
+				t.Fatalf("recovered %d records, want %d", len(got), len(good))
+			}
+			for i := range good {
+				if !bytes.Equal(got[i], good[i]) {
+					t.Errorf("record %d: got %q, want %q", i, got[i], good[i])
+				}
+			}
+			after, _ := os.Stat(path)
+			if after.Size() >= before.Size() {
+				t.Errorf("torn tail not truncated: %d bytes before, %d after", before.Size(), after.Size())
+			}
+			// The log must be appendable after truncation.
+			if err := w2.Append([]byte("three")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w3, err := OpenWAL(path, testWALOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w3.Close()
+			if got := w3.Recovered(); len(got) != 3 || string(got[2]) != "three" {
+				t.Fatalf("after re-append: recovered %d records", len(got))
+			}
+		})
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, err := OpenWAL(path, testWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != int64(len(WALMagic)) {
+		t.Errorf("size after reset = %d, want %d", w.Size(), len(WALMagic))
+	}
+	// Records appended after a reset survive a reopen alone.
+	if err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path, testWALOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := w2.Recovered()
+	if len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("recovered %q, want [fresh]", got)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	if err := os.WriteFile(path, []byte("NOT A WAL FILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, testWALOpts()); err == nil {
+		t.Fatal("expected error opening non-WAL file")
+	}
+}
+
+func TestWALMaxRecord(t *testing.T) {
+	opts := testWALOpts()
+	opts.MaxRecordBytes = 16
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, err := OpenWAL(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(bytes.Repeat([]byte{1}, 17)); err == nil {
+		t.Fatal("expected oversized append to fail")
+	}
+	if err := w.Append(bytes.Repeat([]byte{1}, 16)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{
+		"": SyncBatch, "batch": SyncBatch, "always": SyncAlways, "none": SyncNone,
+	} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}

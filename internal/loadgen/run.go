@@ -17,9 +17,12 @@ type Target struct {
 	BaseURL string
 	// Client issues the requests; nil selects a dedicated pooled client.
 	Client *http.Client
-	// Ingest handles Ingest events (the store-append write path). nil
-	// counts them as skipped instead of failing the run.
-	Ingest func() error
+	// Ingest handles Ingest events (the write path). It reports the HTTP
+	// status of the ingest request (0 for a non-HTTP sink) so the replay
+	// can distinguish a shed submission (429, admission control working
+	// as designed) from a failed one. nil counts ingest events as
+	// skipped instead of failing the run.
+	Ingest func() (status int, err error)
 	// OnTick, when set, is called with the tick index every TickEvery of
 	// virtual time — the harness paces the watchdog itself instead of
 	// racing a background ticker, keeping the closed loop deterministic.
@@ -47,8 +50,11 @@ type Sample struct {
 	Class   string
 	Latency time.Duration
 	Status  int  // HTTP status, 0 on transport error
-	Err     bool // transport error or status >= 400
+	Err     bool // transport error or status >= 400 (shed 429s excluded)
 	Ingest  bool
+	// Shed marks an ingest submission rejected with 429 by admission
+	// control — deliberate load shedding, not a failure.
+	Shed bool
 }
 
 // Measured is the wall-clock half of a run: what actually happened when
@@ -113,9 +119,12 @@ func Run(ctx context.Context, sched *Schedule, target Target) (*Measured, error)
 				return
 			}
 			t0 := time.Now()
-			err := target.Ingest()
+			status, err := target.Ingest()
+			shed := status == http.StatusTooManyRequests
 			record(Sample{Client: ev.Client, Class: ev.Class,
-				Latency: time.Since(t0), Err: err != nil, Ingest: true})
+				Latency: time.Since(t0), Status: status,
+				Err: err != nil || (status >= 400 && !shed),
+				Shed: shed, Ingest: true})
 			return
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.BaseURL+ev.URL(), nil)

@@ -98,7 +98,7 @@ func TestRunIngestHook(t *testing.T) {
 	var calls atomic.Int64
 	m, err := Run(context.Background(), sched, Target{
 		BaseURL: ts.URL,
-		Ingest:  func() error { calls.Add(1); return nil },
+		Ingest:  func() (int, error) { calls.Add(1); return 200, nil },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +231,7 @@ func TestReportDeterministicHalf(t *testing.T) {
 		}
 		m, err := Run(context.Background(), sched, Target{
 			BaseURL: ts.URL,
-			Ingest:  func() error { return nil },
+			Ingest:  func() (int, error) { return 200, nil },
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -12,7 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/profile"
+	"repro/internal/ingest"
 	"repro/internal/selfprofile"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -85,11 +87,16 @@ type SelfHostOptions struct {
 	// alarms on jitter. A 5ms floor silences noise while any injected
 	// regression worth the name (tens of ms over a µs baseline) clears
 	// it by an order of magnitude. <0 disables; 0 selects 5ms.
-	MinDelta time.Duration
-	MaxConcurrent  int
+	MinDelta      time.Duration
+	MaxConcurrent int
 	// SelfProfilePath overrides ScratchDir/self.tks.
 	SelfProfilePath string
 	Logger          *slog.Logger
+	// Ingest configures the streaming-ingest pipeline behind the
+	// server's POST /ingest endpoint (queue depth, flush cadence,
+	// compaction run length). The zero value selects the ingester's
+	// defaults.
+	Ingest ingest.Options
 }
 
 // SelfHost is a live in-process thicketd wired for closed-loop load
@@ -109,6 +116,8 @@ type SelfHost struct {
 
 	opts     SelfHostOptions
 	st       *store.Store
+	ing      *ingest.Ingester
+	client   *http.Client
 	ln       net.Listener
 	httpSrv  *http.Server
 	ingestMu sync.Mutex
@@ -145,7 +154,9 @@ func (o SelfHostOptions) withDefaults() SelfHostOptions {
 	return o
 }
 
-// synthStore writes a small synthetic MARBL ensemble store to dir.
+// synthStore writes a small synthetic MARBL ensemble to a directory
+// store under dir — directory layout so the ingest pipeline can run
+// background compaction against it.
 func synthStore(dir string, seed int64) (string, error) {
 	profiles, err := sim.MarblEnsemble(
 		[]sim.MarblCluster{sim.ClusterRZTopaz, sim.ClusterAWS}, []int{1, 2, 4}, 2, seed)
@@ -157,7 +168,7 @@ func synthStore(dir string, seed int64) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, "ensemble.tks")
-	if err := store.Create(path, th); err != nil {
+	if err := store.CreateDir(path, th); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -223,6 +234,20 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		return nil, err
 	}
 
+	iopts := opts.Ingest
+	if iopts.Registry == nil {
+		iopts.Registry = reg
+	}
+	if iopts.Logger == nil {
+		iopts.Logger = opts.Logger
+	}
+	ing, err := ingest.New(st, iopts)
+	if err != nil {
+		sp.Close()
+		st.Close()
+		return nil, err
+	}
+
 	srv := server.New(th, st, server.Options{
 		MaxConcurrent: opts.MaxConcurrent,
 		Registry:      reg,
@@ -230,9 +255,12 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		Trace:         col,
 		Watchdog:      wd,
 		SlowQuery:     -1, // loadgen floods would spam the slow log
+		Ingest:        ing,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		ing.Close()
+		sp.Close()
 		st.Close()
 		return nil, err
 	}
@@ -245,7 +273,12 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		Registry:  reg,
 		opts:      opts,
 		st:        st,
-		ln:        ln,
+		ing:       ing,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        16,
+			MaxIdleConnsPerHost: 16,
+		}},
+		ln: ln,
 		// The timeouts reap connections that never carry a request
 		// (transport dial-race spares); Shutdown would otherwise wait on
 		// them as potentially active.
@@ -261,12 +294,15 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 	return h, nil
 }
 
-// Ingest appends one fresh synthetic profile to the served store — the
-// write path of the ingest-query workload mix. Each call generates a
-// unique profile (trial numbers count up from a high base so they never
-// collide with the seeded ensemble), so the store's generation moves
-// and the server reloads + flushes its response cache under traffic.
-func (h *SelfHost) Ingest() error {
+// Ingest streams one fresh synthetic profile through the real write
+// path: serialized and POSTed to the server's /ingest endpoint, through
+// admission control, the WAL, and the L0 flush — exactly what an
+// external producer exercises. Each call generates a unique profile
+// (trial numbers count up from a high base so they never collide with
+// the seeded ensemble), so the store's content generation moves and the
+// server reloads under traffic. The returned status lets the replay
+// count 429 sheds separately from failures.
+func (h *SelfHost) Ingest() (int, error) {
 	h.ingestMu.Lock()
 	n := h.ingestN
 	h.ingestN++
@@ -278,10 +314,24 @@ func (h *SelfHost) Ingest() error {
 		Seed:    h.opts.Seed,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return h.st.AppendProfiles([]*profile.Profile{p})
+	payload, err := p.MarshalBytes()
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.client.Post(h.URL+"/ingest", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
 }
+
+// Ingester exposes the pipeline for post-run assertions (backlog,
+// forced compaction).
+func (h *SelfHost) Ingester() *ingest.Ingester { return h.ing }
 
 // Target wires the self-hosted server into a replay target: requests go
 // to the loopback listener, ingest events append to the store, and the
@@ -323,11 +373,16 @@ func (h *SelfHost) Close() error {
 		return nil
 	}
 	h.closed = true
+	h.client.CloseIdleConnections()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err := h.httpSrv.Shutdown(ctx)
 	telemetry.SetCollector(h.prevCol)
 	telemetry.SetEnabled(h.prevOn)
+	// The ingester drains its queue and flushes before the store closes.
+	if cerr := h.ing.Close(); err == nil {
+		err = cerr
+	}
 	if cerr := h.Profiler.Close(); err == nil {
 		err = cerr
 	}

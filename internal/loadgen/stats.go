@@ -13,6 +13,7 @@ type ClassStats struct {
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
 	Ingests     int     `json:"ingests"`
+	IngestShed  int     `json:"ingest_shed,omitempty"`
 	AchievedRPS float64 `json:"achieved_rps"`
 	P50US       int64   `json:"p50_us"`
 	P90US       int64   `json:"p90_us"`
@@ -65,7 +66,10 @@ type MeasuredReport struct {
 	Classes       map[string]ClassStats  `json:"classes"`
 	Clients       map[string]ClientStats `json:"clients"`
 	IngestSkipped int                    `json:"ingest_skipped,omitempty"`
-	WatchdogTicks int                    `json:"watchdog_ticks,omitempty"`
+	// IngestShed totals ingest submissions rejected with 429 — offered
+	// write load the server deliberately shed to protect query traffic.
+	IngestShed    int `json:"ingest_shed,omitempty"`
+	WatchdogTicks int `json:"watchdog_ticks,omitempty"`
 	Anomalies     int                    `json:"anomalies"`
 	// RetainedTraces counts the traces the tail sampler kept (self-host
 	// mode only).
@@ -134,7 +138,7 @@ func BuildReport(sched *Schedule, m *Measured) *Report {
 			OfferedRPS: float64(sched.Offered[c.Name]-sched.Shed[c.Name]) / durS,
 		}
 	}
-	totalErrs := 0
+	totalErrs, totalShed := 0, 0
 	for _, s := range m.Samples {
 		cs := classes[s.Class]
 		cs.Requests++
@@ -144,9 +148,15 @@ func BuildReport(sched *Schedule, m *Measured) *Report {
 		}
 		if s.Ingest {
 			cs.Ingests++
+			if s.Shed {
+				cs.IngestShed++
+				totalShed++
+			}
 		}
 		classes[s.Class] = cs
-		if !s.Err {
+		// Shed submissions return immediately; folding their latency into
+		// the class percentiles would flatter the tail.
+		if !s.Err && !s.Shed {
 			classLats[s.Class] = append(classLats[s.Class], s.Latency)
 		}
 		cl := clients[s.Client]
@@ -219,6 +229,7 @@ func BuildReport(sched *Schedule, m *Measured) *Report {
 			Classes:       classes,
 			Clients:       clients,
 			IngestSkipped: m.IngestSkipped,
+			IngestShed:    totalShed,
 			WatchdogTicks: m.Ticks,
 		},
 	}
@@ -230,8 +241,12 @@ func (r *Report) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "thicket-loadgen  seed=%d  duration=%s  scheduled=%d  measured=%d  errors=%d\n",
 		r.Workload.Seed, time.Duration(r.Workload.DurationNS), r.Workload.Requests,
 		r.Measured.Requests, r.Measured.Errors)
-	fmt.Fprintf(w, "offered %.1f req/s  achieved %.1f req/s  fairness(Jain) %.4f\n\n",
+	fmt.Fprintf(w, "offered %.1f req/s  achieved %.1f req/s  fairness(Jain) %.4f\n",
 		r.Workload.OfferedRPS, r.Measured.AchievedRPS, r.Measured.FairnessJain)
+	if r.Measured.IngestShed > 0 {
+		fmt.Fprintf(w, "ingest backpressure: %d submissions shed with 429\n", r.Measured.IngestShed)
+	}
+	fmt.Fprintln(w)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "CLASS\tREQS\tERRS\tp50\tp90\tp99\tmean\tmax\tbudget\t")

@@ -13,27 +13,50 @@ import (
 // holds thousands of distinct query shapes.
 const DefaultCacheBytes = 16 << 20
 
+// cacheDep classifies what a cached response depends on, so
+// invalidation can be incremental: a compaction rewrites segment layout
+// without changing content, and an append can change content without
+// changing the union call tree — in both cases entries whose dependency
+// is unchanged stay warm.
+type cacheDep uint8
+
+const (
+	// depNone marks an endpoint as uncacheable.
+	depNone cacheDep = iota
+	// depData marks responses derived from profile rows and metadata
+	// (stats, groupby, summary): invalid when the store's content
+	// generation moves, untouched by compaction.
+	depData
+	// depTree marks responses derived only from the union call tree
+	// (query): invalid only when the tree's shape changes.
+	depTree
+)
+
 // respCache is a byte-bounded LRU of rendered 200-OK response bodies,
-// keyed by canonicalized request. Entries are generation-stamped: the
-// whole cache flushes when the backing store's generation moves, and a
-// put computed against an older generation is discarded rather than
-// poisoning the fresh cache. Concurrent misses on one key dedup through
-// a single-flight table: one request computes, the rest wait and reuse
-// its bytes.
+// keyed by canonicalized request. Each entry is stamped with the
+// generation of the one dependency it was computed from (profile
+// content or tree shape); invalidate drops exactly the entries whose
+// dependency moved, and a put computed against an older generation is
+// discarded rather than poisoning the fresh cache. Concurrent misses on
+// one key dedup through a single-flight table: one request computes,
+// the rest wait and reuse its bytes.
 type respCache struct {
 	max int64
 
-	mu     sync.Mutex
-	used   int64
-	gen    int64
-	order  *list.List // front = most recent; values are *respEntry
-	items  map[string]*list.Element
-	flight map[string]*flightCall
+	mu      sync.Mutex
+	used    int64
+	dataGen int64
+	treeGen int64
+	order   *list.List // front = most recent; values are *respEntry
+	items   map[string]*list.Element
+	flight  map[string]*flightCall
 }
 
 type respEntry struct {
-	key  string
-	body []byte
+	key   string
+	body  []byte
+	dep   cacheDep
+	stamp int64
 }
 
 // entryOverhead approximates per-entry bookkeeping bytes (list element,
@@ -59,11 +82,13 @@ func newRespCache(maxBytes int64) *respCache {
 // enabled reports whether caching is on at all.
 func (c *respCache) enabled() bool { return c.max > 0 }
 
-// generation returns the cache's current generation stamp.
-func (c *respCache) generation() int64 {
+// stamps returns the current dependency generations. Callers capture
+// them before computing a response so a concurrent invalidation
+// discards the stale put.
+func (c *respCache) stamps() (dataGen, treeGen int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.gen
+	return c.dataGen, c.treeGen
 }
 
 // get returns the cached body for key. Hit/miss counting lives with the
@@ -80,17 +105,22 @@ func (c *respCache) get(key string) ([]byte, bool) {
 	return el.Value.(*respEntry).body, true
 }
 
-// put stores body under key if gen still matches the cache generation,
-// evicting least-recently-used entries to fit the byte budget.
-func (c *respCache) put(key string, body []byte, gen int64) {
+// put stores body under key if stamp still matches the current
+// generation of the entry's dependency, evicting least-recently-used
+// entries to fit the byte budget.
+func (c *respCache) put(key string, body []byte, dep cacheDep, stamp int64) {
 	sz := int64(len(body)+len(key)) + entryOverhead
 	if sz > c.max {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gen != c.gen {
-		return // computed against a flushed generation
+	cur := c.dataGen
+	if dep == depTree {
+		cur = c.treeGen
+	}
+	if stamp != cur {
+		return // computed against an invalidated generation
 	}
 	if _, ok := c.items[key]; ok {
 		return
@@ -100,23 +130,43 @@ func (c *respCache) put(key string, body []byte, gen int64) {
 		if back == nil {
 			break
 		}
-		ent := back.Value.(*respEntry)
-		c.order.Remove(back)
-		delete(c.items, ent.key)
-		c.used -= int64(len(ent.body)+len(ent.key)) + entryOverhead
+		c.evict(back)
 	}
-	c.items[key] = c.order.PushFront(&respEntry{key: key, body: body})
+	c.items[key] = c.order.PushFront(&respEntry{key: key, body: body, dep: dep, stamp: stamp})
 	c.used += sz
 }
 
-// flush drops every entry and advances the generation stamp.
-func (c *respCache) flush(gen int64) {
+// evict removes one resident element. Caller holds c.mu.
+func (c *respCache) evict(el *list.Element) {
+	ent := el.Value.(*respEntry)
+	c.order.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= int64(len(ent.body)+len(ent.key)) + entryOverhead
+}
+
+// invalidate advances the dependency generations and drops exactly the
+// entries whose dependency moved: data-stamped entries when dataGen
+// changed, tree-stamped entries when treeGen changed. A compaction
+// (layout change, same content, same tree) therefore invalidates
+// nothing, and an append that leaves the union tree intact keeps every
+// query-endpoint entry warm.
+func (c *respCache) invalidate(dataGen, treeGen int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.order.Init()
-	c.items = make(map[string]*list.Element)
-	c.used = 0
-	c.gen = gen
+	dataMoved := dataGen != c.dataGen
+	treeMoved := treeGen != c.treeGen
+	c.dataGen, c.treeGen = dataGen, treeGen
+	if !dataMoved && !treeMoved {
+		return
+	}
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*respEntry)
+		if (ent.dep == depData && dataMoved) || (ent.dep == depTree && treeMoved) {
+			c.evict(el)
+		}
+	}
 }
 
 // join registers interest in computing key. The first caller becomes the

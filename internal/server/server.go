@@ -13,11 +13,19 @@
 // cancellation (graceful shutdown).
 //
 // Expensive read endpoints (/api/stats, /api/groupby, /api/summary,
-// /api/query) are served from a byte-bounded, generation-stamped
+// /api/query) are served from a byte-bounded, dependency-stamped
 // response cache keyed by the canonicalized request, with single-flight
-// dedup of concurrent identical misses. When the backing store gains a
-// segment (its generation moves), the server reloads the thicket and
-// flushes the cache before answering.
+// dedup of concurrent identical misses. When the backing store's layout
+// generation moves (an append or a compaction), the server reloads the
+// thicket and invalidates incrementally: data-derived entries drop only
+// when the content generation moved, tree-derived entries only when the
+// union call tree changed — so a compaction costs no cache entries at
+// all.
+//
+// With an ingest sink attached (Options.Ingest), POST /ingest accepts
+// one serialized profile per request and acks once the profile is
+// durable in the write-ahead log. A full admission queue sheds with
+// 429 + Retry-After instead of blocking query-serving goroutines.
 package server
 
 import (
@@ -25,6 +33,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -35,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataframe"
+	"repro/internal/ingest"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -42,6 +53,15 @@ import (
 // DefaultSlowQuery is the slow-request log threshold of a server built
 // with default options.
 const DefaultSlowQuery = time.Second
+
+// DefaultMaxIngestBytes bounds a single POST /ingest body.
+const DefaultMaxIngestBytes = 64 << 20
+
+// IngestSink accepts one pre-encoded profile for durable ingest.
+// *ingest.Ingester satisfies it; tests substitute fakes.
+type IngestSink interface {
+	SubmitBytes(payload []byte) error
+}
 
 // Options configures the service's operational envelope.
 type Options struct {
@@ -82,6 +102,13 @@ type Options struct {
 	// watchdog demo and its tests. Adjustable at runtime via
 	// SetInjectedLatency.
 	InjectLatency map[string]time.Duration
+	// Ingest, when set, enables POST /ingest: request bodies are
+	// submitted to the sink and acked once durable. nil answers /ingest
+	// with 501.
+	Ingest IngestSink
+	// MaxIngestBytes bounds a single /ingest request body; 0 selects
+	// DefaultMaxIngestBytes.
+	MaxIngestBytes int64
 }
 
 // endpointMetrics bundles one endpoint's registry handles. All latency
@@ -152,6 +179,9 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
 	}
+	if opts.MaxIngestBytes <= 0 {
+		opts.MaxIngestBytes = DefaultMaxIngestBytes
+	}
 	warm(th)
 	reg := opts.Registry
 	s := &Server{
@@ -172,14 +202,17 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	s.reloadErrs = reg.Counter("thicket_reload_errors_total", "Failed thicket reload attempts.")
 	s.genGauge = reg.Gauge("thicket_resident_generation", "Store generation the resident thicket reflects.")
 	s.th.Store(th)
+	var contentGen int64
 	if st != nil {
 		s.gen.Store(st.Generation())
 		s.genGauge.Set(st.Generation())
+		contentGen = st.ContentGeneration()
 	}
+	s.cache.invalidate(contentGen, treeFingerprint(th))
 	for _, path := range []string{
 		"/healthz", "/metrics", "/api/info", "/api/profiles", "/api/stats",
 		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
-		"/debug/traces", "/debug/anomalies",
+		"/ingest", "/debug/traces", "/debug/anomalies",
 	} {
 		s.eps[path] = &endpointMetrics{
 			requests:    reg.Counter("thicket_http_endpoint_requests_total", "HTTP requests by endpoint.", "endpoint", path),
@@ -198,9 +231,29 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // thicket returns the resident thicket snapshot.
 func (s *Server) thicket() *core.Thicket { return s.th.Load() }
 
-// maybeReload swaps in a fresh thicket and flushes the response cache
-// when the backing store's generation has moved past the resident one.
-// On load failure the server keeps answering from the stale thicket and
+// treeFingerprint hashes the union call tree's node paths in pre-order.
+// Two thickets with identical trees (regardless of row layout or
+// profile count) share a fingerprint, so tree-derived cache entries
+// survive appends that don't introduce new call paths.
+func treeFingerprint(th *core.Thicket) int64 {
+	h := fnv.New64a()
+	for _, path := range th.Tree.Paths() {
+		for _, frame := range path {
+			io.WriteString(h, frame)
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+	return int64(h.Sum64())
+}
+
+// maybeReload swaps in a fresh thicket when the backing store's layout
+// generation has moved past the resident one, then invalidates the
+// response cache incrementally: data-derived entries only if the
+// content generation moved (an append), tree-derived entries only if
+// the union tree changed. A pure compaction moves the layout generation
+// without touching either, so the reload costs zero cache entries. On
+// load failure the server keeps answering from the stale thicket and
 // counts the error; the next request retries.
 func (s *Server) maybeReload() {
 	if s.st == nil {
@@ -215,6 +268,11 @@ func (s *Server) maybeReload() {
 	if gen == s.gen.Load() { // another request reloaded while we waited
 		return
 	}
+	// Read the content generation before Load: if an append races in
+	// between, the loaded thicket holds more than the stamp claims, the
+	// stamp is merely stale, and the next reload invalidates again. The
+	// reverse order could stamp stale entries as fresh.
+	contentGen := s.st.ContentGeneration()
 	th, err := s.st.Load()
 	if err != nil {
 		s.reloadErrs.Inc()
@@ -222,7 +280,7 @@ func (s *Server) maybeReload() {
 	}
 	warm(th)
 	s.th.Store(th)
-	s.cache.flush(gen)
+	s.cache.invalidate(contentGen, treeFingerprint(th))
 	s.gen.Store(gen)
 	s.genGauge.Set(gen)
 	s.reloads.Inc()
@@ -233,13 +291,14 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.HandleFunc("/api/info", s.route("/api/info", false, s.infoResponse))
-	mux.HandleFunc("/api/profiles", s.route("/api/profiles", false, s.profilesResponse))
-	mux.HandleFunc("/api/stats", s.route("/api/stats", true, s.statsResponse))
-	mux.HandleFunc("/api/groupby", s.route("/api/groupby", true, s.groupByResponse))
-	mux.HandleFunc("/api/summary", s.route("/api/summary", true, s.summaryResponse))
-	mux.HandleFunc("/api/query", s.route("/api/query", true, s.queryResponse))
-	mux.HandleFunc("/api/tree", s.route("/api/tree", false, s.treeResponse))
+	mux.HandleFunc("/api/info", s.route("/api/info", depNone, s.infoResponse))
+	mux.HandleFunc("/api/profiles", s.route("/api/profiles", depNone, s.profilesResponse))
+	mux.HandleFunc("/api/stats", s.route("/api/stats", depData, s.statsResponse))
+	mux.HandleFunc("/api/groupby", s.route("/api/groupby", depData, s.groupByResponse))
+	mux.HandleFunc("/api/summary", s.route("/api/summary", depData, s.summaryResponse))
+	mux.HandleFunc("/api/query", s.route("/api/query", depTree, s.queryResponse))
+	mux.HandleFunc("/api/tree", s.route("/api/tree", depNone, s.treeResponse))
+	mux.HandleFunc("/ingest", s.instrument("/ingest", s.handleIngest))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
 	mux.HandleFunc("/debug/anomalies", s.instrument("/debug/anomalies", s.handleDebugAnomalies))
 	var h http.Handler = mux
@@ -331,13 +390,15 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 
 // route adapts a (status, payload) handler to HTTP, adding latency
 // instrumentation, the store-generation freshness check, and — for
-// cacheable endpoints — the response cache with single-flight dedup.
-// Only 200-OK bodies are cached.
-func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, any)) http.HandlerFunc {
+// cacheable endpoints (dep != depNone) — the response cache with
+// single-flight dedup. Only 200-OK bodies are cached, each stamped with
+// the generation of its dependency class so invalidation is
+// incremental.
+func (s *Server) route(path string, dep cacheDep, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 		s.maybeReload()
-		if !cacheable || !s.cache.enabled() {
-			if cacheable {
+		if dep == depNone || !s.cache.enabled() {
+			if dep != depNone {
 				telemetry.FromContext(r.Context()).SetAttr("cache", "uncached")
 			}
 			status, v := h(r)
@@ -365,7 +426,11 @@ func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, 
 		}
 		ep.cacheMisses.Inc()
 		sp.SetAttr("cache", "miss")
-		gen := s.cache.generation()
+		dataGen, treeGen := s.cache.stamps()
+		stamp := dataGen
+		if dep == depTree {
+			stamp = treeGen
+		}
 		status, v := h(r)
 		body, err := renderJSON(v)
 		if err != nil {
@@ -374,7 +439,7 @@ func (s *Server) route(path string, cacheable bool, h func(*http.Request) (int, 
 		}
 		fc.status, fc.body = status, body
 		if status == http.StatusOK {
-			s.cache.put(key, body, gen)
+			s.cache.put(key, body, dep, stamp)
 		}
 		s.cache.leave(key, fc)
 		writeBody(w, status, body)
@@ -558,6 +623,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// handleIngest accepts one serialized profile per POST and submits it
+// to the configured ingest sink, answering once the profile is durable
+// (WAL-fsynced). Admission-control outcomes map onto HTTP statuses: a
+// full queue sheds with 429 + Retry-After so ingest bursts never starve
+// query traffic, a payload that fails to decode is the client's fault
+// (400), and a closed or failing sink is the server's (503/500).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if s.opts.Ingest == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("ingest not enabled on this server"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty request body"))
+		return
+	}
+	switch err := s.opts.Ingest.SubmitBytes(body); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "acked"})
+	case errors.Is(err, ingest.ErrBacklogged):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ingest.ErrBadPayload):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ingest.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 // handleDebugTraces exposes the trace collector's retained ring:

@@ -15,10 +15,14 @@ import (
 const DefaultCacheBytes = 64 << 20
 
 // columnCache is a byte-bounded LRU of decoded column series, keyed by
-// (segment, frame, block). Cached series are shared between the cache
-// and callers-in-flight, so retrieval hands out deep copies; decode
-// cost dominates copy cost by an order of magnitude and copies keep a
-// caller's mutations from poisoning the cache.
+// (segment generation, frame, block). The generation stamp — not the
+// segment's position — identifies the segment, so compaction retiring
+// some segments invalidates exactly their entries (dropSegment) while
+// every surviving segment keeps its warm columns. Cached series are
+// shared between the cache and callers-in-flight, so retrieval hands
+// out deep copies; decode cost dominates copy cost by an order of
+// magnitude and copies keep a caller's mutations from poisoning the
+// cache.
 type columnCache struct {
 	mu    sync.Mutex
 	max   int64
@@ -33,9 +37,9 @@ type columnCache struct {
 }
 
 type cacheKey struct {
-	segment int
-	frame   string
-	block   int // index levels first, then data columns
+	gen   int64 // per-segment generation stamp
+	frame string
+	block int // index levels first, then data columns
 }
 
 type cacheEntry struct {
@@ -125,6 +129,27 @@ func (c *columnCache) put(k cacheKey, s *dataframe.Series) {
 	ent := &cacheEntry{key: k, s: s.Copy(), bytes: sz}
 	c.items[k] = c.order.PushFront(ent)
 	c.used += sz
+}
+
+// dropSegment evicts every entry belonging to the segment stamped gen —
+// the compaction path: retired segments' columns leave the cache, the
+// survivors' stay warm.
+func (c *columnCache) dropSegment(gen int64) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.gen == gen {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+			c.used -= ent.bytes
+		}
+		el = next
+	}
 }
 
 // stats reports (hits, misses, resident bytes, entries).

@@ -108,6 +108,13 @@ type columnMeta struct {
 	Kind   string   `json:"kind"`
 	Offset uint64   `json:"offset"`
 	Length uint64   `json:"length"`
+	// Min/Max cover the block's non-null values for numeric columns
+	// (int values widened to float64) — the zone-map seed for predicate
+	// pushdown. Absent for string/bool blocks, all-null blocks, and
+	// segments written before format v2 grew these fields; readers must
+	// treat absence as "no statistics", never "empty block".
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
 }
 
 // frameMeta describes one serialized frame: its row count, the blocks
@@ -129,10 +136,10 @@ const (
 // segmentHeader is the JSON-encoded per-segment index: everything
 // needed to locate and type every block without touching the data area.
 type segmentHeader struct {
-	Version      int        `json:"version"`
-	ProfileLevel string     `json:"profile_level"`
-	NProfiles    int        `json:"nprofiles"`
-	TreePaths    [][]string `json:"tree_paths"`
+	Version      int         `json:"version"`
+	ProfileLevel string      `json:"profile_level"`
+	NProfiles    int         `json:"nprofiles"`
+	TreePaths    [][]string  `json:"tree_paths"`
 	Frames       []frameMeta `json:"frames"`
 }
 
@@ -420,6 +427,47 @@ func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool)
 	return dataframe.NewStringSeriesFromCodes(name, dict, codes, nulls)
 }
 
+// numericRange computes the min/max over a numeric series' non-null
+// values (NaNs excluded — a NaN carries no ordering information and
+// would poison every comparison against the zone map). Non-numeric or
+// value-free series get (nil, nil).
+func numericRange(s *dataframe.Series) (minp, maxp *float64) {
+	if s.Kind() != dataframe.Float && s.Kind() != dataframe.Int {
+		return nil, nil
+	}
+	var lo, hi float64
+	seen := false
+	for i := 0; i < s.Len(); i++ {
+		v := s.At(i)
+		if v.IsNull() {
+			continue
+		}
+		var f float64
+		if s.Kind() == dataframe.Int {
+			f = float64(v.Int())
+		} else {
+			f = v.Float()
+			if math.IsNaN(f) {
+				continue
+			}
+		}
+		if !seen {
+			lo, hi, seen = f, f, true
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if !seen {
+		return nil, nil
+	}
+	return &lo, &hi
+}
+
 // encodeFrame appends every index-level and data-column block of f to
 // data, returning the grown buffer and the frame's offset index. Offsets
 // are relative to the segment data area.
@@ -436,6 +484,7 @@ func encodeFrame(name string, f *dataframe.Frame, data []byte) ([]byte, frameMet
 			Offset: uint64(len(data)),
 			Length: uint64(len(blk)),
 		}
+		cm.Min, cm.Max = numericRange(s)
 		data = append(data, blk...)
 		return cm, nil
 	}

@@ -22,26 +22,89 @@ import (
 // segMagic(4) + headerLen(4) + headerCRC(4) + dataLen(8).
 const segPreludeLen = 20
 
-// segment is one parsed on-disk segment: its header plus the file
-// offset and length of its data area.
+// segment is one live segment: its parsed header, the file holding its
+// data area, and its lifecycle state. Segments are immutable once
+// scanned; compaction retires them, and a retired segment's file is
+// closed (and, for directory stores, deleted) once the last pinned
+// reader releases it.
 type segment struct {
 	header  segmentHeader
 	dataOff int64
 	dataLen int64
+
+	gen   int64  // unique per-segment generation stamp within the store
+	level int    // LSM level: 0 = fresh ingest, 1+ = compacted/sorted
+	file  string // owning file path; "" when data lives in the store file
+	f     *os.File
+	owned bool // this segment owns f (directory stores)
+
+	mu      sync.Mutex
+	refs    int
+	retired bool
+	remove  bool // delete file on finalize (compacted away)
 }
 
-// Store is an open columnar ensemble store. All methods are safe for
-// concurrent use; reads go through positional I/O and a shared
-// decoded-column LRU cache.
+// acquire pins the segment for a reader.
+func (sg *segment) acquire() {
+	sg.mu.Lock()
+	sg.refs++
+	sg.mu.Unlock()
+}
+
+// release unpins; the last release of a retired segment finalizes it.
+func (sg *segment) release() {
+	sg.mu.Lock()
+	done := false
+	sg.refs--
+	if sg.retired && sg.refs == 0 {
+		done = true
+	}
+	sg.mu.Unlock()
+	if done {
+		sg.finalize()
+	}
+}
+
+// retire marks the segment dead; finalizes now if nobody holds a pin.
+func (sg *segment) retire(remove bool) {
+	sg.mu.Lock()
+	sg.retired = true
+	sg.remove = remove
+	done := sg.refs == 0
+	sg.mu.Unlock()
+	if done {
+		sg.finalize()
+	}
+}
+
+func (sg *segment) finalize() {
+	if sg.owned && sg.f != nil {
+		sg.f.Close()
+		if sg.remove && sg.file != "" {
+			os.Remove(sg.file)
+		}
+	}
+}
+
+// Store is an open columnar ensemble store — either a single
+// append-only file or a directory of segment files under a manifest
+// (the streaming-ingest layout, which supports compaction). All methods
+// are safe for concurrent use; reads go through positional I/O and a
+// shared decoded-column LRU cache keyed by segment generation stamp.
 type Store struct {
 	path     string
-	f        *os.File
+	dir      bool     // directory (manifest) layout
+	f        *os.File // single-file layout only
 	readOnly bool
 
-	mu    sync.Mutex // guards segs, gen, and appends
-	segs  []segment
-	gen   int64 // bumped on every append; see Generation
-	cache *columnCache
+	appendMu     sync.Mutex // serializes validate+commit of appends
+	mu           sync.Mutex // guards segs, gens, manifest writes
+	segs         []*segment
+	gen          int64 // layout generation: bumps on append AND compaction
+	contentGen   int64 // content generation: bumps on append only
+	nextSegGen   int64 // allocator for per-segment stamps
+	profileLevel string
+	cache        *columnCache
 
 	genGauge *telemetry.Gauge // mirrors gen into the registry
 }
@@ -53,8 +116,9 @@ type Options struct {
 	CacheBytes int64
 }
 
-// Create writes a brand-new single-segment store holding th, creating
-// parent directories. An existing file at path is truncated.
+// Create writes a brand-new single-file, single-segment store holding
+// th, creating parent directories. An existing file at path is
+// truncated.
 func Create(path string, th *core.Thicket) error {
 	if dir := filepath.Dir(path); dir != "" && dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -86,10 +150,15 @@ func Create(path string, th *core.Thicket) error {
 
 // Open parses the store's segment headers — never the column data — so
 // open cost is proportional to the header index, not the ensemble.
+// path may be a single store file or a manifest directory.
 func Open(path string) (*Store, error) { return OpenWithOptions(path, Options{}) }
 
 // OpenWithOptions is Open with an explicit cache budget.
 func OpenWithOptions(path string, opts Options) (*Store, error) {
+	st, err := os.Stat(path)
+	if err == nil && st.IsDir() {
+		return openDir(path, opts)
+	}
 	readOnly := false
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -99,17 +168,9 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 		}
 		readOnly = true
 	}
-	cacheBytes := opts.CacheBytes
-	if cacheBytes == 0 {
-		cacheBytes = DefaultCacheBytes
-	}
-	s := &Store{
-		path: path, f: f, readOnly: readOnly,
-		cache: newColumnCache(cacheBytes, path),
-		genGauge: telemetry.Default.Gauge("thicket_store_generation",
-			"Store content generation (bumps on every append).", "store", path),
-	}
-	s.genGauge.Set(0)
+	s := newStore(path, opts)
+	s.f = f
+	s.readOnly = readOnly
 	if err := s.scan(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: open %s: %w", path, err)
@@ -119,62 +180,89 @@ func OpenWithOptions(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// scan (re)parses the file's segment headers.
-func (s *Store) scan() error {
+func newStore(path string, opts Options) *Store {
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	return &Store{
+		path:  path,
+		cache: newColumnCache(cacheBytes, path),
+		genGauge: telemetry.Default.Gauge("thicket_store_generation",
+			"Store layout generation (bumps on every append or compaction).", "store", path),
+	}
+}
+
+// parseSegments scans one file's segment records starting after the
+// file magic, returning parsed headers with their data offsets.
+func parseSegments(f *os.File) ([]*segment, error) {
 	magic := make([]byte, len(FileMagic))
-	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(len(FileMagic))), magic); err != nil {
-		return fmt.Errorf("reading magic: %w", err)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(len(FileMagic))), magic); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
 	}
 	if string(magic) != FileMagic {
-		return fmt.Errorf("bad magic %q (want %q)", magic, FileMagic)
+		return nil, fmt.Errorf("bad magic %q (want %q)", magic, FileMagic)
 	}
-	var segs []segment
+	var segs []*segment
 	off := int64(len(FileMagic))
-	size, err := s.f.Stat()
+	size, err := f.Stat()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for off < size.Size() {
 		var prelude [segPreludeLen]byte
-		if _, err := s.f.ReadAt(prelude[:], off); err != nil {
-			return fmt.Errorf("segment %d prelude at offset %d: %w", len(segs), off, err)
+		if _, err := f.ReadAt(prelude[:], off); err != nil {
+			return nil, fmt.Errorf("segment %d prelude at offset %d: %w", len(segs), off, err)
 		}
 		if string(prelude[:4]) != segMagic {
-			return fmt.Errorf("segment %d at offset %d: bad segment magic %q", len(segs), off, prelude[:4])
+			return nil, fmt.Errorf("segment %d at offset %d: bad segment magic %q", len(segs), off, prelude[:4])
 		}
 		headerLen := binary.LittleEndian.Uint32(prelude[4:8])
 		headerCRC := binary.LittleEndian.Uint32(prelude[8:12])
 		dataLen := binary.LittleEndian.Uint64(prelude[12:20])
 		if int64(headerLen) > size.Size()-off-segPreludeLen {
-			return fmt.Errorf("segment %d: header length %d exceeds file", len(segs), headerLen)
+			return nil, fmt.Errorf("segment %d: header length %d exceeds file", len(segs), headerLen)
 		}
 		hdrBytes := make([]byte, headerLen)
-		if _, err := s.f.ReadAt(hdrBytes, off+segPreludeLen); err != nil {
-			return fmt.Errorf("segment %d header: %w", len(segs), err)
+		if _, err := f.ReadAt(hdrBytes, off+segPreludeLen); err != nil {
+			return nil, fmt.Errorf("segment %d header: %w", len(segs), err)
 		}
 		if got := crc32.Checksum(hdrBytes, crcTable); got != headerCRC {
-			return fmt.Errorf("segment %d: header CRC mismatch (file %08x, computed %08x)", len(segs), headerCRC, got)
+			return nil, fmt.Errorf("segment %d: header CRC mismatch (file %08x, computed %08x)", len(segs), headerCRC, got)
 		}
 		var hdr segmentHeader
 		if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
-			return fmt.Errorf("segment %d header: %w", len(segs), err)
+			return nil, fmt.Errorf("segment %d header: %w", len(segs), err)
 		}
 		if hdr.Version < minReadVersion || hdr.Version > FormatVersion {
-			return fmt.Errorf("segment %d: unsupported format version %d (want %d..%d)", len(segs), hdr.Version, minReadVersion, FormatVersion)
+			return nil, fmt.Errorf("segment %d: unsupported format version %d (want %d..%d)", len(segs), hdr.Version, minReadVersion, FormatVersion)
 		}
 		dataOff := off + segPreludeLen + int64(headerLen)
 		if dataOff+int64(dataLen) > size.Size() {
-			return fmt.Errorf("segment %d: data area [%d, %d) exceeds file size %d", len(segs), dataOff, dataOff+int64(dataLen), size.Size())
+			return nil, fmt.Errorf("segment %d: data area [%d, %d) exceeds file size %d", len(segs), dataOff, dataOff+int64(dataLen), size.Size())
 		}
 		for _, fm := range hdr.Frames {
 			for _, cm := range append(append([]columnMeta(nil), fm.Levels...), fm.Cols...) {
 				if cm.Offset+cm.Length > dataLen {
-					return fmt.Errorf("segment %d: block %v overruns data area", len(segs), cm.Key)
+					return nil, fmt.Errorf("segment %d: block %v overruns data area", len(segs), cm.Key)
 				}
 			}
 		}
-		segs = append(segs, segment{header: hdr, dataOff: dataOff, dataLen: int64(dataLen)})
+		segs = append(segs, &segment{
+			header: hdr, dataOff: dataOff, dataLen: int64(dataLen), f: f,
+		})
 		off = dataOff + int64(dataLen)
+	}
+	return segs, nil
+}
+
+// scan (re)parses a single-file store's segment headers. Per-segment
+// generation stamps are positional: a single-file store only ever grows
+// at the end, so position is a stable identity.
+func (s *Store) scan() error {
+	segs, err := parseSegments(s.f)
+	if err != nil {
+		return err
 	}
 	if len(segs) == 0 {
 		return fmt.Errorf("no segments")
@@ -184,50 +272,123 @@ func (s *Store) scan() error {
 		if sg.header.ProfileLevel != first {
 			return fmt.Errorf("segment %d uses profile level %q, segment 0 uses %q", i, sg.header.ProfileLevel, first)
 		}
+		sg.gen = int64(i + 1)
+		if i == 0 {
+			sg.level = 1 // the batch-built base
+		}
 	}
 	s.mu.Lock()
 	s.segs = segs
+	s.nextSegGen = int64(len(segs) + 1)
+	s.profileLevel = first
 	s.mu.Unlock()
 	return nil
 }
 
-// Close releases the underlying file.
-func (s *Store) Close() error { return s.f.Close() }
+// Close releases every underlying file.
+func (s *Store) Close() error {
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+	}
+	s.mu.Lock()
+	segs := s.segs
+	s.segs = nil
+	s.mu.Unlock()
+	for _, sg := range segs {
+		if sg.owned && sg.f != nil {
+			if cerr := sg.f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
 
-// Path returns the store's file path.
+// Path returns the store's file or directory path.
 func (s *Store) Path() string { return s.path }
+
+// IsDir reports whether the store uses the directory (manifest) layout.
+func (s *Store) IsDir() bool { return s.dir }
 
 // ProfileLevel reports the profile index level name shared by every
 // segment.
 func (s *Store) ProfileLevel() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.segs[0].header.ProfileLevel
+	return s.profileLevel
 }
 
-// NumSegments reports the number of on-disk segments.
+// NumSegments reports the number of live segments.
 func (s *Store) NumSegments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.segs)
 }
 
-// Generation reports a counter that changes whenever the store's
-// contents change (every Append bumps it). Derived caches stamp their
-// entries with the generation they were computed at and drop them when
-// it moves.
+// Generation reports the layout generation: it changes whenever the
+// segment set changes — every append AND every compaction. Consumers
+// holding a decoded view (thicketd's resident thicket) reload when it
+// moves.
 func (s *Store) Generation() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
 }
 
-// snapshot returns the current segment slice (copy of the header view;
-// segments themselves are immutable once scanned).
-func (s *Store) snapshot() []segment {
+// ContentGeneration reports the content generation: it changes only
+// when the store's logical contents change (appends), NOT when
+// compaction reorganizes the same rows into fewer segments. Caches of
+// query *answers* stamp entries with this; caches of *layout* (decoded
+// columns) key by per-segment stamps instead.
+func (s *Store) ContentGeneration() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]segment(nil), s.segs...)
+	return s.contentGen
+}
+
+// Generations lists the live segments' generation stamps in layout
+// (logical arrival) order.
+func (s *Store) Generations() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.segs))
+	for i, sg := range s.segs {
+		out[i] = sg.gen
+	}
+	return out
+}
+
+// Segments summarizes the live segments (generation, level, profile
+// count) in layout order from headers alone — the compactor's planning
+// input. Byte sizes are the in-file record sizes; Info() refines them.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, len(s.segs))
+	for i, sg := range s.segs {
+		out[i] = SegmentInfo{
+			Gen: sg.gen, Level: sg.level, Profiles: sg.header.NProfiles,
+			Bytes: segPreludeLen + sg.dataLen, File: filepath.Base(sg.file),
+		}
+	}
+	return out
+}
+
+// pin snapshots the live segment set and pins every member against
+// compaction-time finalization. Callers must invoke release when done.
+func (s *Store) pin() (segs []*segment, release func()) {
+	s.mu.Lock()
+	segs = append([]*segment(nil), s.segs...)
+	for _, sg := range segs {
+		sg.acquire()
+	}
+	s.mu.Unlock()
+	return segs, func() {
+		for _, sg := range segs {
+			sg.release()
+		}
+	}
 }
 
 // encodeSegment serializes one thicket as a complete segment record.
@@ -269,14 +430,14 @@ func encodeSegment(th *core.Thicket) ([]byte, error) {
 // cache first. name and kind come from the segment header. parent is
 // the enclosing loadFrame span (nil-safe); readBlock runs on parallel
 // worker goroutines, so its spans cross goroutine boundaries.
-func (s *Store) readBlock(parent *telemetry.Span, segIdx int, seg segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+func (s *Store) readBlock(parent *telemetry.Span, seg *segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
 	sp := parent.StartChild("store.readBlock")
 	if sp != nil {
 		sp.SetAttr("frame", frame)
 		sp.SetAttr("column", name)
 		defer sp.End()
 	}
-	key := cacheKey{segment: segIdx, frame: frame, block: blockIdx}
+	key := cacheKey{gen: seg.gen, frame: frame, block: blockIdx}
 	if cached := s.cache.get(key); cached != nil {
 		sp.SetAttr("cache", "hit")
 		return cached, nil
@@ -284,11 +445,11 @@ func (s *Store) readBlock(parent *telemetry.Span, segIdx int, seg segment, frame
 	sp.SetAttr("cache", "miss")
 	kind, err := parseKindName(cm.Kind)
 	if err != nil {
-		return nil, fmt.Errorf("store: %s: segment %d frame %s block %v: %w", s.path, segIdx, frame, cm.Key, err)
+		return nil, fmt.Errorf("store: %s: segment g%d frame %s block %v: %w", s.path, seg.gen, frame, cm.Key, err)
 	}
 	buf := make([]byte, cm.Length)
-	if _, err := s.f.ReadAt(buf, seg.dataOff+int64(cm.Offset)); err != nil {
-		return nil, fmt.Errorf("store: %s: segment %d frame %s block %v: %w", s.path, segIdx, frame, cm.Key, err)
+	if _, err := seg.f.ReadAt(buf, seg.dataOff+int64(cm.Offset)); err != nil {
+		return nil, fmt.Errorf("store: %s: segment g%d frame %s block %v: %w", s.path, seg.gen, frame, cm.Key, err)
 	}
 	fm := seg.header.frame(frame)
 	wantRows := -1
@@ -297,7 +458,7 @@ func (s *Store) readBlock(parent *telemetry.Span, segIdx int, seg segment, frame
 	}
 	series, err := decodeBlock(buf, name, kind, wantRows)
 	if err != nil {
-		return nil, fmt.Errorf("store: %s: segment %d frame %s: %w", s.path, segIdx, frame, err)
+		return nil, fmt.Errorf("store: %s: segment g%d frame %s: %w", s.path, seg.gen, frame, err)
 	}
 	s.cache.put(key, series)
 	return series, nil
@@ -322,16 +483,16 @@ func parseKindName(s string) (dataframe.Kind, error) {
 // Block decoding fans out across the parallel engine — blocks are
 // independent units written to fixed slots, so the result is identical
 // at any worker count.
-func (s *Store) loadFrame(parent *telemetry.Span, segIdx int, seg segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
+func (s *Store) loadFrame(parent *telemetry.Span, seg *segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
 	sp := parent.StartChild("store.loadFrame")
 	if sp != nil {
 		sp.SetAttr("frame", name)
-		sp.SetAttr("segment", fmt.Sprint(segIdx))
+		sp.SetAttr("segment", fmt.Sprint(seg.gen))
 		defer sp.End()
 	}
 	fm := seg.header.frame(name)
 	if fm == nil {
-		return nil, fmt.Errorf("store: %s: segment %d has no frame %q", s.path, segIdx, name)
+		return nil, fmt.Errorf("store: %s: segment g%d has no frame %q", s.path, seg.gen, name)
 	}
 	type job struct {
 		cm       columnMeta
@@ -353,7 +514,7 @@ func (s *Store) loadFrame(parent *telemetry.Span, segIdx int, seg segment, name 
 	}
 	decoded := make([]*dataframe.Series, len(jobs))
 	if err := parallel.ForErr(len(jobs), func(i int) error {
-		series, err := s.readBlock(sp, segIdx, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
+		series, err := s.readBlock(sp, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
 		if err != nil {
 			return err
 		}
@@ -365,7 +526,7 @@ func (s *Store) loadFrame(parent *telemetry.Span, segIdx int, seg segment, name 
 	levels := decoded[:len(fm.Levels)]
 	ix, err := dataframe.NewIndex(levels...)
 	if err != nil {
-		return nil, fmt.Errorf("store: %s: segment %d frame %s: %w", s.path, segIdx, name, err)
+		return nil, fmt.Errorf("store: %s: segment g%d frame %s: %w", s.path, seg.gen, name, err)
 	}
 	return dataframe.NewFrameWithColIndex(ix, colKeys, decoded[len(fm.Levels):])
 }
@@ -373,29 +534,29 @@ func (s *Store) loadFrame(parent *telemetry.Span, segIdx int, seg segment, name 
 // loadSegment materializes one segment as a thicket. keepPerf projects
 // the performance-data columns; withStats controls whether the stored
 // stats frame is decoded (a projection gets the empty stats table).
-func (s *Store) loadSegment(parent *telemetry.Span, segIdx int, seg segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
+func (s *Store) loadSegment(parent *telemetry.Span, seg *segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
 	sp := parent.StartChild("store.loadSegment")
 	if sp != nil {
-		sp.SetAttr("segment", fmt.Sprint(segIdx))
+		sp.SetAttr("segment", fmt.Sprint(seg.gen))
 		defer sp.End()
 	}
 	tree := calltree.New()
 	for i, p := range seg.header.TreePaths {
 		if _, err := tree.AddPath(p); err != nil {
-			return nil, fmt.Errorf("store: %s: segment %d tree path %d: %w", s.path, segIdx, i, err)
+			return nil, fmt.Errorf("store: %s: segment g%d tree path %d: %w", s.path, seg.gen, i, err)
 		}
 	}
-	perf, err := s.loadFrame(sp, segIdx, seg, framePerf, keepPerf)
+	perf, err := s.loadFrame(sp, seg, framePerf, keepPerf)
 	if err != nil {
 		return nil, err
 	}
-	meta, err := s.loadFrame(sp, segIdx, seg, frameMeta_, nil)
+	meta, err := s.loadFrame(sp, seg, frameMeta_, nil)
 	if err != nil {
 		return nil, err
 	}
 	var stats *dataframe.Frame
 	if withStats {
-		stats, err = s.loadFrame(sp, segIdx, seg, frameStats, nil)
+		stats, err = s.loadFrame(sp, seg, frameStats, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -426,14 +587,16 @@ func (s *Store) LoadProjection(keys []dataframe.ColKey) (*core.Thicket, error) {
 	for _, k := range keys {
 		want[k.String()] = true
 	}
+	segs, release := s.pin()
 	available := map[string]bool{}
-	for _, seg := range s.snapshot() {
+	for _, seg := range segs {
 		if fm := seg.header.frame(framePerf); fm != nil {
 			for _, cm := range fm.Cols {
 				available[dataframe.ColKey(cm.Key).String()] = true
 			}
 		}
 	}
+	release()
 	for _, k := range keys {
 		if !available[k.String()] {
 			return nil, fmt.Errorf("store: %s: no perf column %v in any segment", s.path, k)
@@ -445,7 +608,11 @@ func (s *Store) LoadProjection(keys []dataframe.ColKey) (*core.Thicket, error) {
 func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error) {
 	sp := telemetry.StartOp("store.Load")
 	defer sp.End()
-	segs := s.snapshot()
+	segs, release := s.pin()
+	defer release()
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("store: %s: empty store", s.path)
+	}
 	if sp != nil {
 		sp.SetAttr("path", s.path)
 		sp.SetAttr("segments", fmt.Sprint(len(segs)))
@@ -453,7 +620,7 @@ func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error
 	withStats := len(segs) == 1 && keepPerf == nil
 	thickets := make([]*core.Thicket, len(segs))
 	for i, seg := range segs {
-		th, err := s.loadSegment(sp, i, seg, keepPerf, withStats)
+		th, err := s.loadSegment(sp, seg, keepPerf, withStats)
 		if err != nil {
 			return nil, err
 		}
@@ -469,6 +636,20 @@ func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error
 	return th, nil
 }
 
+// LoadSegmentThicket materializes the single segment stamped gen — the
+// compactor's read path. Stats come back empty (compaction re-derives
+// nothing it cannot cover).
+func (s *Store) LoadSegmentThicket(gen int64) (*core.Thicket, error) {
+	segs, release := s.pin()
+	defer release()
+	for _, seg := range segs {
+		if seg.gen == gen {
+			return s.loadSegment(nil, seg, nil, false)
+		}
+	}
+	return nil, fmt.Errorf("store: %s: no live segment with generation %d", s.path, gen)
+}
+
 // Metadata loads only the metadata frames (concatenated across
 // segments) without touching performance data — the fast path for
 // profile listing and filtering.
@@ -476,10 +657,14 @@ func (s *Store) Metadata() (*dataframe.Frame, error) {
 	sp := telemetry.StartOp("store.Metadata")
 	sp.SetAttr("path", s.path)
 	defer sp.End()
-	segs := s.snapshot()
+	segs, release := s.pin()
+	defer release()
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("store: %s: empty store", s.path)
+	}
 	frames := make([]*dataframe.Frame, len(segs))
 	for i, seg := range segs {
-		f, err := s.loadFrame(sp, i, seg, frameMeta_, nil)
+		f, err := s.loadFrame(sp, seg, frameMeta_, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -495,32 +680,26 @@ func (s *Store) Metadata() (*dataframe.Frame, error) {
 	return out, nil
 }
 
-// Append writes th as a new segment at the end of the file. Existing
-// blocks are untouched. The thicket must share the store's profile
-// level, must not reuse existing profile-index values, and its column
-// kinds must agree with stored columns of the same key.
-func (s *Store) Append(th *core.Thicket) error {
-	sp := telemetry.StartOp("store.Append")
-	if sp != nil {
-		sp.SetAttr("path", s.path)
-		sp.SetAttr("profiles", fmt.Sprint(th.NumProfiles()))
-		defer sp.End()
-	}
+// validateAppend checks th against the store's invariants: shared
+// profile level, no reused profile-index values, and column kinds that
+// agree with stored columns of the same key.
+func (s *Store) validateAppend(th *core.Thicket) error {
 	if s.readOnly {
 		return fmt.Errorf("store: %s: opened read-only", s.path)
 	}
 	if got, want := th.ProfileLevelName(), s.ProfileLevel(); got != want {
 		return fmt.Errorf("store: %s: appended thicket uses profile level %q, store uses %q", s.path, got, want)
 	}
-	// Column kinds must agree with every prior segment.
+	segs, release := s.pin()
 	kinds := map[string]string{}
-	for _, seg := range s.snapshot() {
+	for _, seg := range segs {
 		for _, fm := range seg.header.Frames {
 			for _, cm := range fm.Cols {
 				kinds[fm.Name+"\x00"+dataframe.ColKey(cm.Key).String()] = cm.Kind
 			}
 		}
 	}
+	release()
 	for name, fr := range map[string]*dataframe.Frame{framePerf: th.PerfData, frameMeta_: th.Metadata} {
 		for c := 0; c < fr.NCols(); c++ {
 			k := name + "\x00" + fr.ColIndex().Key(c).String()
@@ -530,24 +709,53 @@ func (s *Store) Append(th *core.Thicket) error {
 			}
 		}
 	}
-	// Profile-index values must stay unique across the whole store.
-	existing, err := s.Metadata()
-	if err != nil {
-		return err
-	}
-	seen := make(map[string]bool, existing.NRows())
-	for r := 0; r < existing.NRows(); r++ {
-		seen[dataframe.EncodeKey(existing.Index().KeyAt(r))] = true
-	}
-	for _, v := range th.Profiles() {
-		if seen[dataframe.EncodeKey([]dataframe.Value{v})] {
-			return fmt.Errorf("store: %s: profile index %s already present", s.path, v)
+	if s.NumSegments() > 0 {
+		existing, err := s.Metadata()
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]bool, existing.NRows())
+		for r := 0; r < existing.NRows(); r++ {
+			seen[dataframe.EncodeKey(existing.Index().KeyAt(r))] = true
+		}
+		for _, v := range th.Profiles() {
+			if seen[dataframe.EncodeKey([]dataframe.Value{v})] {
+				return fmt.Errorf("store: %s: profile index %s already present", s.path, v)
+			}
 		}
 	}
+	return nil
+}
 
+// Append writes th as a new level-0 segment at the store's tail.
+// Existing blocks are untouched. The thicket must share the store's
+// profile level, must not reuse existing profile-index values, and its
+// column kinds must agree with stored columns of the same key.
+func (s *Store) Append(th *core.Thicket) error { return s.AppendSegment(th, 0) }
+
+// AppendSegment is Append with an explicit LSM level for the new
+// segment (0 = fresh ingest batch, 1+ = compacted).
+func (s *Store) AppendSegment(th *core.Thicket, level int) error {
+	sp := telemetry.StartOp("store.Append")
+	if sp != nil {
+		sp.SetAttr("path", s.path)
+		sp.SetAttr("profiles", fmt.Sprint(th.NumProfiles()))
+		defer sp.End()
+	}
+	// Validation reads the live segment set (pin takes s.mu), so the
+	// whole validate+commit sequence serializes on its own lock:
+	// concurrent appends must not both pass the duplicate-profile check.
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	if err := s.validateAppend(th); err != nil {
+		return err
+	}
 	rec, err := encodeSegment(th)
 	if err != nil {
 		return fmt.Errorf("store: %s: append: %w", s.path, err)
+	}
+	if s.dir {
+		return s.appendSegmentDir(rec, th.NumProfiles(), level)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -568,12 +776,17 @@ func (s *Store) Append(th *core.Thicket) error {
 	if err := json.Unmarshal(rec[segPreludeLen:segPreludeLen+int(hdrLen)], &hdr); err != nil {
 		return fmt.Errorf("store: %s: append: %w", s.path, err)
 	}
-	s.segs = append(s.segs, segment{
+	s.segs = append(s.segs, &segment{
 		header:  hdr,
 		dataOff: st.Size() + segPreludeLen + int64(hdrLen),
 		dataLen: int64(dataLen),
+		gen:     s.nextSegGen,
+		level:   level,
+		f:       s.f,
 	})
+	s.nextSegGen++
 	s.gen++
+	s.contentGen++
 	s.genGauge.Set(s.gen)
 	logEvent("store append", "path", s.path,
 		"profiles", th.NumProfiles(), "generation", s.gen, "bytes", int64(len(rec)))
@@ -582,18 +795,26 @@ func (s *Store) Append(th *core.Thicket) error {
 
 // AppendProfiles composes raw profiles into a thicket keyed the same
 // way as the store (reusing the stored profile level as IndexBy when it
-// is not the default hash index) and appends them as a new segment —
-// the incremental ingest path.
+// is not the default hash index) and appends them as a new level-0
+// segment — the incremental ingest path.
 func (s *Store) AppendProfiles(profiles []*profile.Profile) error {
-	opts := core.Options{}
-	if lvl := s.ProfileLevel(); lvl != core.ProfileLevel {
-		opts.IndexBy = lvl
-	}
-	th, err := core.FromProfiles(profiles, opts)
+	th, err := s.ComposeProfiles(profiles)
 	if err != nil {
 		return fmt.Errorf("store: %s: append profiles: %w", s.path, err)
 	}
 	return s.Append(th)
+}
+
+// ComposeProfiles builds a thicket from raw profiles using the store's
+// profile level as the index — the shared front half of AppendProfiles,
+// exposed so the ingest pipeline can batch composition separately from
+// the durable append.
+func (s *Store) ComposeProfiles(profiles []*profile.Profile) (*core.Thicket, error) {
+	opts := core.Options{}
+	if lvl := s.ProfileLevel(); lvl != core.ProfileLevel {
+		opts.IndexBy = lvl
+	}
+	return core.FromProfiles(profiles, opts)
 }
 
 // ColumnInfo summarizes one stored column across segments.
@@ -603,34 +824,51 @@ type ColumnInfo struct {
 	Bytes int64            `json:"bytes"`
 }
 
+// SegmentInfo summarizes one live segment.
+type SegmentInfo struct {
+	Gen      int64  `json:"gen"`
+	Level    int    `json:"level"`
+	Profiles int    `json:"profiles"`
+	Bytes    int64  `json:"bytes"`
+	File     string `json:"file,omitempty"`
+}
+
 // Info is the store's header-level summary; computing it never touches
 // column data.
 type Info struct {
-	Path         string       `json:"path"`
-	FileBytes    int64        `json:"file_bytes"`
-	Segments     int          `json:"segments"`
-	Profiles     int          `json:"profiles"`
-	PerfRows     int          `json:"perf_rows"`
-	Nodes        int          `json:"nodes"`
-	ProfileLevel string       `json:"profile_level"`
-	PerfColumns  []ColumnInfo `json:"perf_columns"`
-	MetaColumns  []ColumnInfo `json:"meta_columns"`
-	CacheHits    int64        `json:"cache_hits"`
-	CacheMisses  int64        `json:"cache_misses"`
-	CacheBytes   int64        `json:"cache_bytes"`
-	CacheEntries int          `json:"cache_entries"`
+	Path         string        `json:"path"`
+	FileBytes    int64         `json:"file_bytes"`
+	Segments     int           `json:"segments"`
+	SegmentList  []SegmentInfo `json:"segment_list,omitempty"`
+	Generation   int64         `json:"generation"`
+	ContentGen   int64         `json:"content_generation"`
+	Profiles     int           `json:"profiles"`
+	PerfRows     int           `json:"perf_rows"`
+	Nodes        int           `json:"nodes"`
+	ProfileLevel string        `json:"profile_level"`
+	PerfColumns  []ColumnInfo  `json:"perf_columns"`
+	MetaColumns  []ColumnInfo  `json:"meta_columns"`
+	CacheHits    int64         `json:"cache_hits"`
+	CacheMisses  int64         `json:"cache_misses"`
+	CacheBytes   int64         `json:"cache_bytes"`
+	CacheEntries int           `json:"cache_entries"`
 }
 
 // Info reports the store's shape from headers alone.
 func (s *Store) Info() Info {
-	segs := s.snapshot()
+	segs, release := s.pin()
+	defer release()
 	info := Info{
 		Path:         s.path,
 		Segments:     len(segs),
-		ProfileLevel: segs[0].header.ProfileLevel,
+		ProfileLevel: s.ProfileLevel(),
+		Generation:   s.Generation(),
+		ContentGen:   s.ContentGeneration(),
 	}
-	if st, err := s.f.Stat(); err == nil {
-		info.FileBytes = st.Size()
+	if s.f != nil {
+		if st, err := s.f.Stat(); err == nil {
+			info.FileBytes = st.Size()
+		}
 	}
 	tree := calltree.New()
 	// Columns in first-appearance order, block sizes summed across
@@ -658,6 +896,17 @@ func (s *Store) Info() Info {
 	}
 	for _, seg := range segs {
 		info.Profiles += seg.header.NProfiles
+		segBytes := segPreludeLen + seg.dataLen
+		if seg.owned {
+			if st, err := seg.f.Stat(); err == nil {
+				segBytes = st.Size()
+			}
+			info.FileBytes += segBytes
+		}
+		info.SegmentList = append(info.SegmentList, SegmentInfo{
+			Gen: seg.gen, Level: seg.level, Profiles: seg.header.NProfiles,
+			Bytes: segBytes, File: filepath.Base(seg.file),
+		})
 		if fm := seg.header.frame(framePerf); fm != nil {
 			info.PerfRows += fm.NRows
 		}

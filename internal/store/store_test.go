@@ -349,7 +349,7 @@ func TestOpenErrorsNamePath(t *testing.T) {
 }
 
 func TestAppendRejectsMismatchedProfileLevel(t *testing.T) {
-	th := randomThicket(t, 21, 3) // indexed by "id"
+	th := randomThicket(t, 21, 3)                                             // indexed by "id"
 	other, err := core.FromProfiles(randomEnsemble(t, 22, 2), core.Options{}) // default hash index
 	if err != nil {
 		t.Fatal(err)

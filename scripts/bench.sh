@@ -20,6 +20,17 @@
 #   run must stay quiet. Override with SEED / DURATION / RATE / MAX_P99.
 #   This is the CI gate on the serving path under load.
 #
+# Ingest mode: scripts/bench.sh ingest [output.json]
+#   Seeded ingest-query run: the self-hosted thicketd takes streaming
+#   profile submissions over POST /ingest (WAL -> L0 flush -> background
+#   compaction) while query traffic replays against the same store,
+#   writing BENCH_ingest.json. Flush and compaction cadence are pinned
+#   aggressive (-ingest-flush 4 -ingest-compact-run 4) so a short run
+#   exercises the whole segment lifecycle. Fails on any query error —
+#   ingest pressure must shed via 429, never starve reads — any class
+#   p99 over budget, or a watchdog anomaly. Override with SEED /
+#   DURATION / RATE / MAX_P99. This is the CI gate on the ingest path.
+#
 # Overhead mode: scripts/bench.sh overhead [output.json]
 #   Runs the *New kernel benchmarks with THICKET_TELEMETRY disabled and
 #   enabled in COUNT interleaved rounds (off, on, off, on, ...),
@@ -117,6 +128,21 @@ loadgen_mode() {
 	echo "wrote $OUT" >&2
 }
 
+ingest_mode() {
+	local OUT="${1:-BENCH_ingest.json}"
+	local SEED="${SEED:-1337}"
+	local DURATION="${DURATION:-10s}"
+	local RATE="${RATE:-150}"
+	local MAX_P99="${MAX_P99:-1s}"
+	go run ./cmd/thicket-loadgen \
+		-workload ingest-query \
+		-seed "$SEED" -duration "$DURATION" -rate "$RATE" \
+		-max-p99 "$MAX_P99" -fail-on-anomaly -fail-on-error \
+		-ingest-flush 4 -ingest-compact-run 4 \
+		-out "$OUT"
+	echo "wrote $OUT" >&2
+}
+
 if [[ "${1:-}" == "overhead" ]]; then
 	shift
 	overhead_mode "$@"
@@ -126,6 +152,12 @@ fi
 if [[ "${1:-}" == "loadgen" ]]; then
 	shift
 	loadgen_mode "$@"
+	exit 0
+fi
+
+if [[ "${1:-}" == "ingest" ]]; then
+	shift
+	ingest_mode "$@"
 	exit 0
 fi
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/extrap"
+	"repro/internal/ingest"
 	"repro/internal/mlkit"
 	"repro/internal/parallel"
 	"repro/internal/profile"
@@ -249,6 +250,52 @@ func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
 func NewServer(th *Thicket, st *Store, opts ServerOptions) *Server {
 	return server.New(th, st, opts)
 }
+
+// Streaming ingest (WAL + LSM-style segment lifecycle, see
+// repro/internal/ingest).
+type (
+	// Ingester streams profiles into a store through a crash-safe
+	// write-ahead log, flushing level-0 segments and compacting runs of
+	// segments in the background.
+	Ingester = ingest.Ingester
+	// IngestOptions tunes the ingest pipeline (queue depth, flush
+	// cadence, compaction run length, WAL fsync policy).
+	IngestOptions = ingest.Options
+	// IngestSyncPolicy selects when the WAL fsyncs.
+	IngestSyncPolicy = ingest.SyncPolicy
+)
+
+// Ingest admission-control sentinels, for mapping onto HTTP statuses.
+var (
+	ErrIngestBacklogged = ingest.ErrBacklogged
+	ErrIngestBadPayload = ingest.ErrBadPayload
+	ErrIngestClosed     = ingest.ErrClosed
+)
+
+// NewIngester starts the streaming-ingest pipeline over an open store:
+// WAL replay (crash recovery), the single writer goroutine, and — on
+// directory stores — the background compactor. Always Close it.
+func NewIngester(st *Store, opts IngestOptions) (*Ingester, error) {
+	return ingest.New(st, opts)
+}
+
+// ParseIngestSyncPolicy parses "batch", "always", or "none".
+func ParseIngestSyncPolicy(s string) (IngestSyncPolicy, error) {
+	return ingest.ParseSyncPolicy(s)
+}
+
+// CreateDirStore writes th as a new directory-layout ensemble store —
+// the layout that supports incremental segments and compaction.
+func CreateDirStore(dir string, th *Thicket) error { return store.CreateDir(dir, th) }
+
+// InitDirStore creates an empty directory-layout store; profileLevel ""
+// selects the default. Profiles arrive later via ingest or Append.
+func InitDirStore(dir, profileLevel string) error { return store.InitDir(dir, profileLevel) }
+
+// CompactStore merges every segment of a directory store into one fully
+// sorted segment — the terminal state background compaction trends
+// toward, byte-identical to a batch-built store of the same profiles.
+func CompactStore(st *Store) error { return ingest.CompactAll(st) }
 
 // Observability (self-profiling, see repro/internal/telemetry).
 type (
