@@ -17,7 +17,7 @@
 //	groupstats per-group aggregated statistics    -by a,b [-metrics ...] [-aggs ...]
 //	pivot      node × metadata wide table         -metric m -by metaCol [-agg mean]
 //	dot        Graphviz source of the call tree   [-metric name]
-//	filter     filter profiles by metadata        -where col=value
+//	filter     filter profiles by metadata        -where "col=value,col2<=8" (=, !=, <, <=, >, >=)
 //	groupby    group profiles by metadata columns -by a,b
 //	query      call-path query (DSL)              -q ". name == main / *"
 //	summary    campaign summary                   -by a,b
@@ -105,7 +105,7 @@ func run(args []string, w io.Writer) (err error) {
 	columnsArg := fs.String("columns", "", "comma-separated metadata columns to show")
 	maxRows := fs.Int("max", 40, "maximum rows to print (0 = all)")
 	metric := fs.String("metric", "", "metric name")
-	where := fs.String("where", "", "metadata filter col=value")
+	where := fs.String("where", "", "comma-separated metadata filters col<op>value (=, !=, <, <=, >, >=)")
 	by := fs.String("by", "", "comma-separated metadata columns")
 	queryText := fs.String("q", "", "call-path query (DSL)")
 	param := fs.String("param", "", "metadata column holding the model parameter")
@@ -134,9 +134,10 @@ func run(args []string, w io.Writer) (err error) {
 		return
 	}
 	var th *thicket.Thicket
+	var st *thicket.Store // non-nil when loaded from -ensemble-store
 	switch {
 	case *storePath != "":
-		st := openStore(*storePath)
+		st = openStore(*storePath)
 		defer st.Close()
 		th, err = st.Load()
 		if err != nil {
@@ -248,14 +249,32 @@ func run(args []string, w io.Writer) (err error) {
 		}
 		fmt.Fprint(stdout, th.Tree.DOT("thicket", rm))
 	case "filter":
-		col, val, ok := strings.Cut(*where, "=")
-		if !ok {
-			fatal(fmt.Errorf("-where needs col=value"))
+		if *where == "" {
+			fatal(fmt.Errorf("-where needs col=value (comma-separate for a conjunction; operators =, !=, <, <=, >, >=)"))
 		}
-		filtered := th.FilterMetadata(func(m thicket.MetaRow) bool {
-			return m.Value(col).String() == val
-		})
-		fmt.Fprintf(stdout, "%d of %d profiles match %s=%s\n\n", filtered.NumProfiles(), th.NumProfiles(), col, val)
+		preds, err := thicket.CompilePredicates(strings.Split(*where, ","))
+		if err != nil {
+			fatal(err)
+		}
+		// The compiled path: against the store when one backs this run
+		// (zone maps skip non-matching segments before any decode),
+		// vectorized over the resident thicket otherwise.
+		var filtered *thicket.Thicket
+		var ps thicket.PlanStats
+		if st != nil {
+			filtered, ps, err = thicket.FilterStore(st, preds)
+		} else {
+			filtered, ps, err = thicket.FilterThicket(th, preds)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(stdout, "%d of %d profiles match %s\n", filtered.NumProfiles(), th.NumProfiles(), thicket.DescribePredicates(preds))
+		if ps.Segments > 0 {
+			fmt.Fprintf(stdout, "(%d/%d segments pruned, %d blocks skipped, %d scanned)\n",
+				ps.SegmentsPruned, ps.Segments, ps.BlocksSkipped, ps.BlocksScanned)
+		}
+		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, filtered.Metadata.Render(dataframe.RenderOptions{MaxRows: *maxRows, HideRepeated: true}))
 	case "groupby":
 		if *by == "" {

@@ -19,6 +19,11 @@ type MetaRow struct {
 // Profile returns the row's profile index value.
 func (m MetaRow) Profile(level string) dataframe.Value { return m.row.IndexValue(level) }
 
+// Pos returns the physical metadata row position — the hook that lets a
+// vectorized evaluator precompute a selection mask and feed it through
+// FilterMetadata without re-evaluating predicates row-at-a-time.
+func (m MetaRow) Pos() int { return m.row.Pos() }
+
 // Value returns the metadata cell under the named column. A column that
 // was promoted to the profile index (Options.IndexBy) resolves to the
 // index value, so predicates keep working after promotion.

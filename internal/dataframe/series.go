@@ -138,6 +138,36 @@ func (s *Series) StringData() (*Dict, []uint32) {
 // read-only). Float NaN cells are additionally null by IsNull semantics.
 func (s *Series) Nulls() []bool { return s.null }
 
+// FloatData exposes a Float series' packed values (meaningful only where
+// the null mask is clear, and a stored NaN is null regardless of the
+// mask). Shared storage — treat as read-only. Nil for other kinds.
+func (s *Series) FloatData() []float64 {
+	if s.kind != Float {
+		return nil
+	}
+	return s.f
+}
+
+// IntData exposes an Int series' packed values (meaningful only where
+// the null mask is clear). Shared storage — treat as read-only. Nil for
+// other kinds.
+func (s *Series) IntData() []int64 {
+	if s.kind != Int {
+		return nil
+	}
+	return s.i
+}
+
+// BoolData exposes a Bool series' packed values (meaningful only where
+// the null mask is clear). Shared storage — treat as read-only. Nil for
+// other kinds.
+func (s *Series) BoolData() []bool {
+	if s.kind != Bool {
+		return nil
+	}
+	return s.b
+}
+
 // At returns the value at row idx.
 func (s *Series) At(idx int) Value {
 	if s.null[idx] {

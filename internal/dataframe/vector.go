@@ -1,0 +1,279 @@
+package dataframe
+
+import "math"
+
+// Selection-vector filter kernels: the vectorized half of the compiled
+// query path. A selection vector (Sel) holds the surviving row positions
+// in ascending order; each kernel refines one — evaluating a comparison
+// against a packed value slice without boxing a single Value — and the
+// surviving rows are materialized (gathered) once, at the end, by
+// Frame.SelectRows. A nil Sel means "all rows": the first kernel in a
+// conjunction builds the initial vector itself, so an unselective first
+// predicate never allocates an identity vector just to throw most of it
+// away.
+//
+// Null handling is the caller's contract: every kernel takes the
+// column's null mask plus a precomputed nullKeep flag saying whether a
+// null cell passes the predicate. That flag is computable once per
+// (predicate, column-kind) pair because a null cell renders to a
+// constant ("NaN" for floats, "" otherwise) under the row-at-a-time
+// semantics these kernels must reproduce bit for bit.
+
+// Sel is a selection vector: surviving row positions, ascending.
+type Sel = []uint32
+
+// CmpOp is a comparison operator in the metadata predicate language.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpGt
+	CmpLe
+	CmpGe
+)
+
+// ParseCmpOp maps the predicate language's operator token to a CmpOp.
+func ParseCmpOp(op string) (CmpOp, bool) {
+	switch op {
+	case "=":
+		return CmpEq, true
+	case "!=":
+		return CmpNe, true
+	case "<":
+		return CmpLt, true
+	case ">":
+		return CmpGt, true
+	case "<=":
+		return CmpLe, true
+	case ">=":
+		return CmpGe, true
+	}
+	return 0, false
+}
+
+// Match reports whether a three-way comparison result satisfies the
+// operator.
+func (op CmpOp) Match(cmp int) bool {
+	switch op {
+	case CmpEq:
+		return cmp == 0
+	case CmpNe:
+		return cmp != 0
+	case CmpLt:
+		return cmp < 0
+	case CmpGt:
+		return cmp > 0
+	case CmpLe:
+		return cmp <= 0
+	case CmpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// MatchFloat reports whether lhs op rhs holds under the predicate
+// language's numeric semantics: comparisons against NaN are neither
+// above nor below, so the three-way result degenerates to 0 (equal) —
+// exactly what the boxed path computes when either side fails to order.
+func (op CmpOp) MatchFloat(lhs, rhs float64) bool {
+	cmp := 0
+	switch {
+	case lhs < rhs:
+		cmp = -1
+	case lhs > rhs:
+		cmp = 1
+	}
+	return op.Match(cmp)
+}
+
+// FilterFloat64 refines sel to the rows where the packed float column
+// satisfies op rhs. A row is null when the mask says so or the stored
+// value is NaN (Float64(NaN).IsNull() — the two encodings of a missing
+// float must behave identically); null rows survive iff nullKeep.
+func FilterFloat64(sel Sel, vals []float64, nulls []bool, op CmpOp, rhs float64, nullKeep bool) Sel {
+	if sel == nil {
+		out := make(Sel, 0, len(vals))
+		for i, v := range vals {
+			if nulls[i] || math.IsNaN(v) {
+				if nullKeep {
+					out = append(out, uint32(i))
+				}
+				continue
+			}
+			if op.MatchFloat(v, rhs) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		v := vals[i]
+		if nulls[i] || math.IsNaN(v) {
+			if nullKeep {
+				out = append(out, i)
+			}
+			continue
+		}
+		if op.MatchFloat(v, rhs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FilterInt64 refines sel to the rows where the packed int column,
+// widened to float64, satisfies op rhs. Null rows survive iff nullKeep.
+func FilterInt64(sel Sel, vals []int64, nulls []bool, op CmpOp, rhs float64, nullKeep bool) Sel {
+	if sel == nil {
+		out := make(Sel, 0, len(vals))
+		for i, v := range vals {
+			if nulls[i] {
+				if nullKeep {
+					out = append(out, uint32(i))
+				}
+				continue
+			}
+			if op.MatchFloat(float64(v), rhs) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if nulls[i] {
+			if nullKeep {
+				out = append(out, i)
+			}
+			continue
+		}
+		if op.MatchFloat(float64(vals[i]), rhs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FilterBools refines sel against a packed bool column given the
+// precomputed outcomes for the three possible cell states.
+func FilterBools(sel Sel, vals []bool, nulls []bool, keepTrue, keepFalse, nullKeep bool) Sel {
+	if sel == nil {
+		out := make(Sel, 0, len(vals))
+		for i, v := range vals {
+			if boolCellKeep(v, nulls[i], keepTrue, keepFalse, nullKeep) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if boolCellKeep(vals[i], nulls[i], keepTrue, keepFalse, nullKeep) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func boolCellKeep(v, null, keepTrue, keepFalse, nullKeep bool) bool {
+	switch {
+	case null:
+		return nullKeep
+	case v:
+		return keepTrue
+	default:
+		return keepFalse
+	}
+}
+
+// FilterCodes refines sel against a dictionary-coded string column.
+// match is indexed by dictionary code — the predicate evaluated once per
+// distinct word instead of once per row; codes at or beyond its length
+// never match (defensive: a shared dictionary can be longer than the
+// column's used prefix). Null rows survive iff nullKeep.
+func FilterCodes(sel Sel, codes []uint32, nulls []bool, match []bool, nullKeep bool) Sel {
+	if sel == nil {
+		out := make(Sel, 0, len(codes))
+		for i, c := range codes {
+			if nulls[i] {
+				if nullKeep {
+					out = append(out, uint32(i))
+				}
+				continue
+			}
+			if int(c) < len(match) && match[c] {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if nulls[i] {
+			if nullKeep {
+				out = append(out, i)
+			}
+			continue
+		}
+		if c := codes[i]; int(c) < len(match) && match[c] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FilterConst refines sel with a row-independent outcome: the predicate
+// column is absent from this chunk (every cell is the same typed null),
+// so all n rows either survive or none do.
+func FilterConst(sel Sel, n int, keep bool) Sel {
+	if !keep {
+		if sel == nil {
+			return Sel{}
+		}
+		return sel[:0]
+	}
+	if sel == nil {
+		out := make(Sel, n)
+		for i := range out {
+			out[i] = uint32(i)
+		}
+		return out
+	}
+	return sel
+}
+
+// FilterFunc refines sel with an arbitrary per-row predicate — the
+// escape hatch for the rare shapes the packed kernels do not cover
+// (non-numeric comparisons against numeric columns, index-level
+// fallback). Correctness first; the hot shapes never come here.
+func FilterFunc(sel Sel, n int, keep func(int) bool) Sel {
+	if sel == nil {
+		out := make(Sel, 0, n)
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, uint32(i))
+			}
+		}
+		return out
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		if keep(int(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelToRows converts a selection vector to the []int row list
+// Frame.SelectRows consumes.
+func SelToRows(sel Sel) []int {
+	rows := make([]int, len(sel))
+	for i, r := range sel {
+		rows[i] = int(r)
+	}
+	return rows
+}

@@ -1,0 +1,259 @@
+package dataframe
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// boxedMatch is the row-at-a-time reference the kernels must reproduce:
+// numeric three-way compare when both sides order, else lexicographic on
+// the rendered cell (the predicate semantics shared by thicketd and the
+// CLI).
+func boxedMatch(v Value, op CmpOp, value string) bool {
+	cmp := 0
+	lf, lok := v.AsFloat()
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(value), 64)
+	if lok && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(v.String(), value)
+	}
+	return op.Match(cmp)
+}
+
+var allOps = []CmpOp{CmpEq, CmpNe, CmpLt, CmpGt, CmpLe, CmpGe}
+
+func selEqual(a Sel, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseCmpOp(t *testing.T) {
+	for _, tok := range []string{"=", "!=", "<", ">", "<=", ">="} {
+		if _, ok := ParseCmpOp(tok); !ok {
+			t.Errorf("ParseCmpOp(%q) not ok", tok)
+		}
+	}
+	if _, ok := ParseCmpOp("=="); ok {
+		t.Error("ParseCmpOp(==) should fail")
+	}
+}
+
+func TestFilterFloat64MatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	vals := make([]float64, n)
+	nulls := make([]bool, n)
+	for i := range vals {
+		switch rng.Intn(5) {
+		case 0:
+			nulls[i] = true
+		case 1:
+			vals[i] = math.NaN() // NaN payload with clear mask is still null
+		default:
+			vals[i] = float64(rng.Intn(40)) / 4
+		}
+	}
+	for _, rhs := range []string{"3", "-1", "9.75", "NaN"} {
+		rf, _ := strconv.ParseFloat(rhs, 64)
+		for _, op := range allOps {
+			nullKeep := boxedMatch(Null(Float), op, rhs)
+			got := FilterFloat64(nil, vals, nulls, op, rf, nullKeep)
+			var want []uint32
+			for i := range vals {
+				v := Float64(vals[i])
+				if nulls[i] {
+					v = Null(Float)
+				}
+				if boxedMatch(v, op, rhs) {
+					want = append(want, uint32(i))
+				}
+			}
+			if !selEqual(got, want) {
+				t.Fatalf("op %v rhs %s: got %d rows, want %d", op, rhs, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestFilterInt64MatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 400
+	vals := make([]int64, n)
+	nulls := make([]bool, n)
+	for i := range vals {
+		if rng.Intn(5) == 0 {
+			nulls[i] = true
+		} else {
+			vals[i] = int64(rng.Intn(20) - 10)
+		}
+	}
+	for _, rhs := range []string{"0", "5", "-10", "2.5"} {
+		rf, _ := strconv.ParseFloat(rhs, 64)
+		for _, op := range allOps {
+			nullKeep := boxedMatch(Null(Int), op, rhs)
+			got := FilterInt64(nil, vals, nulls, op, rf, nullKeep)
+			var want []uint32
+			for i := range vals {
+				v := Int64(vals[i])
+				if nulls[i] {
+					v = Null(Int)
+				}
+				if boxedMatch(v, op, rhs) {
+					want = append(want, uint32(i))
+				}
+			}
+			if !selEqual(got, want) {
+				t.Fatalf("op %v rhs %s: got %d rows, want %d", op, rhs, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestFilterCodesMatchesBoxed(t *testing.T) {
+	dict := NewDict()
+	words := []string{"chama", "rztopaz", "quartz", "128", "3.5"}
+	for _, w := range words {
+		dict.Intern(w)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	codes := make([]uint32, n)
+	nulls := make([]bool, n)
+	for i := range codes {
+		if rng.Intn(6) == 0 {
+			nulls[i] = true
+		} else {
+			codes[i] = uint32(rng.Intn(len(words)))
+		}
+	}
+	for _, rhs := range []string{"chama", "quartz", "128", "3.50", "zzz", ""} {
+		for _, op := range allOps {
+			match := make([]bool, len(words))
+			for c, w := range words {
+				match[c] = boxedMatch(Str(w), op, rhs)
+			}
+			nullKeep := boxedMatch(Null(String), op, rhs)
+			got := FilterCodes(nil, codes, nulls, match, nullKeep)
+			var want []uint32
+			for i := range codes {
+				v := Str(words[codes[i]])
+				if nulls[i] {
+					v = Null(String)
+				}
+				if boxedMatch(v, op, rhs) {
+					want = append(want, uint32(i))
+				}
+			}
+			if !selEqual(got, want) {
+				t.Fatalf("op %v rhs %q: got %d rows, want %d", op, rhs, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestFilterBoolsMatchesBoxed(t *testing.T) {
+	vals := []bool{true, false, true, false, true}
+	nulls := []bool{false, false, true, true, false}
+	for _, rhs := range []string{"1", "0", "true", "0.5"} {
+		for _, op := range allOps {
+			keepTrue := boxedMatch(BoolVal(true), op, rhs)
+			keepFalse := boxedMatch(BoolVal(false), op, rhs)
+			nullKeep := boxedMatch(Null(Bool), op, rhs)
+			got := FilterBools(nil, vals, nulls, keepTrue, keepFalse, nullKeep)
+			var want []uint32
+			for i := range vals {
+				v := BoolVal(vals[i])
+				if nulls[i] {
+					v = Null(Bool)
+				}
+				if boxedMatch(v, op, rhs) {
+					want = append(want, uint32(i))
+				}
+			}
+			if !selEqual(got, want) {
+				t.Fatalf("op %v rhs %q: got %v, want %v", op, rhs, got, want)
+			}
+		}
+	}
+}
+
+func TestFilterRefinement(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	nulls := make([]bool, len(vals))
+	sel := FilterFloat64(nil, vals, nulls, CmpGt, 2, false) // 3,4,5,6 → rows 2..5
+	sel = FilterFloat64(sel, vals, nulls, CmpLe, 5, false)  // 3,4,5 → rows 2..4
+	if !selEqual(sel, []uint32{2, 3, 4}) {
+		t.Fatalf("refined sel = %v", sel)
+	}
+}
+
+func TestFilterConst(t *testing.T) {
+	if got := FilterConst(nil, 4, true); !selEqual(got, []uint32{0, 1, 2, 3}) {
+		t.Fatalf("FilterConst keep-all = %v", got)
+	}
+	if got := FilterConst(nil, 4, false); len(got) != 0 || got == nil {
+		t.Fatalf("FilterConst drop-all = %v (want empty non-nil)", got)
+	}
+	in := Sel{1, 3}
+	if got := FilterConst(in, 4, true); !selEqual(got, []uint32{1, 3}) {
+		t.Fatalf("FilterConst passthrough = %v", got)
+	}
+	if got := FilterConst(in, 4, false); len(got) != 0 {
+		t.Fatalf("FilterConst drop refined = %v", got)
+	}
+}
+
+func TestFilterFuncAndSelToRows(t *testing.T) {
+	sel := FilterFunc(nil, 6, func(i int) bool { return i%2 == 0 })
+	if !selEqual(sel, []uint32{0, 2, 4}) {
+		t.Fatalf("FilterFunc = %v", sel)
+	}
+	sel = FilterFunc(sel, 6, func(i int) bool { return i > 0 })
+	if !selEqual(sel, []uint32{2, 4}) {
+		t.Fatalf("FilterFunc refine = %v", sel)
+	}
+	rows := SelToRows(sel)
+	if len(rows) != 2 || rows[0] != 2 || rows[1] != 4 {
+		t.Fatalf("SelToRows = %v", rows)
+	}
+}
+
+func TestPackedAccessors(t *testing.T) {
+	f := NewFloatSeries("f", []float64{1, math.NaN(), 3})
+	if d := f.FloatData(); len(d) != 3 || d[0] != 1 {
+		t.Fatalf("FloatData = %v", d)
+	}
+	if f.IntData() != nil || f.BoolData() != nil {
+		t.Error("cross-kind accessors should be nil")
+	}
+	is := NewSeries("i", Int)
+	if err := is.Append(Int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	if d := is.IntData(); len(d) != 1 || d[0] != 7 {
+		t.Fatalf("IntData = %v", d)
+	}
+	bs := NewSeries("b", Bool)
+	if err := bs.Append(BoolVal(true)); err != nil {
+		t.Fatal(err)
+	}
+	if d := bs.BoolData(); len(d) != 1 || !d[0] {
+		t.Fatalf("BoolData = %v", d)
+	}
+}

@@ -80,14 +80,20 @@ func newRequestGen(workload string, r *rand.Rand) (requestGen, error) {
 		return func(r *rand.Rand, seq int) (string, string, bool) {
 			// Rotate endpoints but salt every query with a fresh
 			// predicate value and a nonce, so no two canonical cache keys
-			// collide: every request is a full-kernel miss.
+			// collide: every request is a full-kernel miss. The where=
+			// clauses run the compiled predicate-pushdown plan against
+			// the self-host schema's real columns (cluster, numhosts),
+			// so misses exercise the vectorized filter path, not just
+			// the aggregation kernels.
 			hosts := 1 + r.Intn(64)
 			nonce := strconv.Itoa(seq) + "-" + strconv.FormatUint(uint64(r.Uint32()), 16)
-			switch seq % 3 {
+			switch seq % 4 {
 			case 0:
 				return "/api/profiles", "where=" + url.QueryEscape(fmt.Sprintf("numhosts<=%d", hosts)) + "&u=" + nonce, false
 			case 1:
-				return "/api/groupby", "by=cluster&aggs=mean,std&u=" + nonce, false
+				return "/api/groupby", "by=cluster&aggs=mean,std&where=" + url.QueryEscape(fmt.Sprintf("numhosts>%d", r.Intn(4))) + "&u=" + nonce, false
+			case 2:
+				return "/api/stats", "aggs=mean&where=" + url.QueryEscape("cluster!=nosuchcluster") + "&u=" + nonce, false
 			default:
 				return "/api/query", "q=" + url.QueryEscape(". name == main / *") + "&u=" + nonce, false
 			}

@@ -1,0 +1,454 @@
+package plan
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataframe"
+	"repro/internal/store"
+)
+
+// ExecStats describes what one execution touched: how many segments the
+// zone maps pruned outright, how many blocks were decoded versus skipped,
+// and how many rows survived into materialized frames. The server exports
+// these per endpoint; the bit-identity tests assert on them.
+type ExecStats struct {
+	Segments         int // segments in the snapshot
+	SegmentsPruned   int // segments skipped whole on header evidence
+	BlocksScanned    int // meta+perf blocks decoded (survivor segments)
+	BlocksSkipped    int // meta+perf blocks never read (pruned segments)
+	RowsScanned      int // metadata rows evaluated by filter kernels
+	RowsMaterialized int // metadata rows surviving all predicates
+	Rows             int // total metadata rows in the store/thicket
+}
+
+// ExecuteThicket runs the compiled filter against an already-resident
+// thicket: predicates are validated and evaluated vectorized over the
+// metadata frame, then the selection mask drives one FilterMetadata
+// pass. Bit-identical to NaiveFilter by construction and by test.
+func ExecuteThicket(th *core.Thicket, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	var st ExecStats
+	st.Rows = th.Metadata.NRows()
+	if err := Validate(th.Metadata, preds); err != nil {
+		return nil, st, err
+	}
+	if len(preds) == 0 {
+		st.RowsMaterialized = st.Rows
+		return th, st, nil
+	}
+	st.RowsScanned = st.Rows
+	sel := evalFrame(th.Metadata, preds)
+	st.RowsMaterialized = len(sel)
+	mask := make([]bool, th.Metadata.NRows())
+	for _, r := range sel {
+		mask[r] = true
+	}
+	out := th.FilterMetadata(func(m core.MetaRow) bool { return mask[m.Pos()] })
+	return out, st, nil
+}
+
+// evalFrame evaluates the conjunction over one metadata frame with the
+// frame's own name resolution (exact key first, then unambiguous leaf),
+// returning the surviving row selection. Resolution failures reproduce
+// Row.Value's behavior — the cell reads as a String null — and the
+// index-level fallback applies wherever the column cell is null.
+func evalFrame(meta *dataframe.Frame, preds []Predicate) dataframe.Sel {
+	n := meta.NRows()
+	var sel dataframe.Sel
+	for i := range preds {
+		p := preds[i]
+		lvl := meta.Index().LevelByName(p.Column)
+		col, err := meta.ColumnByName(p.Column)
+		switch {
+		case err != nil && lvl != nil:
+			sel = filterPlain(sel, lvl, p)
+		case err != nil:
+			sel = dataframe.FilterConst(sel, n, p.Matches(dataframe.Null(dataframe.String)))
+		case lvl == nil:
+			sel = filterPlain(sel, col, p)
+		default:
+			// Composite: a data column shadowed by a same-named index
+			// level; null cells fall through to the level value.
+			sel = dataframe.FilterFunc(sel, n, func(r int) bool {
+				v := col.At(r)
+				if v.IsNull() {
+					v = lvl.At(r)
+				}
+				return p.Matches(v)
+			})
+		}
+		if len(sel) == 0 && sel != nil {
+			break
+		}
+	}
+	if sel == nil {
+		sel = dataframe.FilterConst(nil, n, true)
+	}
+	return sel
+}
+
+// filterPlain dispatches one predicate over one series to the vectorized
+// kernel matching its kind, falling back to boxed evaluation for the
+// shapes that have no packed form (numeric columns compared against a
+// non-numeric literal render row by row).
+func filterPlain(sel dataframe.Sel, s *dataframe.Series, p Predicate) dataframe.Sel {
+	nulls := s.Nulls()
+	switch s.Kind() {
+	case dataframe.Float:
+		if p.rhsOK {
+			return dataframe.FilterFloat64(sel, s.FloatData(), nulls, p.cmp, p.rhs, p.Matches(dataframe.Null(dataframe.Float)))
+		}
+	case dataframe.Int:
+		if p.rhsOK {
+			return dataframe.FilterInt64(sel, s.IntData(), nulls, p.cmp, p.rhs, p.Matches(dataframe.Null(dataframe.Int)))
+		}
+	case dataframe.Bool:
+		return dataframe.FilterBools(sel, s.BoolData(), nulls,
+			p.Matches(dataframe.BoolVal(true)),
+			p.Matches(dataframe.BoolVal(false)),
+			p.Matches(dataframe.Null(dataframe.Bool)))
+	case dataframe.String:
+		if dict, codes := s.StringData(); dict != nil {
+			match := make([]bool, dict.Len())
+			for c := range match {
+				match[c] = p.Matches(dataframe.Str(dict.Word(uint32(c))))
+			}
+			return dataframe.FilterCodes(sel, codes, nulls, match, p.Matches(dataframe.Null(dataframe.String)))
+		}
+	}
+	return dataframe.FilterFunc(sel, s.Len(), func(r int) bool { return p.Matches(s.At(r)) })
+}
+
+// colResolution is where a predicate's column lands in the union schema
+// the naive path would have concatenated: a specific full key, an
+// ambiguous leaf, or nothing — plus whether an index level shares the
+// name. Computed once per query from segment headers alone.
+type colResolution struct {
+	mode  resolveMode
+	key   dataframe.ColKey // set when mode == resolveKey
+	kind  dataframe.Kind   // union kind of key (null-fill kind)
+	level string           // index level of the same name, "" if none
+}
+
+type resolveMode uint8
+
+const (
+	resolveKey resolveMode = iota
+	resolveAbsent
+	resolveAmbiguous
+)
+
+// ExecuteStore runs the compiled filter directly against the store's
+// segments: predicates resolve against the union schema assembled from
+// headers, zone maps and dictionary pages prune whole segments before
+// any block decodes, survivors evaluate vectorized, and only surviving
+// rows materialize. The result is bit-identical to
+// NaiveFilter(store.Load()) — same frames, same row order, same errors
+// on unknown columns.
+func ExecuteStore(st *store.Store, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	var es ExecStats
+	if len(preds) == 0 {
+		th, err := st.Load()
+		if err != nil {
+			return nil, es, err
+		}
+		es.Rows = th.Metadata.NRows()
+		es.RowsMaterialized = es.Rows
+		return th, es, nil
+	}
+	sn := st.Snapshot()
+	defer sn.Release()
+	nseg := sn.NumSegments()
+	es.Segments = nseg
+	if nseg == 0 {
+		_, err := st.Load() // reproduce the canonical empty-store error
+		return nil, es, err
+	}
+
+	res, err := resolveUnion(sn, preds)
+	if err != nil {
+		return nil, es, err
+	}
+
+	withStats := nseg == 1
+	thickets := make([]*core.Thicket, 0, nseg)
+	for i := 0; i < nseg; i++ {
+		sv := sn.Segment(i)
+		nrows := sv.NRows(store.FrameMeta)
+		es.Rows += nrows
+		match, err := segmentCanMatch(sv, preds, res)
+		if err != nil {
+			return nil, es, err
+		}
+		if !match {
+			es.SegmentsPruned++
+			es.BlocksSkipped += sv.BlockCount(store.FrameMeta, store.FramePerf)
+			th, err := sv.EmptyThicket(withStats)
+			if err != nil {
+				return nil, es, err
+			}
+			thickets = append(thickets, th)
+			continue
+		}
+		es.BlocksScanned += sv.BlockCount(store.FrameMeta, store.FramePerf)
+		es.RowsScanned += nrows
+		th, err := sv.LoadThicket(withStats)
+		if err != nil {
+			return nil, es, err
+		}
+		sel := evalSegment(th.Metadata, preds, res)
+		es.RowsMaterialized += len(sel)
+		if len(sel) == nrows {
+			// Every row survives; the filter copy would be an identity.
+			thickets = append(thickets, th)
+			continue
+		}
+		mask := make([]bool, nrows)
+		for _, r := range sel {
+			mask[r] = true
+		}
+		thickets = append(thickets, th.FilterMetadata(func(m core.MetaRow) bool { return mask[m.Pos()] }))
+	}
+	if len(thickets) == 1 {
+		return thickets[0], es, nil
+	}
+	out, err := core.ConcatProfiles(thickets)
+	if err != nil {
+		return nil, es, err
+	}
+	return out, es, nil
+}
+
+// resolveUnion reconstructs, from headers alone, how each predicate
+// column would resolve against the concatenated metadata frame the
+// naive path builds: union of full column keys in first-appearance
+// order, union kind from the first appearance, index levels from the
+// first segment. Unknown columns error with the endpoints' message.
+func resolveUnion(sn *store.Snapshot, preds []Predicate) ([]colResolution, error) {
+	type spec struct {
+		key  dataframe.ColKey
+		kind dataframe.Kind
+	}
+	var specs []spec
+	seen := map[string]bool{}
+	var levels []string
+	for i := 0; i < sn.NumSegments(); i++ {
+		cols, err := sn.Segment(i).Columns(store.FrameMeta)
+		if err != nil {
+			return nil, err
+		}
+		for _, cs := range cols {
+			if cs.Level {
+				if i == 0 {
+					levels = append(levels, cs.Key.Leaf())
+				}
+				continue
+			}
+			k := cs.Key.String()
+			if !seen[k] {
+				seen[k] = true
+				specs = append(specs, spec{key: cs.Key, kind: cs.Kind})
+			}
+		}
+	}
+	hasLevel := func(name string) string {
+		for _, l := range levels {
+			if l == name {
+				return name
+			}
+		}
+		return ""
+	}
+	out := make([]colResolution, len(preds))
+	for pi, p := range preds {
+		r := colResolution{level: hasLevel(p.Column)}
+		exact := -1
+		var leaves []int
+		for si, sp := range specs {
+			if len(sp.key) == 1 && sp.key[0] == p.Column {
+				exact = si
+			}
+			if sp.key.Leaf() == p.Column {
+				leaves = append(leaves, si)
+			}
+		}
+		switch {
+		case exact >= 0:
+			r.mode, r.key, r.kind = resolveKey, specs[exact].key, specs[exact].kind
+		case len(leaves) == 1:
+			r.mode, r.key, r.kind = resolveKey, specs[leaves[0]].key, specs[leaves[0]].kind
+		case len(leaves) == 0:
+			r.mode = resolveAbsent
+		default:
+			r.mode = resolveAmbiguous
+		}
+		if r.mode != resolveKey && r.level == "" {
+			return nil, unknownColumnError(p.Column)
+		}
+		out[pi] = r
+	}
+	return out, nil
+}
+
+// evalSegment evaluates the conjunction over one segment's loaded
+// metadata frame using the union resolution — a segment that lacks the
+// resolved key sees the constant null the outer concat would have
+// filled in, and the index-level fallback applies per row.
+func evalSegment(meta *dataframe.Frame, preds []Predicate, res []colResolution) dataframe.Sel {
+	n := meta.NRows()
+	var sel dataframe.Sel
+	for pi := range preds {
+		p, r := preds[pi], res[pi]
+		var lvl *dataframe.Series
+		if r.level != "" {
+			lvl = meta.Index().LevelByName(r.level)
+		}
+		var col *dataframe.Series
+		nullKind := dataframe.String // Row.Value renders resolution failures as String nulls
+		if r.mode == resolveKey {
+			col, _ = meta.Column(r.key)
+			nullKind = r.kind
+		}
+		switch {
+		case col == nil && lvl != nil:
+			sel = filterPlain(sel, lvl, p)
+		case col == nil:
+			sel = dataframe.FilterConst(sel, n, p.Matches(dataframe.Null(nullKind)))
+		case lvl == nil:
+			sel = filterPlain(sel, col, p)
+		default:
+			sel = dataframe.FilterFunc(sel, n, func(row int) bool {
+				v := col.At(row)
+				if v.IsNull() {
+					v = lvl.At(row)
+				}
+				return p.Matches(v)
+			})
+		}
+		if len(sel) == 0 && sel != nil {
+			break
+		}
+	}
+	if sel == nil {
+		sel = dataframe.FilterConst(nil, n, true)
+	}
+	return sel
+}
+
+// segmentCanMatch decides from header statistics whether any row of the
+// segment could satisfy every predicate. It must never return false for
+// a segment with a matching row; returning true merely costs a scan.
+func segmentCanMatch(sv store.SegmentView, preds []Predicate, res []colResolution) (bool, error) {
+	cols, err := sv.Columns(store.FrameMeta)
+	if err != nil {
+		return false, err
+	}
+	nrows := sv.NRows(store.FrameMeta)
+	byKey := map[string]store.ColumnStats{}
+	byLevel := map[string]store.ColumnStats{}
+	for _, cs := range cols {
+		if cs.Level {
+			byLevel[cs.Key.Leaf()] = cs
+		} else {
+			byKey[cs.Key.String()] = cs
+		}
+	}
+	for pi := range preds {
+		p, r := preds[pi], res[pi]
+		lstats, hasLevel := byLevel[r.level]
+		if r.level == "" {
+			hasLevel = false
+		}
+		ok := true
+		switch {
+		case r.mode != resolveKey:
+			if hasLevel {
+				ok = canMatchPlain(sv, lstats, nrows, p)
+			} else {
+				ok = p.Matches(dataframe.Null(dataframe.String))
+			}
+		default:
+			cs, present := byKey[r.key.String()]
+			switch {
+			case !present && hasLevel:
+				ok = canMatchPlain(sv, lstats, nrows, p)
+			case !present:
+				ok = p.Matches(dataframe.Null(r.kind))
+			case !hasLevel:
+				ok = canMatchPlain(sv, cs, nrows, p)
+			case cs.Nulls == 0:
+				// No null cells, so the level fallback never fires.
+				ok = canMatchPlain(sv, cs, nrows, p)
+			default:
+				// Rows see either a non-null column value or, on null
+				// cells, the level value (null or not).
+				ok = canMatchNonNull(sv, cs, nrows, p) || canMatchPlain(sv, lstats, nrows, p)
+			}
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// canMatchPlain reports whether any cell of the described column — null
+// or not — could satisfy the predicate.
+func canMatchPlain(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) bool {
+	if cs.Nulls != 0 && p.Matches(dataframe.Null(cs.Kind)) {
+		return true // nulls possible (or unknown) and a null matches
+	}
+	return canMatchNonNull(sv, cs, nrows, p)
+}
+
+// canMatchNonNull reports whether any NON-NULL cell of the described
+// column could satisfy the predicate, using only header statistics and
+// (for string equality) the block's dictionary page. Unknown statistics
+// always answer true.
+func canMatchNonNull(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) bool {
+	if cs.Nulls >= 0 && cs.Nulls == nrows {
+		return false // every cell is null
+	}
+	switch cs.Kind {
+	case dataframe.Int, dataframe.Float:
+		if !p.rhsOK {
+			return true // rendered-string comparison: no zone map applies
+		}
+		if math.IsNaN(p.rhs) {
+			// Every non-null numeric three-way-compares 0 against NaN.
+			return p.cmp.Match(0)
+		}
+		if cs.Min == nil || cs.Max == nil {
+			return true // no zone map (pre-v2, all-null, or NaN-poisoned)
+		}
+		lo, hi := *cs.Min, *cs.Max
+		switch p.cmp {
+		case dataframe.CmpEq:
+			return lo <= p.rhs && p.rhs <= hi
+		case dataframe.CmpNe:
+			return !(lo == hi && lo == p.rhs)
+		case dataframe.CmpLt:
+			return lo < p.rhs
+		case dataframe.CmpLe:
+			return lo <= p.rhs
+		case dataframe.CmpGt:
+			return hi > p.rhs
+		case dataframe.CmpGe:
+			return hi >= p.rhs
+		}
+		return true
+	case dataframe.Bool:
+		return p.Matches(dataframe.BoolVal(true)) || p.Matches(dataframe.BoolVal(false))
+	case dataframe.String:
+		if p.cmp == dataframe.CmpEq && !p.rhsOK {
+			// Equality against a non-numeric literal matches a word iff
+			// the strings are identical, so the dictionary page decides.
+			// A probe error never prunes: the scan will surface it.
+			if has, err := sv.DictHasWord(store.FrameMeta, cs, p.Value); err == nil {
+				return has
+			}
+		}
+		return true
+	}
+	return true
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/ingest"
+	"repro/internal/plan"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -123,6 +124,16 @@ type endpointMetrics struct {
 	slow        *telemetry.Counter
 }
 
+// planMetrics bundles one endpoint's compiled-plan scan accounting:
+// how many store blocks the pushdown actually decoded vs skipped via
+// zone maps, and how many rows were materialized after filtering.
+type planMetrics struct {
+	blocksScanned    *telemetry.Counter
+	blocksSkipped    *telemetry.Counter
+	rowsMaterialized *telemetry.Counter
+	segmentsPruned   *telemetry.Counter
+}
+
 // Server answers EDA queries over one resident thicket.
 type Server struct {
 	th   atomic.Pointer[core.Thicket]
@@ -142,6 +153,7 @@ type Server struct {
 	gen      atomic.Int64 // store generation the resident thicket reflects
 	reloadMu sync.Mutex   // serializes thicket reloads
 	eps      map[string]*endpointMetrics
+	plans    map[string]*planMetrics
 
 	log    *slog.Logger
 	inject sync.Map // endpoint path -> time.Duration artificial delay
@@ -191,6 +203,7 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 		reg:   reg,
 		cache: newRespCache(opts.CacheBytes),
 		eps:   make(map[string]*endpointMetrics),
+		plans: make(map[string]*planMetrics),
 		log:   opts.Logger.With(telemetry.LogKeyComponent, "server"),
 	}
 	for path, d := range opts.InjectLatency {
@@ -220,6 +233,16 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 			cacheHits:   reg.Counter("thicket_response_cache_hits_total", "Response-cache hits by endpoint.", "endpoint", path),
 			cacheMisses: reg.Counter("thicket_response_cache_misses_total", "Response-cache misses by endpoint.", "endpoint", path),
 			slow:        reg.Counter("thicket_http_slow_requests_total", "Requests slower than the slow-query threshold.", "endpoint", path),
+		}
+	}
+	for _, path := range []string{
+		"/api/profiles", "/api/stats", "/api/groupby", "/api/summary", "/api/query",
+	} {
+		s.plans[path] = &planMetrics{
+			blocksScanned:    reg.Counter("thicket_plan_blocks_scanned_total", "Store blocks decoded by compiled where= plans.", "endpoint", path),
+			blocksSkipped:    reg.Counter("thicket_plan_blocks_skipped_total", "Store blocks skipped via zone-map pushdown.", "endpoint", path),
+			rowsMaterialized: reg.Counter("thicket_plan_rows_materialized_total", "Profile rows materialized after plan filtering.", "endpoint", path),
+			segmentsPruned:   reg.Counter("thicket_plan_segments_pruned_total", "Whole segments pruned by zone-map pushdown.", "endpoint", path),
 		}
 	}
 	return s
@@ -394,9 +417,16 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 // single-flight dedup. Only 200-OK bodies are cached, each stamped with
 // the generation of its dependency class so invalidation is
 // incremental.
-func (s *Server) route(path string, dep cacheDep, h func(*http.Request) (int, any)) http.HandlerFunc {
+func (s *Server) route(path string, routeDep cacheDep, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 		s.maybeReload()
+		dep := routeDep
+		if dep == depTree && len(r.URL.Query()["where"]) > 0 {
+			// A where= filter makes even a tree-derived response depend
+			// on row content; reclassify so appends invalidate it while
+			// unfiltered tree queries stay warm.
+			dep = depData
+		}
 		if dep == depNone || !s.cache.enabled() {
 			if dep != depNone {
 				telemetry.FromContext(r.Context()).SetAttr("cache", "uncached")
@@ -753,90 +783,56 @@ func (s *Server) infoResponse(r *http.Request) (int, any) {
 	return http.StatusOK, out
 }
 
-// predicate is one parsed metadata filter.
-type predicate struct {
-	column string
-	op     string
-	value  string
-}
-
-var predicateOps = []string{"<=", ">=", "!=", "=", "<", ">"}
-
-func parsePredicate(expr string) (predicate, error) {
-	for _, op := range predicateOps {
-		if i := strings.Index(expr, op); i > 0 {
-			return predicate{column: expr[:i], op: op, value: expr[i+len(op):]}, nil
-		}
+// filteredThicket resolves the endpoint's optional where= conjunction
+// through the compiled query path: directly against the store when one
+// backs the server (zone maps prune segments and blocks before any
+// decode), vectorized over the resident thicket otherwise. With no
+// where= the resident thicket is returned untouched. The plan's scan
+// accounting lands on the endpoint's counters; the returned status is
+// non-zero only on error (400 for parse and unknown-column errors, 500
+// for storage faults).
+func (s *Server) filteredThicket(r *http.Request, endpoint string) (*core.Thicket, plan.ExecStats, int, error) {
+	th := s.thicket()
+	preds, err := plan.Compile(r.URL.Query()["where"])
+	if err != nil {
+		return nil, plan.ExecStats{}, http.StatusBadRequest, err
 	}
-	return predicate{}, fmt.Errorf("bad predicate %q (want col=value, col!=value, col<value, ...)", expr)
-}
-
-// matches evaluates the predicate on one metadata cell: numeric
-// comparison when both sides parse as numbers, else lexicographic on
-// the rendered cell.
-func (p predicate) matches(v dataframe.Value) bool {
-	var cmp int
-	lf, lok := v.AsFloat()
-	rf, rerr := strconv.ParseFloat(strings.TrimSpace(p.value), 64)
-	if lok && rerr == nil {
-		switch {
-		case lf < rf:
-			cmp = -1
-		case lf > rf:
-			cmp = 1
-		}
+	if len(preds) == 0 {
+		n := th.Metadata.NRows()
+		return th, plan.ExecStats{Rows: n, RowsMaterialized: n}, 0, nil
+	}
+	var (
+		out *core.Thicket
+		es  plan.ExecStats
+	)
+	if s.st != nil {
+		out, es, err = plan.ExecuteStore(s.st, preds)
 	} else {
-		cmp = strings.Compare(v.String(), p.value)
+		out, es, err = plan.ExecuteThicket(th, preds)
 	}
-	switch p.op {
-	case "=":
-		return cmp == 0
-	case "!=":
-		return cmp != 0
-	case "<":
-		return cmp < 0
-	case ">":
-		return cmp > 0
-	case "<=":
-		return cmp <= 0
-	case ">=":
-		return cmp >= 0
+	if err != nil {
+		if errors.Is(err, plan.ErrUnknownColumn) {
+			return nil, es, http.StatusBadRequest, err
+		}
+		return nil, es, http.StatusInternalServerError, err
 	}
-	return false
+	if pm := s.plans[endpoint]; pm != nil {
+		pm.blocksScanned.Add(int64(es.BlocksScanned))
+		pm.blocksSkipped.Add(int64(es.BlocksSkipped))
+		pm.rowsMaterialized.Add(int64(es.RowsMaterialized))
+		pm.segmentsPruned.Add(int64(es.SegmentsPruned))
+	}
+	return out, es, 0, nil
 }
 
 func (s *Server) profilesResponse(r *http.Request) (int, any) {
-	th := s.thicket()
-	var preds []predicate
-	for _, expr := range r.URL.Query()["where"] {
-		p, err := parsePredicate(expr)
-		if err != nil {
-			return errPayload(http.StatusBadRequest, err)
-		}
-		if _, err := th.Metadata.ColumnByName(p.column); err != nil &&
-			th.Metadata.Index().LevelByName(p.column) == nil {
-			return errPayload(http.StatusBadRequest, fmt.Errorf("unknown metadata column %q", p.column))
-		}
-		preds = append(preds, p)
-	}
-	filtered := th
-	if len(preds) > 0 {
-		filtered = th.FilterMetadata(func(m core.MetaRow) bool {
-			for _, p := range preds {
-				v := m.Value(p.column)
-				if v.IsNull() && th.Metadata.Index().LevelByName(p.column) != nil {
-					v = m.Profile(p.column)
-				}
-				if !p.matches(v) {
-					return false
-				}
-			}
-			return true
-		})
+	filtered, es, status, err := s.filteredThicket(r, "/api/profiles")
+	if err != nil {
+		return errPayload(status, err)
 	}
 	return http.StatusOK, map[string]any{
 		"count": filtered.NumProfiles(),
-		"total": th.NumProfiles(),
+		"total": es.Rows,
 		"rows":  frameRows(filtered.Metadata),
 	}
 }
@@ -869,9 +865,13 @@ func (s *Server) statsResponse(r *http.Request) (int, any) {
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
+	base, _, status, ferr := s.filteredThicket(r, "/api/stats")
+	if ferr != nil {
+		return errPayload(status, ferr)
+	}
 	// AggregateStats mutates its receiver's stats table; work on a copy
 	// so concurrent requests stay isolated.
-	th := s.thicket().Copy()
+	th := base.Copy()
 	if err := th.AggregateStats(colKeys(splitArg(r, "metrics")), aggs); err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
@@ -890,7 +890,11 @@ func (s *Server) groupByResponse(r *http.Request) (int, any) {
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
-	out, err := s.thicket().GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
+	th, _, status, ferr := s.filteredThicket(r, "/api/groupby")
+	if ferr != nil {
+		return errPayload(status, ferr)
+	}
+	out, err := th.GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
 	if err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
@@ -905,7 +909,11 @@ func (s *Server) summaryResponse(r *http.Request) (int, any) {
 	if len(by) == 0 {
 		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
 	}
-	sum, err := s.thicket().MetadataSummary(by...)
+	th, _, status, ferr := s.filteredThicket(r, "/api/summary")
+	if ferr != nil {
+		return errPayload(status, ferr)
+	}
+	sum, err := th.MetadataSummary(by...)
 	if err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
@@ -916,10 +924,13 @@ func (s *Server) summaryResponse(r *http.Request) (int, any) {
 }
 
 func (s *Server) queryResponse(r *http.Request) (int, any) {
-	th := s.thicket()
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?q=<call-path query>"))
+	}
+	th, _, status, ferr := s.filteredThicket(r, "/api/query")
+	if ferr != nil {
+		return errPayload(status, ferr)
 	}
 	out, err := th.QueryString(q)
 	if err != nil {

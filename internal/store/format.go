@@ -51,8 +51,12 @@ const (
 	segMagic = "TSEG"
 	// FormatVersion is the store format version new segments are
 	// written with. Version 2 replaced plain string blocks with
-	// dictionary pages (kindStringDict).
-	FormatVersion = 2
+	// dictionary pages (kindStringDict). Version 3 adds delta-encoded
+	// int blocks (kindIntDelta) for monotonic columns, run-length
+	// dictionary pages (kindDictRLE) for low-cardinality strings, and
+	// per-column null counts in the header — the zone-map side
+	// information predicate pushdown needs to skip blocks soundly.
+	FormatVersion = 3
 	// minReadVersion is the oldest segment version the read path
 	// accepts. Version 1 files (plain string blocks) still load.
 	minReadVersion = 1
@@ -64,12 +68,21 @@ const (
 // kindString is the v1 plain encoding (uvarint-length-prefixed bytes
 // per row); v2 writes string columns as kindStringDict dictionary
 // pages (unique-words block + per-row uvarint codes). Both decode.
+// kindIntDelta (v3) stores a no-null int column as a zigzag-varint
+// first value followed by plain-uvarint non-negative deltas — chosen
+// only when the column is non-decreasing, which node-major compacted
+// index levels and ordinal profile ids usually are. kindDictRLE (v3)
+// keeps the v2 dictionary page but stores the per-row codes as
+// (code, runLength) pairs — chosen when the column has long runs of
+// repeated values (sorted or low-cardinality metadata).
 const (
 	kindFloat      = 0
 	kindInt        = 1
 	kindString     = 2
 	kindBool       = 3
 	kindStringDict = 4
+	kindIntDelta   = 5
+	kindDictRLE    = 6
 )
 
 func kindCode(k dataframe.Kind) (byte, error) {
@@ -90,9 +103,9 @@ func codeKind(c byte) (dataframe.Kind, error) {
 	switch c {
 	case kindFloat:
 		return dataframe.Float, nil
-	case kindInt:
+	case kindInt, kindIntDelta:
 		return dataframe.Int, nil
-	case kindString, kindStringDict:
+	case kindString, kindStringDict, kindDictRLE:
 		return dataframe.String, nil
 	case kindBool:
 		return dataframe.Bool, nil
@@ -110,11 +123,19 @@ type columnMeta struct {
 	Length uint64   `json:"length"`
 	// Min/Max cover the block's non-null values for numeric columns
 	// (int values widened to float64) — the zone-map seed for predicate
-	// pushdown. Absent for string/bool blocks, all-null blocks, and
-	// segments written before format v2 grew these fields; readers must
-	// treat absence as "no statistics", never "empty block".
+	// pushdown. Absent for string/bool blocks, all-null blocks, columns
+	// containing NaN payloads (a NaN orders against nothing, so the map
+	// must stay open), and segments written before format v2 grew these
+	// fields; readers must treat absence as "no statistics", never
+	// "empty block".
 	Min *float64 `json:"min,omitempty"`
 	Max *float64 `json:"max,omitempty"`
+	// Nulls counts the block's null rows (format v3+). The query
+	// planner needs it to skip soundly: a null cell compares as a
+	// rendered string, outside what Min/Max cover, so a block may be
+	// skipped on its zone map alone only when it provably has no nulls.
+	// nil in pre-v3 segments means "unknown", never "zero".
+	Nulls *int `json:"nulls,omitempty"`
 }
 
 // frameMeta describes one serialized frame: its row count, the blocks
@@ -161,15 +182,31 @@ func appendUvarint(buf []byte, v uint64) []byte {
 	return append(buf, tmp[:n]...)
 }
 
+// sealBlock appends the block CRC and returns the finished record.
+func sealBlock(buf []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+	return append(buf, crc[:]...)
+}
+
+// zigzag folds a signed value into an unsigned one with small absolute
+// values staying small — the standard varint-friendly encoding.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
 // encodeBlock serializes one series as a self-describing, CRC-protected
 // column block. Null cells contribute zero payloads; their true values
 // are the null bitmap's business.
 //
 // String columns write dictionary pages: the block-local unique words in
-// first-appearance order, then one uvarint code per row. The page is
-// built straight from the series' dictionary codes — no per-row string
-// traffic — and a block's dictionary holds only words the column
-// actually uses, so sharing a large dictionary does not bloat blocks.
+// first-appearance order, then the per-row codes — one uvarint per row
+// (kindStringDict), or (code, runLength) pairs (kindDictRLE) when the
+// column runs long enough that run-length coding wins. Int columns that
+// are null-free and non-decreasing write kindIntDelta: a zigzag-varint
+// first value then plain-uvarint deltas. Both choices are deterministic
+// functions of the data, so identical thickets still encode to identical
+// bytes (the compaction bit-identity contract).
 func encodeBlock(s *dataframe.Series) ([]byte, error) {
 	kc, err := kindCode(s.Kind())
 	if err != nil {
@@ -177,8 +214,6 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 	}
 	n := s.Len()
 	buf := make([]byte, 0, 16+n)
-	buf = append(buf, kc)
-	buf = appendUvarint(buf, uint64(n))
 
 	if s.Kind() == dataframe.String {
 		dict, codes := s.StringData()
@@ -189,10 +224,10 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 				nulls[i/8] |= 1 << (i % 8)
 			}
 		}
-		buf = append(buf, nulls...)
 
 		// Remap shared-dict codes to block-local codes in
-		// first-appearance order; collect the used words.
+		// first-appearance order; collect the used words. Null rows
+		// keep local code 0.
 		const unset = ^uint32(0)
 		remap := make([]uint32, dict.Len())
 		for i := range remap {
@@ -213,27 +248,84 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 			}
 			local[i] = lc
 		}
+
+		// Count runs over the local codes (nulls ride along as code 0).
+		// A run costs two varints against one per row, so RLE wins when
+		// the average run length clears 2.
+		runs := 0
+		for i := 0; i < n; i++ {
+			if i == 0 || local[i] != local[i-1] {
+				runs++
+			}
+		}
+		useRLE := n >= 2 && 2*runs <= n
+
+		if useRLE {
+			buf = append(buf, kindDictRLE)
+		} else {
+			buf = append(buf, kindStringDict)
+		}
+		buf = appendUvarint(buf, uint64(n))
+		buf = append(buf, nulls...)
 		buf = appendUvarint(buf, uint64(len(words)))
 		for _, w := range words {
 			buf = appendUvarint(buf, uint64(len(w)))
 			buf = append(buf, w...)
 		}
-		for i := 0; i < n; i++ {
-			buf = appendUvarint(buf, uint64(local[i]))
+		if useRLE {
+			for i := 0; i < n; {
+				j := i + 1
+				for j < n && local[j] == local[i] {
+					j++
+				}
+				buf = appendUvarint(buf, uint64(local[i]))
+				buf = appendUvarint(buf, uint64(j-i))
+				i = j
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				buf = appendUvarint(buf, uint64(local[i]))
+			}
 		}
-		var crc [4]byte
-		binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
-		return append(buf, crc[:]...), nil
+		return sealBlock(buf), nil
 	}
 
 	nulls := make([]byte, (n+7)/8)
 	vals := make([]dataframe.Value, n)
+	nullCount := 0
 	for i := 0; i < n; i++ {
 		vals[i] = s.At(i)
 		if vals[i].IsNull() {
 			nulls[i/8] |= 1 << (i % 8)
+			nullCount++
 		}
 	}
+
+	if s.Kind() == dataframe.Int && nullCount == 0 && n >= 2 {
+		mono := true
+		raw := s.IntData()
+		for i := 1; i < n; i++ {
+			if raw[i] < raw[i-1] {
+				mono = false
+				break
+			}
+		}
+		if mono {
+			buf = append(buf, kindIntDelta)
+			buf = appendUvarint(buf, uint64(n))
+			buf = append(buf, nulls...)
+			buf = appendUvarint(buf, zigzag(raw[0]))
+			for i := 1; i < n; i++ {
+				// Non-decreasing, so the difference is exact in uint64
+				// arithmetic even when it crosses the int64 midpoint.
+				buf = appendUvarint(buf, uint64(raw[i])-uint64(raw[i-1]))
+			}
+			return sealBlock(buf), nil
+		}
+	}
+
+	buf = append(buf, kc)
+	buf = appendUvarint(buf, uint64(n))
 	buf = append(buf, nulls...)
 
 	switch s.Kind() {
@@ -267,9 +359,7 @@ func encodeBlock(s *dataframe.Series) ([]byte, error) {
 		buf = append(buf, bits...)
 	}
 
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
-	return append(buf, crc[:]...), nil
+	return sealBlock(buf), nil
 }
 
 // decodeBlock parses a column block produced by encodeBlock into a
@@ -316,8 +406,16 @@ func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int
 	nulls, payload := rest[:nullLen], rest[nullLen:]
 	isNull := func(i int) bool { return nulls[i/8]&(1<<(i%8)) != 0 }
 
-	if kc == kindStringDict {
-		return decodeStringDict(payload, name, n, isNull)
+	if kc == kindStringDict || kc == kindDictRLE {
+		return decodeStringDict(payload, name, n, isNull, kc == kindDictRLE)
+	}
+	if kc == kindIntDelta {
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				return nil, fmt.Errorf("store: block %q: delta block claims null rows", name)
+			}
+		}
+		return decodeIntDelta(payload, name, n)
 	}
 
 	out := dataframe.NewSeries(name, kind)
@@ -380,10 +478,40 @@ func decodeBlock(data []byte, name string, wantKind dataframe.Kind, wantRows int
 	return out, nil
 }
 
-// decodeStringDict parses a v2 dictionary page payload: unique words in
-// code order, then one uvarint code per row. The decoded series adopts
-// the page dictionary and codes directly — no per-row re-interning.
-func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool) (*dataframe.Series, error) {
+// decodeIntDelta parses a v3 delta payload: zigzag-varint first value,
+// then n-1 plain-uvarint deltas added with wraparound (the encoder's
+// uint64 subtraction is exact for non-decreasing data, so the sum
+// reconstructs the original even across the int64 midpoint).
+func decodeIntDelta(payload []byte, name string, n int) (*dataframe.Series, error) {
+	vals := make([]int64, 0, n)
+	if n > 0 {
+		first, sz := binary.Uvarint(payload)
+		if sz <= 0 {
+			return nil, fmt.Errorf("store: block %q: bad delta base value", name)
+		}
+		payload = payload[sz:]
+		vals = append(vals, unzigzag(first))
+		for i := 1; i < n; i++ {
+			d, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: block %q: bad delta at row %d", name, i)
+			}
+			payload = payload[sz:]
+			vals = append(vals, vals[i-1]+int64(d))
+		}
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("store: block %q: %d trailing payload bytes", name, len(payload))
+	}
+	return dataframe.NewIntSeries(name, vals), nil
+}
+
+// decodeStringDict parses a dictionary page payload: unique words in
+// code order, then the per-row codes — one uvarint per row (v2
+// kindStringDict) or (code, runLength) pairs covering exactly n rows
+// (v3 kindDictRLE). The decoded series adopts the page dictionary and
+// codes directly — no per-row re-interning.
+func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool, rle bool) (*dataframe.Series, error) {
 	nw, sz := binary.Uvarint(payload)
 	if sz <= 0 || nw > uint64(len(payload)) {
 		return nil, fmt.Errorf("store: block %q: bad dictionary word count", name)
@@ -406,20 +534,53 @@ func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool)
 	}
 	codes := make([]uint32, n)
 	nulls := make([]bool, n)
-	for i := 0; i < n; i++ {
-		c, sz := binary.Uvarint(payload)
-		if sz <= 0 {
-			return nil, fmt.Errorf("store: block %q: bad code at row %d", name, i)
+	if rle {
+		filled := 0
+		for filled < n {
+			c, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: block %q: bad run code at row %d", name, filled)
+			}
+			payload = payload[sz:]
+			rl, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: block %q: bad run length at row %d", name, filled)
+			}
+			payload = payload[sz:]
+			if rl == 0 || rl > uint64(n-filled) {
+				return nil, fmt.Errorf("store: block %q: run of %d rows at row %d overruns %d-row block", name, rl, filled, n)
+			}
+			for j := 0; j < int(rl); j++ {
+				codes[filled+j] = uint32(c)
+			}
+			filled += int(rl)
 		}
-		payload = payload[sz:]
-		if isNull(i) {
-			nulls[i] = true
-			continue
+		for i := 0; i < n; i++ {
+			if isNull(i) {
+				nulls[i] = true
+				codes[i] = 0
+				continue
+			}
+			if uint64(codes[i]) >= nw {
+				return nil, fmt.Errorf("store: block %q: code %d out of range at row %d (dictionary has %d words)", name, codes[i], i, nw)
+			}
 		}
-		if c >= nw {
-			return nil, fmt.Errorf("store: block %q: code %d out of range at row %d (dictionary has %d words)", name, c, i, nw)
+	} else {
+		for i := 0; i < n; i++ {
+			c, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: block %q: bad code at row %d", name, i)
+			}
+			payload = payload[sz:]
+			if isNull(i) {
+				nulls[i] = true
+				continue
+			}
+			if c >= nw {
+				return nil, fmt.Errorf("store: block %q: code %d out of range at row %d (dictionary has %d words)", name, c, i, nw)
+			}
+			codes[i] = uint32(c)
 		}
-		codes[i] = uint32(c)
 	}
 	if len(payload) != 0 {
 		return nil, fmt.Errorf("store: block %q: %d trailing payload bytes", name, len(payload))
@@ -428,44 +589,85 @@ func decodeStringDict(payload []byte, name string, n int, isNull func(int) bool)
 }
 
 // numericRange computes the min/max over a numeric series' non-null
-// values (NaNs excluded — a NaN carries no ordering information and
-// would poison every comparison against the zone map). Non-numeric or
-// value-free series get (nil, nil).
+// values. A column carrying any NaN payload gets an OPEN zone map
+// (nil, nil): a NaN carries no ordering information and would poison
+// every comparison against the map, so the only sound statistic for
+// such a column is no statistic — a planner must scan, never skip.
+// (Store-decoded nulls carry zero payloads and don't trip this; the
+// null bitmap plus the header's null count covers them.) Non-numeric
+// or value-free series also get (nil, nil).
 func numericRange(s *dataframe.Series) (minp, maxp *float64) {
 	if s.Kind() != dataframe.Float && s.Kind() != dataframe.Int {
 		return nil, nil
 	}
-	var lo, hi float64
-	seen := false
-	for i := 0; i < s.Len(); i++ {
-		v := s.At(i)
-		if v.IsNull() {
-			continue
-		}
-		var f float64
-		if s.Kind() == dataframe.Int {
-			f = float64(v.Int())
-		} else {
-			f = v.Float()
+	if raw := s.FloatData(); raw != nil {
+		for _, f := range raw {
 			if math.IsNaN(f) {
-				continue
+				return nil, nil
 			}
 		}
-		if !seen {
-			lo, hi, seen = f, f, true
-			continue
+	}
+	nulls := s.Nulls()
+	var lo, hi float64
+	seen := false
+	if s.Kind() == dataframe.Int {
+		for i, v := range s.IntData() {
+			if nulls[i] {
+				continue
+			}
+			f := float64(v)
+			if !seen {
+				lo, hi, seen = f, f, true
+				continue
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
 		}
-		if f < lo {
-			lo = f
-		}
-		if f > hi {
-			hi = f
+	} else {
+		for i, f := range s.FloatData() {
+			if nulls[i] {
+				continue
+			}
+			if !seen {
+				lo, hi, seen = f, f, true
+				continue
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
 		}
 	}
 	if !seen {
 		return nil, nil
 	}
 	return &lo, &hi
+}
+
+// nullCount counts the series' null cells under Value semantics (mask
+// nulls plus float NaN payloads).
+func nullCount(s *dataframe.Series) int {
+	n := 0
+	for _, isNull := range s.Nulls() {
+		if isNull {
+			n++
+		}
+	}
+	if raw := s.FloatData(); raw != nil {
+		nulls := s.Nulls()
+		for i, f := range raw {
+			if !nulls[i] && math.IsNaN(f) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // encodeFrame appends every index-level and data-column block of f to
@@ -485,6 +687,8 @@ func encodeFrame(name string, f *dataframe.Frame, data []byte) ([]byte, frameMet
 			Length: uint64(len(blk)),
 		}
 		cm.Min, cm.Max = numericRange(s)
+		nulls := nullCount(s)
+		cm.Nulls = &nulls
 		data = append(data, blk...)
 		return cm, nil
 	}

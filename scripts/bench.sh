@@ -46,8 +46,107 @@
 #   direction, while a real instrumentation cost would shift every
 #   kernel the same way. This is the CI gate on the instrumentation
 #   layer.
+# Query mode: scripts/bench.sh query [output.json]
+#   Compiled-query-path benchmark pairs: Naive (full store load, then
+#   the boxed row-at-a-time reference filter) vs Plan (zone-map
+#   predicate pushdown + vectorized filters + late materialization)
+#   over an 8-segment store with disjoint id ranges and the decoded-
+#   column cache disabled. Writes BENCH_query.json and gates: the
+#   selective pair must speed up at least MIN_SPEEDUP (default 2), its
+#   zone maps must skip more than MIN_SKIP_RATE (default 0.5) of
+#   blocks, and the full-scan pair — where pushdown can prune nothing —
+#   must not regress more than MAX_FULLSCAN_REGRESSION_PCT (default 10)
+#   percent. This is the CI gate on the compiled query path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+query_mode() {
+	local OUT="${1:-BENCH_query.json}"
+	local BENCHTIME="${BENCHTIME:-20x}"
+	local MIN_SPEEDUP="${MIN_SPEEDUP:-2}"
+	local MIN_SKIP="${MIN_SKIP_RATE:-0.5}"
+	local MAX_REG_PCT="${MAX_FULLSCAN_REGRESSION_PCT:-10}"
+
+	local RAW
+	RAW="$(go test ./internal/plan -run '^$' -bench 'Query' \
+		-benchtime "$BENCHTIME" -timeout 20m)"
+	echo "$RAW" >&2
+
+	echo "$RAW" | awk -v benchtime="$BENCHTIME" -v minspeed="$MIN_SPEEDUP" \
+		-v minskip="$MIN_SKIP" -v maxreg="$MAX_REG_PCT" '
+	/^goos: /   { goos = $2 }
+	/^goarch: / { goarch = $2 }
+	/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+	/^BenchmarkQuery/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		sub(/^BenchmarkQuery/, "", name)
+		ns = 0; skip = -1; bytes = 0; allocs = 0
+		for (i = 3; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "skiprate") skip = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		if (name ~ /Naive$/) {
+			stem = substr(name, 1, length(name) - 5)
+			naiveNs[stem] = ns; naiveB[stem] = bytes; naiveA[stem] = allocs
+			if (!(stem in seen)) { order[++n] = stem; seen[stem] = 1 }
+		} else if (name ~ /Plan$/) {
+			stem = substr(name, 1, length(name) - 4)
+			planNs[stem] = ns; planB[stem] = bytes; planA[stem] = allocs
+			planSkip[stem] = skip
+			if (!(stem in seen)) { order[++n] = stem; seen[stem] = 1 }
+		}
+	}
+	END {
+		fail = 0
+		printf "{\n"
+		printf "  \"description\": \"Compiled query path vs naive load-then-filter over an %d-segment store (disjoint id ranges, decoded-column cache disabled). Selective: predicate provably confined to one segment, zone maps skip the rest before any decode. FullScan: predicate matches everything, so pushdown prunes nothing and the pair pins pure plan overhead.\",\n", 8
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"gates\": { \"min_selective_speedup\": %s, \"min_skip_rate\": %s, \"max_fullscan_regression_pct\": %s },\n", minspeed, minskip, maxreg
+		printf "  \"environment\": { \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\" },\n", goos, goarch, cpu
+		printf "  \"cases\": {\n"
+		first = 1
+		for (i = 1; i <= n; i++) {
+			stem = order[i]
+			if (!first) printf ",\n"
+			first = 0
+			speed = (planNs[stem] > 0) ? naiveNs[stem] / planNs[stem] : 0
+			printf "    \"%s\": {\n", stem
+			printf "      \"naive\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d },\n", naiveNs[stem], naiveB[stem], naiveA[stem]
+			printf "      \"plan\": { \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d },\n", planNs[stem], planB[stem], planA[stem]
+			if (planSkip[stem] >= 0)
+				printf "      \"block_skip_rate\": %.4f,\n", planSkip[stem]
+			printf "      \"speedup\": %.2f\n", speed
+			printf "    }"
+			printf "%-12s naive %10d ns/op   plan %10d ns/op   speedup %5.2fx", \
+				stem, naiveNs[stem], planNs[stem], speed > "/dev/stderr"
+			if (planSkip[stem] >= 0)
+				printf "   skiprate %.3f", planSkip[stem] > "/dev/stderr"
+			printf "\n" > "/dev/stderr"
+			if (stem == "Selective") {
+				if (speed < minspeed) { fail = 1; printf "FAIL: selective speedup %.2f < %s\n", speed, minspeed > "/dev/stderr" }
+				if (planSkip[stem] < minskip) { fail = 1; printf "FAIL: skip rate %.3f <= %s\n", planSkip[stem], minskip > "/dev/stderr" }
+			}
+			if (stem == "FullScan" && planNs[stem] > naiveNs[stem] * (1 + maxreg / 100.0)) {
+				fail = 1
+				printf "FAIL: full-scan plan regresses %.1f%% over naive (gate %s%%)\n", \
+					(planNs[stem] / naiveNs[stem] - 1) * 100, maxreg > "/dev/stderr"
+			}
+		}
+		printf "\n  }\n}\n"
+		exit fail
+	}' > "$OUT"
+
+	echo "wrote $OUT" >&2
+}
+
+if [[ "${1:-}" == "query" ]]; then
+	shift
+	query_mode "$@"
+	exit 0
+fi
 
 overhead_mode() {
 	local OUT="${1:-BENCH_telemetry_overhead.json}"

@@ -39,6 +39,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/mlkit"
 	"repro/internal/parallel"
+	"repro/internal/plan"
 	"repro/internal/profile"
 	"repro/internal/query"
 	"repro/internal/selfprofile"
@@ -249,6 +250,45 @@ func OpenStoreWithOptions(path string, opts StoreOptions) (*Store, error) {
 // thicket; st may be nil when the ensemble did not come from a store.
 func NewServer(th *Thicket, st *Store, opts ServerOptions) *Server {
 	return server.New(th, st, opts)
+}
+
+// Compiled metadata queries (predicate pushdown, see repro/internal/plan).
+type (
+	// Predicate is one parsed metadata filter ("col<op>value") with the
+	// endpoints' comparison semantics: numeric three-way compare when
+	// both sides parse as floats, lexicographic otherwise.
+	Predicate = plan.Predicate
+	// PlanStats reports what one compiled execution touched: segments
+	// pruned via zone maps, blocks decoded vs skipped, rows
+	// materialized.
+	PlanStats = plan.ExecStats
+)
+
+// ErrUnknownColumn marks a predicate column that is neither a metadata
+// column nor an index level (classify with errors.Is).
+var ErrUnknownColumn = plan.ErrUnknownColumn
+
+// CompilePredicates parses "col<op>value" filter expressions
+// (operators =, !=, <, <=, >, >=) into a conjunction.
+func CompilePredicates(exprs []string) ([]Predicate, error) { return plan.Compile(exprs) }
+
+// DescribePredicates renders a compiled conjunction back to its
+// comma-joined source form for log lines and CLI headers.
+func DescribePredicates(preds []Predicate) string { return plan.Describe(preds) }
+
+// FilterStore executes a compiled predicate conjunction directly
+// against a store: segment zone maps and dictionary membership prune
+// whole segments before any column decode, survivors are filtered
+// vectorized, and only matching profiles are materialized. The result
+// is bit-identical to loading everything and filtering in memory.
+func FilterStore(st *Store, preds []Predicate) (*Thicket, PlanStats, error) {
+	return plan.ExecuteStore(st, preds)
+}
+
+// FilterThicket executes a compiled predicate conjunction vectorized
+// over an already-resident thicket.
+func FilterThicket(th *Thicket, preds []Predicate) (*Thicket, PlanStats, error) {
+	return plan.ExecuteThicket(th, preds)
 }
 
 // Streaming ingest (WAL + LSM-style segment lifecycle, see
