@@ -65,6 +65,19 @@ func TestE2EClosedLoop(t *testing.T) {
 	if rep.Measured.Errors != 0 {
 		t.Errorf("replay had %d request errors", rep.Measured.Errors)
 	}
+	// The where= traffic in the mixed workload must surface as plan
+	// accounting scraped from /debug/querylog.
+	if rep.Measured.Plan == nil || rep.Measured.Plan.Queries == 0 {
+		t.Fatalf("report missing plan-efficiency summary: %+v", rep.Measured.Plan)
+	}
+	if rep.Measured.Plan.Segments == 0 {
+		t.Error("plan-efficiency summary saw no segments despite where= traffic")
+	}
+	var planText strings.Builder
+	rep.RenderText(&planText)
+	if !strings.Contains(planText.String(), "plan efficiency:") {
+		t.Errorf("text report missing plan-efficiency line:\n%s", planText.String())
+	}
 
 	// The live server reports the anomaly...
 	resp, err := http.Get(host.URL + "/debug/anomalies")

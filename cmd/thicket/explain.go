@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	thicket "repro"
+)
+
+// renderExplain pretty-prints a query plan tree: one line per segment
+// with its verdict and the deciding predicate, the per-column block
+// accounting, totals with prune percentages, and — for analyzed plans
+// only, because measured times are nondeterministic — the per-stage
+// wall-time breakdown.
+func renderExplain(ex *thicket.QueryPlan) string {
+	var b strings.Builder
+	head := "EXPLAIN"
+	if ex.Analyzed {
+		head = "EXPLAIN ANALYZE"
+	}
+	fmt.Fprintf(&b, "%s where=%q mode=%s\n", head, ex.Where, ex.Mode)
+
+	st := ex.Stats
+	if len(ex.Segments) > 0 {
+		fmt.Fprintf(&b, "segments: %d scanned, %d pruned of %d (%s pruned)\n",
+			st.Segments-st.SegmentsPruned, st.SegmentsPruned, st.Segments,
+			pct(st.SegmentsPruned, st.Segments))
+		for _, se := range ex.Segments {
+			fmt.Fprintf(&b, "  seg %-3d g%-4d v%d  rows=%-6d %s", se.Segment, se.Gen, se.Version, se.Rows, se.Verdict)
+			if se.Predicate != "" {
+				fmt.Fprintf(&b, "  (%s)", se.Predicate)
+			}
+			if se.Verdict == "scanned" {
+				fmt.Fprintf(&b, "  blocks=%d", se.BlocksDecoded)
+				if se.RowsMatched >= 0 {
+					fmt.Fprintf(&b, " matched=%d", se.RowsMatched)
+				}
+			} else if se.BlocksSkipped > 0 {
+				fmt.Fprintf(&b, "  blocks skipped=%d", se.BlocksSkipped)
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	if total := st.BlocksScanned + st.BlocksSkipped; total > 0 {
+		verb := "decoded"
+		if !ex.Analyzed {
+			verb = "would decode"
+		}
+		fmt.Fprintf(&b, "blocks: %d %s, %d skipped of %d (%s skipped)\n",
+			st.BlocksScanned, verb, st.BlocksSkipped, total, pct(st.BlocksSkipped, total))
+	}
+	fmt.Fprintf(&b, "rows: %d scanned, %d materialized\n", st.RowsScanned, st.RowsMaterialized)
+
+	if len(ex.Columns) > 0 {
+		fmt.Fprintf(&b, "columns:\n")
+		w := 0
+		for _, c := range ex.Columns {
+			if len(c.Column) > w {
+				w = len(c.Column)
+			}
+		}
+		for _, c := range ex.Columns {
+			fmt.Fprintf(&b, "  %-*s  %d decoded, %d skipped\n", w, c.Column, c.BlocksDecoded, c.BlocksSkipped)
+		}
+	}
+
+	if ex.Analyzed {
+		sg := ex.Stages
+		fmt.Fprintf(&b, "stages: compile=%s prune=%s filter=%s materialize=%s\n",
+			ns(sg.CompileNS), ns(sg.PruneNS), ns(sg.FilterNS), ns(sg.MaterializeNS))
+	}
+	return b.String()
+}
+
+// pct renders part/total as a percentage with one decimal.
+func pct(part, total int) string {
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+// ns renders a nanosecond stage time in a human duration unit.
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}

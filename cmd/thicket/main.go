@@ -18,6 +18,7 @@
 //	pivot      node × metadata wide table         -metric m -by metaCol [-agg mean]
 //	dot        Graphviz source of the call tree   [-metric name]
 //	filter     filter profiles by metadata        -where "col=value,col2<=8" (=, !=, <, <=, >, >=)
+//	explain    query plan for a -where filter     -where "..." [-analyze] (verdicts, prune %, stage times)
 //	groupby    group profiles by metadata columns -by a,b
 //	query      call-path query (DSL)              -q ". name == main / *"
 //	summary    campaign summary                   -by a,b
@@ -106,6 +107,7 @@ func run(args []string, w io.Writer) (err error) {
 	maxRows := fs.Int("max", 40, "maximum rows to print (0 = all)")
 	metric := fs.String("metric", "", "metric name")
 	where := fs.String("where", "", "comma-separated metadata filters col<op>value (=, !=, <, <=, >, >=)")
+	analyze := fs.Bool("analyze", false, "explain: execute the query and report measured counts and stage times")
 	by := fs.String("by", "", "comma-separated metadata columns")
 	queryText := fs.String("q", "", "call-path query (DSL)")
 	param := fs.String("param", "", "metadata column holding the model parameter")
@@ -276,6 +278,33 @@ func run(args []string, w io.Writer) (err error) {
 		}
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, filtered.Metadata.Render(dataframe.RenderOptions{MaxRows: *maxRows, HideRepeated: true}))
+	case "explain":
+		if *where == "" {
+			fatal(fmt.Errorf("-where is required"))
+		}
+		preds, err := thicket.CompilePredicates(strings.Split(*where, ","))
+		if err != nil {
+			fatal(err)
+		}
+		// EXPLAIN plans from headers alone; -analyze executes and
+		// reports measured block counts and stage times. Against a
+		// store the verdicts are the real pushdown's; a resident
+		// thicket has no segments, so the tree only reports rows.
+		var ex *thicket.QueryPlan
+		switch {
+		case st != nil && *analyze:
+			_, ex, err = thicket.AnalyzeStore(st, preds)
+		case st != nil:
+			ex, err = thicket.ExplainStore(st, preds)
+		case *analyze:
+			_, ex, err = thicket.AnalyzeThicket(th, preds)
+		default:
+			ex, err = thicket.ExplainThicket(th, preds)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(stdout, renderExplain(ex))
 	case "groupby":
 		if *by == "" {
 			fatal(fmt.Errorf("-by is required"))
@@ -503,7 +532,7 @@ func splitKeys(arg string) []thicket.ColKey {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve|ingest> -dir profiles/ [flags]
+	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|explain|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve|ingest> -dir profiles/ [flags]
 run "thicket <subcommand> -h" for flags`)
 }
 

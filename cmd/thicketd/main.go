@@ -6,7 +6,7 @@
 // Usage:
 //
 //	thicketd -store ensemble.tks [-addr :8080] [-timeout 15s] [-max-concurrent 64]
-//	         [-slow-query 1s] [-debug-addr :6060] [-trace-out trace.json]
+//	         [-query-timeout 0] [-slow-query 1s] [-debug-addr :6060] [-trace-out trace.json]
 //	         [-trace-sample 1.0] [-baseline-window 10s] [-baseline-sigma 3]
 //	         [-self-profile-store self.tks] [-self-profile-interval 30s]
 //	         [-log-level info] [-inject-latency /api/stats=50ms]
@@ -27,6 +27,16 @@
 //	POST /ingest                          stream one profile into the store (-ingest; 429 = backpressure)
 //	GET /debug/traces?n=32                retained (sampled) traces with retention reasons
 //	GET /debug/anomalies                  latency baselines + flagged regressions
+//	GET /debug/queries                    in-flight queries: stage, blocks read, elapsed
+//	DELETE /debug/queries/{id}            cancel one in-flight query mid-scan
+//	GET /debug/querylog?n=32              recent completed queries with their plan trees
+//
+// Every analytical endpoint accepts explain=plan (prune verdicts from
+// headers alone, nothing executes) and explain=analyze (execute and
+// attach the measured plan tree to the response). -query-timeout
+// cancels a query's own context after the budget — scans notice at the
+// next block boundary, the request answers 503, and /debug/querylog
+// records the cancellation.
 //
 // With -ingest, profiles POSTed to /ingest are acked once durable in a
 // write-ahead log, flushed to small level-0 segments, and merged into
@@ -72,14 +82,15 @@ import (
 // config collects every flag so serve is testable without a real
 // command line.
 type config struct {
-	storePath  string
-	addr       string
-	timeout    time.Duration
-	maxConc    int
-	cacheBytes int64
-	slowQuery  time.Duration
-	debugAddr  string
-	traceOut   string
+	storePath    string
+	addr         string
+	timeout      time.Duration
+	queryTimeout time.Duration
+	maxConc      int
+	cacheBytes   int64
+	slowQuery    time.Duration
+	debugAddr    string
+	traceOut     string
 
 	traceSample     float64
 	baselineWindow  time.Duration
@@ -102,6 +113,7 @@ func main() {
 	flag.StringVar(&cfg.storePath, "store", "", "path of the ensemble store file (required)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.timeout, "timeout", 15*time.Second, "per-request timeout")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 0, "cancel a query's own context after this long; scans stop at the next block boundary and answer 503 (0 disables)")
 	flag.IntVar(&cfg.maxConc, "max-concurrent", 64, "maximum concurrently executing requests")
 	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "response cache budget in bytes (0 = 16 MiB default, negative disables)")
 	flag.DurationVar(&cfg.slowQuery, "slow-query", time.Second, "slow-request log threshold (negative disables)")
@@ -317,6 +329,7 @@ func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
 	serverOpts := thicket.ServerOptions{
 		MaxConcurrent: cfg.maxConc,
 		Timeout:       cfg.timeout,
+		QueryTimeout:  cfg.queryTimeout,
 		CacheBytes:    cfg.cacheBytes,
 		SlowQuery:     cfg.slowQuery,
 		Logger:        logger,

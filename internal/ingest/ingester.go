@@ -116,6 +116,8 @@ type Ingester struct {
 	compactions *telemetry.Counter
 	compactS    *telemetry.Histogram
 	backlog     *telemetry.Gauge
+	l0Segments  *telemetry.Gauge
+	compactLast *telemetry.Gauge
 }
 
 // New opens the WAL (replaying any crash residue into the store as a
@@ -178,6 +180,10 @@ func newIngester(st *store.Store, opts Options) (*Ingester, error) {
 			"Segment compaction duration.", "store", st.Path()),
 		backlog: reg.Gauge("thicket_compaction_backlog_segments",
 			"Segments currently eligible for compaction.", "store", st.Path()),
+		l0Segments: reg.Gauge("thicket_ingest_l0_segments",
+			"Live level-0 segments not yet merged by the compactor.", "store", st.Path()),
+		compactLast: reg.Gauge("thicket_compaction_last_run_timestamp_seconds",
+			"Unix time the compactor last completed a merge (0 = never).", "store", st.Path()),
 	}
 	return in, nil
 }
@@ -469,6 +475,7 @@ func (in *Ingester) compactRun(gens []int64, level int) error {
 	}
 	in.compactions.Inc()
 	in.compactS.Observe(time.Since(start).Seconds())
+	in.compactLast.Set(time.Now().Unix())
 	in.log.Info("ingest compaction",
 		"component", "ingest", "merged_segments", len(gens),
 		"from_level", level,
@@ -524,7 +531,17 @@ func (in *Ingester) Backlog() int {
 	}
 }
 
+// updateBacklog refreshes the pipeline-depth gauges from the live
+// segment set: level-0 segment count always, compaction backlog only
+// when a compactor is configured.
 func (in *Ingester) updateBacklog() {
+	n := 0
+	for _, sg := range in.st.Segments() {
+		if sg.Level == 0 {
+			n++
+		}
+	}
+	in.l0Segments.Set(int64(n))
 	if in.opts.CompactRun > 0 {
 		in.backlog.Set(int64(in.Backlog()))
 	}

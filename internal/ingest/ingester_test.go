@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -563,5 +564,74 @@ func TestSegmentLifecycleUnderLoad(t *testing.T) {
 	}
 	if got := th.NumProfiles(); got != len(profiles) {
 		t.Fatalf("store holds %d profiles, want %d", got, len(profiles))
+	}
+}
+
+// TestPipelineDepthGauges pins the ingest-pipeline depth gauges the
+// dashboard scrapes: queue depth and WAL fsync latency (per-submit),
+// live level-0 segment count (per-flush), and the compactor's last-run
+// timestamp (per-merge) — all present in the /metrics text by name.
+func TestPipelineDepthGauges(t *testing.T) {
+	st := newDirStore(t)
+	opts := quietOpts()
+	opts.FlushProfiles = 4
+	reg := opts.Registry
+	in, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range genProfiles(t, 8, 3) {
+		if err := in.Submit(p); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l0 := reg.Gauge("thicket_ingest_l0_segments", "", "store", st.Path())
+	if got := l0.Value(); got != 2 {
+		t.Errorf("l0 segment gauge = %d after two flushes, want 2", got)
+	}
+	last := reg.Gauge("thicket_compaction_last_run_timestamp_seconds", "", "store", st.Path())
+	if got := last.Value(); got != 0 {
+		t.Errorf("compactor last-run gauge = %d before any merge, want 0", got)
+	}
+
+	// A second ingester on the same registry folds the L0 run; the
+	// gauges must move with the segment set.
+	opts2 := quietOpts()
+	opts2.Registry = reg
+	opts2.CompactRun = 2
+	in2, err := New(st, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l0.Value(); got != 0 {
+		t.Errorf("l0 segment gauge = %d after full compaction, want 0", got)
+	}
+	if last.Value() == 0 {
+		t.Error("compactor last-run gauge still 0 after a merge")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"thicket_wal_fsync_seconds",
+		"thicket_ingest_queue_depth",
+		"thicket_ingest_l0_segments",
+		"thicket_compaction_last_run_timestamp_seconds",
+	} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("/metrics text missing %q", name)
+		}
 	}
 }

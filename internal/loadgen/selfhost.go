@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -355,12 +356,56 @@ func (h *SelfHost) Target(concurrency int, regress *Regression) Target {
 }
 
 // Annotate flushes the self-profiler and fills the report's closed-loop
-// fields (anomaly count, retained traces, exported profiles).
+// fields (anomaly count, retained traces, exported profiles, plan
+// efficiency).
 func (h *SelfHost) Annotate(rep *Report) (exported int, err error) {
 	exported, err = h.Profiler.Flush()
 	rep.Measured.Anomalies = len(h.Watchdog.Anomalies())
 	rep.Measured.RetainedTraces = h.Collector.Len()
+	if pe, perr := h.planEfficiency(); perr == nil {
+		rep.Measured.Plan = pe
+	} else if err == nil {
+		err = perr
+	}
 	return exported, err
+}
+
+// planEfficiency scrapes the run's aggregate plan accounting from the
+// live /debug/querylog endpoint — the same surface an operator reads —
+// and derives the skip/prune percentages.
+func (h *SelfHost) planEfficiency() (*PlanEfficiency, error) {
+	resp, err := h.client.Get(h.URL + "/debug/querylog?n=0")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /debug/querylog answered %d", resp.StatusCode)
+	}
+	var body struct {
+		Totals server.QueryLogTotals `json:"totals"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("loadgen: /debug/querylog: %w", err)
+	}
+	t := body.Totals
+	pe := &PlanEfficiency{
+		Queries:          t.Queries,
+		Canceled:         t.Canceled,
+		TimedOut:         t.TimedOut,
+		Segments:         t.Segments,
+		SegmentsPruned:   t.SegmentsPruned,
+		BlocksScanned:    t.BlocksScanned,
+		BlocksSkipped:    t.BlocksSkipped,
+		RowsMaterialized: t.RowsMaterialized,
+	}
+	if t.Segments > 0 {
+		pe.SegmentsPrunedPct = 100 * float64(t.SegmentsPruned) / float64(t.Segments)
+	}
+	if total := t.BlocksScanned + t.BlocksSkipped; total > 0 {
+		pe.BlocksSkippedPct = 100 * float64(t.BlocksSkipped) / float64(total)
+	}
+	return pe, nil
 }
 
 // SelfProfilePath reports where retained slow traces are exported.

@@ -70,10 +70,29 @@ type MeasuredReport struct {
 	// write load the server deliberately shed to protect query traffic.
 	IngestShed    int `json:"ingest_shed,omitempty"`
 	WatchdogTicks int `json:"watchdog_ticks,omitempty"`
-	Anomalies     int                    `json:"anomalies"`
+	Anomalies     int `json:"anomalies"`
 	// RetainedTraces counts the traces the tail sampler kept (self-host
 	// mode only).
 	RetainedTraces int `json:"retained_traces,omitempty"`
+	// Plan summarizes the compiled-query work the run induced, sourced
+	// from the live /debug/querylog endpoint (self-host mode only).
+	Plan *PlanEfficiency `json:"plan,omitempty"`
+}
+
+// PlanEfficiency is the run's aggregate plan-tree accounting: how much
+// of the offered scan work the pushdown avoided, and how many queries
+// were canceled or timed out under load.
+type PlanEfficiency struct {
+	Queries           int64   `json:"queries"`
+	Canceled          int64   `json:"canceled"`
+	TimedOut          int64   `json:"timed_out"`
+	Segments          int64   `json:"segments"`
+	SegmentsPruned    int64   `json:"segments_pruned"`
+	SegmentsPrunedPct float64 `json:"segments_pruned_pct"`
+	BlocksScanned     int64   `json:"blocks_scanned"`
+	BlocksSkipped     int64   `json:"blocks_skipped"`
+	BlocksSkippedPct  float64 `json:"blocks_skipped_pct"`
+	RowsMaterialized  int64   `json:"rows_materialized"`
 }
 
 // Report is the full machine-readable result (BENCH_loadgen.json).
@@ -245,6 +264,10 @@ func (r *Report) RenderText(w io.Writer) {
 		r.Workload.OfferedRPS, r.Measured.AchievedRPS, r.Measured.FairnessJain)
 	if r.Measured.IngestShed > 0 {
 		fmt.Fprintf(w, "ingest backpressure: %d submissions shed with 429\n", r.Measured.IngestShed)
+	}
+	if p := r.Measured.Plan; p != nil && p.Queries > 0 {
+		fmt.Fprintf(w, "plan efficiency: %d queries, %.1f%% segments pruned, %.1f%% blocks skipped, %d canceled (%d timed out)\n",
+			p.Queries, p.SegmentsPrunedPct, p.BlocksSkippedPct, p.Canceled, p.TimedOut)
 	}
 	fmt.Fprintln(w)
 

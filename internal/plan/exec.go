@@ -1,7 +1,9 @@
 package plan
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataframe"
@@ -13,38 +15,118 @@ import (
 // and how many rows survived into materialized frames. The server exports
 // these per endpoint; the bit-identity tests assert on them.
 type ExecStats struct {
-	Segments         int // segments in the snapshot
-	SegmentsPruned   int // segments skipped whole on header evidence
-	BlocksScanned    int // meta+perf blocks decoded (survivor segments)
-	BlocksSkipped    int // meta+perf blocks never read (pruned segments)
-	RowsScanned      int // metadata rows evaluated by filter kernels
-	RowsMaterialized int // metadata rows surviving all predicates
-	Rows             int // total metadata rows in the store/thicket
+	Segments         int `json:"segments"`          // segments in the snapshot
+	SegmentsPruned   int `json:"segments_pruned"`   // segments skipped whole on header evidence
+	BlocksScanned    int `json:"blocks_scanned"`    // meta+perf blocks decoded (survivor segments)
+	BlocksSkipped    int `json:"blocks_skipped"`    // meta+perf blocks never read (pruned segments)
+	RowsScanned      int `json:"rows_scanned"`      // metadata rows evaluated by filter kernels
+	RowsMaterialized int `json:"rows_materialized"` // metadata rows surviving all predicates
+	Rows             int `json:"rows"`              // total metadata rows in the store/thicket
 }
+
+// execMode selects how much an execution does and records.
+type execMode uint8
+
+const (
+	// execRun is the plain hot path: no plan tree, no timestamps.
+	execRun execMode = iota
+	// execAnalyze executes fully and records the Explain tree with
+	// measured block counts and stage times.
+	execAnalyze
+	// execPlanOnly stops after the prune verdicts: no block decodes, no
+	// materialization; scanned counts are would-decode estimates.
+	execPlanOnly
+)
 
 // ExecuteThicket runs the compiled filter against an already-resident
 // thicket: predicates are validated and evaluated vectorized over the
 // metadata frame, then the selection mask drives one FilterMetadata
 // pass. Bit-identical to NaiveFilter by construction and by test.
 func ExecuteThicket(th *core.Thicket, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	out, es, _, err := executeThicket(context.Background(), th, preds, execRun)
+	return out, es, err
+}
+
+// ExecuteThicketCtx is ExecuteThicket with a cancellation context.
+func ExecuteThicketCtx(ctx context.Context, th *core.Thicket, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	out, es, _, err := executeThicket(ctx, th, preds, execRun)
+	return out, es, err
+}
+
+// AnalyzeThicket executes the resident-thicket filter and returns the
+// result together with its plan tree (EXPLAIN ANALYZE).
+func AnalyzeThicket(ctx context.Context, th *core.Thicket, preds []Predicate) (*core.Thicket, *Explain, error) {
+	out, _, ex, err := executeThicket(ctx, th, preds, execAnalyze)
+	return out, ex, err
+}
+
+// PlanThicket validates the predicates against the resident thicket and
+// returns the plan tree without executing (EXPLAIN). A resident thicket
+// has no segments to prune, so the tree only reports the row count.
+func PlanThicket(ctx context.Context, th *core.Thicket, preds []Predicate) (*Explain, error) {
+	_, _, ex, err := executeThicket(ctx, th, preds, execPlanOnly)
+	return ex, err
+}
+
+func executeThicket(ctx context.Context, th *core.Thicket, preds []Predicate, mode execMode) (*core.Thicket, ExecStats, *Explain, error) {
+	collect := mode != execRun
+	var ex *Explain
+	if collect {
+		ex = &Explain{Where: Describe(preds), Mode: "thicket", Analyzed: mode == execAnalyze}
+	}
 	var st ExecStats
 	st.Rows = th.Metadata.NRows()
-	if err := Validate(th.Metadata, preds); err != nil {
-		return nil, st, err
+	finish := func(err error) (*core.Thicket, ExecStats, *Explain, error) {
+		if ex != nil {
+			ex.Stats = st
+		}
+		return nil, st, ex, err
 	}
-	if len(preds) == 0 {
-		st.RowsMaterialized = st.Rows
-		return th, st, nil
+	if err := Validate(th.Metadata, preds); err != nil {
+		return finish(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(err)
+	}
+	if len(preds) == 0 || mode == execPlanOnly {
+		if mode == execPlanOnly {
+			// Would-scan estimate: a resident thicket always evaluates
+			// every row; nothing materializes without executing.
+			st.RowsScanned = st.Rows
+			if len(preds) == 0 {
+				st.RowsMaterialized = st.Rows
+			}
+		} else {
+			st.RowsMaterialized = st.Rows
+		}
+		if ex != nil {
+			ex.Stats = st
+		}
+		return th, st, ex, nil
 	}
 	st.RowsScanned = st.Rows
+	stageTo(ctx, StageFilter)
+	var t time.Time
+	if collect {
+		t = time.Now()
+	}
 	sel := evalFrame(th.Metadata, preds)
+	if collect {
+		ex.Stages.FilterNS += time.Since(t).Nanoseconds()
+		t = time.Now()
+	}
 	st.RowsMaterialized = len(sel)
+	stageTo(ctx, StageMaterialize)
 	mask := make([]bool, th.Metadata.NRows())
 	for _, r := range sel {
 		mask[r] = true
 	}
 	out := th.FilterMetadata(func(m core.MetaRow) bool { return mask[m.Pos()] })
-	return out, st, nil
+	if collect {
+		ex.Stages.MaterializeNS += time.Since(t).Nanoseconds()
+		ex.Stats = st
+	}
+	return out, st, ex, nil
 }
 
 // evalFrame evaluates the conjunction over one metadata frame with the
@@ -146,15 +228,67 @@ const (
 // NaiveFilter(store.Load()) — same frames, same row order, same errors
 // on unknown columns.
 func ExecuteStore(st *store.Store, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	out, es, _, err := executeStore(context.Background(), st, preds, execRun)
+	return out, es, err
+}
+
+// ExecuteStoreCtx is ExecuteStore with a cancellation context, checked
+// at segment and block boundaries; progress flows to the context's
+// plan.Progress and store.ScanObserver hooks.
+func ExecuteStoreCtx(ctx context.Context, st *store.Store, preds []Predicate) (*core.Thicket, ExecStats, error) {
+	out, es, _, err := executeStore(ctx, st, preds, execRun)
+	return out, es, err
+}
+
+// AnalyzeStore executes the pushdown filter and returns the result
+// together with its measured plan tree (EXPLAIN ANALYZE): per-segment
+// verdicts with the deciding predicate, per-column block accounting,
+// and per-stage wall times. The filtered thicket and ExecStats are
+// bit-identical to ExecuteStore's.
+func AnalyzeStore(ctx context.Context, st *store.Store, preds []Predicate) (*core.Thicket, *Explain, error) {
+	out, _, ex, err := executeStore(ctx, st, preds, execAnalyze)
+	return out, ex, err
+}
+
+// PlanStore computes the prune verdicts from headers alone and returns
+// the plan tree without decoding a single block (EXPLAIN): segment
+// verdicts and deciding predicates are exact, scanned-segment block and
+// row counts are the would-decode estimates.
+func PlanStore(ctx context.Context, st *store.Store, preds []Predicate) (*Explain, error) {
+	_, _, ex, err := executeStore(ctx, st, preds, execPlanOnly)
+	return ex, err
+}
+
+func executeStore(ctx context.Context, st *store.Store, preds []Predicate, mode execMode) (*core.Thicket, ExecStats, *Explain, error) {
+	collect := mode != execRun
+	var ex *Explain
+	var colIdx explainCols
+	if collect {
+		ex = &Explain{Where: Describe(preds), Mode: "store", Analyzed: mode == execAnalyze}
+		colIdx = explainCols{}
+	}
 	var es ExecStats
-	if len(preds) == 0 {
-		th, err := st.Load()
+	var stages StageTimes
+	finish := func(err error) (*core.Thicket, ExecStats, *Explain, error) {
+		if ex != nil {
+			ex.Stats, ex.Stages = es, stages
+		}
+		return nil, es, ex, err
+	}
+	if len(preds) == 0 && mode != execPlanOnly {
+		th, err := st.LoadCtx(ctx)
 		if err != nil {
-			return nil, es, err
+			return finish(err)
 		}
 		es.Rows = th.Metadata.NRows()
 		es.RowsMaterialized = es.Rows
-		return th, es, nil
+		if collect {
+			// Even an unfiltered analyze reports the segment layout: every
+			// segment scanned, no predicate to prune with.
+			describeUnfiltered(st, &es, ex, colIdx)
+			ex.Stats = es
+		}
+		return th, es, ex, nil
 	}
 	sn := st.Snapshot()
 	defer sn.Release()
@@ -162,45 +296,112 @@ func ExecuteStore(st *store.Store, preds []Predicate) (*core.Thicket, ExecStats,
 	es.Segments = nseg
 	if nseg == 0 {
 		_, err := st.Load() // reproduce the canonical empty-store error
-		return nil, es, err
+		return finish(err)
 	}
 
+	// stamp/lap meter the stages only when a tree is being collected —
+	// the hot path takes zero timestamps.
+	var mark time.Time
+	stamp := func() {
+		if collect {
+			mark = time.Now()
+		}
+	}
+	lap := func(dst *int64) {
+		if collect {
+			now := time.Now()
+			*dst += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
+	}
+
+	stageTo(ctx, StagePrune)
+	stamp()
 	res, err := resolveUnion(sn, preds)
 	if err != nil {
-		return nil, es, err
+		return finish(err)
 	}
 
 	withStats := nseg == 1
 	thickets := make([]*core.Thicket, 0, nseg)
 	for i := 0; i < nseg; i++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		sv := sn.Segment(i)
 		nrows := sv.NRows(store.FrameMeta)
 		es.Rows += nrows
-		match, err := segmentCanMatch(sv, preds, res)
-		if err != nil {
-			return nil, es, err
+		se := SegmentExplain{Segment: i, Gen: sv.Gen(), Version: sv.Version(), Rows: nrows}
+		match, cause := true, pruneCause{pred: -1}
+		if len(preds) > 0 {
+			match, cause, err = segmentCanMatch(sv, preds, res)
+			if err != nil {
+				return finish(err)
+			}
 		}
+		lap(&stages.PruneNS)
 		if !match {
 			es.SegmentsPruned++
-			es.BlocksSkipped += sv.BlockCount(store.FrameMeta, store.FramePerf)
-			th, err := sv.EmptyThicket(withStats)
-			if err != nil {
-				return nil, es, err
+			skipped := sv.BlockCount(store.FrameMeta, store.FramePerf)
+			es.BlocksSkipped += skipped
+			if collect {
+				se.Verdict = cause.verdict
+				if cause.pred >= 0 {
+					se.Predicate = preds[cause.pred].String()
+				}
+				se.BlocksSkipped = skipped
+				if err := addSegmentColumns(ex, colIdx, sv, false); err != nil {
+					return finish(err)
+				}
+				ex.Segments = append(ex.Segments, se)
 			}
-			thickets = append(thickets, th)
+			if mode != execPlanOnly {
+				stageTo(ctx, StageMaterialize)
+				th, err := sv.EmptyThicketCtx(ctx, withStats)
+				if err != nil {
+					return finish(err)
+				}
+				thickets = append(thickets, th)
+				lap(&stages.MaterializeNS)
+				stageTo(ctx, StagePrune)
+			}
 			continue
 		}
-		es.BlocksScanned += sv.BlockCount(store.FrameMeta, store.FramePerf)
+		scanned := sv.BlockCount(store.FrameMeta, store.FramePerf)
+		es.BlocksScanned += scanned
 		es.RowsScanned += nrows
-		th, err := sv.LoadThicket(withStats)
+		if collect {
+			se.Verdict = VerdictScanned
+			se.BlocksDecoded = scanned
+			if err := addSegmentColumns(ex, colIdx, sv, true); err != nil {
+				return finish(err)
+			}
+		}
+		if mode == execPlanOnly {
+			// Prune-only: report the would-scan estimate and move on.
+			es.RowsMaterialized += nrows
+			se.RowsMatched = -1 // unknown without executing
+			ex.Segments = append(ex.Segments, se)
+			continue
+		}
+		stageTo(ctx, StageFilter)
+		th, err := sv.LoadThicketCtx(ctx, withStats)
 		if err != nil {
-			return nil, es, err
+			return finish(err)
 		}
 		sel := evalSegment(th.Metadata, preds, res)
+		lap(&stages.FilterNS)
 		es.RowsMaterialized += len(sel)
+		se.RowsMatched = len(sel)
+		if collect {
+			ex.Segments = append(ex.Segments, se)
+		}
+		stageTo(ctx, StageMaterialize)
 		if len(sel) == nrows {
 			// Every row survives; the filter copy would be an identity.
 			thickets = append(thickets, th)
+			lap(&stages.MaterializeNS)
+			stageTo(ctx, StagePrune)
 			continue
 		}
 		mask := make([]bool, nrows)
@@ -208,15 +409,67 @@ func ExecuteStore(st *store.Store, preds []Predicate) (*core.Thicket, ExecStats,
 			mask[r] = true
 		}
 		thickets = append(thickets, th.FilterMetadata(func(m core.MetaRow) bool { return mask[m.Pos()] }))
+		lap(&stages.MaterializeNS)
+		stageTo(ctx, StagePrune)
 	}
+	if mode == execPlanOnly {
+		ex.Stats, ex.Stages = es, stages
+		return nil, es, ex, nil
+	}
+	stageTo(ctx, StageMaterialize)
 	if len(thickets) == 1 {
-		return thickets[0], es, nil
+		if ex != nil {
+			ex.Stats, ex.Stages = es, stages
+		}
+		return thickets[0], es, ex, nil
 	}
 	out, err := core.ConcatProfiles(thickets)
 	if err != nil {
-		return nil, es, err
+		return finish(err)
 	}
-	return out, es, nil
+	lap(&stages.MaterializeNS)
+	if ex != nil {
+		ex.Stats, ex.Stages = es, stages
+	}
+	return out, es, ex, nil
+}
+
+// describeUnfiltered fills the segment lines of a no-predicate analyze:
+// nothing can prune, every segment is scanned in full.
+func describeUnfiltered(st *store.Store, es *ExecStats, ex *Explain, colIdx explainCols) {
+	sn := st.Snapshot()
+	defer sn.Release()
+	es.Segments = sn.NumSegments()
+	for i := 0; i < sn.NumSegments(); i++ {
+		sv := sn.Segment(i)
+		nrows := sv.NRows(store.FrameMeta)
+		scanned := sv.BlockCount(store.FrameMeta, store.FramePerf)
+		es.BlocksScanned += scanned
+		es.RowsScanned += nrows
+		if err := addSegmentColumns(ex, colIdx, sv, true); err != nil {
+			continue // header description is best-effort here; the load succeeded
+		}
+		ex.Segments = append(ex.Segments, SegmentExplain{
+			Segment: i, Gen: sv.Gen(), Version: sv.Version(), Rows: nrows,
+			Verdict: VerdictScanned, BlocksDecoded: scanned, RowsMatched: nrows,
+		})
+	}
+}
+
+// addSegmentColumns folds one segment's meta+perf blocks into the
+// per-column aggregate, as decoded (scanned segment) or skipped
+// (pruned).
+func addSegmentColumns(ex *Explain, idx explainCols, sv store.SegmentView, decoded bool) error {
+	for _, frame := range []string{store.FrameMeta, store.FramePerf} {
+		cols, err := sv.Columns(frame)
+		if err != nil {
+			return err
+		}
+		for _, cs := range cols {
+			ex.addColumn(idx, frame+":"+cs.Key.String(), decoded)
+		}
+	}
+	return nil
 }
 
 // resolveUnion reconstructs, from headers alone, how each predicate
@@ -335,13 +588,22 @@ func evalSegment(meta *dataframe.Frame, preds []Predicate, res []colResolution) 
 	return sel
 }
 
+// pruneCause names the header evidence that ruled a segment out: the
+// verdict string and the index of the deciding predicate.
+type pruneCause struct {
+	verdict string
+	pred    int
+}
+
 // segmentCanMatch decides from header statistics whether any row of the
-// segment could satisfy every predicate. It must never return false for
-// a segment with a matching row; returning true merely costs a scan.
-func segmentCanMatch(sv store.SegmentView, preds []Predicate, res []colResolution) (bool, error) {
+// segment could satisfy every predicate, and — when not — which
+// predicate and which class of evidence decided. It must never return
+// false for a segment with a matching row; returning true merely costs
+// a scan.
+func segmentCanMatch(sv store.SegmentView, preds []Predicate, res []colResolution) (bool, pruneCause, error) {
 	cols, err := sv.Columns(store.FrameMeta)
 	if err != nil {
-		return false, err
+		return false, pruneCause{pred: -1}, err
 	}
 	nrows := sv.NRows(store.FrameMeta)
 	byKey := map[string]store.ColumnStats{}
@@ -359,44 +621,55 @@ func segmentCanMatch(sv store.SegmentView, preds []Predicate, res []colResolutio
 		if r.level == "" {
 			hasLevel = false
 		}
-		ok := true
+		ok, verdict := true, ""
 		switch {
 		case r.mode != resolveKey:
 			if hasLevel {
-				ok = canMatchPlain(sv, lstats, nrows, p)
-			} else {
-				ok = p.Matches(dataframe.Null(dataframe.String))
+				ok, verdict = canMatchPlain(sv, lstats, nrows, p)
+			} else if !p.Matches(dataframe.Null(dataframe.String)) {
+				// Every row reads the constant null the union would fill in.
+				ok, verdict = false, VerdictPrunedNullCount
 			}
 		default:
 			cs, present := byKey[r.key.String()]
 			switch {
 			case !present && hasLevel:
-				ok = canMatchPlain(sv, lstats, nrows, p)
+				ok, verdict = canMatchPlain(sv, lstats, nrows, p)
 			case !present:
-				ok = p.Matches(dataframe.Null(r.kind))
+				if !p.Matches(dataframe.Null(r.kind)) {
+					ok, verdict = false, VerdictPrunedNullCount
+				}
 			case !hasLevel:
-				ok = canMatchPlain(sv, cs, nrows, p)
+				ok, verdict = canMatchPlain(sv, cs, nrows, p)
 			case cs.Nulls == 0:
 				// No null cells, so the level fallback never fires.
-				ok = canMatchPlain(sv, cs, nrows, p)
+				ok, verdict = canMatchPlain(sv, cs, nrows, p)
 			default:
 				// Rows see either a non-null column value or, on null
-				// cells, the level value (null or not).
-				ok = canMatchNonNull(sv, cs, nrows, p) || canMatchPlain(sv, lstats, nrows, p)
+				// cells, the level value (null or not). The column's own
+				// evidence names the verdict when both sides rule out.
+				colOK, colVerdict := canMatchNonNull(sv, cs, nrows, p)
+				if !colOK {
+					var lvlOK bool
+					lvlOK, _ = canMatchPlain(sv, lstats, nrows, p)
+					if !lvlOK {
+						ok, verdict = false, colVerdict
+					}
+				}
 			}
 		}
 		if !ok {
-			return false, nil
+			return false, pruneCause{verdict: verdict, pred: pi}, nil
 		}
 	}
-	return true, nil
+	return true, pruneCause{pred: -1}, nil
 }
 
 // canMatchPlain reports whether any cell of the described column — null
-// or not — could satisfy the predicate.
-func canMatchPlain(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) bool {
+// or not — could satisfy the predicate, with the verdict class when not.
+func canMatchPlain(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) (bool, string) {
 	if cs.Nulls != 0 && p.Matches(dataframe.Null(cs.Kind)) {
-		return true // nulls possible (or unknown) and a null matches
+		return true, "" // nulls possible (or unknown) and a null matches
 	}
 	return canMatchNonNull(sv, cs, nrows, p)
 }
@@ -404,51 +677,63 @@ func canMatchPlain(sv store.SegmentView, cs store.ColumnStats, nrows int, p Pred
 // canMatchNonNull reports whether any NON-NULL cell of the described
 // column could satisfy the predicate, using only header statistics and
 // (for string equality) the block's dictionary page. Unknown statistics
-// always answer true.
-func canMatchNonNull(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) bool {
+// always answer true. A false answer names the evidence class: the
+// null count (all cells null), the zone map (range or value-domain
+// proof), or the dictionary page.
+func canMatchNonNull(sv store.SegmentView, cs store.ColumnStats, nrows int, p Predicate) (bool, string) {
 	if cs.Nulls >= 0 && cs.Nulls == nrows {
-		return false // every cell is null
+		return false, VerdictPrunedNullCount // every cell is null
 	}
 	switch cs.Kind {
 	case dataframe.Int, dataframe.Float:
 		if !p.rhsOK {
-			return true // rendered-string comparison: no zone map applies
+			return true, "" // rendered-string comparison: no zone map applies
 		}
 		if math.IsNaN(p.rhs) {
 			// Every non-null numeric three-way-compares 0 against NaN.
-			return p.cmp.Match(0)
+			if p.cmp.Match(0) {
+				return true, ""
+			}
+			return false, VerdictPrunedZoneMap
 		}
 		if cs.Min == nil || cs.Max == nil {
-			return true // no zone map (pre-v2, all-null, or NaN-poisoned)
+			return true, "" // no zone map (pre-v2, all-null, or NaN-poisoned)
 		}
 		lo, hi := *cs.Min, *cs.Max
+		ok := true
 		switch p.cmp {
 		case dataframe.CmpEq:
-			return lo <= p.rhs && p.rhs <= hi
+			ok = lo <= p.rhs && p.rhs <= hi
 		case dataframe.CmpNe:
-			return !(lo == hi && lo == p.rhs)
+			ok = !(lo == hi && lo == p.rhs)
 		case dataframe.CmpLt:
-			return lo < p.rhs
+			ok = lo < p.rhs
 		case dataframe.CmpLe:
-			return lo <= p.rhs
+			ok = lo <= p.rhs
 		case dataframe.CmpGt:
-			return hi > p.rhs
+			ok = hi > p.rhs
 		case dataframe.CmpGe:
-			return hi >= p.rhs
+			ok = hi >= p.rhs
 		}
-		return true
+		if !ok {
+			return false, VerdictPrunedZoneMap
+		}
+		return true, ""
 	case dataframe.Bool:
-		return p.Matches(dataframe.BoolVal(true)) || p.Matches(dataframe.BoolVal(false))
+		if p.Matches(dataframe.BoolVal(true)) || p.Matches(dataframe.BoolVal(false)) {
+			return true, ""
+		}
+		return false, VerdictPrunedZoneMap
 	case dataframe.String:
 		if p.cmp == dataframe.CmpEq && !p.rhsOK {
 			// Equality against a non-numeric literal matches a word iff
 			// the strings are identical, so the dictionary page decides.
 			// A probe error never prunes: the scan will surface it.
-			if has, err := sv.DictHasWord(store.FrameMeta, cs, p.Value); err == nil {
-				return has
+			if has, err := sv.DictHasWord(store.FrameMeta, cs, p.Value); err == nil && !has {
+				return false, VerdictPrunedDict
 			}
 		}
-		return true
+		return true, ""
 	}
-	return true
+	return true, ""
 }

@@ -39,6 +39,15 @@ const (
 	MetaReason    = "reason"    // retention reason (always "slow" today)
 	MetaDurNS     = "dur_ns"
 	MetaSeq       = "seq" // collector sequence number (eviction-gap detector)
+
+	// Plan-efficiency columns, lifted from the ExecStats attrs the
+	// server stamps on compiled where= requests; -1 when the request
+	// ran no compiled plan. They make the dogfood store answerable for
+	// "which slow queries scanned the most blocks?".
+	MetaPlanBlocksScanned    = "plan_blocks_scanned"
+	MetaPlanBlocksSkipped    = "plan_blocks_skipped"
+	MetaPlanSegmentsPruned   = "plan_segments_pruned"
+	MetaPlanRowsMaterialized = "plan_rows_materialized"
 )
 
 // Options configures a Profiler.
@@ -182,22 +191,32 @@ func (p *Profiler) selfTrace(root *telemetry.TraceNode) bool {
 // export converts one retained trace into a native profile with the
 // request-identity metadata columns.
 func (p *Profiler) export(rt telemetry.RetainedTrace) (*profile.Profile, error) {
-	status := int64(-1)
+	intAttrs := map[string]int64{
+		"status":                 -1,
+		MetaPlanBlocksScanned:    -1,
+		MetaPlanBlocksSkipped:    -1,
+		MetaPlanSegmentsPruned:   -1,
+		MetaPlanRowsMaterialized: -1,
+	}
 	for _, a := range rt.Root.Attrs {
-		if a.Key == "status" {
-			fmt.Sscanf(a.Value, "%d", &status)
-			break
+		if v, ok := intAttrs[a.Key]; ok && v == -1 {
+			fmt.Sscanf(a.Value, "%d", &v)
+			intAttrs[a.Key] = v
 		}
 	}
 	end := telemetry.EpochWall().Add(time.Duration(rt.Root.EndNS))
 	meta := map[string]dataframe.Value{
-		MetaEndpoint:  dataframe.Str(rt.Root.Name),
-		MetaTraceID:   dataframe.Str(rt.TraceID),
-		MetaTimestamp: dataframe.Int64(end.UnixNano()),
-		MetaStatus:    dataframe.Int64(status),
-		MetaReason:    dataframe.Str(rt.Reason),
-		MetaDurNS:     dataframe.Int64(rt.DurNS),
-		MetaSeq:       dataframe.Int64(int64(rt.Seq)),
+		MetaEndpoint:             dataframe.Str(rt.Root.Name),
+		MetaTraceID:              dataframe.Str(rt.TraceID),
+		MetaTimestamp:            dataframe.Int64(end.UnixNano()),
+		MetaStatus:               dataframe.Int64(intAttrs["status"]),
+		MetaReason:               dataframe.Str(rt.Reason),
+		MetaDurNS:                dataframe.Int64(rt.DurNS),
+		MetaSeq:                  dataframe.Int64(int64(rt.Seq)),
+		MetaPlanBlocksScanned:    dataframe.Int64(intAttrs[MetaPlanBlocksScanned]),
+		MetaPlanBlocksSkipped:    dataframe.Int64(intAttrs[MetaPlanBlocksSkipped]),
+		MetaPlanSegmentsPruned:   dataframe.Int64(intAttrs[MetaPlanSegmentsPruned]),
+		MetaPlanRowsMaterialized: dataframe.Int64(intAttrs[MetaPlanRowsMaterialized]),
 	}
 	for k, v := range p.opts.Meta {
 		meta[k] = v

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -167,6 +168,70 @@ func TestIngestStatusMapping(t *testing.T) {
 		}
 		if tc.want == http.StatusTooManyRequests && hdr.Get("Retry-After") == "" {
 			t.Error("429 response missing Retry-After header")
+		}
+	}
+}
+
+// TestIngestTraceparentEcho: every /ingest disposition — ack, shed
+// 429, closed 503 — must carry a traceparent response header, and a
+// request-supplied traceparent's trace ID must be echoed so the client
+// can chase the shed request through the server's telemetry. The trace
+// middleware sits outside the concurrency gate and the timeout handler
+// precisely so these error paths stamp the header too.
+func TestIngestTraceparentEcho(t *testing.T) {
+	sink := &fakeSink{}
+	srv := server.New(buildThicket(t), nil, server.Options{Ingest: sink})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	post := func(withParent bool) (int, http.Header) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", bytes.NewReader([]byte("x")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withParent {
+			req.Header.Set("traceparent", parent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ingest.ErrBacklogged, http.StatusTooManyRequests},
+		{ingest.ErrClosed, http.StatusServiceUnavailable},
+	}
+	for _, tc := range cases {
+		sink.err = tc.err
+		status, hdr := post(false)
+		if status != tc.want {
+			t.Fatalf("err %v: status %d, want %d", tc.err, status, tc.want)
+		}
+		if hdr.Get("traceparent") == "" {
+			t.Errorf("%d response missing traceparent header", tc.want)
+		}
+		// The response span must be a child of the supplied parent:
+		// same trace ID, different span ID.
+		status, hdr = post(true)
+		if status != tc.want {
+			t.Fatalf("err %v (with parent): status %d, want %d", tc.err, status, tc.want)
+		}
+		tp := hdr.Get("traceparent")
+		if !strings.HasPrefix(tp, "00-4bf92f3577b34da6a3ce929d0e0e4736-") {
+			t.Errorf("%d response traceparent %q does not echo the request's trace ID", tc.want, tp)
+		}
+		if strings.Contains(tp, "00f067aa0ba902b7") {
+			t.Errorf("%d response reused the parent's span ID: %q", tc.want, tp)
 		}
 	}
 }

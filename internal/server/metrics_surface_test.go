@@ -1,0 +1,98 @@
+package server_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// TestMetricsNameSurfaceGolden pins the operator-facing metric surface:
+// every `# HELP name text` line /metrics emits from a fully wired
+// server — HTTP, cache, plan counters, query lifecycle, ingest
+// pipeline (queue depth, WAL fsync, L0 segments, compaction) — sorted
+// and compared against a golden file. Values are excluded (they vary);
+// a renamed, dropped, or re-documented metric is an interface change
+// and must be acknowledged with -update.
+func TestMetricsNameSurfaceGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := store.CreateDir(dir, buildThicket(t)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	th, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := ingest.New(st, ingest.Options{
+		Registry: reg, FlushProfiles: 1, FlushInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	srv := server.New(th, st, server.Options{Registry: reg, Ingest: ing})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Touch the lazily registered families: a compiled where= query
+	// creates the per-endpoint plan counters.
+	if status, body := fetch(t, ts, "/api/profiles?where=cluster=ip-0A2D2BE2"); status != http.StatusOK {
+		t.Fatalf("warm-up query: %d\n%s", status, body)
+	}
+
+	_, metrics := fetch(t, ts, "/metrics")
+	var help []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			help = append(help, line)
+		}
+	}
+	sort.Strings(help)
+	got := strings.Join(help, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "golden", "metrics_names.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/server -run TestMetricsNameSurfaceGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics name surface drifted from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+
+	// The pipeline-depth gauges of this PR must be part of the pinned
+	// surface, not merely present by accident.
+	for _, name := range []string{
+		"thicket_ingest_queue_depth",
+		"thicket_wal_fsync_seconds",
+		"thicket_ingest_l0_segments",
+		"thicket_compaction_last_run_timestamp_seconds",
+		"thicket_queries_active",
+		"thicket_queries_canceled_total",
+		"thicket_plan_blocks_scanned_total",
+	} {
+		if !strings.Contains(got, "# HELP "+name+" ") {
+			t.Errorf("metric %s missing from the pinned surface", name)
+		}
+	}
+}

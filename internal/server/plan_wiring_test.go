@@ -21,6 +21,12 @@ import (
 // segment — so a cluster= predicate can prune a whole segment, plus a
 // server over it.
 func planFixture(t *testing.T) (*httptest.Server, *server.Server, *core.Thicket) {
+	return planFixtureOpts(t, server.Options{})
+}
+
+// planFixtureOpts is planFixture with caller-chosen server options
+// (query timeout, injected latency, scan delay).
+func planFixtureOpts(t *testing.T, opts server.Options) (*httptest.Server, *server.Server, *core.Thicket) {
 	t.Helper()
 	mk := func(c sim.MarblCluster) *core.Thicket {
 		profiles, err := sim.MarblEnsemble([]sim.MarblCluster{c}, []int{1, 4}, 2, 1)
@@ -49,7 +55,7 @@ func planFixture(t *testing.T) (*httptest.Server, *server.Server, *core.Thicket)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(th, st, server.Options{})
+	srv := server.New(th, st, opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv, th

@@ -110,6 +110,25 @@ type Options struct {
 	// MaxIngestBytes bounds a single /ingest request body; 0 selects
 	// DefaultMaxIngestBytes.
 	MaxIngestBytes int64
+	// QueryTimeout cancels any single request's query context after
+	// this long — the graceful-degradation lever: the store scan
+	// notices at the next block boundary, the request answers 503, and
+	// the querylog records a canceled query with reason "timeout".
+	// 0 disables. Unlike Timeout (the hard outer 503 that abandons the
+	// handler), QueryTimeout cancels through the query's own context,
+	// so the scan stops doing work.
+	QueryTimeout time.Duration
+	// QueryLogSize bounds the completed-query ring behind
+	// /debug/querylog; 0 selects DefaultQueryLogSize.
+	QueryLogSize int
+	// MaxTrackedQueries bounds the active-query registry behind
+	// /debug/queries; 0 selects DefaultMaxTrackedQueries.
+	MaxTrackedQueries int
+	// InjectScanDelay adds an artificial pause to every store block a
+	// routed query touches — the deterministic hook behind the
+	// mid-scan cancellation tests and demos. Adjustable at runtime via
+	// SetInjectedScanDelay.
+	InjectScanDelay time.Duration
 }
 
 // endpointMetrics bundles one endpoint's registry handles. All latency
@@ -154,6 +173,14 @@ type Server struct {
 	reloadMu sync.Mutex   // serializes thicket reloads
 	eps      map[string]*endpointMetrics
 	plans    map[string]*planMetrics
+
+	queries             *queryRegistry
+	qlog                *queryLog
+	activeGauge         *telemetry.Gauge
+	queriesKilled       *telemetry.Counter
+	queriesTimedOut     *telemetry.Counter
+	queriesDisconnected *telemetry.Counter
+	scanDelay           atomic.Int64 // per-block injected delay, ns
 
 	log    *slog.Logger
 	inject sync.Map // endpoint path -> time.Duration artificial delay
@@ -209,6 +236,13 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	for path, d := range opts.InjectLatency {
 		s.inject.Store(path, d)
 	}
+	s.queries = newQueryRegistry(opts.MaxTrackedQueries)
+	s.qlog = newQueryLog(opts.QueryLogSize)
+	s.scanDelay.Store(int64(opts.InjectScanDelay))
+	s.activeGauge = reg.Gauge("thicket_queries_active", "Routed queries currently in flight (tracked by the inspector).")
+	s.queriesKilled = reg.Counter("thicket_queries_canceled_total", "Queries canceled before completion, by reason.", "reason", reasonKilled)
+	s.queriesTimedOut = reg.Counter("thicket_queries_canceled_total", "Queries canceled before completion, by reason.", "reason", reasonTimeout)
+	s.queriesDisconnected = reg.Counter("thicket_queries_canceled_total", "Queries canceled before completion, by reason.", "reason", reasonDisconnected)
 	s.requests = reg.Counter("thicket_http_requests_total", "HTTP requests accepted (all paths).")
 	s.inFlight = reg.Gauge("thicket_http_in_flight", "HTTP requests currently executing or queued.")
 	s.reloads = reg.Counter("thicket_reloads_total", "Successful thicket reloads after a store generation change.")
@@ -226,6 +260,7 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 		"/healthz", "/metrics", "/api/info", "/api/profiles", "/api/stats",
 		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
 		"/ingest", "/debug/traces", "/debug/anomalies",
+		"/debug/queries", "/debug/querylog",
 	} {
 		s.eps[path] = &endpointMetrics{
 			requests:    reg.Counter("thicket_http_endpoint_requests_total", "HTTP requests by endpoint.", "endpoint", path),
@@ -324,11 +359,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ingest", s.instrument("/ingest", s.handleIngest))
 	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
 	mux.HandleFunc("/debug/anomalies", s.instrument("/debug/anomalies", s.handleDebugAnomalies))
+	mux.HandleFunc("/debug/queries", s.instrument("/debug/queries", s.handleDebugQueries))
+	mux.HandleFunc("/debug/queries/", s.instrument("/debug/queries", s.handleDebugQueryKill))
+	mux.HandleFunc("/debug/querylog", s.instrument("/debug/querylog", s.handleDebugQuerylog))
 	var h http.Handler = mux
 	h = s.limit(h)
 	h = http.TimeoutHandler(h, s.opts.Timeout, `{"error":"request timed out"}`)
+	// trace sits OUTSIDE the timeout handler and the concurrency gate,
+	// so shed (429/503) and timed-out responses still carry the
+	// traceparent the client can chase.
+	h = s.trace(h)
 	h = s.count(h)
 	return h
+}
+
+// trace mints (or adopts from an incoming traceparent) the request's
+// W3C trace context once, stamps the response header before any inner
+// middleware can answer, and propagates the identity through the
+// request context. Stamping here — outside limit and TimeoutHandler —
+// is what guarantees a shed 503, a timed-out 503, or an ingest 429
+// still echoes the trace ID.
+func (s *Server) trace(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = telemetry.NewTraceContext()
+		}
+		self := tc.Child() // this request's server-side span identity
+		w.Header().Set("traceparent", self.Traceparent())
+		h.ServeHTTP(w, r.WithContext(telemetry.ContextWithTrace(r.Context(), self)))
+	})
 }
 
 // SetInjectedLatency sets (or, with d <= 0, clears) the artificial
@@ -347,6 +407,20 @@ func (s *Server) injectedLatency(path string) time.Duration {
 		return v.(time.Duration)
 	}
 	return 0
+}
+
+// SetInjectedScanDelay sets (or, with d <= 0, clears) the artificial
+// per-block pause applied to routed queries' store scans — the
+// deterministic knob behind the mid-scan cancellation tests.
+func (s *Server) SetInjectedScanDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.scanDelay.Store(int64(d))
+}
+
+func (s *Server) injectedScanDelay() time.Duration {
+	return time.Duration(s.scanDelay.Load())
 }
 
 // statusRecorder captures the response status for span attrs and logs.
@@ -370,16 +444,30 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.eps[path]
 	return func(w http.ResponseWriter, r *http.Request) {
-		tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
-		if err != nil {
-			tc = telemetry.NewTraceContext()
+		// The trace middleware normally minted the identity already;
+		// fall back to minting here for handlers mounted bare (tests).
+		self, ok := telemetry.TraceFromContext(r.Context())
+		ctx := r.Context()
+		if !ok {
+			tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+			if err != nil {
+				tc = telemetry.NewTraceContext()
+			}
+			self = tc.Child() // this request's server-side span identity
+			ctx = telemetry.ContextWithTrace(ctx, self)
+			w.Header().Set("traceparent", self.Traceparent())
 		}
-		self := tc.Child() // this request's server-side span identity
-		ctx := telemetry.ContextWithTrace(r.Context(), self)
+		if s.opts.QueryTimeout > 0 {
+			// Start the per-query budget before the injected-latency
+			// sleep so a delayed request can exhaust it — the demo path
+			// for timeout-driven cancellation.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+			defer cancel()
+		}
 		ctx, sp := telemetry.StartSpan(ctx, "http "+path)
 		sp.SetTraceID(self.TraceID)
 		r = r.WithContext(ctx)
-		w.Header().Set("traceparent", self.Traceparent())
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		if d := s.injectedLatency(path); d > 0 {
@@ -420,6 +508,10 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) route(path string, routeDep cacheDep, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return s.instrument(path, func(w http.ResponseWriter, r *http.Request) {
 		s.maybeReload()
+		q, r := s.beginQuery(path, r)
+		start := time.Now()
+		status, cacheState := http.StatusOK, "none"
+		defer func() { s.finishQuery(q, status, cacheState, time.Since(start)) }()
 		dep := routeDep
 		if dep == depTree && len(r.URL.Query()["where"]) > 0 {
 			// A where= filter makes even a tree-derived response depend
@@ -427,11 +519,18 @@ func (s *Server) route(path string, routeDep cacheDep, h func(*http.Request) (in
 			// unfiltered tree queries stay warm.
 			dep = depData
 		}
-		if dep == depNone || !s.cache.enabled() {
+		// explain= responses bypass the cache entirely: an analyzed plan
+		// carries per-request timings, and a cached tree would stop the
+		// /metrics plan counters from reconciling with the tree returned
+		// for *this* request.
+		uncached := dep == depNone || !s.cache.enabled() || r.URL.Query().Get("explain") != ""
+		if uncached {
 			if dep != depNone {
+				cacheState = "uncached"
 				telemetry.FromContext(r.Context()).SetAttr("cache", "uncached")
 			}
-			status, v := h(r)
+			status2, v := h(r)
+			status = status2
 			writeJSON(w, status, v)
 			return
 		}
@@ -440,6 +539,7 @@ func (s *Server) route(path string, routeDep cacheDep, h func(*http.Request) (in
 		key := canonicalKey(path, r.URL.Query())
 		if body, ok := s.cache.get(key); ok {
 			ep.cacheHits.Inc()
+			cacheState = "hit"
 			sp.SetAttr("cache", "hit")
 			writeBody(w, http.StatusOK, body)
 			return
@@ -450,18 +550,22 @@ func (s *Server) route(path string, routeDep cacheDep, h func(*http.Request) (in
 			// reuse its bytes (statuses are deterministic per key).
 			<-fc.done
 			ep.cacheHits.Inc()
+			cacheState = "wait"
 			sp.SetAttr("cache", "wait")
+			status = fc.status
 			writeBody(w, fc.status, fc.body)
 			return
 		}
 		ep.cacheMisses.Inc()
+		cacheState = "miss"
 		sp.SetAttr("cache", "miss")
 		dataGen, treeGen := s.cache.stamps()
 		stamp := dataGen
 		if dep == depTree {
 			stamp = treeGen
 		}
-		status, v := h(r)
+		status2, v := h(r)
+		status = status2
 		body, err := renderJSON(v)
 		if err != nil {
 			status = http.StatusInternalServerError
@@ -783,58 +887,170 @@ func (s *Server) infoResponse(r *http.Request) (int, any) {
 	return http.StatusOK, out
 }
 
+// queryResult is what one endpoint's where=/explain= resolution
+// produced: the filtered thicket, its ExecStats, and — when a tree was
+// collected — the plan.Explain. planOnly marks an explain=plan request
+// (no execution; th is nil and the response is the tree alone);
+// analyze marks explain=analyze (the tree rides along with the normal
+// payload).
+type queryResult struct {
+	th       *core.Thicket
+	stats    plan.ExecStats
+	explain  *plan.Explain
+	planOnly bool
+	analyze  bool
+}
+
+// done attaches the analyzed plan tree to a success payload when the
+// request asked for it.
+func (qr queryResult) done(out map[string]any) (int, any) {
+	if qr.analyze && qr.explain != nil {
+		out["explain"] = qr.explain
+	}
+	return http.StatusOK, out
+}
+
+// planPayload is the explain=plan response: the tree instead of rows.
+func (qr queryResult) planPayload() (int, any) {
+	return http.StatusOK, map[string]any{"explain": qr.explain}
+}
+
 // filteredThicket resolves the endpoint's optional where= conjunction
 // through the compiled query path: directly against the store when one
 // backs the server (zone maps prune segments and blocks before any
 // decode), vectorized over the resident thicket otherwise. With no
-// where= the resident thicket is returned untouched. The plan's scan
-// accounting lands on the endpoint's counters; the returned status is
-// non-zero only on error (400 for parse and unknown-column errors, 500
-// for storage faults).
-func (s *Server) filteredThicket(r *http.Request, endpoint string) (*core.Thicket, plan.ExecStats, int, error) {
+// where= (and no explain=) the resident thicket is returned untouched.
+// Every filtered execution also collects its plan tree — it feeds the
+// querylog record, the slow-query log, and (on explain=analyze) the
+// response itself; explain=plan stops after the prune verdicts. The
+// plan's scan accounting lands on the endpoint's counters and on the
+// request span's attributes (which the self-profiler dogfoods into
+// metadata columns); the returned status is non-zero only on error
+// (400 for parse and unknown-column errors, 503 when the query's
+// context was canceled — timeout, kill, or disconnect — and 500 for
+// storage faults).
+func (s *Server) filteredThicket(r *http.Request, endpoint string) (queryResult, int, error) {
+	var qr queryResult
+	ctx := r.Context()
+	q := activeQueryFrom(ctx)
+	switch r.URL.Query().Get("explain") {
+	case "":
+	case "plan":
+		qr.planOnly = true
+	case "analyze":
+		qr.analyze = true
+	default:
+		return qr, http.StatusBadRequest,
+			fmt.Errorf("bad explain=%q (want \"plan\" or \"analyze\")", r.URL.Query().Get("explain"))
+	}
+	fail := func(err error) (queryResult, int, error) {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			if q != nil {
+				q.outcome = outcomeCanceled
+				q.reason = cancelReason(q, err)
+			}
+			return qr, http.StatusServiceUnavailable, err
+		case errors.Is(err, plan.ErrUnknownColumn):
+			return qr, http.StatusBadRequest, err
+		}
+		return qr, http.StatusInternalServerError, err
+	}
 	th := s.thicket()
+	if q != nil {
+		q.Stage(plan.StageCompile)
+	}
+	compileStart := time.Now()
 	preds, err := plan.Compile(r.URL.Query()["where"])
 	if err != nil {
-		return nil, plan.ExecStats{}, http.StatusBadRequest, err
+		return qr, http.StatusBadRequest, err
 	}
-	if len(preds) == 0 {
+	compileNS := time.Since(compileStart).Nanoseconds()
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	if len(preds) == 0 && !qr.planOnly && !qr.analyze {
+		// Fast path: no filter, no tree requested.
 		n := th.Metadata.NRows()
-		return th, plan.ExecStats{Rows: n, RowsMaterialized: n}, 0, nil
+		qr.th = th
+		qr.stats = plan.ExecStats{Rows: n, RowsMaterialized: n}
+		if q != nil {
+			q.stats = &qr.stats
+		}
+		return qr, 0, nil
 	}
 	var (
 		out *core.Thicket
-		es  plan.ExecStats
+		ex  *plan.Explain
 	)
-	if s.st != nil {
-		out, es, err = plan.ExecuteStore(s.st, preds)
-	} else {
-		out, es, err = plan.ExecuteThicket(th, preds)
+	switch {
+	case qr.planOnly:
+		if s.st != nil {
+			ex, err = plan.PlanStore(ctx, s.st, preds)
+		} else {
+			ex, err = plan.PlanThicket(ctx, th, preds)
+		}
+	case s.st != nil && len(preds) > 0:
+		out, ex, err = plan.AnalyzeStore(ctx, s.st, preds)
+	default:
+		// No store behind the server, or an explain over the
+		// unfiltered resident thicket.
+		out, ex, err = plan.AnalyzeThicket(ctx, th, preds)
 	}
 	if err != nil {
-		if errors.Is(err, plan.ErrUnknownColumn) {
-			return nil, es, http.StatusBadRequest, err
+		return fail(err)
+	}
+	ex.Stages.CompileNS = compileNS
+	qr.th = out
+	qr.explain = ex
+	qr.stats = ex.Stats
+	if q != nil {
+		q.stats = &qr.stats
+		q.tree = ex
+	}
+	if !qr.planOnly && len(preds) > 0 {
+		if pm := s.plans[endpoint]; pm != nil {
+			pm.blocksScanned.Add(int64(qr.stats.BlocksScanned))
+			pm.blocksSkipped.Add(int64(qr.stats.BlocksSkipped))
+			pm.rowsMaterialized.Add(int64(qr.stats.RowsMaterialized))
+			pm.segmentsPruned.Add(int64(qr.stats.SegmentsPruned))
 		}
-		return nil, es, http.StatusInternalServerError, err
+		// Stamp the request span so the self-profiler's dogfood store
+		// grows ExecStats metadata columns.
+		sp := telemetry.FromContext(ctx)
+		sp.SetAttr("plan_blocks_scanned", strconv.Itoa(qr.stats.BlocksScanned))
+		sp.SetAttr("plan_blocks_skipped", strconv.Itoa(qr.stats.BlocksSkipped))
+		sp.SetAttr("plan_segments_pruned", strconv.Itoa(qr.stats.SegmentsPruned))
+		sp.SetAttr("plan_rows_materialized", strconv.Itoa(qr.stats.RowsMaterialized))
 	}
-	if pm := s.plans[endpoint]; pm != nil {
-		pm.blocksScanned.Add(int64(es.BlocksScanned))
-		pm.blocksSkipped.Add(int64(es.BlocksSkipped))
-		pm.rowsMaterialized.Add(int64(es.RowsMaterialized))
-		pm.segmentsPruned.Add(int64(es.SegmentsPruned))
+	return qr, 0, nil
+}
+
+// cancelReason classifies why a query's context died: an explicit
+// DELETE kill, the -query-timeout deadline, or the client going away.
+func cancelReason(q *activeQuery, err error) string {
+	if q.killed.Load() {
+		return reasonKilled
 	}
-	return out, es, 0, nil
+	if errors.Is(err, context.DeadlineExceeded) {
+		return reasonTimeout
+	}
+	return reasonDisconnected
 }
 
 func (s *Server) profilesResponse(r *http.Request) (int, any) {
-	filtered, es, status, err := s.filteredThicket(r, "/api/profiles")
+	qr, status, err := s.filteredThicket(r, "/api/profiles")
 	if err != nil {
 		return errPayload(status, err)
 	}
-	return http.StatusOK, map[string]any{
-		"count": filtered.NumProfiles(),
-		"total": es.Rows,
-		"rows":  frameRows(filtered.Metadata),
+	if qr.planOnly {
+		return qr.planPayload()
 	}
+	return qr.done(map[string]any{
+		"count": qr.th.NumProfiles(),
+		"total": qr.stats.Rows,
+		"rows":  frameRows(qr.th.Metadata),
+	})
 }
 
 // splitArg parses a comma-separated query parameter.
@@ -865,20 +1081,23 @@ func (s *Server) statsResponse(r *http.Request) (int, any) {
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
-	base, _, status, ferr := s.filteredThicket(r, "/api/stats")
+	qr, status, ferr := s.filteredThicket(r, "/api/stats")
 	if ferr != nil {
 		return errPayload(status, ferr)
 	}
+	if qr.planOnly {
+		return qr.planPayload()
+	}
 	// AggregateStats mutates its receiver's stats table; work on a copy
 	// so concurrent requests stay isolated.
-	th := base.Copy()
+	th := qr.th.Copy()
 	if err := th.AggregateStats(colKeys(splitArg(r, "metrics")), aggs); err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
-	return http.StatusOK, map[string]any{
+	return qr.done(map[string]any{
 		"count": th.Stats.NRows(),
 		"rows":  frameRows(th.Stats),
-	}
+	})
 }
 
 func (s *Server) groupByResponse(r *http.Request) (int, any) {
@@ -890,18 +1109,21 @@ func (s *Server) groupByResponse(r *http.Request) (int, any) {
 	if len(aggs) == 0 {
 		aggs = []string{"mean", "std"}
 	}
-	th, _, status, ferr := s.filteredThicket(r, "/api/groupby")
+	qr, status, ferr := s.filteredThicket(r, "/api/groupby")
 	if ferr != nil {
 		return errPayload(status, ferr)
 	}
-	out, err := th.GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
+	if qr.planOnly {
+		return qr.planPayload()
+	}
+	out, err := qr.th.GroupedStats(by, colKeys(splitArg(r, "metrics")), aggs)
 	if err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
-	return http.StatusOK, map[string]any{
+	return qr.done(map[string]any{
 		"count": out.NRows(),
 		"rows":  frameRows(out),
-	}
+	})
 }
 
 func (s *Server) summaryResponse(r *http.Request) (int, any) {
@@ -909,18 +1131,21 @@ func (s *Server) summaryResponse(r *http.Request) (int, any) {
 	if len(by) == 0 {
 		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?by=col1,col2"))
 	}
-	th, _, status, ferr := s.filteredThicket(r, "/api/summary")
+	qr, status, ferr := s.filteredThicket(r, "/api/summary")
 	if ferr != nil {
 		return errPayload(status, ferr)
 	}
-	sum, err := th.MetadataSummary(by...)
+	if qr.planOnly {
+		return qr.planPayload()
+	}
+	sum, err := qr.th.MetadataSummary(by...)
 	if err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
-	return http.StatusOK, map[string]any{
+	return qr.done(map[string]any{
 		"count": sum.NRows(),
 		"rows":  frameRows(sum),
-	}
+	})
 }
 
 func (s *Server) queryResponse(r *http.Request) (int, any) {
@@ -928,19 +1153,22 @@ func (s *Server) queryResponse(r *http.Request) (int, any) {
 	if q == "" {
 		return errPayload(http.StatusBadRequest, fmt.Errorf("missing ?q=<call-path query>"))
 	}
-	th, _, status, ferr := s.filteredThicket(r, "/api/query")
+	qr, status, ferr := s.filteredThicket(r, "/api/query")
 	if ferr != nil {
 		return errPayload(status, ferr)
 	}
-	out, err := th.QueryString(q)
+	if qr.planOnly {
+		return qr.planPayload()
+	}
+	out, err := qr.th.QueryString(q)
 	if err != nil {
 		return errPayload(http.StatusBadRequest, err)
 	}
-	return http.StatusOK, map[string]any{
+	return qr.done(map[string]any{
 		"kept":  out.Tree.Len(),
-		"total": th.Tree.Len(),
+		"total": qr.th.Tree.Len(),
 		"nodes": out.NodePaths(),
-	}
+	})
 }
 
 func (s *Server) treeResponse(r *http.Request) (int, any) {

@@ -1,0 +1,35 @@
+package store
+
+import "context"
+
+// observe.go is the scan-progress hook: a ScanObserver carried in the
+// request context is notified once per column block a scan touches, so
+// a serving layer can report "blocks decoded so far" for an in-flight
+// query without the store knowing anything about HTTP or registries.
+// The same context is the cancellation path — readBlock checks ctx at
+// every block boundary, which bounds how much decode work a canceled
+// query can still burn to a single block.
+
+// ScanObserver receives block-granularity scan progress. BlockRead
+// fires once per block the scan touches (cache hits included — the
+// unit is "blocks visited", matching the planner's accounting, not
+// bytes decoded). Implementations must be safe for concurrent use:
+// block decodes fan out across the parallel engine.
+type ScanObserver interface {
+	BlockRead(frame, column string)
+}
+
+type scanObserverKey struct{}
+
+// WithScanObserver returns a context carrying obs; store scans driven
+// by the returned context report per-block progress to it. An existing
+// observer on ctx is replaced.
+func WithScanObserver(ctx context.Context, obs ScanObserver) context.Context {
+	return context.WithValue(ctx, scanObserverKey{}, obs)
+}
+
+// scanObserverFrom extracts the context's observer, nil when absent.
+func scanObserverFrom(ctx context.Context) ScanObserver {
+	obs, _ := ctx.Value(scanObserverKey{}).(ScanObserver)
+	return obs
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -155,7 +156,7 @@ func (v SegmentView) Columns(frame string) ([]ColumnStats, error) {
 
 // ReadColumn decodes one block through the store's column cache.
 func (v SegmentView) ReadColumn(frame string, cs ColumnStats) (*dataframe.Series, error) {
-	return v.st.readBlock(nil, v.seg, frame, cs.blockIdx, cs.cm, cs.Key.Leaf())
+	return v.st.readBlock(context.Background(), nil, v.seg, frame, cs.blockIdx, cs.cm, cs.Key.Leaf())
 }
 
 // DictHasWord probes a string block's dictionary page for word without
@@ -211,14 +212,20 @@ func (v SegmentView) DictHasWord(frame string, cs ColumnStats, word string) (boo
 // (index levels always load). Decoded blocks land in the shared column
 // cache.
 func (v SegmentView) LoadFrame(frame string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
-	return v.st.loadFrame(nil, v.seg, frame, keep)
+	return v.st.loadFrame(context.Background(), nil, v.seg, frame, keep)
 }
 
 // LoadThicket materializes the full segment thicket (the survivor path).
 // withStats controls whether the stored stats frame decodes; pass true
 // only for a single-segment store, matching Store.Load.
 func (v SegmentView) LoadThicket(withStats bool) (*core.Thicket, error) {
-	return v.st.loadSegment(nil, v.seg, nil, withStats)
+	return v.LoadThicketCtx(context.Background(), withStats)
+}
+
+// LoadThicketCtx is LoadThicket with a cancellation context, checked at
+// every block boundary and wired to the context's ScanObserver.
+func (v SegmentView) LoadThicketCtx(ctx context.Context, withStats bool) (*core.Thicket, error) {
+	return v.st.loadSegment(ctx, nil, v.seg, nil, withStats)
 }
 
 // EmptyThicket builds the segment's zero-row thicket from the header
@@ -227,6 +234,12 @@ func (v SegmentView) LoadThicket(withStats bool) (*core.Thicket, error) {
 // still decodes (a pruned single-segment store must reproduce the
 // stats table the naive path carries over).
 func (v SegmentView) EmptyThicket(withStats bool) (*core.Thicket, error) {
+	return v.EmptyThicketCtx(context.Background(), withStats)
+}
+
+// EmptyThicketCtx is EmptyThicket with a cancellation context (the
+// stats-frame decode for single-segment stores is still a block read).
+func (v SegmentView) EmptyThicketCtx(ctx context.Context, withStats bool) (*core.Thicket, error) {
 	tree, err := v.Tree()
 	if err != nil {
 		return nil, err
@@ -241,7 +254,7 @@ func (v SegmentView) EmptyThicket(withStats bool) (*core.Thicket, error) {
 	}
 	var stats *dataframe.Frame
 	if withStats {
-		stats, err = v.LoadFrame(frameStats, nil)
+		stats, err = v.st.loadFrame(ctx, nil, v.seg, frameStats, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -429,8 +430,22 @@ func encodeSegment(th *core.Thicket) ([]byte, error) {
 // readBlock fetches and decodes one column block, consulting the LRU
 // cache first. name and kind come from the segment header. parent is
 // the enclosing loadFrame span (nil-safe); readBlock runs on parallel
-// worker goroutines, so its spans cross goroutine boundaries.
-func (s *Store) readBlock(parent *telemetry.Span, seg *segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+// worker goroutines, so its spans cross goroutine boundaries. The
+// block boundary is also the cancellation point: an expired ctx stops
+// the scan before the next read, and the context's ScanObserver (if
+// any) hears about every block the scan touches.
+func (s *Store) readBlock(ctx context.Context, parent *telemetry.Span, seg *segment, frame string, blockIdx int, cm columnMeta, name string) (*dataframe.Series, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if obs := scanObserverFrom(ctx); obs != nil {
+		obs.BlockRead(frame, name)
+		// The observer may have consumed the context's remaining budget
+		// (e.g. an injected per-block delay); re-check before decoding.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	sp := parent.StartChild("store.readBlock")
 	if sp != nil {
 		sp.SetAttr("frame", frame)
@@ -483,7 +498,7 @@ func parseKindName(s string) (dataframe.Kind, error) {
 // Block decoding fans out across the parallel engine — blocks are
 // independent units written to fixed slots, so the result is identical
 // at any worker count.
-func (s *Store) loadFrame(parent *telemetry.Span, seg *segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
+func (s *Store) loadFrame(ctx context.Context, parent *telemetry.Span, seg *segment, name string, keep func(dataframe.ColKey) bool) (*dataframe.Frame, error) {
 	sp := parent.StartChild("store.loadFrame")
 	if sp != nil {
 		sp.SetAttr("frame", name)
@@ -514,7 +529,7 @@ func (s *Store) loadFrame(parent *telemetry.Span, seg *segment, name string, kee
 	}
 	decoded := make([]*dataframe.Series, len(jobs))
 	if err := parallel.ForErr(len(jobs), func(i int) error {
-		series, err := s.readBlock(sp, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
+		series, err := s.readBlock(ctx, sp, seg, name, jobs[i].blockIdx, jobs[i].cm, jobs[i].name)
 		if err != nil {
 			return err
 		}
@@ -534,7 +549,7 @@ func (s *Store) loadFrame(parent *telemetry.Span, seg *segment, name string, kee
 // loadSegment materializes one segment as a thicket. keepPerf projects
 // the performance-data columns; withStats controls whether the stored
 // stats frame is decoded (a projection gets the empty stats table).
-func (s *Store) loadSegment(parent *telemetry.Span, seg *segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
+func (s *Store) loadSegment(ctx context.Context, parent *telemetry.Span, seg *segment, keepPerf func(dataframe.ColKey) bool, withStats bool) (*core.Thicket, error) {
 	sp := parent.StartChild("store.loadSegment")
 	if sp != nil {
 		sp.SetAttr("segment", fmt.Sprint(seg.gen))
@@ -546,17 +561,17 @@ func (s *Store) loadSegment(parent *telemetry.Span, seg *segment, keepPerf func(
 			return nil, fmt.Errorf("store: %s: segment g%d tree path %d: %w", s.path, seg.gen, i, err)
 		}
 	}
-	perf, err := s.loadFrame(sp, seg, framePerf, keepPerf)
+	perf, err := s.loadFrame(ctx, sp, seg, framePerf, keepPerf)
 	if err != nil {
 		return nil, err
 	}
-	meta, err := s.loadFrame(sp, seg, frameMeta_, nil)
+	meta, err := s.loadFrame(ctx, sp, seg, frameMeta_, nil)
 	if err != nil {
 		return nil, err
 	}
 	var stats *dataframe.Frame
 	if withStats {
-		stats, err = s.loadFrame(sp, seg, frameStats, nil)
+		stats, err = s.loadFrame(ctx, sp, seg, frameStats, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -571,7 +586,14 @@ func (s *Store) loadSegment(parent *telemetry.Span, seg *segment, keepPerf func(
 // semantics); aggregated statistics reset to empty since stored stats
 // no longer cover the appended profiles.
 func (s *Store) Load() (*core.Thicket, error) {
-	return s.load(nil)
+	return s.load(context.Background(), nil)
+}
+
+// LoadCtx is Load with a cancellation context: the load checks ctx at
+// every block boundary and reports progress to the context's
+// ScanObserver, if any.
+func (s *Store) LoadCtx(ctx context.Context) (*core.Thicket, error) {
+	return s.load(ctx, nil)
 }
 
 // LoadProjection materializes the store with the performance-data
@@ -602,10 +624,10 @@ func (s *Store) LoadProjection(keys []dataframe.ColKey) (*core.Thicket, error) {
 			return nil, fmt.Errorf("store: %s: no perf column %v in any segment", s.path, k)
 		}
 	}
-	return s.load(func(k dataframe.ColKey) bool { return want[k.String()] })
+	return s.load(context.Background(), func(k dataframe.ColKey) bool { return want[k.String()] })
 }
 
-func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error) {
+func (s *Store) load(ctx context.Context, keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error) {
 	sp := telemetry.StartOp("store.Load")
 	defer sp.End()
 	segs, release := s.pin()
@@ -620,7 +642,7 @@ func (s *Store) load(keepPerf func(dataframe.ColKey) bool) (*core.Thicket, error
 	withStats := len(segs) == 1 && keepPerf == nil
 	thickets := make([]*core.Thicket, len(segs))
 	for i, seg := range segs {
-		th, err := s.loadSegment(sp, seg, keepPerf, withStats)
+		th, err := s.loadSegment(ctx, sp, seg, keepPerf, withStats)
 		if err != nil {
 			return nil, err
 		}
@@ -644,7 +666,7 @@ func (s *Store) LoadSegmentThicket(gen int64) (*core.Thicket, error) {
 	defer release()
 	for _, seg := range segs {
 		if seg.gen == gen {
-			return s.loadSegment(nil, seg, nil, false)
+			return s.loadSegment(context.Background(), nil, seg, nil, false)
 		}
 	}
 	return nil, fmt.Errorf("store: %s: no live segment with generation %d", s.path, gen)
@@ -664,7 +686,7 @@ func (s *Store) Metadata() (*dataframe.Frame, error) {
 	}
 	frames := make([]*dataframe.Frame, len(segs))
 	for i, seg := range segs {
-		f, err := s.loadFrame(sp, seg, frameMeta_, nil)
+		f, err := s.loadFrame(context.Background(), sp, seg, frameMeta_, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,7 @@
 package thicket
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"os"
@@ -289,6 +290,48 @@ func FilterStore(st *Store, preds []Predicate) (*Thicket, PlanStats, error) {
 // over an already-resident thicket.
 func FilterThicket(th *Thicket, preds []Predicate) (*Thicket, PlanStats, error) {
 	return plan.ExecuteThicket(th, preds)
+}
+
+// Query plans (EXPLAIN/ANALYZE, see repro/internal/plan). The same
+// trees back thicketd's explain= query parameter and /debug/querylog.
+type (
+	// QueryPlan is a structured query plan: per-segment prune verdicts
+	// with the deciding predicate, per-column block accounting, totals,
+	// and (after an analyzed execution) per-stage wall times.
+	QueryPlan = plan.Explain
+	// SegmentExplain is one segment's line in a QueryPlan.
+	SegmentExplain = plan.SegmentExplain
+	// ColumnExplain is one column's block accounting in a QueryPlan.
+	ColumnExplain = plan.ColumnExplain
+	// StageTimes are a QueryPlan's per-stage wall times in nanoseconds.
+	StageTimes = plan.StageTimes
+)
+
+// ExplainStore computes a filter's plan tree against a store from
+// segment headers alone — no block decodes, no result (EXPLAIN).
+// Verdicts and deciding predicates are exact; scanned-segment block and
+// row counts are would-decode estimates.
+func ExplainStore(st *Store, preds []Predicate) (*QueryPlan, error) {
+	return plan.PlanStore(context.Background(), st, preds)
+}
+
+// AnalyzeStore executes the pushdown filter and returns the filtered
+// thicket together with its measured plan tree (EXPLAIN ANALYZE). The
+// result is bit-identical to FilterStore's.
+func AnalyzeStore(st *Store, preds []Predicate) (*Thicket, *QueryPlan, error) {
+	return plan.AnalyzeStore(context.Background(), st, preds)
+}
+
+// ExplainThicket validates a filter against a resident thicket and
+// returns its plan tree without executing (EXPLAIN).
+func ExplainThicket(th *Thicket, preds []Predicate) (*QueryPlan, error) {
+	return plan.PlanThicket(context.Background(), th, preds)
+}
+
+// AnalyzeThicket executes the resident-thicket filter and returns the
+// result together with its measured plan tree (EXPLAIN ANALYZE).
+func AnalyzeThicket(th *Thicket, preds []Predicate) (*Thicket, *QueryPlan, error) {
+	return plan.AnalyzeThicket(context.Background(), th, preds)
 }
 
 // Streaming ingest (WAL + LSM-style segment lifecycle, see
