@@ -183,6 +183,23 @@ func TestE2ECleanRunQuiet(t *testing.T) {
 	if rep.Measured.Errors != 0 {
 		t.Errorf("clean run had %d request errors", rep.Measured.Errors)
 	}
+	// The self-monitor's resource footprint must land in the report:
+	// real heap and goroutine observations, and no alerts on a clean run.
+	res := rep.Measured.Resources
+	if res == nil || res.Samples == 0 {
+		t.Fatalf("report missing monitor resource summary: %+v", res)
+	}
+	if res.PeakHeapBytes <= 0 || res.MaxGoroutines <= 0 {
+		t.Errorf("resource summary implausible: %+v", res)
+	}
+	if res.AlertsFired != 0 || len(res.AlertsFiring) != 0 {
+		t.Errorf("clean run fired monitor alerts: %+v", res)
+	}
+	var resText strings.Builder
+	rep.RenderText(&resText)
+	if !strings.Contains(resText.String(), "resources: peak heap") {
+		t.Errorf("text report missing resources line:\n%s", resText.String())
+	}
 
 	resp, err := http.Get(host.URL + "/debug/anomalies")
 	if err != nil {

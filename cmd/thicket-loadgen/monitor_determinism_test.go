@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/monitor"
+)
+
+// TestMonitorSamplerDeterminism pins the virtual-clock sampling
+// contract: two self-host replays of the same seed must sample at
+// identical virtual instants and walk identical alert transitions —
+// the monitor's time axis derives from the schedule, not from the wall
+// clock. The rules are chosen so the outcome is load-independent: one
+// thresholds the sampler's own tick counter (fires at a fixed tick on
+// every machine), one sets an impossible heap bound (never fires).
+func TestMonitorSamplerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e needs seconds of replay")
+	}
+	rules := []monitor.Rule{
+		{Name: "tick-three", Kind: monitor.KindThreshold,
+			Metric: "thicket_monitor_samples_total", Op: ">", Value: 2,
+			ForTicks: 1, ClearTicks: 1000},
+		{Name: "impossible-heap", Kind: monitor.KindThreshold,
+			Metric: monitor.SeriesHeapInuse, Op: ">", Value: 1 << 50,
+			ForTicks: 1},
+	}
+	runOnce := func() ([]int64, []monitor.Transition) {
+		t.Helper()
+		host, err := loadgen.StartSelfHost(loadgen.SelfHostOptions{
+			ScratchDir:   t.TempDir(),
+			Seed:         42,
+			MonitorRules: rules,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer host.Close()
+		sched, err := loadgen.BuildSchedule(loadgen.MixedSpec(42, 3*time.Second, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadgen.Run(context.Background(), sched, host.Target(16, nil)); err != nil {
+			t.Fatal(err)
+		}
+		return host.Monitor.Timestamps(), host.Monitor.Alerts().Transitions
+	}
+
+	tsA, trA := runOnce()
+	tsB, trB := runOnce()
+
+	if len(tsA) == 0 {
+		t.Fatal("sampler took no samples during the replay")
+	}
+	if !reflect.DeepEqual(tsA, tsB) {
+		t.Fatalf("same-seed runs sampled different virtual instants:\n%v\n%v", tsA, tsB)
+	}
+	for i := 1; i < len(tsA); i++ {
+		if tsA[i] <= tsA[i-1] {
+			t.Fatalf("virtual timestamps not strictly increasing: %v", tsA)
+		}
+	}
+	if !reflect.DeepEqual(trA, trB) {
+		t.Fatalf("same-seed runs walked different alert transitions:\n%+v\n%+v", trA, trB)
+	}
+	// The tick-counter rule fires at tick 3 — a transition fixed by the
+	// schedule; the impossible heap rule must stay quiet.
+	if len(trA) != 1 || trA[0].Rule != "tick-three" || !trA[0].Firing || trA[0].Tick != 3 {
+		t.Fatalf("want exactly one tick-three firing at tick 3, got %+v", trA)
+	}
+}

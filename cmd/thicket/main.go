@@ -34,6 +34,7 @@
 //	compose    horizontal multi-tool composition  -dirs a,b -groups CPU,GPU -index-by col [-o out.json]
 //	store      columnar ensemble store ops        store <create|append|info|ls> -store file.tks [-dir profiles/]
 //	serve      HTTP query service (thicketd)      serve -store file.tks [-addr :8080]
+//	monitor    live self-monitoring view          monitor -target http://host:8080 [-window 5m] [-metrics go_,rate] [-watch]
 //
 // Profiles load from -dir (raw profile JSONs), -load (a serialized
 // thicket object written by save), or -ensemble-store (a binary
@@ -92,6 +93,10 @@ func run(args []string, w io.Writer) (err error) {
 	}
 	if cmd == "ingest" {
 		ingestCmd(args[1:])
+		return
+	}
+	if cmd == "monitor" {
+		monitorCmd(args[1:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -532,7 +537,7 @@ func splitKeys(arg string) []thicket.ColKey {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|explain|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve|ingest> -dir profiles/ [flags]
+	fmt.Fprintln(os.Stderr, `usage: thicket <metadata|perf|tree|treetable|stats|filter|explain|groupby|query|summary|model|model2|imbalance|hist|box|groupstats|pivot|dot|describe|export|save|convert|compose|store|serve|ingest|monitor> -dir profiles/ [flags]
 run "thicket <subcommand> -h" for flags`)
 }
 

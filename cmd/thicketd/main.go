@@ -12,6 +12,8 @@
 //	         [-log-level info] [-inject-latency /api/stats=50ms]
 //	         [-ingest] [-ingest-wal path] [-ingest-queue 256] [-ingest-flush 16]
 //	         [-ingest-compact-run 4] [-ingest-sync batch]
+//	         [-monitor-interval 10s] [-monitor-ring 720] [-monitor-store monitor.tks]
+//	         [-monitor-flush 60] [-alert-rules rules.json]
 //
 // Endpoints:
 //
@@ -30,6 +32,24 @@
 //	GET /debug/queries                    in-flight queries: stage, blocks read, elapsed
 //	DELETE /debug/queries/{id}            cancel one in-flight query mid-scan
 //	GET /debug/querylog?n=32              recent completed queries with their plan trees
+//	GET /debug/monitor?window=5m          self-monitoring ring: windowed metric series (&metrics= filters)
+//	GET /debug/alerts                     alert rules, firing states, recent transitions
+//
+// Continuous self-monitoring runs by default (-monitor-interval < 0
+// disables it): every interval the sampler snapshots the telemetry
+// registry and the Go runtime (heap, GC pauses, goroutines, scheduler
+// latency) into a bounded ring served at /debug/monitor, derives
+// per-second rates from counters, and evaluates declarative alert
+// rules — threshold, rate-of-change, absence — whose firing/resolved
+// states appear at /debug/alerts, on /metrics
+// (thicket_monitor_alerts_total{rule}), and in the structured log.
+// -alert-rules replaces the shipped rule set (heap growth, GC pause
+// p99, goroutine leak, ingest-queue saturation, cache hit-rate
+// collapse) with a JSON file. With -monitor-store, samples are
+// periodically flushed as one profile per interval into a dedicated
+// ensemble store that `thicket query/stats/serve` can analyze — the
+// service's own operational history as an ensemble. `thicket monitor
+// -target` renders the ring as a live top-like table.
 //
 // Every analytical endpoint accepts explain=plan (prune verdicts from
 // headers alone, nothing executes) and explain=analyze (execute and
@@ -106,6 +126,13 @@ type config struct {
 	ingestFlush   int
 	ingestCompact int
 	ingestSync    string
+
+	monitorInterval time.Duration
+	monitorRing     int
+	monitorStore    string
+	monitorFlush    int
+	alertRulesPath  string
+	injectLeak      int
 }
 
 func main() {
@@ -132,6 +159,12 @@ func main() {
 	flag.IntVar(&cfg.ingestFlush, "ingest-flush", 0, "profiles per level-0 segment flush (0 selects 16)")
 	flag.IntVar(&cfg.ingestCompact, "ingest-compact-run", 0, "adjacent same-level segments merged per compaction (0 selects 4, negative disables)")
 	flag.StringVar(&cfg.ingestSync, "ingest-sync", "batch", "WAL fsync policy: batch (group commit), always, none")
+	flag.DurationVar(&cfg.monitorInterval, "monitor-interval", 10*time.Second, "self-monitoring sample interval (negative disables the monitor)")
+	flag.IntVar(&cfg.monitorRing, "monitor-ring", 0, "samples retained in the monitor ring (0 selects 720)")
+	flag.StringVar(&cfg.monitorStore, "monitor-store", "", "flush monitor samples to this ensemble store (one profile per interval, queryable via thicket query/stats/serve)")
+	flag.IntVar(&cfg.monitorFlush, "monitor-flush", 0, "monitor samples per history flush (0 selects 60); the tail flushes on shutdown")
+	flag.StringVar(&cfg.alertRulesPath, "alert-rules", "", "JSON alert-rules file (default: the shipped heap/GC/goroutine/ingest/cache rule set)")
+	flag.IntVar(&cfg.injectLeak, "inject-leak", 0, "retain this many bytes of heap per monitor tick — the demo hook behind the heap-growth alert")
 	flag.Parse()
 	if cfg.storePath == "" {
 		flag.Usage()
@@ -320,6 +353,57 @@ func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
 			"wal", ing.WALPath(), "sync", cfg.ingestSync, "compact", st.CanCompact())
 	}
 
+	// Continuous self-monitoring: every interval the sampler snapshots
+	// the registry + Go runtime into the ring, evaluates the alert
+	// rules, and (with -monitor-store) batches samples into a dedicated
+	// ensemble store. Shutdown takes a final sample and flushes the
+	// tail, so the incident that killed the process is in the history.
+	var mon *thicket.Monitor
+	if cfg.monitorInterval >= 0 {
+		rules := thicket.DefaultAlertRules()
+		if cfg.alertRulesPath != "" {
+			rules, err = thicket.LoadAlertRules(cfg.alertRulesPath)
+			if err != nil {
+				return err
+			}
+		}
+		mon, err = thicket.NewMonitor(thicket.MonitorOptions{
+			Interval: cfg.monitorInterval,
+			RingSize: cfg.monitorRing,
+			Registry: thicket.DefaultMetrics(),
+			Rules:    rules,
+			Logger:   logger,
+			History: thicket.MonitorHistoryOptions{
+				StorePath:  cfg.monitorStore,
+				FlushEvery: cfg.monitorFlush,
+				Meta: map[string]thicket.Value{
+					"served_store": thicket.Str(cfg.storePath),
+					"addr":         thicket.Str(cfg.addr),
+				},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.injectLeak > 0 {
+			mon.SetInjectedLeak(cfg.injectLeak)
+			dlog.Warn("injected heap leak armed", "bytes_per_tick", cfg.injectLeak)
+		}
+		monCtx, monCancel := context.WithCancel(context.Background())
+		monDone := make(chan struct{})
+		go func() { defer close(monDone); mon.Run(monCtx) }()
+		defer func() {
+			monCancel()
+			<-monDone
+			if cerr := mon.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		dlog.Info("self-monitoring enabled",
+			"interval", mon.Interval().String(), "rules", len(rules),
+			"history", cfg.monitorStore)
+	}
+
 	immediate := map[string]time.Duration{}
 	for path, spec := range inject {
 		if spec.after <= 0 {
@@ -342,6 +426,9 @@ func serve(ctx context.Context, cfg config, out io.Writer) (err error) {
 	}
 	if ing != nil {
 		serverOpts.Ingest = ing
+	}
+	if mon != nil {
+		serverOpts.Monitor = mon
 	}
 	srv := thicket.NewServer(th, st, serverOpts)
 	// Delayed injections arm after the endpoint's baseline has warmed on

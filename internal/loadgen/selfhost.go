@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/monitor"
 	"repro/internal/selfprofile"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -98,6 +99,10 @@ type SelfHostOptions struct {
 	// compaction run length). The zero value selects the ingester's
 	// defaults.
 	Ingest ingest.Options
+	// MonitorRules overrides the self-monitor's alert rules (nil selects
+	// monitor.DefaultRules; an explicit empty slice disables alerting).
+	// The determinism tests pass fixed rules here.
+	MonitorRules []monitor.Rule
 }
 
 // SelfHost is a live in-process thicketd wired for closed-loop load
@@ -114,6 +119,7 @@ type SelfHost struct {
 	Collector *telemetry.Collector
 	Profiler  *selfprofile.Profiler
 	Registry  *telemetry.Registry
+	Monitor   *monitor.Sampler
 
 	opts     SelfHostOptions
 	st       *store.Store
@@ -249,6 +255,22 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		return nil, err
 	}
 
+	// The self-monitor samples on the replay's virtual clock (Target
+	// ticks it alongside the watchdog), so same-seed runs observe
+	// identical sample instants. One ring slot per baseline window.
+	mon, err := monitor.New(monitor.Options{
+		Interval: opts.BaselineWindow,
+		Registry: reg,
+		Rules:    opts.MonitorRules,
+		Logger:   opts.Logger,
+	})
+	if err != nil {
+		ing.Close()
+		sp.Close()
+		st.Close()
+		return nil, err
+	}
+
 	srv := server.New(th, st, server.Options{
 		MaxConcurrent: opts.MaxConcurrent,
 		Registry:      reg,
@@ -257,6 +279,7 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		Watchdog:      wd,
 		SlowQuery:     -1, // loadgen floods would spam the slow log
 		Ingest:        ing,
+		Monitor:       mon,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -272,6 +295,7 @@ func StartSelfHost(opts SelfHostOptions) (*SelfHost, error) {
 		Collector: col,
 		Profiler:  sp,
 		Registry:  reg,
+		Monitor:   mon,
 		opts:      opts,
 		st:        st,
 		ing:       ing,
@@ -340,10 +364,16 @@ func (h *SelfHost) Ingester() *ingest.Ingester { return h.ing }
 // its onset.
 func (h *SelfHost) Target(concurrency int, regress *Regression) Target {
 	t := Target{
-		BaseURL:     h.URL,
-		Ingest:      h.Ingest,
-		TickEvery:   h.opts.BaselineWindow,
-		OnTick:      func(int) { h.Watchdog.Tick() },
+		BaseURL:   h.URL,
+		Ingest:    h.Ingest,
+		TickEvery: h.opts.BaselineWindow,
+		// Both the watchdog and the self-monitor tick on the virtual
+		// clock. The monitor gets virtual timestamps (epoch + tick·window)
+		// so same-seed runs record identical sample instants.
+		OnTick: func(tick int) {
+			h.Watchdog.Tick()
+			h.Monitor.Tick(time.Unix(0, 0).Add(time.Duration(tick) * h.opts.BaselineWindow))
+		},
 		Concurrency: concurrency,
 	}
 	if regress != nil {
@@ -357,7 +387,7 @@ func (h *SelfHost) Target(concurrency int, regress *Regression) Target {
 
 // Annotate flushes the self-profiler and fills the report's closed-loop
 // fields (anomaly count, retained traces, exported profiles, plan
-// efficiency).
+// efficiency, resource usage from the self-monitor).
 func (h *SelfHost) Annotate(rep *Report) (exported int, err error) {
 	exported, err = h.Profiler.Flush()
 	rep.Measured.Anomalies = len(h.Watchdog.Anomalies())
@@ -367,7 +397,64 @@ func (h *SelfHost) Annotate(rep *Report) (exported int, err error) {
 	} else if err == nil {
 		err = perr
 	}
+	if rs, rerr := h.resourceSummary(); rerr == nil {
+		rep.Measured.Resources = rs
+	} else if err == nil {
+		err = rerr
+	}
 	return exported, err
+}
+
+// resourceSummary scrapes the run's runtime-resource footprint from the
+// live /debug/monitor and /debug/alerts endpoints — the same surface an
+// operator reads — and folds the whole ring into a report section.
+func (h *SelfHost) resourceSummary() (*ResourceSummary, error) {
+	var win monitor.WindowSnapshot
+	if err := h.getJSON("/debug/monitor", &win); err != nil {
+		return nil, err
+	}
+	var alerts monitor.AlertsSnapshot
+	if err := h.getJSON("/debug/alerts", &alerts); err != nil {
+		return nil, err
+	}
+	rs := &ResourceSummary{Samples: win.Samples}
+	if s, ok := win.Series[monitor.SeriesHeapInuse]; ok {
+		rs.PeakHeapBytes = int64(s.Max)
+	}
+	if s, ok := win.Series[monitor.SeriesGoroutines]; ok {
+		rs.MaxGoroutines = int(s.Max)
+	}
+	// The pause series is cumulative since process start; the run's
+	// share is last − first over the ring.
+	if s, ok := win.Series[monitor.SeriesGCPauseTotal]; ok && len(s.Points) > 0 {
+		rs.GCPauseTotalS = s.Last - s.Points[0].Value
+	}
+	if s, ok := win.Series[monitor.SeriesGCCPUFraction]; ok {
+		rs.GCCPUMeanPct = 100 * s.Mean
+	}
+	for _, tr := range alerts.Transitions {
+		if tr.Firing {
+			rs.AlertsFired++
+		}
+	}
+	rs.AlertsFiring = alerts.Firing
+	return rs, nil
+}
+
+// getJSON fetches path from the self-hosted server and decodes it.
+func (h *SelfHost) getJSON(path string, out any) error {
+	resp, err := h.client.Get(h.URL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s answered %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	return nil
 }
 
 // planEfficiency scrapes the run's aggregate plan accounting from the
@@ -429,6 +516,9 @@ func (h *SelfHost) Close() error {
 		err = cerr
 	}
 	if cerr := h.Profiler.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := h.Monitor.Close(); err == nil {
 		err = cerr
 	}
 	if cerr := h.st.Close(); err == nil {

@@ -77,6 +77,10 @@ type MeasuredReport struct {
 	// Plan summarizes the compiled-query work the run induced, sourced
 	// from the live /debug/querylog endpoint (self-host mode only).
 	Plan *PlanEfficiency `json:"plan,omitempty"`
+	// Resources summarizes the server's runtime footprint over the run,
+	// scraped from the self-monitor's /debug/monitor ring (self-host
+	// mode only).
+	Resources *ResourceSummary `json:"resources,omitempty"`
 }
 
 // PlanEfficiency is the run's aggregate plan-tree accounting: how much
@@ -93,6 +97,18 @@ type PlanEfficiency struct {
 	BlocksSkipped     int64   `json:"blocks_skipped"`
 	BlocksSkippedPct  float64 `json:"blocks_skipped_pct"`
 	RowsMaterialized  int64   `json:"rows_materialized"`
+}
+
+// ResourceSummary is the run's runtime-resource footprint: what the
+// server's own continuous monitor observed while serving the replay.
+type ResourceSummary struct {
+	Samples       int      `json:"samples"`
+	PeakHeapBytes int64    `json:"peak_heap_bytes"`
+	MaxGoroutines int      `json:"max_goroutines"`
+	GCPauseTotalS float64  `json:"gc_pause_total_s"`
+	GCCPUMeanPct  float64  `json:"gc_cpu_mean_pct"`
+	AlertsFired   int      `json:"alerts_fired"`
+	AlertsFiring  []string `json:"alerts_firing,omitempty"`
 }
 
 // Report is the full machine-readable result (BENCH_loadgen.json).
@@ -300,6 +316,11 @@ func (r *Report) RenderText(w io.Writer) {
 	if r.Measured.Anomalies > 0 || r.Measured.WatchdogTicks > 0 {
 		fmt.Fprintf(w, "\nwatchdog: %d ticks, %d anomalies, %d retained traces\n",
 			r.Measured.WatchdogTicks, r.Measured.Anomalies, r.Measured.RetainedTraces)
+	}
+	if res := r.Measured.Resources; res != nil && res.Samples > 0 {
+		fmt.Fprintf(w, "resources: peak heap %.1f MiB, GC pause %.2fms total, GC CPU %.2f%%, max %d goroutines, %d alerts fired\n",
+			float64(res.PeakHeapBytes)/(1<<20), res.GCPauseTotalS*1e3,
+			res.GCCPUMeanPct, res.MaxGoroutines, res.AlertsFired)
 	}
 }
 

@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+
+	"repro/internal/dataframe"
+	"repro/internal/profile"
+	"repro/internal/selfprofile"
+	"repro/internal/telemetry"
+)
+
+// Metadata columns on every flushed monitor profile. Timestamps are
+// monotonically increasing across samples, so the store's delta coding
+// and zone maps make time-window queries (`where=timestamp>=...`)
+// prune untouched segments.
+const (
+	MetaTimestamp    = "timestamp" // unix nanoseconds of the sample
+	MetaTick         = "tick"      // sampler tick number (restart detector)
+	MetaAlerts       = "alerts"    // comma-joined firing rule names, "" when quiet
+	MetaAlertsFiring = "alerts_firing"
+	MetaSource       = "source" // always "monitor"
+)
+
+// monitorNode is the single tree node every sample's metrics hang off.
+const monitorNode = "monitor"
+
+// HistoryOptions configures the monitor-store flusher.
+type HistoryOptions struct {
+	// StorePath is the ensemble store to create or append to.
+	StorePath string
+	// FlushEvery is how many samples accumulate before a flush; the
+	// remainder is flushed on Close. 0 selects 60.
+	FlushEvery int
+	// Meta is stamped on every flushed profile (server identity).
+	Meta map[string]dataframe.Value
+}
+
+const defaultFlushEvery = 60
+
+// historyWriter batches ring samples into profiles — one profile per
+// sample, metric names as perf columns on a single "monitor" node,
+// alert state as metadata — and appends them through the shared
+// dogfood StoreWriter.
+type historyWriter struct {
+	path   string
+	opts   HistoryOptions
+	writer *selfprofile.StoreWriter
+	logger *slog.Logger
+
+	flushes  *telemetry.Counter
+	failures *telemetry.Counter
+
+	mu      sync.Mutex
+	pending []*profile.Profile
+	tick    int64
+}
+
+func newHistoryWriter(opts HistoryOptions, reg *telemetry.Registry, logger *slog.Logger) *historyWriter {
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = defaultFlushEvery
+	}
+	return &historyWriter{
+		path:   opts.StorePath,
+		opts:   opts,
+		writer: selfprofile.NewStoreWriter(opts.StorePath, logger),
+		logger: logger,
+		flushes: reg.Counter("thicket_monitor_flushes_total",
+			"Monitor history batches flushed to the monitor store."),
+		failures: reg.Counter("thicket_monitor_flush_failures_total",
+			"Monitor history flushes that failed."),
+	}
+}
+
+// record converts one sample into a profile and flushes when the batch
+// is full. Store I/O happens outside the sampler lock.
+func (h *historyWriter) record(sample Sample, firing []string) {
+	prof := profile.New()
+	h.mu.Lock()
+	h.tick++
+	tick := h.tick
+	h.mu.Unlock()
+	prof.SetMeta(MetaTimestamp, dataframe.Int64(sample.UnixNS))
+	prof.SetMeta(MetaTick, dataframe.Int64(tick))
+	prof.SetMeta(MetaAlerts, dataframe.Str(strings.Join(firing, ",")))
+	prof.SetMeta(MetaAlertsFiring, dataframe.Int64(int64(len(firing))))
+	prof.SetMeta(MetaSource, dataframe.Str("monitor"))
+	for k, v := range h.opts.Meta {
+		prof.SetMeta(k, v)
+	}
+	metrics := make(map[string]dataframe.Value, len(sample.Values))
+	for name, v := range sample.Values {
+		metrics[name] = dataframe.Float64(v)
+	}
+	if err := prof.AddSample([]string{monitorNode}, metrics); err != nil {
+		h.failures.Inc()
+		h.logger.Error("monitor sample rejected", "error", err.Error())
+		return
+	}
+
+	h.mu.Lock()
+	h.pending = append(h.pending, prof)
+	var batch []*profile.Profile
+	if len(h.pending) >= h.opts.FlushEvery {
+		batch = h.pending
+		h.pending = nil
+	}
+	h.mu.Unlock()
+	h.flush(batch)
+}
+
+func (h *historyWriter) flush(batch []*profile.Profile) {
+	if len(batch) == 0 {
+		return
+	}
+	if err := h.writer.Append(batch); err != nil {
+		h.failures.Inc()
+		h.logger.Error("monitor history flush failed",
+			"error", err.Error(), "samples", len(batch))
+		return
+	}
+	h.flushes.Inc()
+	h.logger.Info("monitor history flush",
+		"samples", len(batch), "path", h.path)
+}
+
+// close flushes the unwritten tail and releases the store handle.
+func (h *historyWriter) close() error {
+	h.mu.Lock()
+	batch := h.pending
+	h.pending = nil
+	h.mu.Unlock()
+	h.flush(batch)
+	return h.writer.Close()
+}

@@ -1,0 +1,231 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Rule kinds.
+const (
+	KindThreshold = "threshold" // latest value compared against Value
+	KindRate      = "rate"      // per-second change over WindowTicks samples
+	KindAbsence   = "absence"   // metric missing from the last WindowTicks samples
+)
+
+// Rule is one declarative alert. Rules are plain JSON so operators can
+// ship a file via `thicketd -alert-rules rules.json`:
+//
+//	[{"name": "heap-growth", "kind": "rate",
+//	  "metric": "go_heap_inuse_bytes", "op": ">", "value": 67108864,
+//	  "window_ticks": 5, "for_ticks": 5}]
+type Rule struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Metric      string  `json:"metric"`
+	Kind        string  `json:"kind"`
+	Op          string  `json:"op,omitempty"`           // ">" (default) or "<"
+	Value       float64 `json:"value,omitempty"`        // threshold / rate bound
+	ForTicks    int     `json:"for_ticks,omitempty"`    // consecutive breaches to fire (default 3)
+	ClearTicks  int     `json:"clear_ticks,omitempty"`  // consecutive ok ticks to resolve (default ForTicks)
+	WindowTicks int     `json:"window_ticks,omitempty"` // rate/absence lookback (default 5)
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.Op == "" {
+		r.Op = ">"
+	}
+	if r.ForTicks <= 0 {
+		r.ForTicks = 3
+	}
+	if r.ClearTicks <= 0 {
+		r.ClearTicks = r.ForTicks
+	}
+	if r.WindowTicks <= 0 {
+		r.WindowTicks = 5
+	}
+	return r
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("monitor: rule with empty name")
+	}
+	if r.Metric == "" {
+		return fmt.Errorf("monitor: rule %q: metric required", r.Name)
+	}
+	switch r.Kind {
+	case KindThreshold, KindRate, KindAbsence:
+	default:
+		return fmt.Errorf("monitor: rule %q: unknown kind %q", r.Name, r.Kind)
+	}
+	if r.Op != ">" && r.Op != "<" {
+		return fmt.Errorf("monitor: rule %q: op must be > or <, got %q", r.Name, r.Op)
+	}
+	return nil
+}
+
+// DefaultRules is the shipped alert set: the failure modes a thicketd
+// operator most wants a page for, with bounds loose enough that a
+// healthy loaded server stays quiet.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "heap-growth", Kind: KindRate, Metric: "go_heap_inuse_bytes",
+			Op: ">", Value: 64 << 20, WindowTicks: 5, ForTicks: 5,
+			Description: "heap in-use growing faster than 64 MiB/s, sustained",
+		},
+		{
+			Name: "gc-pause-p99", Kind: KindThreshold, Metric: "go_gc_pause_p99_seconds",
+			Op: ">", Value: 0.1, ForTicks: 3,
+			Description: "GC pause p99 above 100ms",
+		},
+		{
+			Name: "goroutine-leak", Kind: KindRate, Metric: "go_goroutines",
+			Op: ">", Value: 25, WindowTicks: 10, ForTicks: 10,
+			Description: "goroutine count growing by more than 25/s, sustained",
+		},
+		{
+			Name: "ingest-queue-saturation", Kind: KindThreshold, Metric: "thicket_ingest_queue_depth",
+			Op: ">", Value: 224, ForTicks: 3,
+			Description: "ingest queue near capacity (default queue holds 256)",
+		},
+		{
+			Name: "cache-hit-rate-collapse", Kind: KindThreshold, Metric: "thicket_response_cache_hit_ratio",
+			Op: "<", Value: 0.05, ForTicks: 5,
+			Description: "response-cache hit ratio collapsed below 5% under traffic",
+		},
+	}
+}
+
+// LoadRules reads a JSON rules file ([]Rule). Defaults are applied and
+// each rule validated so a bad file fails at startup, not on the tick.
+func LoadRules(path string) ([]Rule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: alert rules: %w", err)
+	}
+	var rules []Rule
+	if err := json.Unmarshal(raw, &rules); err != nil {
+		return nil, fmt.Errorf("monitor: alert rules %s: %w", path, err)
+	}
+	for i := range rules {
+		rules[i] = rules[i].withDefaults()
+		if err := rules[i].validate(); err != nil {
+			return nil, fmt.Errorf("%w (in %s)", err, path)
+		}
+	}
+	return rules, nil
+}
+
+// Transition is one firing or resolved edge.
+type Transition struct {
+	Rule   string  `json:"rule"`
+	Firing bool    `json:"firing"`
+	Value  float64 `json:"value"`
+	Tick   int64   `json:"tick"`
+	UnixNS int64   `json:"unix_ns"`
+}
+
+// ruleState tracks one rule's hysteresis: breachRun counts consecutive
+// breaching ticks (fire at ForTicks), okRun counts consecutive clean
+// ticks while firing (resolve at ClearTicks). An alternating boundary
+// value therefore never flaps: each ok tick resets breachRun and each
+// breach resets okRun, so neither run reaches its trigger length.
+type ruleState struct {
+	Rule
+	Firing      bool
+	breachRun   int
+	okRun       int
+	lastValue   float64
+	firedTotal  int64
+	sinceUnixNS int64
+}
+
+// evalRules advances every rule against the ring and returns the
+// transitions this tick produced. Caller holds the sampler lock.
+func evalRules(rules []*ruleState, ring []Sample, tick, nowNS int64) []Transition {
+	var out []Transition
+	for _, st := range rules {
+		breached, value, judged := judge(st.Rule, ring)
+		if judged {
+			st.lastValue = value
+		}
+		if judged && breached {
+			st.breachRun++
+			st.okRun = 0
+			if !st.Firing && st.breachRun >= st.ForTicks {
+				st.Firing = true
+				st.firedTotal++
+				st.sinceUnixNS = nowNS
+				out = append(out, Transition{Rule: st.Name, Firing: true, Value: value, Tick: tick, UnixNS: nowNS})
+			}
+			continue
+		}
+		// Not breaching (or not judgeable yet — warmup counts as clean).
+		st.breachRun = 0
+		if st.Firing {
+			st.okRun++
+			if st.okRun >= st.ClearTicks {
+				st.Firing = false
+				st.okRun = 0
+				st.sinceUnixNS = 0
+				out = append(out, Transition{Rule: st.Name, Firing: false, Value: value, Tick: tick, UnixNS: nowNS})
+			}
+		}
+	}
+	return out
+}
+
+// judge evaluates one rule against the ring. judged is false when the
+// ring cannot support a verdict yet (empty, still warming up for the
+// rule's window, or the metric has never appeared for threshold/rate) —
+// unjudged ticks count as clean so absence rules stay silent during
+// sampler warmup and an empty ring never fires anything.
+func judge(r Rule, ring []Sample) (breached bool, value float64, judged bool) {
+	if len(ring) == 0 {
+		return false, 0, false
+	}
+	cmp := func(v float64) bool {
+		if r.Op == "<" {
+			return v < r.Value
+		}
+		return v > r.Value
+	}
+	latest := ring[len(ring)-1]
+	switch r.Kind {
+	case KindThreshold:
+		v, ok := latest.Values[r.Metric]
+		if !ok {
+			return false, 0, false
+		}
+		return cmp(v), v, true
+	case KindRate:
+		if len(ring) <= r.WindowTicks {
+			return false, 0, false
+		}
+		then := ring[len(ring)-1-r.WindowTicks]
+		v1, ok1 := then.Values[r.Metric]
+		v2, ok2 := latest.Values[r.Metric]
+		if !ok1 || !ok2 {
+			return false, 0, false
+		}
+		dt := float64(latest.UnixNS-then.UnixNS) / 1e9
+		if dt <= 0 {
+			return false, 0, false
+		}
+		rate := (v2 - v1) / dt
+		return cmp(rate), rate, true
+	case KindAbsence:
+		if len(ring) < r.WindowTicks {
+			return false, 0, false
+		}
+		for _, sm := range ring[len(ring)-r.WindowTicks:] {
+			if _, ok := sm.Values[r.Metric]; ok {
+				return false, 0, true
+			}
+		}
+		return true, 0, true
+	}
+	return false, 0, false
+}

@@ -1,0 +1,250 @@
+package monitor
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Series names the runtime sampler emits. Gauges and cumulative
+// counters appear from the first tick; windowed derivations (alloc
+// rate, pause p99, GC CPU fraction, sched-latency p99) need a previous
+// tick and so appear from the second.
+const (
+	SeriesGoroutines      = "go_goroutines"
+	SeriesHeapInuse       = "go_heap_inuse_bytes"
+	SeriesMemTotal        = "go_mem_total_bytes"
+	SeriesHeapAllocTotal  = "go_heap_alloc_bytes_total"
+	SeriesHeapAllocRate   = "go_heap_alloc_bytes_total" + RateSuffix
+	SeriesGCCycles        = "go_gc_cycles_total"
+	SeriesGCPauseP99      = "go_gc_pause_p99_seconds"
+	SeriesGCPauseTotal    = "go_gc_pause_total_seconds"
+	SeriesGCCPUFraction   = "go_gc_cpu_fraction"
+	SeriesSchedLatencyP99 = "go_sched_latency_p99_seconds"
+)
+
+// runtime/metrics sample indices (see names in newRuntimeSampler).
+const (
+	rmGoroutines = iota
+	rmHeapObjects
+	rmHeapUnused
+	rmMemTotal
+	rmHeapAllocs
+	rmGCCycles
+	rmGCPauses
+	rmGCCPU
+	rmSchedLat
+	rmCount
+)
+
+// runtimeSampler reads the Go runtime's own metrics and derives
+// windowed views against the previous tick. Cumulative histograms
+// (GC pauses, sched latencies) turn into per-window p99s by diffing
+// bucket counts; cumulative counters carry the same monotonicity
+// guard as registry counters.
+type runtimeSampler struct {
+	samples []metrics.Sample
+	prev    struct {
+		valid      bool
+		unixNS     int64
+		allocBytes float64
+		gcCPU      float64
+		pauses     []uint64
+		schedLats  []uint64
+	}
+	pauseTotal float64 // running midpoint-weighted pause mass
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	names := [rmCount]string{
+		rmGoroutines:  "/sched/goroutines:goroutines",
+		rmHeapObjects: "/memory/classes/heap/objects:bytes",
+		rmHeapUnused:  "/memory/classes/heap/unused:bytes",
+		rmMemTotal:    "/memory/classes/total:bytes",
+		rmHeapAllocs:  "/gc/heap/allocs:bytes",
+		rmGCCycles:    "/gc/cycles/total:gc-cycles",
+		rmGCPauses:    "/gc/pauses:seconds",
+		rmGCCPU:       "/cpu/classes/gc/total:cpu-seconds",
+		rmSchedLat:    "/sched/latencies:seconds",
+	}
+	rs := &runtimeSampler{samples: make([]metrics.Sample, rmCount)}
+	for i, n := range names {
+		rs.samples[i].Name = n
+	}
+	return rs
+}
+
+// sample reads the runtime and writes the go_* series into values.
+func (rs *runtimeSampler) sample(values map[string]float64, now time.Time) {
+	metrics.Read(rs.samples)
+
+	u64 := func(i int) (float64, bool) {
+		if rs.samples[i].Value.Kind() != metrics.KindUint64 {
+			return 0, false // unknown name on this runtime: skip the series
+		}
+		return float64(rs.samples[i].Value.Uint64()), true
+	}
+	f64 := func(i int) (float64, bool) {
+		if rs.samples[i].Value.Kind() != metrics.KindFloat64 {
+			return 0, false
+		}
+		return rs.samples[i].Value.Float64(), true
+	}
+	hist := func(i int) *metrics.Float64Histogram {
+		if rs.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			return nil
+		}
+		return rs.samples[i].Value.Float64Histogram()
+	}
+
+	if v, ok := u64(rmGoroutines); ok {
+		values[SeriesGoroutines] = v
+	}
+	objects, okObj := u64(rmHeapObjects)
+	unused, okUn := u64(rmHeapUnused)
+	if okObj && okUn {
+		values[SeriesHeapInuse] = objects + unused
+	}
+	if v, ok := u64(rmMemTotal); ok {
+		values[SeriesMemTotal] = v
+	}
+	allocBytes, okAlloc := u64(rmHeapAllocs)
+	if okAlloc {
+		values[SeriesHeapAllocTotal] = allocBytes
+	}
+	if v, ok := u64(rmGCCycles); ok {
+		values[SeriesGCCycles] = v
+	}
+	gcCPU, okCPU := f64(rmGCCPU)
+	pauses := hist(rmGCPauses)
+	schedLats := hist(rmSchedLat)
+
+	if pauses != nil {
+		// Maintain a cumulative pause-mass estimate (midpoint-weighted)
+		// from the full histogram so the total survives ring eviction.
+		rs.pauseTotal = histMass(pauses)
+		values[SeriesGCPauseTotal] = rs.pauseTotal
+	}
+
+	nowNS := now.UnixNano()
+	dt := float64(nowNS-rs.prev.unixNS) / 1e9
+	if rs.prev.valid && dt > 0 {
+		if okAlloc {
+			d := allocBytes - rs.prev.allocBytes
+			if d < 0 {
+				d = 0
+			}
+			values[SeriesHeapAllocRate] = d / dt
+		}
+		if okCPU {
+			d := gcCPU - rs.prev.gcCPU
+			if d < 0 {
+				d = 0
+			}
+			frac := d / (dt * float64(runtime.GOMAXPROCS(0)))
+			if frac > 1 {
+				frac = 1
+			}
+			values[SeriesGCCPUFraction] = frac
+		}
+		if pauses != nil {
+			values[SeriesGCPauseP99] = histDeltaQuantile(pauses, rs.prev.pauses, 0.99)
+		}
+		if schedLats != nil {
+			values[SeriesSchedLatencyP99] = histDeltaQuantile(schedLats, rs.prev.schedLats, 0.99)
+		}
+	}
+
+	rs.prev.valid = true
+	rs.prev.unixNS = nowNS
+	rs.prev.allocBytes = allocBytes
+	rs.prev.gcCPU = gcCPU
+	if pauses != nil {
+		rs.prev.pauses = append(rs.prev.pauses[:0], pauses.Counts...)
+	}
+	if schedLats != nil {
+		rs.prev.schedLats = append(rs.prev.schedLats[:0], schedLats.Counts...)
+	}
+}
+
+// histMass approximates the total observed seconds in a cumulative
+// runtime histogram by weighting each bucket's count with its midpoint
+// (clamped for the ±Inf edge buckets).
+func histMass(h *metrics.Float64Histogram) float64 {
+	total := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		total += float64(c) * bucketMid(h.Buckets, i)
+	}
+	return total
+}
+
+// histDeltaQuantile computes quantile q of the observations that
+// arrived since prev (a previous Counts snapshot of the same
+// histogram). A shrunk or reset histogram reads as an empty window.
+// The answer is the upper bound of the bucket holding the quantile —
+// pessimistic, which is the right bias for an alert threshold.
+func histDeltaQuantile(h *metrics.Float64Histogram, prev []uint64, q float64) float64 {
+	var total uint64
+	deltas := make([]uint64, len(h.Counts))
+	for i, c := range h.Counts {
+		var p uint64
+		if i < len(prev) {
+			p = prev[i]
+		}
+		if c > p {
+			deltas[i] = c - p
+			total += deltas[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total)*q + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, d := range deltas {
+		cum += d
+		if cum >= target {
+			return bucketUpper(h.Buckets, i)
+		}
+	}
+	return bucketUpper(h.Buckets, len(deltas)-1)
+}
+
+// bucketUpper returns a finite upper bound for bucket i of a runtime
+// histogram (Buckets has len(Counts)+1 edges; the first may be -Inf,
+// the last +Inf).
+func bucketUpper(buckets []float64, i int) float64 {
+	if i+1 < len(buckets) {
+		if ub := buckets[i+1]; !isInf(ub) {
+			return ub
+		}
+	}
+	if i < len(buckets) && !isInf(buckets[i]) {
+		return buckets[i]
+	}
+	return 0
+}
+
+// bucketMid returns a finite midpoint for bucket i.
+func bucketMid(buckets []float64, i int) float64 {
+	lo, hi := 0.0, 0.0
+	if i < len(buckets) && !isInf(buckets[i]) {
+		lo = buckets[i]
+	}
+	if i+1 < len(buckets) {
+		if ub := buckets[i+1]; !isInf(ub) {
+			hi = ub
+		} else {
+			hi = lo
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func isInf(v float64) bool { return v > 1e300 || v < -1e300 }

@@ -12,14 +12,10 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
-	"os"
-	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/profile"
-	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -73,11 +69,9 @@ type Options struct {
 // Profiler drains slow traces into the self-profile store.
 type Profiler struct {
 	opts     Options
+	writer   *StoreWriter
 	exported *telemetry.Counter
 	failed   *telemetry.Counter
-
-	mu sync.Mutex
-	st *store.Store // lazily created/opened on first flush
 }
 
 // New validates opts and returns a Profiler. The store file is not
@@ -106,6 +100,7 @@ func New(opts Options) (*Profiler, error) {
 	}
 	return &Profiler{
 		opts:     opts,
+		writer:   NewStoreWriter(opts.StorePath, opts.Logger),
 		exported: reg.Counter("thicket_selfprofile_exported_total", "Slow traces exported to the self-profile store."),
 		failed:   reg.Counter("thicket_selfprofile_failed_total", "Slow-trace exports that failed."),
 	}, nil
@@ -166,9 +161,7 @@ func (p *Profiler) Flush() (int, error) {
 		return 0, nil // everything was self-traffic or failed and logged
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.append(profiles); err != nil {
+	if err := p.writer.Append(profiles); err != nil {
 		p.failed.Add(int64(len(profiles)))
 		return 0, err
 	}
@@ -224,46 +217,12 @@ func (p *Profiler) export(rt telemetry.RetainedTrace) (*profile.Profile, error) 
 	return profile.FromTraceNodes([]*telemetry.TraceNode{rt.Root}, meta)
 }
 
-// append writes a batch to the store, creating the file on first use.
-// Caller holds p.mu.
-func (p *Profiler) append(profiles []*profile.Profile) error {
-	if p.st == nil {
-		if _, err := os.Stat(p.opts.StorePath); os.IsNotExist(err) {
-			th, err := core.FromProfiles(profiles, core.Options{})
-			if err != nil {
-				return fmt.Errorf("selfprofile: compose: %w", err)
-			}
-			if err := store.Create(p.opts.StorePath, th); err != nil {
-				return err
-			}
-			st, err := store.Open(p.opts.StorePath)
-			if err != nil {
-				return err
-			}
-			p.st = st
-			p.opts.Logger.Info("self-profile store created", "path", p.opts.StorePath)
-			return nil // the batch is the store's first segment
-		}
-		st, err := store.Open(p.opts.StorePath)
-		if err != nil {
-			return err
-		}
-		p.st = st
-	}
-	return p.st.AppendProfiles(profiles)
-}
-
 // Close flushes the retained tail and releases the store handle. Safe
 // to call when no flush ever opened the store.
 func (p *Profiler) Close() error {
 	_, ferr := p.Flush()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.st != nil {
-		if cerr := p.st.Close(); cerr != nil && ferr == nil {
-			ferr = cerr
-		}
-		p.st = nil
+	if cerr := p.writer.Close(); cerr != nil && ferr == nil {
+		ferr = cerr
 	}
 	return ferr
 }

@@ -1,0 +1,82 @@
+package selfprofile
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/store"
+)
+
+// StoreWriter is the lazy create-or-append half of the dogfood loop,
+// shared by the slow-trace Profiler and the monitor history flusher:
+// the store file is not touched until the first batch, so enabling a
+// writer on an idle healthy server writes nothing.
+type StoreWriter struct {
+	path   string
+	logger *slog.Logger
+
+	mu sync.Mutex
+	st *store.Store
+}
+
+// NewStoreWriter returns a writer for the given store path. logger may
+// be nil.
+func NewStoreWriter(path string, logger *slog.Logger) *StoreWriter {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &StoreWriter{path: path, logger: logger}
+}
+
+// Path returns the store path.
+func (w *StoreWriter) Path() string { return w.path }
+
+// Append writes a batch of profiles, creating the store file on first
+// use (the batch becomes the store's first segment).
+func (w *StoreWriter) Append(profiles []*profile.Profile) error {
+	if len(profiles) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.st == nil {
+		if _, err := os.Stat(w.path); os.IsNotExist(err) {
+			th, err := core.FromProfiles(profiles, core.Options{})
+			if err != nil {
+				return fmt.Errorf("selfprofile: compose: %w", err)
+			}
+			if err := store.Create(w.path, th); err != nil {
+				return err
+			}
+			st, err := store.Open(w.path)
+			if err != nil {
+				return err
+			}
+			w.st = st
+			w.logger.Info("dogfood store created", "path", w.path)
+			return nil
+		}
+		st, err := store.Open(w.path)
+		if err != nil {
+			return err
+		}
+		w.st = st
+	}
+	return w.st.AppendProfiles(profiles)
+}
+
+// Close releases the store handle. Safe when no Append ever opened it.
+func (w *StoreWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.st == nil {
+		return nil
+	}
+	err := w.st.Close()
+	w.st = nil
+	return err
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/monitor"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -45,7 +46,12 @@ func TestMetricsNameSurfaceGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ing.Close()
-	srv := server.New(th, st, server.Options{Registry: reg, Ingest: ing})
+	mon, err := monitor.New(monitor.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(time.Unix(0, 0)) // registers the monitor's own families
+	srv := server.New(th, st, server.Options{Registry: reg, Ingest: ing, Monitor: mon})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -90,6 +96,10 @@ func TestMetricsNameSurfaceGolden(t *testing.T) {
 		"thicket_queries_active",
 		"thicket_queries_canceled_total",
 		"thicket_plan_blocks_scanned_total",
+		"thicket_monitor_samples_total",
+		"thicket_monitor_alerts_total",
+		"thicket_monitor_alerts_firing",
+		"thicket_monitor_last_sample_timestamp_seconds",
 	} {
 		if !strings.Contains(got, "# HELP "+name+" ") {
 			t.Errorf("metric %s missing from the pinned surface", name)

@@ -37,6 +37,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataframe"
 	"repro/internal/ingest"
+	"repro/internal/monitor"
 	"repro/internal/plan"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -98,6 +100,9 @@ type Options struct {
 	// Watchdog, when set, backs /debug/anomalies with the rolling
 	// latency baselines and flagged regressions.
 	Watchdog *telemetry.Watchdog
+	// Monitor, when set, backs /debug/monitor (windowed metric series
+	// from the self-monitoring ring) and /debug/alerts (rule states).
+	Monitor *monitor.Sampler
 	// InjectLatency adds an artificial delay to the named endpoints
 	// (path -> delay) — the regression-injection hook behind the
 	// watchdog demo and its tests. Adjustable at runtime via
@@ -182,6 +187,8 @@ type Server struct {
 	queriesDisconnected *telemetry.Counter
 	scanDelay           atomic.Int64 // per-block injected delay, ns
 
+	started time.Time // process-visible uptime epoch for /healthz
+
 	log    *slog.Logger
 	inject sync.Map // endpoint path -> time.Duration artificial delay
 }
@@ -224,14 +231,15 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 	warm(th)
 	reg := opts.Registry
 	s := &Server{
-		st:    st,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxConcurrent),
-		reg:   reg,
-		cache: newRespCache(opts.CacheBytes),
-		eps:   make(map[string]*endpointMetrics),
-		plans: make(map[string]*planMetrics),
-		log:   opts.Logger.With(telemetry.LogKeyComponent, "server"),
+		st:      st,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		reg:     reg,
+		cache:   newRespCache(opts.CacheBytes),
+		eps:     make(map[string]*endpointMetrics),
+		plans:   make(map[string]*planMetrics),
+		started: time.Now(),
+		log:     opts.Logger.With(telemetry.LogKeyComponent, "server"),
 	}
 	for path, d := range opts.InjectLatency {
 		s.inject.Store(path, d)
@@ -261,6 +269,7 @@ func New(th *core.Thicket, st *store.Store, opts Options) *Server {
 		"/api/groupby", "/api/summary", "/api/query", "/api/tree",
 		"/ingest", "/debug/traces", "/debug/anomalies",
 		"/debug/queries", "/debug/querylog",
+		"/debug/monitor", "/debug/alerts",
 	} {
 		s.eps[path] = &endpointMetrics{
 			requests:    reg.Counter("thicket_http_endpoint_requests_total", "HTTP requests by endpoint.", "endpoint", path),
@@ -362,6 +371,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/queries", s.instrument("/debug/queries", s.handleDebugQueries))
 	mux.HandleFunc("/debug/queries/", s.instrument("/debug/queries", s.handleDebugQueryKill))
 	mux.HandleFunc("/debug/querylog", s.instrument("/debug/querylog", s.handleDebugQuerylog))
+	mux.HandleFunc("/debug/monitor", s.instrument("/debug/monitor", s.handleDebugMonitor))
+	mux.HandleFunc("/debug/alerts", s.instrument("/debug/alerts", s.handleDebugAlerts))
 	var h http.Handler = mux
 	h = s.limit(h)
 	h = http.TimeoutHandler(h, s.opts.Timeout, `{"error":"request timed out"}`)
@@ -730,11 +741,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"requests":  s.requests.Value(),
-		"in_flight": s.inFlight.Value(),
-		"profiles":  th.NumProfiles(),
-		"nodes":     th.Tree.Len(),
+		"status":         "ok",
+		"build":          buildInfo(),
+		"go_version":     runtime.Version(),
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"requests":       s.requests.Value(),
+		"in_flight":      s.inFlight.Value(),
+		"profiles":       th.NumProfiles(),
+		"nodes":          th.Tree.Len(),
 		"cache": map[string]any{
 			"hits":       hits,
 			"misses":     misses,

@@ -229,6 +229,58 @@ func (r *Registry) SumCounter(name string) int64 {
 	return total
 }
 
+// MetricSnapshot is one family's instantaneous aggregate view, summed
+// across its series: counters and gauges report Value; histograms
+// report the observation Count and Sum. The monitor sampler turns a
+// sequence of these into windowed rates.
+type MetricSnapshot struct {
+	Name  string
+	Type  string // "counter", "gauge", "histogram"
+	Value float64
+	Count int64
+	Sum   float64
+}
+
+// Snapshot returns every family summed across its series, sorted by
+// name. References are collected under the lock but the atomics are
+// read outside it, so a snapshot never blocks hot-path increments.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	type famView struct {
+		name, typ string
+		metrics   []any
+	}
+	views := make([]famView, 0, len(r.fams))
+	for _, f := range r.fams {
+		v := famView{name: f.name, typ: f.typ, metrics: make([]any, 0, len(f.series))}
+		for _, s := range f.series {
+			v.metrics = append(v.metrics, s.metric)
+		}
+		views = append(views, v)
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(views))
+	for _, v := range views {
+		snap := MetricSnapshot{Name: v.name, Type: v.typ}
+		for _, m := range v.metrics {
+			switch m := m.(type) {
+			case *Counter:
+				snap.Value += float64(m.Value())
+			case *Gauge:
+				snap.Value += float64(m.Value())
+			case *Histogram:
+				count, sum := m.Snapshot()
+				snap.Count += count
+				snap.Sum += sum
+			}
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
 // formatFloat renders a float the way Prometheus expects.
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 

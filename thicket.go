@@ -39,6 +39,7 @@ import (
 	"repro/internal/extrap"
 	"repro/internal/ingest"
 	"repro/internal/mlkit"
+	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/profile"
@@ -407,6 +408,17 @@ type (
 	SelfProfiler = selfprofile.Profiler
 	// SelfProfileOptions configures the self-profiler.
 	SelfProfileOptions = selfprofile.Options
+	// Monitor is the continuous self-monitoring sampler: registry +
+	// runtime metrics into a timestamped ring, declarative alert rules,
+	// and an optional queryable history store.
+	Monitor = monitor.Sampler
+	// MonitorOptions configures the monitor sampler.
+	MonitorOptions = monitor.Options
+	// MonitorHistoryOptions configures the monitor-store flusher.
+	MonitorHistoryOptions = monitor.HistoryOptions
+	// AlertRule is one declarative monitor alert (threshold, rate, or
+	// absence).
+	AlertRule = monitor.Rule
 )
 
 // NewTraceContext mints a fresh sampled W3C trace context.
@@ -426,6 +438,19 @@ func NewWatchdog(reg *MetricsRegistry, opts WatchdogOptions) *Watchdog {
 func NewSelfProfiler(opts SelfProfileOptions) (*SelfProfiler, error) {
 	return selfprofile.New(opts)
 }
+
+// NewMonitor builds the continuous self-monitoring sampler. Call Run
+// for wall-clock sampling or Tick for clock-injected sampling, and
+// Close to flush the history tail.
+func NewMonitor(opts MonitorOptions) (*Monitor, error) { return monitor.New(opts) }
+
+// DefaultAlertRules is the shipped monitor alert set: heap growth, GC
+// pause p99, goroutine leak, ingest-queue saturation, cache hit-rate
+// collapse.
+func DefaultAlertRules() []AlertRule { return monitor.DefaultRules() }
+
+// LoadAlertRules reads and validates a JSON alert-rules file.
+func LoadAlertRules(path string) ([]AlertRule, error) { return monitor.LoadRules(path) }
 
 // NewJSONLogger returns the canonical structured logger: one JSON
 // object per line with the shared telemetry field names.
